@@ -1,0 +1,60 @@
+// Experiment E3: regenerates the content of the paper's Figure 2 — the
+// floating point representation in CPU (IEEE-754) and GPU (texel bytes)
+// with corresponding byte values — and verifies the re-arrangement is a
+// bijection.
+#include <cstdio>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "compute/packing.h"
+
+int main() {
+  using namespace mgpu;
+  std::printf("=== Paper Fig. 2: float representation, CPU vs GPU texel ===\n\n");
+  std::printf("CPU (IEEE-754):  [ s | e7..e0 | m22..............m0 ]\n");
+  std::printf("GPU texel:       byte3 = e7..e0   byte2 = s|m22..m16   "
+              "byte1 = m15..m8   byte0 = m7..m0\n\n");
+
+  const float samples[] = {1.0f,   -1.0f,     1.5f,    -2.75f, 255.0f,
+                           0.1f,   3.14159f, -1e-10f, 1e10f,  6.02e23f};
+  std::printf("%-12s %-11s | %-26s | %-11s  (texel b0 b1 b2 b3)\n", "value",
+              "ieee bits", "s exp      mantissa", "gpu bits");
+  for (const float f : samples) {
+    const std::uint32_t bits = FloatToBits(f);
+    const std::uint32_t gpu = compute::RotateFloatBitsForGpu(bits);
+    const auto texels = compute::PackF32(std::array<float, 1>{f});
+    std::printf("%-12g 0x%08x  | %u  %3u  0x%06x          | 0x%08x   (%3u %3u "
+                "%3u %3u)\n",
+                f, bits, FloatSignBit(bits), FloatBiasedExponent(bits),
+                FloatMantissa(bits), gpu, texels[0], texels[1], texels[2],
+                texels[3]);
+  }
+
+  // Bijectivity sweep (the property Fig. 2's layout must satisfy).
+  Rng rng(99);
+  std::size_t checked = 0, ok = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const std::uint32_t b = rng.NextU32();
+    ++checked;
+    ok += compute::RotateFloatBitsFromGpu(compute::RotateFloatBitsForGpu(b)) ==
+          b;
+  }
+  // Exhaustive over all (sign, exponent) pairs.
+  std::size_t field_ok = 0, field_total = 0;
+  for (std::uint32_t s = 0; s <= 1; ++s) {
+    for (std::uint32_t e = 0; e <= 255; ++e) {
+      const std::uint32_t b = MakeFloatBits(s, e, 0x2aaaaa);
+      const std::uint32_t g = compute::RotateFloatBitsForGpu(b);
+      ++field_total;
+      // byte3 must equal the biased exponent; byte2's MSB the sign.
+      field_ok += ((g >> 24) == e && ((g >> 23) & 1u) == s) ? 1 : 0;
+    }
+  }
+  std::printf("\nround-trip bijectivity: %zu/%zu random bit patterns\n", ok,
+              checked);
+  std::printf("field placement:        %zu/%zu (sign, exponent) pairs land "
+              "in the documented bytes\n",
+              field_ok, field_total);
+  return ok == checked && field_ok == field_total ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Micro-benchmark M2: simulator throughput on this machine — GLSL compile
+// time, fragment-shader interpretation rate, and full kernel-dispatch rate.
+// Documents the sim-vs-silicon gap DESIGN.md's sizing note relies on.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "compute/kernel.h"
+#include "glsl/compile.h"
+#include "glsl/interp.h"
+#include "vc4/profiles.h"
+
+namespace {
+
+using namespace mgpu;
+
+constexpr char kFragSrc[] = R"(
+precision highp float;
+uniform float u_x;
+void main() {
+  float acc = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    acc += float(i) * u_x;
+  }
+  gl_FragColor = vec4(fract(acc));
+}
+)";
+
+void BM_CompileFragmentShader(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = glsl::CompileGlsl(kFragSrc, glsl::Stage::kFragment);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_CompileFragmentShader);
+
+void BM_FragmentInvocation(benchmark::State& state) {
+  auto r = glsl::CompileGlsl(kFragSrc, glsl::Stage::kFragment);
+  glsl::ExactAlu alu;
+  glsl::ShaderExec exec(*r.shader, alu);
+  exec.GlobalAt(exec.GlobalSlot("u_x")).SetF(0, 0.37f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FragmentInvocation);
+
+void BM_KernelDispatchF32(benchmark::State& state) {
+  compute::DeviceOptions o;
+  o.profile = vc4::IeeeExact();
+  compute::Device d(o);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> host(n);
+  for (auto& x : host) x = rng.NextWorkloadFloat();
+  compute::PackedBuffer in(d, compute::ElemType::kF32, n);
+  compute::PackedBuffer out(d, compute::ElemType::kF32, n);
+  in.Upload(std::span<const float>(host));
+  compute::Kernel k(d, {.name = "saxpy1",
+                        .inputs = {{"u_src", compute::ElemType::kF32}},
+                        .output = compute::ElemType::kF32,
+                        .extra_decls = "",
+                        .body = "float gp_kernel(vec2 p) { return "
+                                "gp_fetch_u_src(gp_linear_index()) * 2.0 + "
+                                "1.0; }\n"});
+  for (auto _ : state) {
+    k.Run(out, {&in});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelDispatchF32)->Arg(256)->Arg(4096)->Arg(16384);
+
+void BM_TextureSampleNearest(benchmark::State& state) {
+  gles2::Texture t;
+  std::vector<std::uint8_t> px(64 * 64 * 4, 128);
+  (void)t.TexImage2D(0, gles2::GL_RGBA, 64, 64, gles2::GL_RGBA,
+                     gles2::GL_UNSIGNED_BYTE, px.data(), 4);
+  (void)t.SetParameter(gles2::GL_TEXTURE_MIN_FILTER, gles2::GL_NEAREST);
+  (void)t.SetParameter(gles2::GL_TEXTURE_MAG_FILTER, gles2::GL_NEAREST);
+  float s = 0.0f;
+  for (auto _ : state) {
+    s += 0.013f;
+    if (s > 1.0f) s -= 1.0f;
+    benchmark::DoNotOptimize(t.Sample(s, 0.5f, 0.0f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TextureSampleNearest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Micro-benchmark M1: host-side pack/unpack throughput on this machine
+// (google-benchmark wall time). Quantifies the paper's §V remark about the
+// CPU-side "partial bit re-arrangements for the floating point data":
+// integer formats are straight copies, floats pay the Fig. 2 rotation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "compute/packing.h"
+
+namespace {
+
+using namespace mgpu;
+
+void BM_PackU32(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::uint32_t> v(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : v) x = rng.NextU32();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute::PackU32(v));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 4);
+}
+BENCHMARK(BM_PackU32)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PackF32(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<float> v(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : v) x = rng.NextWorkloadFloat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute::PackF32(v));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 4);
+}
+BENCHMARK(BM_PackF32)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_UnpackF32(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<float> v(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : v) x = rng.NextWorkloadFloat();
+  const auto texels = compute::PackF32(v);
+  std::vector<float> out(v.size());
+  for (auto _ : state) {
+    compute::UnpackF32(texels, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 4);
+}
+BENCHMARK(BM_UnpackF32)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PackU8(benchmark::State& state) {
+  Rng rng(4);
+  const auto v = rng.ByteVector(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute::PackU8(v));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PackU8)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RotateFloatBits(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::uint32_t> bits(4096);
+  for (auto& b : bits) b = rng.NextU32();
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const std::uint32_t b : bits) {
+      acc ^= compute::RotateFloatBitsForGpu(b);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_RotateFloatBits);
+
+}  // namespace
+
+BENCHMARK_MAIN();

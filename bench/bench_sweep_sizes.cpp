@@ -1,0 +1,59 @@
+// Ablation A3: where does the GPU start paying off? Sweeps the `sum`
+// benchmark across sizes and prints modeled CPU vs GPU wall times (with the
+// GPU's fixed costs — compile + draw overhead — included, as the paper's
+// wall-time methodology requires). Small arrays lose to the constant
+// overhead; the crossover sits where the paper's regime begins.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compute/device.h"
+
+int main() {
+  using namespace mgpu;
+  compute::Device d;
+  const vc4::CpuModel cpu = vc4::Arm1176();
+
+  std::printf("=== Size sweep: sum (int and float), CPU vs modeled GPU "
+              "===\n\n");
+  std::printf("%10s | %12s %12s %9s | %12s %12s %9s\n", "elements",
+              "CPU int[ms]", "GPU int[ms]", "speedup", "CPU fp[ms]",
+              "GPU fp[ms]", "speedup");
+
+  // Measure per-element GPU cost once at the calibration size; the bench
+  // then scales the linear terms and keeps fixed costs constant.
+  const vc4::GpuWork unit_i =
+      bench::MeasureSumWork(d, compute::ElemType::kI32, 1u << 20);
+  const vc4::GpuWork unit_f =
+      bench::MeasureSumWork(d, compute::ElemType::kF32, 1u << 20);
+
+  double crossover_int = -1.0, crossover_fp = -1.0;
+  for (int lg = 8; lg <= 22; ++lg) {
+    const std::uint64_t n = 1ull << lg;
+    const double f = static_cast<double>(n) / static_cast<double>(1u << 20);
+    vc4::GpuWork wi = bench::ScaleLinear(unit_i, f);
+    wi.program_compiles = 1;
+    wi.draw_calls = 1;
+    vc4::GpuWork wf = bench::ScaleLinear(unit_f, f);
+    wf.program_compiles = 1;
+    wf.draw_calls = 1;
+
+    const double ci = vc4::CpuSeconds(cpu, cpuref::AddWorkI32(n));
+    const double gi = vc4::GpuSeconds(d.profile(), cpu, wi).total();
+    const double cf = vc4::CpuSeconds(cpu, cpuref::AddWorkF32(n));
+    const double gf = vc4::GpuSeconds(d.profile(), cpu, wf).total();
+    std::printf("%10llu | %12.3f %12.3f %8.2fx | %12.3f %12.3f %8.2fx\n",
+                static_cast<unsigned long long>(n), ci * 1e3, gi * 1e3,
+                ci / gi, cf * 1e3, gf * 1e3, cf / gf);
+    if (crossover_int < 0 && ci > gi) crossover_int = static_cast<double>(n);
+    if (crossover_fp < 0 && cf > gf) crossover_fp = static_cast<double>(n);
+  }
+
+  std::printf("\ncrossover (GPU starts winning): int at ~%.0fk elements, "
+              "float at ~%.0fk\n",
+              crossover_int / 1e3, crossover_fp / 1e3);
+  std::printf("below the crossover the ~1 ms compile + API overhead "
+              "dominates; the paper's 1M-element\nconfiguration sits well "
+              "inside the winning regime (speedups flatten toward the "
+              "asymptote).\n");
+  return crossover_int > 0 && crossover_fp > 0 ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mgpu {
+
+std::uint64_t Rng::NextU64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+float Rng::NextFloat01() {
+  // 24 random bits -> exactly representable in fp32.
+  return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f;
+}
+
+float Rng::NextFloat(float lo, float hi) {
+  return lo + (hi - lo) * NextFloat01();
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextU64() % span);
+}
+
+float Rng::NextWorkloadFloat() {
+  const int exponent = static_cast<int>(NextInt(-8, 8));
+  const float magnitude = (1.0f + NextFloat01()) * std::ldexp(1.0f, exponent);
+  return (NextU64() & 1) != 0 ? -magnitude : magnitude;
+}
+
+std::vector<float> Rng::FloatVector(std::size_t n, float lo, float hi) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = NextFloat(lo, hi);
+  return v;
+}
+
+std::vector<std::int32_t> Rng::IntVector(std::size_t n, std::int32_t lo,
+                                         std::int32_t hi) {
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v) x = static_cast<std::int32_t>(NextInt(lo, hi));
+  return v;
+}
+
+std::vector<std::uint8_t> Rng::ByteVector(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint8_t>(NextU64() & 0xff);
+  return v;
+}
+
+}  // namespace mgpu

@@ -1,0 +1,31 @@
+#include "common/strings.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace mgpu {
+
+std::string VStrFormat(const char* fmt, std::va_list args) {
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (needed <= 0) return {};
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string out = VStrFormat(fmt, args);
+  va_end(args);
+  return out;
+}
+
+bool Contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+}  // namespace mgpu

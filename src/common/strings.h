@@ -1,0 +1,21 @@
+// printf-style string formatting (GCC 12 lacks <format>), used for shader
+// code generation and human-readable benchmark tables.
+#ifndef MGPU_COMMON_STRINGS_H_
+#define MGPU_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace mgpu {
+
+[[nodiscard]] std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[nodiscard]] std::string VStrFormat(const char* fmt, std::va_list args);
+
+// True if `text` contains `needle` (used heavily by shader-codegen tests).
+[[nodiscard]] bool Contains(const std::string& text, const std::string& needle);
+
+}  // namespace mgpu
+
+#endif  // MGPU_COMMON_STRINGS_H_

@@ -1,0 +1,67 @@
+// Host-side data representation for kernel I/O (paper §IV): every C numeric
+// format is carried through RGBA8 textures. Integer formats use their
+// unmodified little-endian two's-complement byte layout (the paper's
+// interoperability argument vs. Strzodka's custom 16-bit format); floats
+// need the sign/exponent bit rotation of Fig. 2 so the biased exponent
+// occupies a full byte.
+#ifndef MGPU_COMPUTE_PACKING_H_
+#define MGPU_COMPUTE_PACKING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vc4/timing.h"
+
+namespace mgpu::compute {
+
+enum class ElemType { kU8, kI8, kU32, kI32, kF32 };
+
+[[nodiscard]] const char* ElemTypeName(ElemType t);
+// Bytes of one element in host memory.
+[[nodiscard]] int ElemBytes(ElemType t);
+// Elements carried per RGBA8 texel (byte formats pack 4 per texel).
+[[nodiscard]] int ElemsPerTexel(ElemType t);
+
+// --- Fig. 2: the float bit re-arrangement -------------------------------
+// IEEE-754 layout:  [ s | e7..e0 | m22..m0 ]
+// GPU texel layout: byte3 = e7..e0 (biased exponent), byte2 = s | m22..m16,
+//                   byte1 = m15..m8, byte0 = m7..m0.
+// This is a rotation of the top 9 bits by one position.
+[[nodiscard]] std::uint32_t RotateFloatBitsForGpu(std::uint32_t ieee_bits);
+[[nodiscard]] std::uint32_t RotateFloatBitsFromGpu(std::uint32_t gpu_bits);
+
+// --- packing into RGBA8 texel streams -----------------------------------
+// Each function appends exactly ceil(n / ElemsPerTexel) * 4 bytes. Byte
+// formats pad the tail texel with zeros.
+[[nodiscard]] std::vector<std::uint8_t> PackU8(std::span<const std::uint8_t> v);
+[[nodiscard]] std::vector<std::uint8_t> PackI8(std::span<const std::int8_t> v);
+[[nodiscard]] std::vector<std::uint8_t> PackU32(
+    std::span<const std::uint32_t> v);
+[[nodiscard]] std::vector<std::uint8_t> PackI32(
+    std::span<const std::int32_t> v);
+[[nodiscard]] std::vector<std::uint8_t> PackF32(std::span<const float> v);
+
+// --- unpacking from RGBA8 texel streams ---------------------------------
+void UnpackU8(std::span<const std::uint8_t> texels,
+              std::span<std::uint8_t> out);
+void UnpackI8(std::span<const std::uint8_t> texels, std::span<std::int8_t> out);
+void UnpackU32(std::span<const std::uint8_t> texels,
+               std::span<std::uint32_t> out);
+void UnpackI32(std::span<const std::uint8_t> texels,
+               std::span<std::int32_t> out);
+void UnpackF32(std::span<const std::uint8_t> texels, std::span<float> out);
+
+// CPU cost of packing/unpacking n elements of `t` — feeds the timing model's
+// host term (the paper's §V: "the partial bit re-arrangements for the
+// floating point data on the CPU"). Integer formats are plain copies.
+[[nodiscard]] vc4::CpuWork HostPackWork(ElemType t, std::uint64_t n);
+
+// The exact integer range representable losslessly when 32-bit integers are
+// reconstructed in fp32 arithmetic (paper §IV-C: "precision equivalent to a
+// 24-bit integer").
+inline constexpr std::int64_t kExactIntRange = 1ll << 24;
+
+}  // namespace mgpu::compute
+
+#endif  // MGPU_COMPUTE_PACKING_H_

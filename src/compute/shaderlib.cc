@@ -1,0 +1,251 @@
+#include "compute/shaderlib.h"
+
+#include "common/strings.h"
+
+namespace mgpu::compute {
+
+std::string PassthroughVertexShader() {
+  return R"(// Challenge 1: ES 2.0 forces a programmable vertex stage; this is the
+// minimal pass-through shader the paper describes (III-1).
+attribute vec2 gp_pos;
+varying vec2 gp_uv;
+void main() {
+  gp_uv = gp_pos * 0.5 + 0.5;
+  gl_Position = vec4(gp_pos, 0.0, 1.0);
+}
+)";
+}
+
+std::string KernelPreamble() {
+  return R"(precision highp float;
+varying vec2 gp_uv;
+uniform vec2 gp_out_size;
+
+// Reconstruct a byte value from a normalized channel (paper Eq. (4), robust
+// rounding form: the quantized value c/255 maps back to exactly c).
+float gp_byte(float f) { return floor(f * 255.0 + 0.5); }
+
+// Inverse: encode a byte value so the framebuffer conversion (Eq. (2),
+// either floor or round-to-nearest) lands on exactly that byte.
+float gp_unbyte(float b) { return (b + 0.25) / 255.0; }
+
+// Challenge 3/4: element index -> normalized 2D texture coordinate.
+vec2 gp_coord(float index, vec2 size) {
+  float y = floor((index + 0.5) / size.x);
+  float x = index - y * size.x;
+  return (vec2(x, y) + 0.5) / size;
+}
+
+// Integer texel position of this fragment (gl_FragCoord is at +0.5).
+vec2 gp_pos_xy() { return floor(gl_FragCoord.xy); }
+
+// Linear element index of this fragment in the output array.
+float gp_linear_index() {
+  vec2 p = gp_pos_xy();
+  return p.x + p.y * gp_out_size.x;
+}
+)";
+}
+
+std::string UnpackName(ElemType t) {
+  switch (t) {
+    case ElemType::kU8: return "gp_unpack_u8";
+    case ElemType::kI8: return "gp_unpack_i8";
+    case ElemType::kU32: return "gp_unpack_u32";
+    case ElemType::kI32: return "gp_unpack_i32";
+    case ElemType::kF32: return "gp_unpack_f32";
+  }
+  return "";
+}
+
+std::string PackName(ElemType t) {
+  switch (t) {
+    case ElemType::kU8: return "gp_pack_u8";
+    case ElemType::kI8: return "gp_pack_i8";
+    case ElemType::kU32: return "gp_pack_u32";
+    case ElemType::kI32: return "gp_pack_i32";
+    case ElemType::kF32: return "gp_pack_f32";
+  }
+  return "";
+}
+
+std::string UnpackFunction(ElemType t) {
+  switch (t) {
+    case ElemType::kU8:
+      // Paper §IV-A: M : [0,1] -> [0,255], applied channel-wise.
+      return R"(vec4 gp_unpack_u8(vec4 t) {
+  return floor(t * 255.0 + vec4(0.5));
+}
+)";
+    case ElemType::kI8:
+      // Paper §IV-B: M2 via two's complement: b >= 128 means b - 256.
+      return R"(vec4 gp_unpack_i8(vec4 t) {
+  vec4 b = floor(t * 255.0 + vec4(0.5));
+  return b - step(vec4(128.0), b) * 256.0;
+}
+)";
+    case ElemType::kU32:
+      // Paper §IV-C Eq. (6): sum of bytes weighted by 256^i. Exact for
+      // values below 2^24 (fp32 mantissa, as the paper notes).
+      return R"(float gp_unpack_u32(vec4 t) {
+  vec4 b = floor(t * 255.0 + vec4(0.5));
+  return b.r + b.g * 256.0 + b.b * 65536.0 + b.a * 16777216.0;
+}
+)";
+    case ElemType::kI32:
+      // Paper §IV-D, reformulated at byte level so small negative values
+      // stay exact in fp32 (subtracting 256^3 from a ~2^32 float would not).
+      return R"(float gp_unpack_i32(vec4 t) {
+  vec4 b = floor(t * 255.0 + vec4(0.5));
+  if (b.a >= 128.0) {
+    vec4 c = vec4(255.0) - b;  // one's complement
+    return -(c.r + c.g * 256.0 + c.b * 65536.0 + c.a * 16777216.0 + 1.0);
+  }
+  return b.r + b.g * 256.0 + b.b * 65536.0 + b.a * 16777216.0;
+}
+)";
+    case ElemType::kF32:
+      // Paper §IV-E with the Fig. 2 layout: byte3 = biased exponent,
+      // byte2 = sign | high mantissa bits, bytes1..0 = low mantissa.
+      return R"(float gp_unpack_f32(vec4 t) {
+  vec4 b = floor(t * 255.0 + vec4(0.5));
+  float expo = b.a;
+  float sgn = b.b < 128.0 ? 1.0 : -1.0;
+  float mhi = b.b - step(128.0, b.b) * 128.0;
+  if (expo == 0.0) { return 0.0; }  // zero (denormals flush, as on the QPU)
+  float mant = (b.r + b.g * 256.0 + mhi * 65536.0) / 8388608.0;
+  return sgn * (1.0 + mant) * exp2(expo - 127.0);
+}
+)";
+  }
+  return "";
+}
+
+std::string PackFunction(ElemType t) {
+  switch (t) {
+    case ElemType::kU8:
+      // Paper §IV-A Eq. (5): normalize back to [0,1] with a safety offset.
+      return R"(vec4 gp_pack_u8(vec4 v) {
+  return (clamp(floor(v + vec4(0.5)), 0.0, 255.0) + vec4(0.25)) / 255.0;
+}
+)";
+    case ElemType::kI8:
+      // Paper §IV-B inverse M2: negatives gain 256 before encoding.
+      return R"(vec4 gp_pack_i8(vec4 v) {
+  vec4 b = clamp(floor(v + vec4(0.5)), -128.0, 127.0);
+  b += step(b, vec4(-0.5)) * 256.0;
+  return (b + vec4(0.25)) / 255.0;
+}
+)";
+    case ElemType::kU32:
+      // Paper §IV-C Eq. (7): remainder chain by byte significance. All
+      // divisors are powers of two, so the chain is exact in fp32.
+      return R"(vec4 gp_pack_u32(float v) {
+  // Round to integer; above 2^23 every fp32 value is already integral and
+  // adding 0.5 would round UP across the representability gap.
+  v = v < 8388608.0 ? floor(v + 0.5) : floor(v);
+  v = clamp(v, 0.0, 4294967295.0);
+  float b3 = floor(v / 16777216.0);
+  v -= b3 * 16777216.0;
+  float b2 = floor(v / 65536.0);
+  v -= b2 * 65536.0;
+  float b1 = floor(v / 256.0);
+  float b0 = v - b1 * 256.0;
+  return (vec4(b0, b1, b2, b3) + vec4(0.25)) / 255.0;
+}
+)";
+    case ElemType::kI32:
+      // Paper §IV-D inverse, at byte level (complement of |v|-1) to remain
+      // exact within the 24-bit envelope.
+      return R"(vec4 gp_pack_i32(float v) {
+  v = abs(v) < 8388608.0 ? floor(v + 0.5) : floor(v);
+  if (v < 0.0) {
+    float m = -v - 1.0;
+    float b3 = floor(m / 16777216.0);
+    m -= b3 * 16777216.0;
+    float b2 = floor(m / 65536.0);
+    m -= b2 * 65536.0;
+    float b1 = floor(m / 256.0);
+    float b0 = m - b1 * 256.0;
+    return (vec4(255.0 - b0, 255.0 - b1, 255.0 - b2, 255.0 - b3)
+            + vec4(0.25)) / 255.0;
+  }
+  float b3 = floor(v / 16777216.0);
+  v -= b3 * 16777216.0;
+  float b2 = floor(v / 65536.0);
+  v -= b2 * 65536.0;
+  float b1 = floor(v / 256.0);
+  float b0 = v - b1 * 256.0;
+  return (vec4(b0, b1, b2, b3) + vec4(0.25)) / 255.0;
+}
+)";
+    case ElemType::kF32:
+      // Paper §IV-E inverse: exponent = floor(log2 |v|), mantissa scaled to
+      // 23 bits, sign packed into byte2's top bit. The log2/exp2 pair is
+      // where the VideoCore SFU's limited precision enters — the source of
+      // the paper's "15 most significant bits" result.
+      return R"(vec4 gp_pack_f32(float v) {
+  if (v == 0.0) { return vec4(0.25 / 255.0); }
+  float sgn = v < 0.0 ? 128.0 : 0.0;
+  float a = abs(v);
+  float e = floor(log2(a));
+  float m = a * exp2(-e) - 1.0;
+  if (m < 0.0) { e -= 1.0; m = a * exp2(-e) - 1.0; }
+  if (m >= 1.0) { e += 1.0; m = a * exp2(-e) - 1.0; }
+  float mi = floor(m * 8388608.0 + 0.5);
+  if (mi >= 8388608.0) { mi = 0.0; e += 1.0; }
+  // On hardware whose exp2/log2 carry SFU error the re-derived m can still
+  // land fractionally below 0 for values just under a power of two; without
+  // this clamp the byte split of a negative mantissa corrupts the sign bit.
+  if (mi < 0.0) { mi = 0.0; }
+  float b3 = clamp(e + 127.0, 1.0, 254.0);
+  float mhi = floor(mi / 65536.0);
+  float rem = mi - mhi * 65536.0;
+  float b1 = floor(rem / 256.0);
+  float b0 = rem - b1 * 256.0;
+  return (vec4(b0, b1, sgn + mhi, b3) + vec4(0.25)) / 255.0;
+}
+)";
+  }
+  return "";
+}
+
+std::string DeltaByteFunctions() {
+  // The paper-literal Eq. (3)-(5) form: delta = -1/((2^8-1) * 2^8). Adding
+  // |delta| before scaling compensates the fp32 rounding of c/255 so the
+  // floor recovers c; the inverse subtracts delta (i.e. adds 1/65280) so the
+  // floor conversion of Eq. (2) lands on the right byte.
+  return R"(const float gp_delta = 1.0 / 65280.0;
+float gp_unpack_u8_delta(float f) {
+  return floor((f + gp_delta) * 255.0);
+}
+float gp_pack_u8_delta(float b) {
+  return b / 255.0 + gp_delta;
+}
+)";
+}
+
+std::string FetchFunctions(const std::string& name, ElemType t) {
+  const char* unpack = nullptr;
+  const char* ret = nullptr;
+  switch (t) {
+    case ElemType::kU8: unpack = "gp_unpack_u8"; ret = "vec4"; break;
+    case ElemType::kI8: unpack = "gp_unpack_i8"; ret = "vec4"; break;
+    case ElemType::kU32: unpack = "gp_unpack_u32"; ret = "float"; break;
+    case ElemType::kI32: unpack = "gp_unpack_i32"; ret = "float"; break;
+    case ElemType::kF32: unpack = "gp_unpack_f32"; ret = "float"; break;
+  }
+  return StrFormat(
+      "uniform sampler2D %s;\n"
+      "uniform vec2 gp_size_%s;\n"
+      "%s gp_fetch_%s(float index) {\n"
+      "  return %s(texture2D(%s, gp_coord(index, gp_size_%s)));\n"
+      "}\n"
+      "%s gp_fetch2_%s(float x, float y) {\n"
+      "  return %s(texture2D(%s, (vec2(x, y) + 0.5) / gp_size_%s));\n"
+      "}\n",
+      name.c_str(), name.c_str(), ret, name.c_str(), unpack, name.c_str(),
+      name.c_str(), ret, name.c_str(), unpack, name.c_str(), name.c_str());
+}
+
+}  // namespace mgpu::compute

@@ -1,0 +1,232 @@
+#include "cpuref/cpuref.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mgpu::cpuref {
+
+void AddF32(std::span<const float> a, std::span<const float> b,
+            std::span<float> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void AddI32(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
+            std::span<std::int32_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void AddU32(std::span<const std::uint32_t> a,
+            std::span<const std::uint32_t> b, std::span<std::uint32_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void AddU8(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+           std::span<std::uint8_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(a[i] + b[i]);
+  }
+}
+
+void AddI8(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
+           std::span<std::int8_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::int8_t>(
+        static_cast<std::uint8_t>(a[i]) + static_cast<std::uint8_t>(b[i]));
+  }
+}
+
+void SaxpyF32(float alpha, std::span<const float> x, std::span<const float> y,
+              std::span<float> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = alpha * x[i] + y[i];
+  }
+}
+
+void SgemmF32(int n, std::span<const float> a, std::span<const float> b,
+              std::span<float> out) {
+  const std::size_t un = static_cast<std::size_t>(n);
+  for (std::size_t r = 0; r < un; ++r) {
+    for (std::size_t c = 0; c < un; ++c) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < un; ++k) {
+        acc += a[r * un + k] * b[k * un + c];
+      }
+      out[r * un + c] = acc;
+    }
+  }
+}
+
+void SgemmBlockedF32(int n, std::span<const float> a,
+                     std::span<const float> b, std::span<float> out,
+                     int block) {
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t bs = static_cast<std::size_t>(block);
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t r0 = 0; r0 < un; r0 += bs) {
+    for (std::size_t k0 = 0; k0 < un; k0 += bs) {
+      for (std::size_t c0 = 0; c0 < un; c0 += bs) {
+        const std::size_t r1 = std::min(r0 + bs, un);
+        const std::size_t k1 = std::min(k0 + bs, un);
+        const std::size_t c1 = std::min(c0 + bs, un);
+        for (std::size_t r = r0; r < r1; ++r) {
+          for (std::size_t k = k0; k < k1; ++k) {
+            const float av = a[r * un + k];
+            for (std::size_t c = c0; c < c1; ++c) {
+              out[r * un + c] += av * b[k * un + c];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void GemmI32(int n, std::span<const std::int32_t> a,
+             std::span<const std::int32_t> b, std::span<std::int32_t> out) {
+  const std::size_t un = static_cast<std::size_t>(n);
+  for (std::size_t r = 0; r < un; ++r) {
+    for (std::size_t c = 0; c < un; ++c) {
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < un; ++k) {
+        acc += a[r * un + k] * b[k * un + c];
+      }
+      out[r * un + c] = acc;
+    }
+  }
+}
+
+void Conv3x3U8(int w, int h, std::span<const std::uint8_t> img,
+               std::span<const float> weights, std::span<std::uint8_t> out) {
+  auto pixel = [&](int x, int y) -> float {
+    x = std::clamp(x, 0, w - 1);
+    y = std::clamp(y, 0, h - 1);
+    return static_cast<float>(
+        img[static_cast<std::size_t>(y) * w + static_cast<std::size_t>(x)]);
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Mirrors the GPU kernel's evaluation order: per row,
+      // (left*w0 + center*w1) + right*w2, accumulated over rows.
+      float acc = 0.0f;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int row = dy + 1;
+        acc += pixel(x - 1, y + dy) * weights[static_cast<std::size_t>(row * 3)] +
+               pixel(x, y + dy) * weights[static_cast<std::size_t>(row * 3 + 1)] +
+               pixel(x + 1, y + dy) * weights[static_cast<std::size_t>(row * 3 + 2)];
+      }
+      const float clamped = std::clamp(acc, 0.0f, 255.0f);
+      out[static_cast<std::size_t>(y) * w + static_cast<std::size_t>(x)] =
+          static_cast<std::uint8_t>(std::floor(clamped + 0.5f));
+    }
+  }
+}
+
+float ReduceSumF32(std::span<const float> v) {
+  float acc = 0.0f;
+  for (const float x : v) acc += x;
+  return acc;
+}
+
+float ReduceSumTree4F32(std::span<const float> v) {
+  std::vector<float> level(v.begin(), v.end());
+  level.resize((level.size() + 3) / 4 * 4, 0.0f);
+  while (level.size() > 1) {
+    std::vector<float> next((level.size() + 3) / 4);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = level[i * 4] + level[i * 4 + 1] + level[i * 4 + 2] +
+                level[i * 4 + 3];
+    }
+    if (next.size() > 1) next.resize((next.size() + 3) / 4 * 4, 0.0f);
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+std::pair<float, float> MinMaxF32(std::span<const float> v) {
+  float mn = v.empty() ? 0.0f : v[0];
+  float mx = mn;
+  for (const float x : v) {
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  return {mn, mx};
+}
+
+// --- analytic operation counts (per element / per MAC) -------------------
+// Model: naive scalar loops as compiled at -O2 for ARMv6: one load per
+// input operand, one store per output, one arithmetic op per source-level
+// op, one loop iteration per element (the iteration term covers index
+// arithmetic and the branch).
+
+vc4::CpuWork AddWorkF32(std::uint64_t n) {
+  vc4::CpuWork w;
+  w.loads = 2 * n;
+  w.stores = n;
+  w.fp_adds = n;
+  w.iterations = n;
+  return w;
+}
+
+vc4::CpuWork AddWorkI32(std::uint64_t n) {
+  vc4::CpuWork w;
+  w.loads = 2 * n;
+  w.stores = n;
+  w.int_ops = n;
+  w.iterations = n;
+  return w;
+}
+
+vc4::CpuWork SaxpyWorkF32(std::uint64_t n) {
+  vc4::CpuWork w;
+  w.loads = 2 * n;
+  w.stores = n;
+  w.fp_adds = n;
+  w.fp_muls = n;
+  w.iterations = n;
+  return w;
+}
+
+vc4::CpuWork SgemmWorkF32(std::uint64_t n) {
+  vc4::CpuWork w;
+  const std::uint64_t macs = n * n * n;
+  w.loads = 2 * macs;  // strided B access defeats the tiny L1 on ARM1176
+  w.stores = n * n;
+  w.fp_adds = macs;
+  w.fp_muls = macs;
+  w.iterations = macs;
+  return w;
+}
+
+vc4::CpuWork GemmWorkI32(std::uint64_t n) {
+  vc4::CpuWork w;
+  const std::uint64_t macs = n * n * n;
+  w.loads = 2 * macs;
+  w.stores = n * n;
+  w.int_ops = macs;
+  w.int_muls = macs;
+  w.iterations = macs;
+  return w;
+}
+
+vc4::CpuWork Conv3x3WorkU8(std::uint64_t w_, std::uint64_t h) {
+  vc4::CpuWork w;
+  const std::uint64_t pixels = w_ * h;
+  w.loads = 9 * pixels;
+  w.stores = pixels;
+  w.fp_adds = 9 * pixels;
+  w.fp_muls = 9 * pixels;
+  w.iterations = pixels;
+  return w;
+}
+
+vc4::CpuWork ReduceWorkF32(std::uint64_t n) {
+  vc4::CpuWork w;
+  w.loads = n;
+  w.fp_adds = n;
+  w.iterations = n;
+  w.stores = 1;
+  return w;
+}
+
+}  // namespace mgpu::cpuref

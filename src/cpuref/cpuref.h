@@ -1,0 +1,62 @@
+// CPU reference implementations of every workload (the baselines the paper
+// measures against on the Pi's ARM1176), plus analytic operation-count
+// formulas that feed the ARM1176 timing model. The formulas model the naive
+// scalar code a C compiler emits for these loops; they are validated against
+// instrumented loop structure by tests.
+#ifndef MGPU_CPUREF_CPUREF_H_
+#define MGPU_CPUREF_CPUREF_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "vc4/timing.h"
+
+namespace mgpu::cpuref {
+
+// --- element-wise add (the paper's "sum" benchmark) ---
+void AddF32(std::span<const float> a, std::span<const float> b,
+            std::span<float> out);
+void AddI32(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
+            std::span<std::int32_t> out);
+void AddU32(std::span<const std::uint32_t> a,
+            std::span<const std::uint32_t> b, std::span<std::uint32_t> out);
+void AddU8(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+           std::span<std::uint8_t> out);
+void AddI8(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
+           std::span<std::int8_t> out);
+
+void SaxpyF32(float alpha, std::span<const float> x, std::span<const float> y,
+              std::span<float> out);
+
+// --- GEMM (the paper's sgemm benchmark) ---
+void SgemmF32(int n, std::span<const float> a, std::span<const float> b,
+              std::span<float> out);
+// Cache-blocked variant (baseline for the blocked-vs-naive ablation).
+void SgemmBlockedF32(int n, std::span<const float> a,
+                     std::span<const float> b, std::span<float> out,
+                     int block = 32);
+void GemmI32(int n, std::span<const std::int32_t> a,
+             std::span<const std::int32_t> b, std::span<std::int32_t> out);
+
+// --- convolution / reduction / minmax ---
+void Conv3x3U8(int w, int h, std::span<const std::uint8_t> img,
+               std::span<const float> weights, std::span<std::uint8_t> out);
+[[nodiscard]] float ReduceSumF32(std::span<const float> v);
+// Tree-ordered (4:1) reduction matching the GPU kernel's summation order,
+// for bit-exact comparison.
+[[nodiscard]] float ReduceSumTree4F32(std::span<const float> v);
+[[nodiscard]] std::pair<float, float> MinMaxF32(std::span<const float> v);
+
+// --- analytic ARM1176 operation counts ---
+[[nodiscard]] vc4::CpuWork AddWorkF32(std::uint64_t n);
+[[nodiscard]] vc4::CpuWork AddWorkI32(std::uint64_t n);
+[[nodiscard]] vc4::CpuWork SaxpyWorkF32(std::uint64_t n);
+[[nodiscard]] vc4::CpuWork SgemmWorkF32(std::uint64_t n);
+[[nodiscard]] vc4::CpuWork GemmWorkI32(std::uint64_t n);
+[[nodiscard]] vc4::CpuWork Conv3x3WorkU8(std::uint64_t w, std::uint64_t h);
+[[nodiscard]] vc4::CpuWork ReduceWorkF32(std::uint64_t n);
+
+}  // namespace mgpu::cpuref
+
+#endif  // MGPU_CPUREF_CPUREF_H_

@@ -1,0 +1,1502 @@
+#include "gles2/context.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/strings.h"
+#include "gles2/raster.h"
+#include "glsl/compile.h"
+
+namespace mgpu::gles2 {
+
+using glsl::BaseType;
+using glsl::Value;
+
+Context::Context(const ContextConfig& config, glsl::AluModel* alu)
+    : config_(config), alu_(alu != nullptr ? alu : &default_alu_) {
+  attribs_.resize(static_cast<std::size_t>(config_.limits.max_vertex_attribs));
+  fb_color_.assign(
+      static_cast<std::size_t>(config_.width) * config_.height * 4, 0);
+  if (config_.has_depth) {
+    fb_depth_.assign(static_cast<std::size_t>(config_.width) * config_.height,
+                     1.0f);
+  }
+  vp_w_ = config_.width;
+  vp_h_ = config_.height;
+  sc_w_ = config_.width;
+  sc_h_ = config_.height;
+}
+
+void Context::SetError(GLenum e) {
+  if (error_ == GL_NO_ERROR) error_ = e;
+}
+
+GLenum Context::GetError() {
+  const GLenum e = error_;
+  error_ = GL_NO_ERROR;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+void Context::Enable(GLenum cap) {
+  switch (cap) {
+    case GL_SCISSOR_TEST: scissor_enabled_ = true; break;
+    case GL_DEPTH_TEST: depth_enabled_ = true; break;
+    case GL_BLEND: blend_enabled_ = true; break;
+    case GL_CULL_FACE: cull_enabled_ = true; break;
+    case GL_DITHER: break;  // accepted, no-op
+    default: SetError(GL_INVALID_ENUM);
+  }
+}
+
+void Context::Disable(GLenum cap) {
+  switch (cap) {
+    case GL_SCISSOR_TEST: scissor_enabled_ = false; break;
+    case GL_DEPTH_TEST: depth_enabled_ = false; break;
+    case GL_BLEND: blend_enabled_ = false; break;
+    case GL_CULL_FACE: cull_enabled_ = false; break;
+    case GL_DITHER: break;
+    default: SetError(GL_INVALID_ENUM);
+  }
+}
+
+void Context::Viewport(GLint x, GLint y, GLsizei w, GLsizei h) {
+  if (w < 0 || h < 0) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  vp_x_ = x; vp_y_ = y; vp_w_ = w; vp_h_ = h;
+}
+
+void Context::Scissor(GLint x, GLint y, GLsizei w, GLsizei h) {
+  if (w < 0 || h < 0) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  sc_x_ = x; sc_y_ = y; sc_w_ = w; sc_h_ = h;
+}
+
+void Context::ClearColor(GLfloat r, GLfloat g, GLfloat b, GLfloat a) {
+  clear_color_ = {std::clamp(r, 0.0f, 1.0f), std::clamp(g, 0.0f, 1.0f),
+                  std::clamp(b, 0.0f, 1.0f), std::clamp(a, 0.0f, 1.0f)};
+}
+
+void Context::BlendFunc(GLenum src, GLenum dst) {
+  blend_src_ = src;
+  blend_dst_ = dst;
+}
+
+void Context::DepthFunc(GLenum func) {
+  if (func < GL_NEVER || func > GL_ALWAYS) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  depth_func_ = func;
+}
+
+void Context::DepthMask(GLboolean flag) { depth_write_ = flag != GL_FALSE; }
+
+void Context::ColorMask(GLboolean r, GLboolean g, GLboolean b, GLboolean a) {
+  color_mask_ = {r != GL_FALSE, g != GL_FALSE, b != GL_FALSE, a != GL_FALSE};
+}
+
+void Context::CullFace(GLenum mode) {
+  if (mode != GL_FRONT && mode != GL_BACK && mode != GL_FRONT_AND_BACK) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  cull_face_ = mode;
+}
+
+void Context::FrontFace(GLenum dir) {
+  if (dir != GL_CW && dir != GL_CCW) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  front_face_ = dir;
+}
+
+void Context::PixelStorei(GLenum pname, GLint value) {
+  if (value != 1 && value != 2 && value != 4 && value != 8) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  if (pname == GL_UNPACK_ALIGNMENT) {
+    unpack_alignment_ = value;
+  } else if (pname == GL_PACK_ALIGNMENT) {
+    pack_alignment_ = value;
+  } else {
+    SetError(GL_INVALID_ENUM);
+  }
+}
+
+void Context::GetIntegerv(GLenum pname, GLint* params) {
+  const glsl::Limits& lim = config_.limits;
+  switch (pname) {
+    case GL_MAX_TEXTURE_SIZE: *params = config_.max_texture_size; break;
+    case GL_MAX_VERTEX_ATTRIBS: *params = lim.max_vertex_attribs; break;
+    case GL_MAX_VARYING_VECTORS: *params = lim.max_varying_vectors; break;
+    case GL_MAX_VERTEX_UNIFORM_VECTORS:
+      *params = lim.max_vertex_uniform_vectors;
+      break;
+    case GL_MAX_FRAGMENT_UNIFORM_VECTORS:
+      *params = lim.max_fragment_uniform_vectors;
+      break;
+    case GL_MAX_TEXTURE_IMAGE_UNITS:
+      *params = lim.max_texture_image_units;
+      break;
+    case GL_MAX_VERTEX_TEXTURE_IMAGE_UNITS:
+      *params = lim.max_vertex_texture_image_units;
+      break;
+    case GL_MAX_COMBINED_TEXTURE_IMAGE_UNITS:
+      *params = lim.max_texture_image_units +
+                lim.max_vertex_texture_image_units;
+      break;
+    case GL_IMPLEMENTATION_COLOR_READ_FORMAT: *params = GL_RGBA; break;
+    case GL_IMPLEMENTATION_COLOR_READ_TYPE: *params = GL_UNSIGNED_BYTE; break;
+    case GL_VIEWPORT:
+      params[0] = vp_x_; params[1] = vp_y_;
+      params[2] = vp_w_; params[3] = vp_h_;
+      break;
+    default:
+      SetError(GL_INVALID_ENUM);
+  }
+}
+
+const char* Context::GetString(GLenum name) {
+  switch (name) {
+    case GL_VENDOR: return "mgpu";
+    case GL_RENDERER: return config_.renderer_name.c_str();
+    case GL_VERSION: return "OpenGL ES 2.0 (mgpu simulator)";
+    case GL_SHADING_LANGUAGE_VERSION: return "OpenGL ES GLSL ES 1.00";
+    case GL_EXTENSIONS: return "";  // deliberately none: the paper's setting
+    default:
+      SetError(GL_INVALID_ENUM);
+      return "";
+  }
+}
+
+void Context::GetShaderPrecisionFormat(GLenum shader_type,
+                                       GLenum precision_type, GLint* range,
+                                       GLint* precision) {
+  if (shader_type != GL_VERTEX_SHADER && shader_type != GL_FRAGMENT_SHADER) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  const bool fragment = shader_type == GL_FRAGMENT_SHADER;
+  switch (precision_type) {
+    case GL_HIGH_FLOAT:
+      if (fragment && !config_.limits.fragment_highp_float) {
+        range[0] = range[1] = 0;
+        *precision = 0;  // unsupported (paper §IV-E footnote 1)
+      } else {
+        range[0] = range[1] = 127;
+        *precision = 23;  // IEEE-754-sized mantissa, as on VideoCore IV
+      }
+      return;
+    case GL_MEDIUM_FLOAT:
+      range[0] = range[1] = 15;
+      *precision = 10;
+      return;
+    case GL_LOW_FLOAT:
+      range[0] = range[1] = 1;
+      *precision = 8;
+      return;
+    case GL_HIGH_INT:
+      range[0] = range[1] = 24;
+      *precision = 0;
+      return;
+    case GL_MEDIUM_INT:
+      range[0] = range[1] = 10;
+      *precision = 0;
+      return;
+    case GL_LOW_INT:
+      range[0] = range[1] = 8;
+      *precision = 0;
+      return;
+    default:
+      SetError(GL_INVALID_ENUM);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shaders & programs
+// ---------------------------------------------------------------------------
+
+ShaderObject* Context::GetShader(GLuint id) {
+  const auto it = shaders_.find(id);
+  return it != shaders_.end() ? it->second.get() : nullptr;
+}
+
+ProgramObject* Context::GetProgram(GLuint id) {
+  const auto it = programs_.find(id);
+  return it != programs_.end() ? it->second.get() : nullptr;
+}
+
+GLuint Context::CreateShader(GLenum type) {
+  if (type != GL_VERTEX_SHADER && type != GL_FRAGMENT_SHADER) {
+    SetError(GL_INVALID_ENUM);
+    return 0;
+  }
+  const GLuint id = next_id_++;
+  auto obj = std::make_unique<ShaderObject>();
+  obj->type = type;
+  shaders_[id] = std::move(obj);
+  return id;
+}
+
+void Context::ShaderSource(GLuint shader, const std::string& source) {
+  ShaderObject* s = GetShader(shader);
+  if (s == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  s->source = source;
+}
+
+void Context::CompileShader(GLuint shader) {
+  ShaderObject* s = GetShader(shader);
+  if (s == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  s->compile_attempted = true;
+  glsl::CompileResult r = glsl::CompileGlsl(
+      s->source,
+      s->type == GL_VERTEX_SHADER ? glsl::Stage::kVertex
+                                  : glsl::Stage::kFragment,
+      config_.limits);
+  s->compile_ok = r.ok;
+  s->info_log = r.info_log;
+  s->compiled = std::move(r.shader);
+}
+
+void Context::GetShaderiv(GLuint shader, GLenum pname, GLint* params) {
+  ShaderObject* s = GetShader(shader);
+  if (s == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  switch (pname) {
+    case GL_COMPILE_STATUS: *params = s->compile_ok ? GL_TRUE : GL_FALSE; break;
+    case GL_SHADER_TYPE: *params = static_cast<GLint>(s->type); break;
+    case GL_INFO_LOG_LENGTH:
+      *params = static_cast<GLint>(s->info_log.size()) + 1;
+      break;
+    case GL_SHADER_SOURCE_LENGTH:
+      *params = static_cast<GLint>(s->source.size()) + 1;
+      break;
+    case GL_DELETE_STATUS: *params = GL_FALSE; break;
+    default: SetError(GL_INVALID_ENUM);
+  }
+}
+
+std::string Context::GetShaderInfoLog(GLuint shader) {
+  ShaderObject* s = GetShader(shader);
+  if (s == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return {};
+  }
+  return s->info_log;
+}
+
+void Context::DeleteShader(GLuint shader) { shaders_.erase(shader); }
+
+GLuint Context::CreateProgram() {
+  const GLuint id = next_id_++;
+  programs_[id] = std::make_unique<ProgramObject>();
+  return id;
+}
+
+void Context::AttachShader(GLuint program, GLuint shader) {
+  ProgramObject* p = GetProgram(program);
+  ShaderObject* s = GetShader(shader);
+  if (p == nullptr || s == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  if (s->type == GL_VERTEX_SHADER) {
+    p->vertex_shader = shader;
+  } else {
+    p->fragment_shader = shader;
+  }
+}
+
+void Context::BindAttribLocation(GLuint program, GLuint index,
+                                 const std::string& name) {
+  ProgramObject* p = GetProgram(program);
+  if (p == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  if (name.rfind("gl_", 0) == 0) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  p->bound_attribs[name] = static_cast<GLint>(index);
+}
+
+void Context::LinkProgram(GLuint program) {
+  ProgramObject* p = GetProgram(program);
+  if (p == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  gles2::LinkProgram(*p, shaders_, *alu_, config_.limits);
+}
+
+void Context::GetProgramiv(GLuint program, GLenum pname, GLint* params) {
+  ProgramObject* p = GetProgram(program);
+  if (p == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  switch (pname) {
+    case GL_LINK_STATUS: *params = p->link_ok ? GL_TRUE : GL_FALSE; break;
+    case GL_VALIDATE_STATUS: *params = p->link_ok ? GL_TRUE : GL_FALSE; break;
+    case GL_INFO_LOG_LENGTH:
+      *params = static_cast<GLint>(p->info_log.size()) + 1;
+      break;
+    case GL_ACTIVE_UNIFORMS:
+      *params = static_cast<GLint>(p->uniforms.size());
+      break;
+    case GL_ACTIVE_ATTRIBUTES:
+      *params = static_cast<GLint>(p->attribs.size());
+      break;
+    case GL_ATTACHED_SHADERS:
+      *params = (p->vertex_shader != 0 ? 1 : 0) +
+                (p->fragment_shader != 0 ? 1 : 0);
+      break;
+    case GL_DELETE_STATUS: *params = GL_FALSE; break;
+    default: SetError(GL_INVALID_ENUM);
+  }
+}
+
+std::string Context::GetProgramInfoLog(GLuint program) {
+  ProgramObject* p = GetProgram(program);
+  if (p == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return {};
+  }
+  return p->info_log;
+}
+
+void Context::UseProgram(GLuint program) {
+  if (program != 0 && GetProgram(program) == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  if (program != 0 && !GetProgram(program)->link_ok) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  current_program_ = program;
+}
+
+void Context::DeleteProgram(GLuint program) {
+  if (current_program_ == program) current_program_ = 0;
+  programs_.erase(program);
+}
+
+GLint Context::GetUniformLocation(GLuint program, const std::string& name) {
+  ProgramObject* p = GetProgram(program);
+  if (p == nullptr || !p->link_ok) {
+    SetError(GL_INVALID_OPERATION);
+    return -1;
+  }
+  return p->LookupUniform(name);
+}
+
+GLint Context::GetAttribLocation(GLuint program, const std::string& name) {
+  ProgramObject* p = GetProgram(program);
+  if (p == nullptr || !p->link_ok) {
+    SetError(GL_INVALID_OPERATION);
+    return -1;
+  }
+  for (const AttribInfo& a : p->attribs) {
+    if (a.name == name) return a.location;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Uniforms
+// ---------------------------------------------------------------------------
+
+void Context::SetUniformValue(const UniformInfo& u, int element, int comps,
+                              const float* fdata, const GLint* idata,
+                              int count, bool is_matrix) {
+  ProgramObject* p = GetProgram(current_program_);
+  const int type_comps = glsl::ComponentCount(u.type.base);
+  const bool type_is_matrix = glsl::IsMatrix(u.type.base);
+  const BaseType scalar = glsl::ScalarOf(u.type.base);
+  const bool wants_float = scalar == BaseType::kFloat;
+  const bool sampler = glsl::IsSampler(u.type.base);
+
+  if (is_matrix != type_is_matrix) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  if (!is_matrix && comps != type_comps) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  if (is_matrix && comps != type_comps) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  if (fdata != nullptr && !wants_float) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  if (idata != nullptr && wants_float) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  const int max_elements = u.type.IsArray() ? u.type.array_size : 1;
+  if (count > 1 && !u.type.IsArray()) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  count = std::min(count, max_elements - element);
+
+  for (glsl::ShaderExec* exec : {p->vexec.get(), p->fexec.get()}) {
+    const int slot = exec == p->vexec.get() ? u.vs_slot : u.fs_slot;
+    if (slot < 0) continue;
+    Value& val = exec->GlobalAt(slot);
+    for (int e = 0; e < count; ++e) {
+      const int cell_base = (element + e) * type_comps;
+      for (int c = 0; c < type_comps; ++c) {
+        if (wants_float) {
+          val.SetF(cell_base + c, fdata[e * type_comps + c]);
+        } else if (sampler || scalar == BaseType::kInt) {
+          val.SetI(cell_base + c, idata[e * type_comps + c]);
+        } else {  // bool
+          val.SetB(cell_base + c, idata[e * type_comps + c] != 0);
+        }
+      }
+    }
+  }
+}
+
+#define MGPU_RESOLVE_LOC_OR_RETURN()                                       \
+  ProgramObject* p = GetProgram(current_program_);                        \
+  if (p == nullptr || !p->link_ok) {                                      \
+    SetError(GL_INVALID_OPERATION);                                       \
+    return;                                                               \
+  }                                                                       \
+  if (loc < 0) return; /* silently ignored, GL semantics */               \
+  if (loc >= static_cast<GLint>(p->locations.size())) {                   \
+    SetError(GL_INVALID_OPERATION);                                       \
+    return;                                                               \
+  }                                                                       \
+  const ProgramObject::LocationEntry entry =                              \
+      p->locations[static_cast<std::size_t>(loc)];                        \
+  const UniformInfo& u = p->uniforms[static_cast<std::size_t>(entry.uniform_index)]
+
+void Context::Uniform1f(GLint loc, GLfloat x) {
+  MGPU_RESOLVE_LOC_OR_RETURN();
+  SetUniformValue(u, entry.element, 1, &x, nullptr, 1, false);
+}
+
+void Context::Uniform2f(GLint loc, GLfloat x, GLfloat y) {
+  MGPU_RESOLVE_LOC_OR_RETURN();
+  const float v[2] = {x, y};
+  SetUniformValue(u, entry.element, 2, v, nullptr, 1, false);
+}
+
+void Context::Uniform3f(GLint loc, GLfloat x, GLfloat y, GLfloat z) {
+  MGPU_RESOLVE_LOC_OR_RETURN();
+  const float v[3] = {x, y, z};
+  SetUniformValue(u, entry.element, 3, v, nullptr, 1, false);
+}
+
+void Context::Uniform4f(GLint loc, GLfloat x, GLfloat y, GLfloat z,
+                        GLfloat w) {
+  MGPU_RESOLVE_LOC_OR_RETURN();
+  const float v[4] = {x, y, z, w};
+  SetUniformValue(u, entry.element, 4, v, nullptr, 1, false);
+}
+
+void Context::Uniform1i(GLint loc, GLint x) {
+  MGPU_RESOLVE_LOC_OR_RETURN();
+  SetUniformValue(u, entry.element, 1, nullptr, &x, 1, false);
+}
+
+void Context::Uniform1fv(GLint loc, GLsizei count, const GLfloat* v) {
+  MGPU_RESOLVE_LOC_OR_RETURN();
+  SetUniformValue(u, entry.element, 1, v, nullptr, count, false);
+}
+
+void Context::Uniform2fv(GLint loc, GLsizei count, const GLfloat* v) {
+  MGPU_RESOLVE_LOC_OR_RETURN();
+  SetUniformValue(u, entry.element, 2, v, nullptr, count, false);
+}
+
+void Context::Uniform4fv(GLint loc, GLsizei count, const GLfloat* v) {
+  MGPU_RESOLVE_LOC_OR_RETURN();
+  SetUniformValue(u, entry.element, 4, v, nullptr, count, false);
+}
+
+void Context::UniformMatrix4fv(GLint loc, GLsizei count, GLboolean transpose,
+                               const GLfloat* v) {
+  if (transpose != GL_FALSE) {
+    SetError(GL_INVALID_VALUE);  // must be FALSE in ES 2.0
+    return;
+  }
+  MGPU_RESOLVE_LOC_OR_RETURN();
+  SetUniformValue(u, entry.element, 16, v, nullptr, count, true);
+}
+
+#undef MGPU_RESOLVE_LOC_OR_RETURN
+
+// ---------------------------------------------------------------------------
+// Vertex attributes & buffers
+// ---------------------------------------------------------------------------
+
+void Context::EnableVertexAttribArray(GLuint index) {
+  if (index >= attribs_.size()) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  attribs_[index].enabled = true;
+}
+
+void Context::DisableVertexAttribArray(GLuint index) {
+  if (index >= attribs_.size()) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  attribs_[index].enabled = false;
+}
+
+void Context::VertexAttribPointer(GLuint index, GLint size, GLenum type,
+                                  GLboolean normalized, GLsizei stride,
+                                  const void* pointer) {
+  if (index >= attribs_.size()) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  if (size < 1 || size > 4 || stride < 0) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  if (type != GL_FLOAT && type != GL_UNSIGNED_BYTE && type != GL_BYTE &&
+      type != GL_SHORT && type != GL_UNSIGNED_SHORT) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  AttribState& a = attribs_[index];
+  a.size = size;
+  a.type = type;
+  a.normalized = normalized;
+  a.stride = stride;
+  a.pointer = pointer;
+  a.buffer = array_buffer_;
+}
+
+void Context::VertexAttrib4f(GLuint index, GLfloat x, GLfloat y, GLfloat z,
+                             GLfloat w) {
+  if (index >= attribs_.size()) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  attribs_[index].constant = {x, y, z, w};
+}
+
+BufferObject* Context::GetBuffer(GLuint id) {
+  const auto it = buffers_.find(id);
+  return it != buffers_.end() ? it->second.get() : nullptr;
+}
+
+void Context::GenBuffers(GLsizei n, GLuint* ids) {
+  for (GLsizei i = 0; i < n; ++i) {
+    const GLuint id = next_id_++;
+    buffers_[id] = std::make_unique<BufferObject>();
+    ids[i] = id;
+  }
+}
+
+void Context::BindBuffer(GLenum target, GLuint id) {
+  if (id != 0 && GetBuffer(id) == nullptr) {
+    buffers_[id] = std::make_unique<BufferObject>();
+  }
+  if (target == GL_ARRAY_BUFFER) {
+    array_buffer_ = id;
+  } else if (target == GL_ELEMENT_ARRAY_BUFFER) {
+    element_array_buffer_ = id;
+  } else {
+    SetError(GL_INVALID_ENUM);
+  }
+}
+
+void Context::BufferData(GLenum target, GLsizeiptr size, const void* data,
+                         GLenum usage) {
+  const GLuint id =
+      target == GL_ARRAY_BUFFER ? array_buffer_ : element_array_buffer_;
+  BufferObject* b = GetBuffer(id);
+  if (b == nullptr) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  if (size < 0) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  b->usage = usage;
+  b->data.assign(static_cast<std::size_t>(size), 0);
+  if (data != nullptr) {
+    std::memcpy(b->data.data(), data, static_cast<std::size_t>(size));
+  }
+}
+
+void Context::BufferSubData(GLenum target, GLintptr offset, GLsizeiptr size,
+                            const void* data) {
+  const GLuint id =
+      target == GL_ARRAY_BUFFER ? array_buffer_ : element_array_buffer_;
+  BufferObject* b = GetBuffer(id);
+  if (b == nullptr) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  if (offset < 0 || size < 0 ||
+      static_cast<std::size_t>(offset + size) > b->data.size()) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  std::memcpy(b->data.data() + offset, data, static_cast<std::size_t>(size));
+}
+
+void Context::DeleteBuffers(GLsizei n, const GLuint* ids) {
+  for (GLsizei i = 0; i < n; ++i) {
+    buffers_.erase(ids[i]);
+    if (array_buffer_ == ids[i]) array_buffer_ = 0;
+    if (element_array_buffer_ == ids[i]) element_array_buffer_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Textures
+// ---------------------------------------------------------------------------
+
+Texture* Context::GetTextureObject(GLuint id) {
+  const auto it = textures_.find(id);
+  return it != textures_.end() ? it->second.get() : nullptr;
+}
+
+void Context::GenTextures(GLsizei n, GLuint* ids) {
+  for (GLsizei i = 0; i < n; ++i) {
+    const GLuint id = next_id_++;
+    textures_[id] = std::make_unique<Texture>();
+    ids[i] = id;
+  }
+}
+
+void Context::ActiveTexture(GLenum unit) {
+  const int idx = static_cast<int>(unit - GL_TEXTURE0);
+  if (idx < 0 || idx >= static_cast<int>(units_.size())) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  active_unit_ = idx;
+}
+
+void Context::BindTexture(GLenum target, GLuint id) {
+  if (target == GL_TEXTURE_CUBE_MAP) {
+    SetError(GL_INVALID_ENUM);  // documented subset: no cube maps
+    return;
+  }
+  if (target != GL_TEXTURE_2D) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  if (id != 0 && GetTextureObject(id) == nullptr) {
+    textures_[id] = std::make_unique<Texture>();
+  }
+  units_[static_cast<std::size_t>(active_unit_)].bound_2d = id;
+}
+
+void Context::TexImage2D(GLenum target, GLint level, GLint internal_format,
+                         GLsizei width, GLsizei height, GLint border,
+                         GLenum format, GLenum type, const void* data) {
+  if (target != GL_TEXTURE_2D) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  if (border != 0) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  if (width > config_.max_texture_size || height > config_.max_texture_size) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  Texture* t = GetTextureObject(
+      units_[static_cast<std::size_t>(active_unit_)].bound_2d);
+  if (t == nullptr) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  const GLenum err =
+      t->TexImage2D(level, static_cast<GLenum>(internal_format), width,
+                    height, format, type, data, unpack_alignment_);
+  if (err != GL_NO_ERROR) SetError(err);
+}
+
+void Context::TexSubImage2D(GLenum target, GLint level, GLint xoffset,
+                            GLint yoffset, GLsizei width, GLsizei height,
+                            GLenum format, GLenum type, const void* data) {
+  if (target != GL_TEXTURE_2D) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  Texture* t = GetTextureObject(
+      units_[static_cast<std::size_t>(active_unit_)].bound_2d);
+  if (t == nullptr) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  const GLenum err = t->TexSubImage2D(level, xoffset, yoffset, width, height,
+                                      format, type, data, unpack_alignment_);
+  if (err != GL_NO_ERROR) SetError(err);
+}
+
+void Context::TexParameteri(GLenum target, GLenum pname, GLint param) {
+  if (target != GL_TEXTURE_2D) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  Texture* t = GetTextureObject(
+      units_[static_cast<std::size_t>(active_unit_)].bound_2d);
+  if (t == nullptr) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  const GLenum err = t->SetParameter(pname, param);
+  if (err != GL_NO_ERROR) SetError(err);
+}
+
+void Context::DeleteTextures(GLsizei n, const GLuint* ids) {
+  for (GLsizei i = 0; i < n; ++i) {
+    textures_.erase(ids[i]);
+    for (TextureUnit& u : units_) {
+      if (u.bound_2d == ids[i]) u.bound_2d = 0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Renderbuffers & framebuffers
+// ---------------------------------------------------------------------------
+
+RenderbufferObject* Context::GetRenderbuffer(GLuint id) {
+  const auto it = renderbuffers_.find(id);
+  return it != renderbuffers_.end() ? it->second.get() : nullptr;
+}
+
+FramebufferObject* Context::GetFramebuffer(GLuint id) {
+  const auto it = framebuffers_.find(id);
+  return it != framebuffers_.end() ? it->second.get() : nullptr;
+}
+
+void Context::GenRenderbuffers(GLsizei n, GLuint* ids) {
+  for (GLsizei i = 0; i < n; ++i) {
+    const GLuint id = next_id_++;
+    renderbuffers_[id] = std::make_unique<RenderbufferObject>();
+    ids[i] = id;
+  }
+}
+
+void Context::BindRenderbuffer(GLenum target, GLuint id) {
+  if (target != GL_RENDERBUFFER) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  if (id != 0 && GetRenderbuffer(id) == nullptr) {
+    renderbuffers_[id] = std::make_unique<RenderbufferObject>();
+  }
+  bound_renderbuffer_ = id;
+}
+
+void Context::RenderbufferStorage(GLenum target, GLenum internal_format,
+                                  GLsizei w, GLsizei h) {
+  if (target != GL_RENDERBUFFER) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  RenderbufferObject* rb = GetRenderbuffer(bound_renderbuffer_);
+  if (rb == nullptr) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  switch (internal_format) {
+    case GL_RGBA4:
+    case GL_RGB5_A1:
+    case GL_RGB565:
+      rb->internal_format = internal_format;
+      rb->width = w;
+      rb->height = h;
+      rb->color.assign(static_cast<std::size_t>(w) * h * 4, 0);
+      rb->depth.clear();
+      return;
+    case GL_DEPTH_COMPONENT16:
+      rb->internal_format = internal_format;
+      rb->width = w;
+      rb->height = h;
+      rb->depth.assign(static_cast<std::size_t>(w) * h, 1.0f);
+      rb->color.clear();
+      return;
+    default:
+      SetError(GL_INVALID_ENUM);  // no float renderbuffers in ES 2.0 either
+  }
+}
+
+void Context::DeleteRenderbuffers(GLsizei n, const GLuint* ids) {
+  for (GLsizei i = 0; i < n; ++i) {
+    renderbuffers_.erase(ids[i]);
+    if (bound_renderbuffer_ == ids[i]) bound_renderbuffer_ = 0;
+  }
+}
+
+void Context::GenFramebuffers(GLsizei n, GLuint* ids) {
+  for (GLsizei i = 0; i < n; ++i) {
+    const GLuint id = next_id_++;
+    framebuffers_[id] = std::make_unique<FramebufferObject>();
+    ids[i] = id;
+  }
+}
+
+void Context::BindFramebuffer(GLenum target, GLuint id) {
+  if (target != GL_FRAMEBUFFER) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  if (id != 0 && GetFramebuffer(id) == nullptr) {
+    framebuffers_[id] = std::make_unique<FramebufferObject>();
+  }
+  bound_framebuffer_ = id;
+}
+
+void Context::FramebufferTexture2D(GLenum target, GLenum attachment,
+                                   GLenum textarget, GLuint texture,
+                                   GLint level) {
+  if (target != GL_FRAMEBUFFER || textarget != GL_TEXTURE_2D) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  if (level != 0) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  FramebufferObject* fb = GetFramebuffer(bound_framebuffer_);
+  if (fb == nullptr) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  FramebufferAttachment att;
+  att.kind = texture == 0 ? FramebufferAttachment::Kind::kNone
+                          : FramebufferAttachment::Kind::kTexture;
+  att.object = texture;
+  if (attachment == GL_COLOR_ATTACHMENT0) {
+    fb->color = att;
+  } else if (attachment == GL_DEPTH_ATTACHMENT) {
+    fb->depth = att;
+  } else {
+    SetError(GL_INVALID_ENUM);
+  }
+}
+
+void Context::FramebufferRenderbuffer(GLenum target, GLenum attachment,
+                                      GLenum rb_target, GLuint rb) {
+  if (target != GL_FRAMEBUFFER || rb_target != GL_RENDERBUFFER) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  FramebufferObject* fb = GetFramebuffer(bound_framebuffer_);
+  if (fb == nullptr) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  FramebufferAttachment att;
+  att.kind = rb == 0 ? FramebufferAttachment::Kind::kNone
+                     : FramebufferAttachment::Kind::kRenderbuffer;
+  att.object = rb;
+  if (attachment == GL_COLOR_ATTACHMENT0) {
+    fb->color = att;
+  } else if (attachment == GL_DEPTH_ATTACHMENT) {
+    fb->depth = att;
+  } else {
+    SetError(GL_INVALID_ENUM);
+  }
+}
+
+bool Context::ResolveTarget(RenderTarget* out) {
+  if (bound_framebuffer_ == 0) {
+    out->color = &fb_color_;
+    out->depth = config_.has_depth ? &fb_depth_ : nullptr;
+    out->width = config_.width;
+    out->height = config_.height;
+    return true;
+  }
+  FramebufferObject* fb = GetFramebuffer(bound_framebuffer_);
+  if (fb == nullptr) return false;
+  out->color = nullptr;
+  out->depth = nullptr;
+  switch (fb->color.kind) {
+    case FramebufferAttachment::Kind::kTexture: {
+      Texture* t = GetTextureObject(fb->color.object);
+      if (t == nullptr || !t->has_storage() || t->format() != GL_RGBA) {
+        return false;
+      }
+      out->color = &t->mutable_storage();
+      out->width = t->width();
+      out->height = t->height();
+      break;
+    }
+    case FramebufferAttachment::Kind::kRenderbuffer: {
+      RenderbufferObject* rb = GetRenderbuffer(fb->color.object);
+      if (rb == nullptr || rb->color.empty()) return false;
+      out->color = &rb->color;
+      out->width = rb->width;
+      out->height = rb->height;
+      break;
+    }
+    case FramebufferAttachment::Kind::kNone:
+      return false;  // missing color attachment
+  }
+  if (fb->depth.kind == FramebufferAttachment::Kind::kRenderbuffer) {
+    RenderbufferObject* rb = GetRenderbuffer(fb->depth.object);
+    if (rb == nullptr || rb->depth.empty() || rb->width != out->width ||
+        rb->height != out->height) {
+      return false;
+    }
+    out->depth = &rb->depth;
+  }
+  return true;
+}
+
+GLenum Context::CheckFramebufferStatus(GLenum target) {
+  if (target != GL_FRAMEBUFFER) {
+    SetError(GL_INVALID_ENUM);
+    return 0;
+  }
+  if (bound_framebuffer_ == 0) return GL_FRAMEBUFFER_COMPLETE;
+  FramebufferObject* fb = GetFramebuffer(bound_framebuffer_);
+  if (fb == nullptr) return GL_FRAMEBUFFER_UNSUPPORTED;
+  if (fb->color.kind == FramebufferAttachment::Kind::kNone) {
+    return GL_FRAMEBUFFER_INCOMPLETE_MISSING_ATTACHMENT;
+  }
+  RenderTarget rt;
+  return ResolveTarget(&rt) ? GL_FRAMEBUFFER_COMPLETE
+                            : GL_FRAMEBUFFER_INCOMPLETE_ATTACHMENT;
+}
+
+void Context::DeleteFramebuffers(GLsizei n, const GLuint* ids) {
+  for (GLsizei i = 0; i < n; ++i) {
+    framebuffers_.erase(ids[i]);
+    if (bound_framebuffer_ == ids[i]) bound_framebuffer_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clear / ReadPixels
+// ---------------------------------------------------------------------------
+
+void Context::Clear(GLbitfield mask) {
+  RenderTarget rt;
+  if (!ResolveTarget(&rt)) {
+    SetError(GL_INVALID_FRAMEBUFFER_OPERATION);
+    return;
+  }
+  const int x0 = scissor_enabled_ ? std::max(sc_x_, 0) : 0;
+  const int y0 = scissor_enabled_ ? std::max(sc_y_, 0) : 0;
+  const int x1 = scissor_enabled_ ? std::min(sc_x_ + sc_w_, rt.width)
+                                  : rt.width;
+  const int y1 = scissor_enabled_ ? std::min(sc_y_ + sc_h_, rt.height)
+                                  : rt.height;
+  if ((mask & GL_COLOR_BUFFER_BIT) != 0 && rt.color != nullptr) {
+    std::array<std::uint8_t, 4> c{};
+    for (int i = 0; i < 4; ++i) {
+      const float f = clear_color_[static_cast<std::size_t>(i)];
+      c[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+          config_.quantization == FbQuantization::kFloorPaper
+              ? std::floor(f * 255.0f)
+              : std::floor(f * 255.0f + 0.5f));
+    }
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        const std::size_t off = (static_cast<std::size_t>(y) * rt.width + x) * 4;
+        for (int i = 0; i < 4; ++i) {
+          if (color_mask_[static_cast<std::size_t>(i)]) {
+            (*rt.color)[off + static_cast<std::size_t>(i)] =
+                c[static_cast<std::size_t>(i)];
+          }
+        }
+      }
+    }
+  }
+  if ((mask & GL_DEPTH_BUFFER_BIT) != 0 && rt.depth != nullptr) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        (*rt.depth)[static_cast<std::size_t>(y) * rt.width + x] = 1.0f;
+      }
+    }
+  }
+}
+
+void Context::ReadPixels(GLint x, GLint y, GLsizei w, GLsizei h,
+                         GLenum format, GLenum type, void* pixels) {
+  // The ONLY guaranteed readback path in ES 2.0 (paper limitation #7): the
+  // framebuffer, as RGBA8. There is no glGetTexImage.
+  if (format != GL_RGBA || type != GL_UNSIGNED_BYTE) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  RenderTarget rt;
+  if (!ResolveTarget(&rt) || rt.color == nullptr) {
+    SetError(GL_INVALID_FRAMEBUFFER_OPERATION);
+    return;
+  }
+  auto* dst = static_cast<std::uint8_t*>(pixels);
+  const int row_bytes = w * 4;
+  const int stride = (row_bytes + pack_alignment_ - 1) / pack_alignment_ *
+                     pack_alignment_;
+  for (GLsizei row = 0; row < h; ++row) {
+    const int sy = y + row;
+    for (GLsizei col = 0; col < w; ++col) {
+      const int sx = x + col;
+      std::uint8_t* out = dst + row * stride + col * 4;
+      if (sx < 0 || sy < 0 || sx >= rt.width || sy >= rt.height) {
+        out[0] = out[1] = out[2] = out[3] = 0;
+        continue;
+      }
+      const std::size_t off = (static_cast<std::size_t>(sy) * rt.width + sx) * 4;
+      std::memcpy(out, rt.color->data() + off, 4);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drawing
+// ---------------------------------------------------------------------------
+
+bool Context::FetchAttribute(const AttribState& a, GLint vertex,
+                             std::array<float, 4>* out) const {
+  *out = {0.0f, 0.0f, 0.0f, 1.0f};
+  if (!a.enabled) {
+    *out = a.constant;
+    return true;
+  }
+  const std::uint8_t* base = nullptr;
+  if (a.buffer != 0) {
+    const auto it = buffers_.find(a.buffer);
+    if (it == buffers_.end()) return false;
+    base = it->second->data.data() +
+           reinterpret_cast<std::uintptr_t>(a.pointer);
+  } else {
+    base = static_cast<const std::uint8_t*>(a.pointer);
+  }
+  if (base == nullptr) return false;
+  int elem_size = 4;
+  switch (a.type) {
+    case GL_FLOAT: elem_size = 4; break;
+    case GL_UNSIGNED_BYTE: case GL_BYTE: elem_size = 1; break;
+    case GL_UNSIGNED_SHORT: case GL_SHORT: elem_size = 2; break;
+    default: return false;
+  }
+  const int stride = a.stride != 0 ? a.stride : a.size * elem_size;
+  const std::uint8_t* src = base + static_cast<std::ptrdiff_t>(stride) * vertex;
+  for (int c = 0; c < a.size; ++c) {
+    float v = 0.0f;
+    switch (a.type) {
+      case GL_FLOAT: {
+        float f;
+        std::memcpy(&f, src + c * 4, 4);
+        v = f;
+        break;
+      }
+      case GL_UNSIGNED_BYTE: {
+        const std::uint8_t b = src[c];
+        v = a.normalized != GL_FALSE ? b / 255.0f : static_cast<float>(b);
+        break;
+      }
+      case GL_BYTE: {
+        std::int8_t b;
+        std::memcpy(&b, src + c, 1);
+        v = a.normalized != GL_FALSE
+                ? std::max(b / 127.0f, -1.0f)
+                : static_cast<float>(b);
+        break;
+      }
+      case GL_UNSIGNED_SHORT: {
+        std::uint16_t s;
+        std::memcpy(&s, src + c * 2, 2);
+        v = a.normalized != GL_FALSE ? s / 65535.0f : static_cast<float>(s);
+        break;
+      }
+      case GL_SHORT: {
+        std::int16_t s;
+        std::memcpy(&s, src + c * 2, 2);
+        v = a.normalized != GL_FALSE
+                ? std::max(s / 32767.0f, -1.0f)
+                : static_cast<float>(s);
+        break;
+      }
+      default:
+        return false;
+    }
+    (*out)[static_cast<std::size_t>(c)] = v;
+  }
+  return true;
+}
+
+void Context::WritePixel(RenderTarget& rt, int x, int y, float depth,
+                         const std::array<float, 4>& color, bool depth_valid) {
+  if (scissor_enabled_) {
+    if (x < sc_x_ || y < sc_y_ || x >= sc_x_ + sc_w_ || y >= sc_y_ + sc_h_) {
+      return;
+    }
+  }
+  if (depth_enabled_ && rt.depth != nullptr && depth_valid) {
+    float& d = (*rt.depth)[static_cast<std::size_t>(y) * rt.width + x];
+    bool pass = false;
+    switch (depth_func_) {
+      case GL_NEVER: pass = false; break;
+      case GL_LESS: pass = depth < d; break;
+      case GL_EQUAL: pass = depth == d; break;
+      case GL_LEQUAL: pass = depth <= d; break;
+      case GL_GREATER: pass = depth > d; break;
+      case GL_NOTEQUAL: pass = depth != d; break;
+      case GL_GEQUAL: pass = depth >= d; break;
+      case GL_ALWAYS: pass = true; break;
+      default: pass = true; break;
+    }
+    if (!pass) return;
+    if (depth_write_) d = depth;
+  }
+  if (rt.color == nullptr) return;
+
+  // Clamp to [0,1]: the framebuffer conversion of the paper's Eq. (2).
+  std::array<float, 4> src{};
+  for (int i = 0; i < 4; ++i) {
+    src[static_cast<std::size_t>(i)] =
+        std::clamp(color[static_cast<std::size_t>(i)], 0.0f, 1.0f);
+  }
+  const std::size_t off = (static_cast<std::size_t>(y) * rt.width + x) * 4;
+  if (blend_enabled_) {
+    std::array<float, 4> dst{};
+    for (int i = 0; i < 4; ++i) {
+      dst[static_cast<std::size_t>(i)] =
+          (*rt.color)[off + static_cast<std::size_t>(i)] / 255.0f;
+    }
+    auto factor = [&](GLenum f, bool /*is_src*/) -> std::array<float, 4> {
+      switch (f) {
+        case GL_ZERO: return {0, 0, 0, 0};
+        case GL_ONE: return {1, 1, 1, 1};
+        case GL_SRC_COLOR: return src;
+        case GL_ONE_MINUS_SRC_COLOR:
+          return {1 - src[0], 1 - src[1], 1 - src[2], 1 - src[3]};
+        case GL_SRC_ALPHA: return {src[3], src[3], src[3], src[3]};
+        case GL_ONE_MINUS_SRC_ALPHA: {
+          const float a = 1 - src[3];
+          return {a, a, a, a};
+        }
+        case GL_DST_ALPHA: return {dst[3], dst[3], dst[3], dst[3]};
+        case GL_ONE_MINUS_DST_ALPHA: {
+          const float a = 1 - dst[3];
+          return {a, a, a, a};
+        }
+        case GL_DST_COLOR: return dst;
+        case GL_ONE_MINUS_DST_COLOR:
+          return {1 - dst[0], 1 - dst[1], 1 - dst[2], 1 - dst[3]};
+        default: return {1, 1, 1, 1};
+      }
+    };
+    const auto sf = factor(blend_src_, true);
+    const auto df = factor(blend_dst_, false);
+    for (int i = 0; i < 4; ++i) {
+      const std::size_t ii = static_cast<std::size_t>(i);
+      src[ii] = std::clamp(src[ii] * sf[ii] + dst[ii] * df[ii], 0.0f, 1.0f);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (!color_mask_[static_cast<std::size_t>(i)]) continue;
+    const float f = src[static_cast<std::size_t>(i)];
+    const float scaled = config_.quantization == FbQuantization::kFloorPaper
+                             ? std::floor(f * 255.0f)
+                             : std::floor(f * 255.0f + 0.5f);
+    (*rt.color)[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(std::clamp(scaled, 0.0f, 255.0f));
+  }
+}
+
+void Context::DrawArrays(GLenum mode, GLint first, GLsizei count) {
+  if (first < 0 || count < 0) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  DrawGeneric(mode, count, [first](GLsizei i) {
+    return static_cast<GLuint>(first + i);
+  });
+}
+
+void Context::DrawElements(GLenum mode, GLsizei count, GLenum type,
+                           const void* indices) {
+  if (count < 0) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  if (type != GL_UNSIGNED_BYTE && type != GL_UNSIGNED_SHORT) {
+    SetError(GL_INVALID_ENUM);
+    return;
+  }
+  const std::uint8_t* base = nullptr;
+  if (element_array_buffer_ != 0) {
+    BufferObject* b = GetBuffer(element_array_buffer_);
+    if (b == nullptr) {
+      SetError(GL_INVALID_OPERATION);
+      return;
+    }
+    base = b->data.data() + reinterpret_cast<std::uintptr_t>(indices);
+  } else {
+    base = static_cast<const std::uint8_t*>(indices);
+  }
+  if (base == nullptr) {
+    SetError(GL_INVALID_VALUE);
+    return;
+  }
+  DrawGeneric(mode, count, [base, type](GLsizei i) -> GLuint {
+    if (type == GL_UNSIGNED_BYTE) return base[i];
+    std::uint16_t v;
+    std::memcpy(&v, base + i * 2, 2);
+    return v;
+  });
+}
+
+void Context::DrawGeneric(GLenum mode, GLsizei count,
+                          const std::function<GLuint(GLsizei)>& index_at) {
+  last_draw_error_.clear();
+  ProgramObject* prog = GetProgram(current_program_);
+  if (prog == nullptr || !prog->link_ok) {
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+  RenderTarget rt;
+  if (!ResolveTarget(&rt)) {
+    SetError(GL_INVALID_FRAMEBUFFER_OPERATION);
+    return;
+  }
+  switch (mode) {
+    case GL_POINTS: case GL_LINES: case GL_LINE_STRIP: case GL_LINE_LOOP:
+    case GL_TRIANGLES: case GL_TRIANGLE_STRIP: case GL_TRIANGLE_FAN:
+      break;
+    default:
+      // Desktop GL_QUADS / GL_POLYGON do not exist here: the paper's
+      // limitation #2.
+      SetError(GL_INVALID_ENUM);
+      return;
+  }
+  if (count == 0) return;
+
+  // --- vertex stage ---
+  std::vector<RasterVertex> verts(static_cast<std::size_t>(count));
+  glsl::ShaderExec& vexec = *prog->vexec;
+  try {
+    for (GLsizei i = 0; i < count; ++i) {
+      const GLuint vi = index_at(i);
+      for (const AttribInfo& ai : prog->attribs) {
+        std::array<float, 4> v{};
+        if (!FetchAttribute(attribs_[static_cast<std::size_t>(ai.location)],
+                            static_cast<GLint>(vi), &v)) {
+          SetError(GL_INVALID_OPERATION);
+          return;
+        }
+        Value& dst = vexec.GlobalAt(ai.vs_slot);
+        const int cells = std::min(ai.type.CellCount(), 4);
+        for (int c = 0; c < cells; ++c) {
+          dst.SetF(c, v[static_cast<std::size_t>(c)]);
+        }
+      }
+      vexec.Run();
+      RasterVertex& out = verts[static_cast<std::size_t>(i)];
+      if (prog->vs_position_slot >= 0) {
+        const Value& pos = vexec.GlobalAt(prog->vs_position_slot);
+        out.clip = {pos.F(0), pos.F(1), pos.F(2), pos.F(3)};
+      }
+      if (prog->vs_point_size_slot >= 0) {
+        out.point_size = vexec.GlobalAt(prog->vs_point_size_slot).F(0);
+        if (out.point_size <= 0.0f) out.point_size = 1.0f;
+      }
+      out.varyings.resize(static_cast<std::size_t>(prog->varying_cells));
+      for (const VaryingLink& link : prog->varyings) {
+        const Value& v = vexec.GlobalAt(link.vs_slot);
+        for (int c = 0; c < link.cells; ++c) {
+          out.varyings[static_cast<std::size_t>(link.offset + c)] = v.F(c);
+        }
+      }
+    }
+  } catch (const glsl::ShaderExec::RuntimeError& e) {
+    last_draw_error_ = e.what();
+    SetError(GL_INVALID_OPERATION);
+    return;
+  }
+
+  // --- fragment stage setup ---
+  glsl::ShaderExec& fexec = *prog->fexec;
+  tmu_cache_.fill(~0ull);
+  tmu_cache_rr_.fill(0);
+  fexec.SetTextureFn([this](int unit, float s, float t, float lod)
+                         -> std::array<float, 4> {
+    if (unit < 0 || unit >= static_cast<int>(units_.size())) {
+      return {0.0f, 0.0f, 0.0f, 1.0f};
+    }
+    const GLuint tex_id = units_[static_cast<std::size_t>(unit)].bound_2d;
+    Texture* tex = GetTextureObject(tex_id);
+    if (tex == nullptr) return {0.0f, 0.0f, 0.0f, 1.0f};
+    // Texture-cache model: 32-byte lines = 8 RGBA8 texels.
+    const long long texel = tex->NearestTexelIndex(s, t);
+    if (texel >= 0) {
+      const std::uint64_t line =
+          (static_cast<std::uint64_t>(tex_id) << 40) |
+          static_cast<std::uint64_t>(texel >> 3);
+      // Multiplicative hash so distinct textures' streams spread over sets.
+      const std::uint64_t h = line * 0x9E3779B97F4A7C15ull;
+      const std::size_t set = static_cast<std::size_t>(
+          (h >> 32) % static_cast<std::uint64_t>(kTmuCacheSets));
+      bool hit = false;
+      for (int way = 0; way < kTmuCacheWays; ++way) {
+        if (tmu_cache_[set * kTmuCacheWays + static_cast<std::size_t>(way)] ==
+            line) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        const std::uint8_t victim = tmu_cache_rr_[set];
+        tmu_cache_[set * kTmuCacheWays + victim] = line;
+        tmu_cache_rr_[set] =
+            static_cast<std::uint8_t>((victim + 1) % kTmuCacheWays);
+        alu_->CountTmuMiss(1);
+      }
+    }
+    return tex->Sample(s, t, lod);
+  });
+
+  RasterState rs;
+  rs.viewport_x = vp_x_;
+  rs.viewport_y = vp_y_;
+  rs.viewport_w = vp_w_;
+  rs.viewport_h = vp_h_;
+  rs.target_w = rt.width;
+  rs.target_h = rt.height;
+  rs.cull_enabled = cull_enabled_;
+  rs.cull_face = cull_face_;
+  rs.front_face = front_face_;
+
+  bool failed = false;
+  FragmentSink sink = [&](int x, int y, float depth, const float* vars,
+                          bool front, float ps, float pt) {
+    if (failed) return;
+    try {
+      if (prog->fs_frag_coord_slot >= 0) {
+        Value& fc = fexec.GlobalAt(prog->fs_frag_coord_slot);
+        fc.SetF(0, static_cast<float>(x) + 0.5f);
+        fc.SetF(1, static_cast<float>(y) + 0.5f);
+        fc.SetF(2, depth);
+        fc.SetF(3, 1.0f);
+      }
+      if (prog->fs_front_facing_slot >= 0) {
+        fexec.GlobalAt(prog->fs_front_facing_slot).SetB(0, front);
+      }
+      if (prog->fs_point_coord_slot >= 0) {
+        Value& pc = fexec.GlobalAt(prog->fs_point_coord_slot);
+        pc.SetF(0, ps);
+        pc.SetF(1, pt);
+      }
+      for (const VaryingLink& link : prog->varyings) {
+        Value& dst = fexec.GlobalAt(link.fs_slot);
+        for (int c = 0; c < link.cells; ++c) {
+          dst.SetF(c, vars[link.offset + c]);
+        }
+      }
+      if (!fexec.Run()) return;  // discarded
+      const int slot = prog->uses_frag_data ? prog->fs_frag_data_slot
+                                            : prog->fs_frag_color_slot;
+      std::array<float, 4> color{0.0f, 0.0f, 0.0f, 0.0f};
+      if (slot >= 0) {
+        const Value& c = fexec.GlobalAt(slot);
+        color = {c.F(0), c.F(1), c.F(2), c.F(3)};
+      }
+      WritePixel(rt, x, y, depth, color, /*depth_valid=*/true);
+    } catch (const glsl::ShaderExec::RuntimeError& e) {
+      last_draw_error_ = e.what();
+      failed = true;
+    }
+  };
+
+  // --- primitive assembly ---
+  const int vc = prog->varying_cells;
+  switch (mode) {
+    case GL_TRIANGLES:
+      for (GLsizei i = 0; i + 2 < count; i += 3) {
+        RasterizeTriangle(verts[static_cast<std::size_t>(i)],
+                          verts[static_cast<std::size_t>(i + 1)],
+                          verts[static_cast<std::size_t>(i + 2)], vc, rs,
+                          sink);
+      }
+      break;
+    case GL_TRIANGLE_STRIP:
+      for (GLsizei i = 0; i + 2 < count; ++i) {
+        // Winding alternates; swap so face orientation stays consistent.
+        const bool odd = (i & 1) != 0;
+        RasterizeTriangle(verts[static_cast<std::size_t>(i)],
+                          verts[static_cast<std::size_t>(i + (odd ? 2 : 1))],
+                          verts[static_cast<std::size_t>(i + (odd ? 1 : 2))],
+                          vc, rs, sink);
+      }
+      break;
+    case GL_TRIANGLE_FAN:
+      for (GLsizei i = 1; i + 1 < count; ++i) {
+        RasterizeTriangle(verts[0], verts[static_cast<std::size_t>(i)],
+                          verts[static_cast<std::size_t>(i + 1)], vc, rs,
+                          sink);
+      }
+      break;
+    case GL_POINTS:
+      for (GLsizei i = 0; i < count; ++i) {
+        RasterizePoint(verts[static_cast<std::size_t>(i)], vc, rs, sink);
+      }
+      break;
+    case GL_LINES:
+      for (GLsizei i = 0; i + 1 < count; i += 2) {
+        RasterizeLine(verts[static_cast<std::size_t>(i)],
+                      verts[static_cast<std::size_t>(i + 1)], vc, rs, sink);
+      }
+      break;
+    case GL_LINE_STRIP:
+      for (GLsizei i = 0; i + 1 < count; ++i) {
+        RasterizeLine(verts[static_cast<std::size_t>(i)],
+                      verts[static_cast<std::size_t>(i + 1)], vc, rs, sink);
+      }
+      break;
+    case GL_LINE_LOOP:
+      for (GLsizei i = 0; i + 1 < count; ++i) {
+        RasterizeLine(verts[static_cast<std::size_t>(i)],
+                      verts[static_cast<std::size_t>(i + 1)], vc, rs, sink);
+      }
+      if (count > 2) {
+        RasterizeLine(verts[static_cast<std::size_t>(count - 1)], verts[0],
+                      vc, rs, sink);
+      }
+      break;
+    default:
+      break;
+  }
+  if (failed) SetError(GL_INVALID_OPERATION);
+}
+
+}  // namespace mgpu::gles2

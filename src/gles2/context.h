@@ -1,0 +1,265 @@
+// The OpenGL ES 2.0 context: the API surface the paper's GPGPU framework
+// programs against. Implements the subset of ES 2.0 the paper's techniques
+// exercise, while faithfully enforcing the *restrictions* the paper works
+// around: byte-only textures and framebuffers, normalized texture
+// coordinates, triangles-only complex geometry, a single fragment output,
+// and no texture readback path other than framebuffer ReadPixels.
+#ifndef MGPU_GLES2_CONTEXT_H_
+#define MGPU_GLES2_CONTEXT_H_
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gles2/enums.h"
+#include "gles2/objects.h"
+#include "gles2/texture.h"
+#include "glsl/alu.h"
+#include "glsl/shader.h"
+
+namespace mgpu::gles2 {
+
+// How fragment colors are quantized into the byte framebuffer. The paper's
+// Eq. (2) states floor(f * 255); most real drivers round to nearest. Both
+// are provided so the robustness of the pack/unpack algebra can be verified
+// under either (see bench_ablation_readback and the packing tests).
+enum class FbQuantization { kRoundNearest, kFloorPaper };
+
+struct ContextConfig {
+  int width = 64;
+  int height = 64;
+  bool has_depth = true;
+  glsl::Limits limits;
+  FbQuantization quantization = FbQuantization::kRoundNearest;
+  int max_texture_size = 4096;
+  std::string renderer_name = "mgpu software GLES2 (VideoCore IV model)";
+};
+
+class Context {
+ public:
+  // `alu` is the arithmetic model shaders execute on (precision + op
+  // counting); it must outlive the context. Pass nullptr for IEEE-exact.
+  explicit Context(const ContextConfig& config = ContextConfig{},
+                   glsl::AluModel* alu = nullptr);
+
+  // --- errors ---
+  GLenum GetError();
+
+  // --- capabilities / state ---
+  void Enable(GLenum cap);
+  void Disable(GLenum cap);
+  void Viewport(GLint x, GLint y, GLsizei w, GLsizei h);
+  void Scissor(GLint x, GLint y, GLsizei w, GLsizei h);
+  void ClearColor(GLfloat r, GLfloat g, GLfloat b, GLfloat a);
+  void Clear(GLbitfield mask);
+  void BlendFunc(GLenum src, GLenum dst);
+  void DepthFunc(GLenum func);
+  void DepthMask(GLboolean flag);
+  void ColorMask(GLboolean r, GLboolean g, GLboolean b, GLboolean a);
+  void CullFace(GLenum mode);
+  void FrontFace(GLenum dir);
+  void PixelStorei(GLenum pname, GLint value);
+  void GetIntegerv(GLenum pname, GLint* params);
+  [[nodiscard]] const char* GetString(GLenum name);
+  void GetShaderPrecisionFormat(GLenum shader_type, GLenum precision_type,
+                                GLint* range, GLint* precision);
+  void Finish() {}
+  void Flush() {}
+
+  // --- shaders ---
+  GLuint CreateShader(GLenum type);
+  void ShaderSource(GLuint shader, const std::string& source);
+  void CompileShader(GLuint shader);
+  void GetShaderiv(GLuint shader, GLenum pname, GLint* params);
+  [[nodiscard]] std::string GetShaderInfoLog(GLuint shader);
+  void DeleteShader(GLuint shader);
+
+  // --- programs ---
+  GLuint CreateProgram();
+  void AttachShader(GLuint program, GLuint shader);
+  void BindAttribLocation(GLuint program, GLuint index,
+                          const std::string& name);
+  void LinkProgram(GLuint program);
+  void GetProgramiv(GLuint program, GLenum pname, GLint* params);
+  [[nodiscard]] std::string GetProgramInfoLog(GLuint program);
+  void UseProgram(GLuint program);
+  void DeleteProgram(GLuint program);
+  GLint GetUniformLocation(GLuint program, const std::string& name);
+  GLint GetAttribLocation(GLuint program, const std::string& name);
+
+  // --- uniforms (apply to the current program) ---
+  void Uniform1f(GLint loc, GLfloat x);
+  void Uniform2f(GLint loc, GLfloat x, GLfloat y);
+  void Uniform3f(GLint loc, GLfloat x, GLfloat y, GLfloat z);
+  void Uniform4f(GLint loc, GLfloat x, GLfloat y, GLfloat z, GLfloat w);
+  void Uniform1i(GLint loc, GLint x);
+  void Uniform1fv(GLint loc, GLsizei count, const GLfloat* v);
+  void Uniform2fv(GLint loc, GLsizei count, const GLfloat* v);
+  void Uniform4fv(GLint loc, GLsizei count, const GLfloat* v);
+  void UniformMatrix4fv(GLint loc, GLsizei count, GLboolean transpose,
+                        const GLfloat* v);
+
+  // --- vertex attributes ---
+  void EnableVertexAttribArray(GLuint index);
+  void DisableVertexAttribArray(GLuint index);
+  void VertexAttribPointer(GLuint index, GLint size, GLenum type,
+                           GLboolean normalized, GLsizei stride,
+                           const void* pointer);
+  void VertexAttrib4f(GLuint index, GLfloat x, GLfloat y, GLfloat z,
+                      GLfloat w);
+
+  // --- buffers ---
+  void GenBuffers(GLsizei n, GLuint* ids);
+  void BindBuffer(GLenum target, GLuint id);
+  void BufferData(GLenum target, GLsizeiptr size, const void* data,
+                  GLenum usage);
+  void BufferSubData(GLenum target, GLintptr offset, GLsizeiptr size,
+                     const void* data);
+  void DeleteBuffers(GLsizei n, const GLuint* ids);
+
+  // --- textures ---
+  void GenTextures(GLsizei n, GLuint* ids);
+  void ActiveTexture(GLenum unit);
+  void BindTexture(GLenum target, GLuint id);
+  void TexImage2D(GLenum target, GLint level, GLint internal_format,
+                  GLsizei width, GLsizei height, GLint border, GLenum format,
+                  GLenum type, const void* data);
+  void TexSubImage2D(GLenum target, GLint level, GLint xoffset, GLint yoffset,
+                     GLsizei width, GLsizei height, GLenum format, GLenum type,
+                     const void* data);
+  void TexParameteri(GLenum target, GLenum pname, GLint param);
+  void DeleteTextures(GLsizei n, const GLuint* ids);
+
+  // --- renderbuffers / framebuffers ---
+  void GenRenderbuffers(GLsizei n, GLuint* ids);
+  void BindRenderbuffer(GLenum target, GLuint id);
+  void RenderbufferStorage(GLenum target, GLenum internal_format, GLsizei w,
+                           GLsizei h);
+  void DeleteRenderbuffers(GLsizei n, const GLuint* ids);
+  void GenFramebuffers(GLsizei n, GLuint* ids);
+  void BindFramebuffer(GLenum target, GLuint id);
+  void FramebufferTexture2D(GLenum target, GLenum attachment,
+                            GLenum textarget, GLuint texture, GLint level);
+  void FramebufferRenderbuffer(GLenum target, GLenum attachment,
+                               GLenum rb_target, GLuint rb);
+  GLenum CheckFramebufferStatus(GLenum target);
+  void DeleteFramebuffers(GLsizei n, const GLuint* ids);
+
+  // --- drawing / readback ---
+  void DrawArrays(GLenum mode, GLint first, GLsizei count);
+  void DrawElements(GLenum mode, GLsizei count, GLenum type,
+                    const void* indices);
+  void ReadPixels(GLint x, GLint y, GLsizei w, GLsizei h, GLenum format,
+                  GLenum type, void* pixels);
+
+  // --- introspection for tests and the timing model ---
+  [[nodiscard]] glsl::AluModel& alu() { return *alu_; }
+  [[nodiscard]] const ContextConfig& config() const { return config_; }
+  // Last shader runtime failure during a draw ("" when none): loop budget
+  // exceeded etc.; a real GPU would hang or reset.
+  [[nodiscard]] const std::string& last_draw_error() const {
+    return last_draw_error_;
+  }
+  [[nodiscard]] Texture* GetTextureObject(GLuint id);
+
+ private:
+  struct TextureUnit {
+    GLuint bound_2d = 0;
+  };
+  struct AttribState {
+    bool enabled = false;
+    GLint size = 4;
+    GLenum type = GL_FLOAT;
+    GLboolean normalized = GL_FALSE;
+    GLsizei stride = 0;
+    const void* pointer = nullptr;
+    GLuint buffer = 0;
+    std::array<float, 4> constant{0.0f, 0.0f, 0.0f, 1.0f};
+  };
+  struct RenderTarget {
+    // Exactly one of these is non-null for a complete color attachment.
+    std::vector<std::uint8_t>* color = nullptr;  // RGBA8
+    std::vector<float>* depth = nullptr;
+    int width = 0;
+    int height = 0;
+  };
+
+  void SetError(GLenum e);
+  [[nodiscard]] ShaderObject* GetShader(GLuint id);
+  [[nodiscard]] ProgramObject* GetProgram(GLuint id);
+  [[nodiscard]] BufferObject* GetBuffer(GLuint id);
+  [[nodiscard]] RenderbufferObject* GetRenderbuffer(GLuint id);
+  [[nodiscard]] FramebufferObject* GetFramebuffer(GLuint id);
+  bool ResolveTarget(RenderTarget* out);  // false => incomplete framebuffer
+  void SetUniformValue(const UniformInfo& u, int element, int comps,
+                       const float* fdata, const GLint* idata, int count,
+                       bool is_matrix);
+  bool FetchAttribute(const AttribState& a, GLint vertex,
+                      std::array<float, 4>* out) const;
+  void DrawGeneric(GLenum mode, GLsizei count,
+                   const std::function<GLuint(GLsizei)>& index_at);
+  void WritePixel(RenderTarget& rt, int x, int y, float depth,
+                  const std::array<float, 4>& color, bool depth_valid);
+
+  ContextConfig config_;
+  glsl::ExactAlu default_alu_;
+  glsl::AluModel* alu_;
+  GLenum error_ = GL_NO_ERROR;
+  std::string last_draw_error_;
+
+  GLuint next_id_ = 1;
+  std::map<GLuint, std::unique_ptr<ShaderObject>> shaders_;
+  std::map<GLuint, std::unique_ptr<ProgramObject>> programs_;
+  std::map<GLuint, std::unique_ptr<BufferObject>> buffers_;
+  std::map<GLuint, std::unique_ptr<Texture>> textures_;
+  std::map<GLuint, std::unique_ptr<RenderbufferObject>> renderbuffers_;
+  std::map<GLuint, std::unique_ptr<FramebufferObject>> framebuffers_;
+
+  GLuint current_program_ = 0;
+  GLuint array_buffer_ = 0;
+  GLuint element_array_buffer_ = 0;
+  GLuint bound_framebuffer_ = 0;
+  GLuint bound_renderbuffer_ = 0;
+  int active_unit_ = 0;
+  std::array<TextureUnit, 8> units_{};
+  std::vector<AttribState> attribs_;
+
+  // Default framebuffer storage (bottom-up rows, GL convention).
+  std::vector<std::uint8_t> fb_color_;
+  std::vector<float> fb_depth_;
+
+  // Texture-cache model: 4 KB, 4-way set associative, 32-byte lines (8
+  // RGBA8 texels), round-robin replacement, reset per draw. Misses are
+  // reported to the ALU counters and priced by the timing model (sequential
+  // GPGPU streams mostly hit, strided matrix walks miss — the paper's
+  // sum/sgemm asymmetry).
+  static constexpr int kTmuCacheSets = 32;
+  static constexpr int kTmuCacheWays = 4;
+  std::array<std::uint64_t, kTmuCacheSets * kTmuCacheWays> tmu_cache_{};
+  std::array<std::uint8_t, kTmuCacheSets> tmu_cache_rr_{};
+
+  // Fixed-function state.
+  int vp_x_ = 0, vp_y_ = 0, vp_w_ = 0, vp_h_ = 0;
+  int sc_x_ = 0, sc_y_ = 0, sc_w_ = 0, sc_h_ = 0;
+  bool scissor_enabled_ = false;
+  bool depth_enabled_ = false;
+  bool blend_enabled_ = false;
+  bool cull_enabled_ = false;
+  GLenum depth_func_ = GL_LESS;
+  bool depth_write_ = true;
+  GLenum blend_src_ = GL_ONE;
+  GLenum blend_dst_ = GL_ZERO;
+  GLenum cull_face_ = GL_BACK;
+  GLenum front_face_ = GL_CCW;
+  std::array<bool, 4> color_mask_{true, true, true, true};
+  std::array<float, 4> clear_color_{0.0f, 0.0f, 0.0f, 0.0f};
+  GLint unpack_alignment_ = 4;
+  GLint pack_alignment_ = 4;
+};
+
+}  // namespace mgpu::gles2
+
+#endif  // MGPU_GLES2_CONTEXT_H_

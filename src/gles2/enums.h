@@ -1,0 +1,185 @@
+// OpenGL ES 2.0 types and enumerants (the subset this implementation
+// supports, plus a few that exist only so we can reject them the way the
+// real API does — e.g. GL_FLOAT textures, the paper's limitation #5).
+#ifndef MGPU_GLES2_ENUMS_H_
+#define MGPU_GLES2_ENUMS_H_
+
+#include <cstdint>
+
+namespace mgpu::gles2 {
+
+using GLenum = std::uint32_t;
+using GLboolean = std::uint8_t;
+using GLbitfield = std::uint32_t;
+using GLint = std::int32_t;
+using GLsizei = std::int32_t;
+using GLuint = std::uint32_t;
+using GLfloat = float;
+using GLubyte = std::uint8_t;
+using GLushort = std::uint16_t;
+using GLintptr = std::intptr_t;
+using GLsizeiptr = std::ptrdiff_t;
+
+inline constexpr GLboolean GL_TRUE = 1;
+inline constexpr GLboolean GL_FALSE = 0;
+
+// Errors.
+inline constexpr GLenum GL_NO_ERROR = 0;
+inline constexpr GLenum GL_INVALID_ENUM = 0x0500;
+inline constexpr GLenum GL_INVALID_VALUE = 0x0501;
+inline constexpr GLenum GL_INVALID_OPERATION = 0x0502;
+inline constexpr GLenum GL_OUT_OF_MEMORY = 0x0505;
+inline constexpr GLenum GL_INVALID_FRAMEBUFFER_OPERATION = 0x0506;
+
+// Primitives.
+inline constexpr GLenum GL_POINTS = 0x0000;
+inline constexpr GLenum GL_LINES = 0x0001;
+inline constexpr GLenum GL_LINE_LOOP = 0x0002;
+inline constexpr GLenum GL_LINE_STRIP = 0x0003;
+inline constexpr GLenum GL_TRIANGLES = 0x0004;
+inline constexpr GLenum GL_TRIANGLE_STRIP = 0x0005;
+inline constexpr GLenum GL_TRIANGLE_FAN = 0x0006;
+
+// Shaders / programs.
+inline constexpr GLenum GL_FRAGMENT_SHADER = 0x8B30;
+inline constexpr GLenum GL_VERTEX_SHADER = 0x8B31;
+inline constexpr GLenum GL_COMPILE_STATUS = 0x8B81;
+inline constexpr GLenum GL_LINK_STATUS = 0x8B82;
+inline constexpr GLenum GL_VALIDATE_STATUS = 0x8B83;
+inline constexpr GLenum GL_INFO_LOG_LENGTH = 0x8B84;
+inline constexpr GLenum GL_ATTACHED_SHADERS = 0x8B85;
+inline constexpr GLenum GL_ACTIVE_UNIFORMS = 0x8B86;
+inline constexpr GLenum GL_ACTIVE_ATTRIBUTES = 0x8B89;
+inline constexpr GLenum GL_SHADER_TYPE = 0x8B4F;
+inline constexpr GLenum GL_DELETE_STATUS = 0x8B80;
+inline constexpr GLenum GL_SHADER_SOURCE_LENGTH = 0x8B88;
+
+// Precision format queries.
+inline constexpr GLenum GL_LOW_FLOAT = 0x8DF0;
+inline constexpr GLenum GL_MEDIUM_FLOAT = 0x8DF1;
+inline constexpr GLenum GL_HIGH_FLOAT = 0x8DF2;
+inline constexpr GLenum GL_LOW_INT = 0x8DF3;
+inline constexpr GLenum GL_MEDIUM_INT = 0x8DF4;
+inline constexpr GLenum GL_HIGH_INT = 0x8DF5;
+
+// Textures.
+inline constexpr GLenum GL_TEXTURE_2D = 0x0DE1;
+inline constexpr GLenum GL_TEXTURE_CUBE_MAP = 0x8513;
+inline constexpr GLenum GL_TEXTURE0 = 0x84C0;
+inline constexpr GLenum GL_TEXTURE_MAG_FILTER = 0x2800;
+inline constexpr GLenum GL_TEXTURE_MIN_FILTER = 0x2801;
+inline constexpr GLenum GL_TEXTURE_WRAP_S = 0x2802;
+inline constexpr GLenum GL_TEXTURE_WRAP_T = 0x2803;
+inline constexpr GLenum GL_NEAREST = 0x2600;
+inline constexpr GLenum GL_LINEAR = 0x2601;
+inline constexpr GLenum GL_NEAREST_MIPMAP_NEAREST = 0x2700;
+inline constexpr GLenum GL_LINEAR_MIPMAP_NEAREST = 0x2701;
+inline constexpr GLenum GL_NEAREST_MIPMAP_LINEAR = 0x2702;
+inline constexpr GLenum GL_LINEAR_MIPMAP_LINEAR = 0x2703;
+inline constexpr GLenum GL_REPEAT = 0x2901;
+inline constexpr GLenum GL_CLAMP_TO_EDGE = 0x812F;
+inline constexpr GLenum GL_MIRRORED_REPEAT = 0x8370;
+
+// Pixel formats / types.
+inline constexpr GLenum GL_ALPHA = 0x1906;
+inline constexpr GLenum GL_RGB = 0x1907;
+inline constexpr GLenum GL_RGBA = 0x1908;
+inline constexpr GLenum GL_LUMINANCE = 0x1909;
+inline constexpr GLenum GL_LUMINANCE_ALPHA = 0x190A;
+inline constexpr GLenum GL_UNSIGNED_BYTE = 0x1401;
+inline constexpr GLenum GL_UNSIGNED_SHORT_4_4_4_4 = 0x8033;
+inline constexpr GLenum GL_UNSIGNED_SHORT_5_5_5_1 = 0x8034;
+inline constexpr GLenum GL_UNSIGNED_SHORT_5_6_5 = 0x8363;
+inline constexpr GLenum GL_FLOAT = 0x1406;
+inline constexpr GLenum GL_UNSIGNED_SHORT = 0x1403;
+inline constexpr GLenum GL_UNSIGNED_INT = 0x1405;
+inline constexpr GLenum GL_BYTE = 0x1400;
+inline constexpr GLenum GL_SHORT = 0x1402;
+inline constexpr GLenum GL_INT = 0x1404;
+
+// Buffers.
+inline constexpr GLenum GL_ARRAY_BUFFER = 0x8892;
+inline constexpr GLenum GL_ELEMENT_ARRAY_BUFFER = 0x8893;
+inline constexpr GLenum GL_STATIC_DRAW = 0x88E4;
+inline constexpr GLenum GL_DYNAMIC_DRAW = 0x88E8;
+inline constexpr GLenum GL_STREAM_DRAW = 0x88E0;
+
+// Framebuffers / renderbuffers.
+inline constexpr GLenum GL_FRAMEBUFFER = 0x8D40;
+inline constexpr GLenum GL_RENDERBUFFER = 0x8D41;
+inline constexpr GLenum GL_COLOR_ATTACHMENT0 = 0x8CE0;
+inline constexpr GLenum GL_DEPTH_ATTACHMENT = 0x8D00;
+inline constexpr GLenum GL_STENCIL_ATTACHMENT = 0x8D20;
+inline constexpr GLenum GL_FRAMEBUFFER_COMPLETE = 0x8CD5;
+inline constexpr GLenum GL_FRAMEBUFFER_INCOMPLETE_ATTACHMENT = 0x8CD6;
+inline constexpr GLenum GL_FRAMEBUFFER_INCOMPLETE_MISSING_ATTACHMENT = 0x8CD7;
+inline constexpr GLenum GL_FRAMEBUFFER_UNSUPPORTED = 0x8CDD;
+inline constexpr GLenum GL_RGBA4 = 0x8056;
+inline constexpr GLenum GL_RGB5_A1 = 0x8057;
+inline constexpr GLenum GL_RGB565 = 0x8D62;
+inline constexpr GLenum GL_DEPTH_COMPONENT16 = 0x81A5;
+
+// Capabilities.
+inline constexpr GLenum GL_BLEND = 0x0BE2;
+inline constexpr GLenum GL_DEPTH_TEST = 0x0B71;
+inline constexpr GLenum GL_SCISSOR_TEST = 0x0C11;
+inline constexpr GLenum GL_CULL_FACE = 0x0B44;
+inline constexpr GLenum GL_DITHER = 0x0BD0;
+
+// Blending.
+inline constexpr GLenum GL_ZERO = 0;
+inline constexpr GLenum GL_ONE = 1;
+inline constexpr GLenum GL_SRC_COLOR = 0x0300;
+inline constexpr GLenum GL_ONE_MINUS_SRC_COLOR = 0x0301;
+inline constexpr GLenum GL_SRC_ALPHA = 0x0302;
+inline constexpr GLenum GL_ONE_MINUS_SRC_ALPHA = 0x0303;
+inline constexpr GLenum GL_DST_ALPHA = 0x0304;
+inline constexpr GLenum GL_ONE_MINUS_DST_ALPHA = 0x0305;
+inline constexpr GLenum GL_DST_COLOR = 0x0306;
+inline constexpr GLenum GL_ONE_MINUS_DST_COLOR = 0x0307;
+
+// Depth functions.
+inline constexpr GLenum GL_NEVER = 0x0200;
+inline constexpr GLenum GL_LESS = 0x0201;
+inline constexpr GLenum GL_EQUAL = 0x0202;
+inline constexpr GLenum GL_LEQUAL = 0x0203;
+inline constexpr GLenum GL_GREATER = 0x0204;
+inline constexpr GLenum GL_NOTEQUAL = 0x0205;
+inline constexpr GLenum GL_GEQUAL = 0x0206;
+inline constexpr GLenum GL_ALWAYS = 0x0207;
+
+// Face culling.
+inline constexpr GLenum GL_FRONT = 0x0404;
+inline constexpr GLenum GL_BACK = 0x0405;
+inline constexpr GLenum GL_FRONT_AND_BACK = 0x0408;
+inline constexpr GLenum GL_CW = 0x0900;
+inline constexpr GLenum GL_CCW = 0x0901;
+
+// Clear bits.
+inline constexpr GLbitfield GL_COLOR_BUFFER_BIT = 0x00004000;
+inline constexpr GLbitfield GL_DEPTH_BUFFER_BIT = 0x00000100;
+inline constexpr GLbitfield GL_STENCIL_BUFFER_BIT = 0x00000400;
+
+// GetIntegerv / GetString.
+inline constexpr GLenum GL_MAX_TEXTURE_SIZE = 0x0D33;
+inline constexpr GLenum GL_MAX_VERTEX_ATTRIBS = 0x8869;
+inline constexpr GLenum GL_MAX_VARYING_VECTORS = 0x8DFC;
+inline constexpr GLenum GL_MAX_VERTEX_UNIFORM_VECTORS = 0x8DFB;
+inline constexpr GLenum GL_MAX_FRAGMENT_UNIFORM_VECTORS = 0x8DFD;
+inline constexpr GLenum GL_MAX_TEXTURE_IMAGE_UNITS = 0x8872;
+inline constexpr GLenum GL_MAX_VERTEX_TEXTURE_IMAGE_UNITS = 0x8B4C;
+inline constexpr GLenum GL_MAX_COMBINED_TEXTURE_IMAGE_UNITS = 0x8B4D;
+inline constexpr GLenum GL_VENDOR = 0x1F00;
+inline constexpr GLenum GL_RENDERER = 0x1F01;
+inline constexpr GLenum GL_VERSION = 0x1F02;
+inline constexpr GLenum GL_SHADING_LANGUAGE_VERSION = 0x8B8C;
+inline constexpr GLenum GL_EXTENSIONS = 0x1F03;
+inline constexpr GLenum GL_VIEWPORT = 0x0BA2;
+inline constexpr GLenum GL_UNPACK_ALIGNMENT = 0x0CF5;
+inline constexpr GLenum GL_PACK_ALIGNMENT = 0x0D05;
+inline constexpr GLenum GL_IMPLEMENTATION_COLOR_READ_TYPE = 0x8B9A;
+inline constexpr GLenum GL_IMPLEMENTATION_COLOR_READ_FORMAT = 0x8B9B;
+
+}  // namespace mgpu::gles2
+
+#endif  // MGPU_GLES2_ENUMS_H_

@@ -1,0 +1,323 @@
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "gles2/objects.h"
+
+namespace mgpu::gles2 {
+namespace {
+
+using glsl::BaseType;
+using glsl::CompiledShader;
+using glsl::Qualifier;
+using glsl::Type;
+using glsl::VarDecl;
+
+// Walks every expression of a compiled shader, calling fn(const Expr&).
+template <typename F>
+void ForEachExpr(const glsl::Expr* e, F& fn) {
+  if (e == nullptr) return;
+  fn(*e);
+  using glsl::ExprKind;
+  switch (e->kind) {
+    case ExprKind::kCall: {
+      const auto& c = static_cast<const glsl::CallExpr&>(*e);
+      for (const auto& a : c.args) ForEachExpr(a.get(), fn);
+      break;
+    }
+    case ExprKind::kCtor: {
+      const auto& c = static_cast<const glsl::CtorExpr&>(*e);
+      for (const auto& a : c.args) ForEachExpr(a.get(), fn);
+      break;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const glsl::BinaryExpr&>(*e);
+      ForEachExpr(b.lhs.get(), fn);
+      ForEachExpr(b.rhs.get(), fn);
+      break;
+    }
+    case ExprKind::kUnary:
+      ForEachExpr(static_cast<const glsl::UnaryExpr&>(*e).operand.get(), fn);
+      break;
+    case ExprKind::kAssign: {
+      const auto& a = static_cast<const glsl::AssignExpr&>(*e);
+      ForEachExpr(a.lhs.get(), fn);
+      ForEachExpr(a.rhs.get(), fn);
+      break;
+    }
+    case ExprKind::kTernary: {
+      const auto& t = static_cast<const glsl::TernaryExpr&>(*e);
+      ForEachExpr(t.cond.get(), fn);
+      ForEachExpr(t.then_expr.get(), fn);
+      ForEachExpr(t.else_expr.get(), fn);
+      break;
+    }
+    case ExprKind::kIndex: {
+      const auto& ix = static_cast<const glsl::IndexExpr&>(*e);
+      ForEachExpr(ix.base.get(), fn);
+      ForEachExpr(ix.index.get(), fn);
+      break;
+    }
+    case ExprKind::kSwizzle:
+      ForEachExpr(static_cast<const glsl::SwizzleExpr&>(*e).base.get(), fn);
+      break;
+    case ExprKind::kComma: {
+      const auto& c = static_cast<const glsl::CommaExpr&>(*e);
+      ForEachExpr(c.lhs.get(), fn);
+      ForEachExpr(c.rhs.get(), fn);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+template <typename F>
+void ForEachStmtExpr(const glsl::Stmt* s, F& fn) {
+  if (s == nullptr) return;
+  using glsl::StmtKind;
+  switch (s->kind) {
+    case StmtKind::kExpr:
+      ForEachExpr(static_cast<const glsl::ExprStmt&>(*s).expr.get(), fn);
+      break;
+    case StmtKind::kDecl:
+      for (const auto& d : static_cast<const glsl::DeclStmt&>(*s).decls) {
+        ForEachExpr(d->init.get(), fn);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto& is = static_cast<const glsl::IfStmt&>(*s);
+      ForEachExpr(is.cond.get(), fn);
+      ForEachStmtExpr(is.then_stmt.get(), fn);
+      ForEachStmtExpr(is.else_stmt.get(), fn);
+      break;
+    }
+    case StmtKind::kFor: {
+      const auto& fs = static_cast<const glsl::ForStmt&>(*s);
+      ForEachStmtExpr(fs.init.get(), fn);
+      ForEachExpr(fs.cond.get(), fn);
+      ForEachExpr(fs.step.get(), fn);
+      ForEachStmtExpr(fs.body.get(), fn);
+      break;
+    }
+    case StmtKind::kWhile: {
+      const auto& ws = static_cast<const glsl::WhileStmt&>(*s);
+      ForEachExpr(ws.cond.get(), fn);
+      ForEachStmtExpr(ws.body.get(), fn);
+      break;
+    }
+    case StmtKind::kDoWhile: {
+      const auto& ds = static_cast<const glsl::DoWhileStmt&>(*s);
+      ForEachStmtExpr(ds.body.get(), fn);
+      ForEachExpr(ds.cond.get(), fn);
+      break;
+    }
+    case StmtKind::kReturn:
+      ForEachExpr(static_cast<const glsl::ReturnStmt&>(*s).value.get(), fn);
+      break;
+    case StmtKind::kBlock:
+      for (const auto& st : static_cast<const glsl::BlockStmt&>(*s).stmts) {
+        ForEachStmtExpr(st.get(), fn);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// True if the shader statically references the variable `name`.
+bool ReferencesVariable(const CompiledShader& cs, const std::string& name) {
+  bool found = false;
+  auto fn = [&](const glsl::Expr& e) {
+    if (e.kind == glsl::ExprKind::kVarRef &&
+        static_cast<const glsl::VarRefExpr&>(e).name == name) {
+      found = true;
+    }
+  };
+  for (const auto& f : cs.tu->functions) {
+    ForEachStmtExpr(f->body.get(), fn);
+  }
+  for (const auto& g : cs.tu->globals) {
+    ForEachExpr(g->init.get(), fn);
+  }
+  return found;
+}
+
+void Fail(ProgramObject& prog, std::string msg) {
+  prog.info_log += "ERROR: link: " + msg + "\n";
+  prog.link_ok = false;
+}
+
+}  // namespace
+
+void LinkProgram(ProgramObject& prog,
+                 const std::map<GLuint, std::unique_ptr<ShaderObject>>& shaders,
+                 glsl::AluModel& alu, const glsl::Limits& limits) {
+  prog.linked = true;
+  prog.link_ok = true;
+  prog.info_log.clear();
+  prog.varyings.clear();
+  prog.attribs.clear();
+  prog.uniforms.clear();
+  prog.locations.clear();
+  prog.uniform_locations.clear();
+  prog.varying_cells = 0;
+
+  const auto vs_it = shaders.find(prog.vertex_shader);
+  const auto fs_it = shaders.find(prog.fragment_shader);
+  if (prog.vertex_shader == 0 || prog.fragment_shader == 0 ||
+      vs_it == shaders.end() || fs_it == shaders.end()) {
+    // ES 2.0 requires BOTH stages to be attached (paper challenge 1: unlike
+    // desktop GL there is no fixed-function fallback).
+    Fail(prog, "a program requires both a vertex and a fragment shader "
+               "(OpenGL ES 2.0 has no fixed-function stages)");
+    return;
+  }
+  const ShaderObject& vso = *vs_it->second;
+  const ShaderObject& fso = *fs_it->second;
+  if (!vso.compile_ok || !fso.compile_ok || vso.compiled == nullptr ||
+      fso.compiled == nullptr) {
+    Fail(prog, "attached shaders are not successfully compiled");
+    return;
+  }
+  prog.vs = vso.compiled;
+  prog.fs = fso.compiled;
+
+  // --- varyings: every varying consumed by the fragment stage must be
+  // declared with an identical type by the vertex stage.
+  int offset = 0;
+  for (const VarDecl* fg : prog.fs->globals) {
+    if (fg->qual != Qualifier::kVarying) continue;
+    const VarDecl* vg = prog.vs->FindGlobal(fg->name);
+    if (vg == nullptr || vg->qual != Qualifier::kVarying) {
+      Fail(prog, StrFormat("varying '%s' is not declared by the vertex "
+                           "shader",
+                           fg->name.c_str()));
+      continue;
+    }
+    if (!(vg->type == fg->type)) {
+      Fail(prog, StrFormat("varying '%s' has mismatched types (%s vs %s)",
+                           fg->name.c_str(), vg->type.ToString().c_str(),
+                           fg->type.ToString().c_str()));
+      continue;
+    }
+    VaryingLink link;
+    link.vs_slot = vg->slot;
+    link.fs_slot = fg->slot;
+    link.cells = fg->type.CellCount();
+    link.offset = offset;
+    offset += link.cells;
+    prog.varyings.push_back(link);
+  }
+  prog.varying_cells = offset;
+
+  // --- attributes: honor BindAttribLocation, then assign the rest.
+  std::set<int> used_locations;
+  for (const VarDecl* vg : prog.vs->globals) {
+    if (vg->qual != Qualifier::kAttribute) continue;
+    AttribInfo info;
+    info.name = vg->name;
+    info.type = vg->type;
+    info.vs_slot = vg->slot;
+    const auto bound = prog.bound_attribs.find(vg->name);
+    if (bound != prog.bound_attribs.end()) {
+      info.location = bound->second;
+      if (info.location < 0 || info.location >= limits.max_vertex_attribs) {
+        Fail(prog, StrFormat("attribute '%s' bound to invalid location %d",
+                             vg->name.c_str(), info.location));
+        continue;
+      }
+      used_locations.insert(info.location);
+    }
+    prog.attribs.push_back(info);
+  }
+  for (AttribInfo& info : prog.attribs) {
+    if (info.location >= 0) continue;
+    for (int loc = 0; loc < limits.max_vertex_attribs; ++loc) {
+      if (used_locations.count(loc) == 0) {
+        info.location = loc;
+        used_locations.insert(loc);
+        break;
+      }
+    }
+    if (info.location < 0) {
+      Fail(prog, StrFormat("no free location for attribute '%s'",
+                           info.name.c_str()));
+    }
+  }
+
+  // --- uniforms: merge the two stages; types must agree.
+  auto add_uniforms = [&](const CompiledShader& cs, bool is_vertex) {
+    for (const VarDecl* g : cs.globals) {
+      if (g->qual != Qualifier::kUniform) continue;
+      UniformInfo* existing = nullptr;
+      for (UniformInfo& u : prog.uniforms) {
+        if (u.name == g->name) {
+          existing = &u;
+          break;
+        }
+      }
+      if (existing != nullptr) {
+        if (!(existing->type == g->type)) {
+          Fail(prog, StrFormat("uniform '%s' declared with different types "
+                               "in the two stages",
+                               g->name.c_str()));
+          continue;
+        }
+        (is_vertex ? existing->vs_slot : existing->fs_slot) = g->slot;
+        continue;
+      }
+      UniformInfo u;
+      u.name = g->name;
+      u.type = g->type;
+      (is_vertex ? u.vs_slot : u.fs_slot) = g->slot;
+      prog.uniforms.push_back(u);
+    }
+  };
+  add_uniforms(*prog.vs, true);
+  add_uniforms(*prog.fs, false);
+
+  // Assign dense locations; arrays get one location per element, and both
+  // "name" and "name[i]" resolve, as the ES API requires.
+  for (std::size_t ui = 0; ui < prog.uniforms.size(); ++ui) {
+    UniformInfo& u = prog.uniforms[ui];
+    u.base_location = static_cast<int>(prog.locations.size());
+    const int elements = u.type.IsArray() ? u.type.array_size : 1;
+    for (int e = 0; e < elements; ++e) {
+      prog.locations.push_back({static_cast<int>(ui), e});
+      if (e == 0) {
+        prog.uniform_locations[u.name] = u.base_location;
+        if (u.type.IsArray()) {
+          prog.uniform_locations[u.name + "[0]"] = u.base_location;
+        }
+      } else {
+        prog.uniform_locations[StrFormat("%s[%d]", u.name.c_str(), e)] =
+            u.base_location + e;
+      }
+    }
+  }
+
+  // --- fragment output discovery (paper challenge 8: exactly one output).
+  const bool uses_color = ReferencesVariable(*prog.fs, "gl_FragColor");
+  const bool uses_data = ReferencesVariable(*prog.fs, "gl_FragData");
+  if (uses_color && uses_data) {
+    Fail(prog, "fragment shader statically uses both gl_FragColor and "
+               "gl_FragData");
+  }
+  prog.uses_frag_data = uses_data;
+
+  if (!prog.link_ok) return;
+
+  // --- instantiate executors and cache gl_* slots.
+  prog.vexec = std::make_unique<glsl::ShaderExec>(*prog.vs, alu);
+  prog.fexec = std::make_unique<glsl::ShaderExec>(*prog.fs, alu);
+  prog.vs_position_slot = prog.vexec->GlobalSlot("gl_Position");
+  prog.vs_point_size_slot = prog.vexec->GlobalSlot("gl_PointSize");
+  prog.fs_frag_color_slot = prog.fexec->GlobalSlot("gl_FragColor");
+  prog.fs_frag_data_slot = prog.fexec->GlobalSlot("gl_FragData");
+  prog.fs_frag_coord_slot = prog.fexec->GlobalSlot("gl_FragCoord");
+  prog.fs_front_facing_slot = prog.fexec->GlobalSlot("gl_FrontFacing");
+  prog.fs_point_coord_slot = prog.fexec->GlobalSlot("gl_PointCoord");
+}
+
+}  // namespace mgpu::gles2

@@ -1,0 +1,256 @@
+#include "gles2/raster.h"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+
+namespace mgpu::gles2 {
+namespace {
+
+constexpr float kNearEps = 1e-6f;
+constexpr int kMaxVaryingCells = 64;
+
+struct DeviceVertex {
+  double x = 0.0, y = 0.0, z = 0.0;  // window coordinates
+  double inv_w = 1.0;
+  std::array<float, kMaxVaryingCells> varyings{};
+  float point_size = 1.0f;
+};
+
+DeviceVertex ToDevice(const RasterVertex& v, int varying_cells,
+                      const RasterState& s) {
+  DeviceVertex d;
+  const double w = v.clip[3];
+  const double inv_w = 1.0 / w;
+  const double xn = v.clip[0] * inv_w;
+  const double yn = v.clip[1] * inv_w;
+  const double zn = v.clip[2] * inv_w;
+  d.x = s.viewport_x + (xn + 1.0) * 0.5 * s.viewport_w;
+  d.y = s.viewport_y + (yn + 1.0) * 0.5 * s.viewport_h;
+  d.z = (zn + 1.0) * 0.5;  // default glDepthRangef(0, 1)
+  d.inv_w = inv_w;
+  for (int i = 0; i < varying_cells && i < kMaxVaryingCells; ++i) {
+    d.varyings[static_cast<std::size_t>(i)] =
+        i < static_cast<int>(v.varyings.size()) ? v.varyings[static_cast<std::size_t>(i)] : 0.0f;
+  }
+  d.point_size = v.point_size;
+  return d;
+}
+
+// Clips a polygon (in clip space, varyings linear in clip space) against the
+// plane w >= kNearEps. Sutherland-Hodgman on a single plane.
+std::vector<RasterVertex> ClipNear(const std::vector<RasterVertex>& poly,
+                                   int varying_cells) {
+  std::vector<RasterVertex> out;
+  const auto n = poly.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const RasterVertex& a = poly[i];
+    const RasterVertex& b = poly[(i + 1) % n];
+    const bool a_in = a.clip[3] >= kNearEps;
+    const bool b_in = b.clip[3] >= kNearEps;
+    auto lerp = [&](float t) {
+      RasterVertex m;
+      for (int k = 0; k < 4; ++k) {
+        m.clip[static_cast<std::size_t>(k)] =
+            a.clip[static_cast<std::size_t>(k)] +
+            t * (b.clip[static_cast<std::size_t>(k)] -
+                 a.clip[static_cast<std::size_t>(k)]);
+      }
+      m.varyings.resize(static_cast<std::size_t>(varying_cells));
+      for (int k = 0; k < varying_cells; ++k) {
+        const float av = k < static_cast<int>(a.varyings.size())
+                             ? a.varyings[static_cast<std::size_t>(k)] : 0.0f;
+        const float bv = k < static_cast<int>(b.varyings.size())
+                             ? b.varyings[static_cast<std::size_t>(k)] : 0.0f;
+        m.varyings[static_cast<std::size_t>(k)] = av + t * (bv - av);
+      }
+      m.point_size = a.point_size;
+      return m;
+    };
+    if (a_in) out.push_back(a);
+    if (a_in != b_in) {
+      const float t = (kNearEps - a.clip[3]) / (b.clip[3] - a.clip[3]);
+      out.push_back(lerp(t));
+    }
+  }
+  return out;
+}
+
+double Orient2d(double ax, double ay, double bx, double by, double cx,
+                double cy) {
+  return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+}
+
+// Top-left fill rule for a CCW triangle in a y-up coordinate system: an edge
+// (a -> b) owns its boundary pixels when it is a "left" edge (heading
+// downward... here upward in y-up CCW = dy > 0) or the "top" horizontal edge
+// (dy == 0 and dx < 0). Verified by the exact-coverage tests in
+// gles2_raster_test.cc (two triangles sharing a diagonal must shade every
+// pixel exactly once — the paper's challenge 2 quad).
+bool EdgeIsTopLeft(double dx, double dy) {
+  if (dy == 0.0) return dx < 0.0;
+  return dy > 0.0;
+}
+
+void EmitTriangle(const DeviceVertex& d0, const DeviceVertex& d1,
+                  const DeviceVertex& d2, int varying_cells,
+                  const RasterState& s, const FragmentSink& sink) {
+  const double area = Orient2d(d0.x, d0.y, d1.x, d1.y, d2.x, d2.y);
+  if (area == 0.0) return;
+
+  // Facing: with y-up window coords, positive area = counter-clockwise.
+  const bool ccw = area > 0.0;
+  const bool front = (s.front_face == GL_CCW) == ccw;
+  if (s.cull_enabled) {
+    if (s.cull_face == GL_FRONT_AND_BACK) return;
+    const bool cull_front = s.cull_face == GL_FRONT;
+    if (front == cull_front) return;
+  }
+
+  // Wind to CCW for a uniform fill rule.
+  const DeviceVertex& a = d0;
+  const DeviceVertex& b = ccw ? d1 : d2;
+  const DeviceVertex& c = ccw ? d2 : d1;
+  const double abs_area = std::fabs(area);
+
+  int min_x = static_cast<int>(std::floor(std::min({a.x, b.x, c.x})));
+  int max_x = static_cast<int>(std::ceil(std::max({a.x, b.x, c.x})));
+  int min_y = static_cast<int>(std::floor(std::min({a.y, b.y, c.y})));
+  int max_y = static_cast<int>(std::ceil(std::max({a.y, b.y, c.y})));
+  min_x = std::max(min_x, 0);
+  min_y = std::max(min_y, 0);
+  max_x = std::min(max_x, s.target_w);
+  max_y = std::min(max_y, s.target_h);
+
+  const bool tl0 = EdgeIsTopLeft(c.x - b.x, c.y - b.y);  // edge b->c (w0)
+  const bool tl1 = EdgeIsTopLeft(a.x - c.x, a.y - c.y);  // edge c->a (w1)
+  const bool tl2 = EdgeIsTopLeft(b.x - a.x, b.y - a.y);  // edge a->b (w2)
+
+  for (int py = min_y; py < max_y; ++py) {
+    for (int px = min_x; px < max_x; ++px) {
+      const double sx = px + 0.5;
+      const double sy = py + 0.5;
+      const double w0 = Orient2d(b.x, b.y, c.x, c.y, sx, sy);
+      const double w1 = Orient2d(c.x, c.y, a.x, a.y, sx, sy);
+      const double w2 = Orient2d(a.x, a.y, b.x, b.y, sx, sy);
+      const bool in0 = w0 > 0.0 || (w0 == 0.0 && tl0);
+      const bool in1 = w1 > 0.0 || (w1 == 0.0 && tl1);
+      const bool in2 = w2 > 0.0 || (w2 == 0.0 && tl2);
+      if (!in0 || !in1 || !in2) continue;
+
+      const double ba = w0 / abs_area;
+      const double bb = w1 / abs_area;
+      const double bc = w2 / abs_area;
+      const double z = ba * a.z + bb * b.z + bc * c.z;
+      // Perspective-correct interpolation (exact linear when w == 1, the
+      // GPGPU case, so kernel indices arrive exactly at (i + 0.5) / N).
+      const double pa = ba * a.inv_w;
+      const double pb = bb * b.inv_w;
+      const double pc = bc * c.inv_w;
+      const double denom = pa + pb + pc;
+      std::array<float, kMaxVaryingCells> vars{};
+      for (int k = 0; k < varying_cells; ++k) {
+        const std::size_t ki = static_cast<std::size_t>(k);
+        vars[ki] = static_cast<float>(
+            (pa * a.varyings[ki] + pb * b.varyings[ki] + pc * c.varyings[ki]) /
+            denom);
+      }
+      sink(px, py, static_cast<float>(std::clamp(z, 0.0, 1.0)), vars.data(),
+           front, 0.0f, 0.0f);
+    }
+  }
+}
+
+}  // namespace
+
+void RasterizeTriangle(const RasterVertex& v0, const RasterVertex& v1,
+                       const RasterVertex& v2, int varying_cells,
+                       const RasterState& state, const FragmentSink& sink) {
+  // Near-plane (w > 0) clipping; everything else is handled by the scissor
+  // to the render target in EmitTriangle.
+  const bool in0 = v0.clip[3] >= kNearEps;
+  const bool in1 = v1.clip[3] >= kNearEps;
+  const bool in2 = v2.clip[3] >= kNearEps;
+  if (in0 && in1 && in2) {
+    EmitTriangle(ToDevice(v0, varying_cells, state),
+                 ToDevice(v1, varying_cells, state),
+                 ToDevice(v2, varying_cells, state), varying_cells, state,
+                 sink);
+    return;
+  }
+  const std::vector<RasterVertex> poly =
+      ClipNear({v0, v1, v2}, varying_cells);
+  if (poly.size() < 3) return;
+  const DeviceVertex d0 = ToDevice(poly[0], varying_cells, state);
+  for (std::size_t i = 1; i + 1 < poly.size(); ++i) {
+    EmitTriangle(d0, ToDevice(poly[i], varying_cells, state),
+                 ToDevice(poly[i + 1], varying_cells, state), varying_cells,
+                 state, sink);
+  }
+}
+
+void RasterizePoint(const RasterVertex& v, int varying_cells,
+                    const RasterState& state, const FragmentSink& sink) {
+  if (v.clip[3] < kNearEps) return;
+  const DeviceVertex d = ToDevice(v, varying_cells, state);
+  const double size = std::max(1.0f, d.point_size);
+  const double half = size * 0.5;
+  int min_x = static_cast<int>(std::floor(d.x - half));
+  int max_x = static_cast<int>(std::ceil(d.x + half));
+  int min_y = static_cast<int>(std::floor(d.y - half));
+  int max_y = static_cast<int>(std::ceil(d.y + half));
+  min_x = std::max(min_x, 0);
+  min_y = std::max(min_y, 0);
+  max_x = std::min(max_x, state.target_w);
+  max_y = std::min(max_y, state.target_h);
+  for (int py = min_y; py < max_y; ++py) {
+    for (int px = min_x; px < max_x; ++px) {
+      const double sx = px + 0.5;
+      const double sy = py + 0.5;
+      if (std::fabs(sx - d.x) > half || std::fabs(sy - d.y) > half) continue;
+      const float ps = static_cast<float>((sx - (d.x - half)) / size);
+      const float pt = static_cast<float>(1.0 - (sy - (d.y - half)) / size);
+      sink(px, py, static_cast<float>(std::clamp(d.z, 0.0, 1.0)),
+           d.varyings.data(), true, ps, pt);
+    }
+  }
+}
+
+void RasterizeLine(const RasterVertex& v0, const RasterVertex& v1,
+                   int varying_cells, const RasterState& state,
+                   const FragmentSink& sink) {
+  if (v0.clip[3] < kNearEps || v1.clip[3] < kNearEps) return;
+  const DeviceVertex a = ToDevice(v0, varying_cells, state);
+  const DeviceVertex b = ToDevice(v1, varying_cells, state);
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const int steps =
+      std::max(1, static_cast<int>(std::ceil(std::max(std::fabs(dx),
+                                                      std::fabs(dy)))));
+  int last_x = INT_MIN, last_y = INT_MIN;
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / steps;
+    const int px = static_cast<int>(std::floor(a.x + t * dx));
+    const int py = static_cast<int>(std::floor(a.y + t * dy));
+    if (px == last_x && py == last_y) continue;
+    last_x = px;
+    last_y = py;
+    if (px < 0 || py < 0 || px >= state.target_w || py >= state.target_h) {
+      continue;
+    }
+    // Perspective-correct parameter along the line.
+    const double pw = (1.0 - t) * a.inv_w + t * b.inv_w;
+    std::array<float, kMaxVaryingCells> vars{};
+    for (int k = 0; k < varying_cells; ++k) {
+      const std::size_t ki = static_cast<std::size_t>(k);
+      vars[ki] = static_cast<float>(((1.0 - t) * a.inv_w * a.varyings[ki] +
+                                     t * b.inv_w * b.varyings[ki]) /
+                                    pw);
+    }
+    const double z = (1.0 - t) * a.z + t * b.z;
+    sink(px, py, static_cast<float>(std::clamp(z, 0.0, 1.0)), vars.data(),
+         true, 0.0f, 0.0f);
+  }
+}
+
+}  // namespace mgpu::gles2

@@ -1,0 +1,54 @@
+// Primitive rasterization: near-plane clipping, viewport transform,
+// top-left-rule edge-function triangle fill with perspective-correct varying
+// interpolation, plus points and lines. Coordinates follow GL conventions
+// (window origin at the bottom-left, pixel centers at half-integers).
+#ifndef MGPU_GLES2_RASTER_H_
+#define MGPU_GLES2_RASTER_H_
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "gles2/enums.h"
+
+namespace mgpu::gles2 {
+
+struct RasterVertex {
+  std::array<float, 4> clip{0.0f, 0.0f, 0.0f, 1.0f};
+  std::vector<float> varyings;
+  float point_size = 1.0f;
+};
+
+struct RasterState {
+  int viewport_x = 0;
+  int viewport_y = 0;
+  int viewport_w = 0;
+  int viewport_h = 0;
+  int target_w = 0;   // render target bounds (fragments outside are dropped)
+  int target_h = 0;
+  bool cull_enabled = false;
+  GLenum cull_face = GL_BACK;
+  GLenum front_face = GL_CCW;
+};
+
+// Fragment callback: window x, y (integer pixel coords), window-space depth
+// in [0,1], interpolated varyings (varying_cells floats), facingness and the
+// point-sprite coordinate (points only; (0,0) otherwise).
+using FragmentSink = std::function<void(
+    int x, int y, float depth, const float* varyings, bool front_facing,
+    float point_s, float point_t)>;
+
+void RasterizeTriangle(const RasterVertex& v0, const RasterVertex& v1,
+                       const RasterVertex& v2, int varying_cells,
+                       const RasterState& state, const FragmentSink& sink);
+
+void RasterizePoint(const RasterVertex& v, int varying_cells,
+                    const RasterState& state, const FragmentSink& sink);
+
+void RasterizeLine(const RasterVertex& v0, const RasterVertex& v1,
+                   int varying_cells, const RasterState& state,
+                   const FragmentSink& sink);
+
+}  // namespace mgpu::gles2
+
+#endif  // MGPU_GLES2_RASTER_H_

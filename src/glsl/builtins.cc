@@ -1,0 +1,649 @@
+#include "glsl/builtins.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+
+namespace mgpu::glsl {
+namespace {
+
+bool IsGen(const Type& t) {
+  if (t.IsArray()) return false;
+  return t.base == BaseType::kFloat || t.base == BaseType::kVec2 ||
+         t.base == BaseType::kVec3 || t.base == BaseType::kVec4;
+}
+bool IsFloatVec(const Type& t) {
+  return !t.IsArray() && IsVector(t.base) &&
+         ScalarOf(t.base) == BaseType::kFloat;
+}
+bool IsIntVec(const Type& t) {
+  return !t.IsArray() && IsVector(t.base) && ScalarOf(t.base) == BaseType::kInt;
+}
+bool IsBoolVec(const Type& t) {
+  return !t.IsArray() && IsVector(t.base) &&
+         ScalarOf(t.base) == BaseType::kBool;
+}
+bool IsMat(const Type& t) { return !t.IsArray() && IsMatrix(t.base); }
+bool IsFloatScalar(const Type& t) {
+  return !t.IsArray() && t.base == BaseType::kFloat;
+}
+
+const std::set<std::string>& BuiltinNames() {
+  static const std::set<std::string> kNames = {
+      "radians", "degrees", "sin", "cos", "tan", "asin", "acos", "atan",
+      "pow", "exp", "log", "exp2", "log2", "sqrt", "inversesqrt",
+      "abs", "sign", "floor", "ceil", "fract", "mod", "min", "max", "clamp",
+      "mix", "step", "smoothstep",
+      "length", "distance", "dot", "cross", "normalize", "faceforward",
+      "reflect", "refract", "matrixCompMult",
+      "lessThan", "lessThanEqual", "greaterThan", "greaterThanEqual", "equal",
+      "notEqual", "any", "all", "not",
+      "texture2D", "texture2DProj", "texture2DLod", "texture2DProjLod",
+      "textureCube", "textureCubeLod",
+  };
+  return kNames;
+}
+
+BuiltinResolution Ok(Builtin b, Type result) {
+  BuiltinResolution r;
+  r.ok = true;
+  r.builtin = b;
+  r.result_type = result;
+  return r;
+}
+
+BuiltinResolution Mismatch(const std::string& name,
+                           const std::vector<Type>& args) {
+  BuiltinResolution r;
+  r.ok = false;
+  std::string sig = name + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) sig += ", ";
+    sig += args[i].ToString();
+  }
+  sig += ")";
+  r.error = StrFormat("no matching overload for %s", sig.c_str());
+  return r;
+}
+
+}  // namespace
+
+bool IsBuiltinName(const std::string& name) {
+  return BuiltinNames().count(name) != 0;
+}
+
+BuiltinResolution ResolveBuiltin(const std::string& name,
+                                 const std::vector<Type>& args, Stage stage) {
+  const auto n = args.size();
+  auto mismatch = [&] { return Mismatch(name, args); };
+
+  // Component-wise genType -> genType (single argument).
+  struct Gen1 {
+    const char* name;
+    Builtin b;
+  };
+  static constexpr Gen1 kGen1[] = {
+      {"radians", Builtin::kRadians}, {"degrees", Builtin::kDegrees},
+      {"sin", Builtin::kSin},         {"cos", Builtin::kCos},
+      {"tan", Builtin::kTan},         {"asin", Builtin::kAsin},
+      {"acos", Builtin::kAcos},       {"exp", Builtin::kExp},
+      {"log", Builtin::kLog},         {"exp2", Builtin::kExp2},
+      {"log2", Builtin::kLog2},       {"sqrt", Builtin::kSqrt},
+      {"inversesqrt", Builtin::kInverseSqrt},
+      {"abs", Builtin::kAbs},         {"sign", Builtin::kSign},
+      {"floor", Builtin::kFloor},     {"ceil", Builtin::kCeil},
+      {"fract", Builtin::kFract},
+  };
+  for (const auto& g : kGen1) {
+    if (name == g.name) {
+      if (n == 1 && IsGen(args[0])) return Ok(g.b, args[0]);
+      return mismatch();
+    }
+  }
+
+  if (name == "atan") {
+    if (n == 1 && IsGen(args[0])) return Ok(Builtin::kAtan, args[0]);
+    if (n == 2 && IsGen(args[0]) && args[1] == args[0]) {
+      return Ok(Builtin::kAtan2, args[0]);
+    }
+    return mismatch();
+  }
+  if (name == "pow") {
+    if (n == 2 && IsGen(args[0]) && args[1] == args[0]) {
+      return Ok(Builtin::kPow, args[0]);
+    }
+    return mismatch();
+  }
+  if (name == "mod") {
+    if (n == 2 && IsGen(args[0]) &&
+        (args[1] == args[0] || IsFloatScalar(args[1]))) {
+      return Ok(Builtin::kMod, args[0]);
+    }
+    return mismatch();
+  }
+  if (name == "min" || name == "max") {
+    const Builtin b = name == "min" ? Builtin::kMin : Builtin::kMax;
+    if (n == 2 && IsGen(args[0]) &&
+        (args[1] == args[0] || IsFloatScalar(args[1]))) {
+      return Ok(b, args[0]);
+    }
+    return mismatch();
+  }
+  if (name == "clamp") {
+    if (n == 3 && IsGen(args[0]) &&
+        ((args[1] == args[0] && args[2] == args[0]) ||
+         (IsFloatScalar(args[1]) && IsFloatScalar(args[2])))) {
+      return Ok(Builtin::kClamp, args[0]);
+    }
+    return mismatch();
+  }
+  if (name == "mix") {
+    if (n == 3 && IsGen(args[0]) && args[1] == args[0] &&
+        (args[2] == args[0] || IsFloatScalar(args[2]))) {
+      return Ok(Builtin::kMix, args[0]);
+    }
+    return mismatch();
+  }
+  if (name == "step") {
+    if (n == 2 && IsGen(args[1]) &&
+        (args[0] == args[1] || IsFloatScalar(args[0]))) {
+      return Ok(Builtin::kStep, args[1]);
+    }
+    return mismatch();
+  }
+  if (name == "smoothstep") {
+    if (n == 3 && IsGen(args[2]) &&
+        ((args[0] == args[2] && args[1] == args[2]) ||
+         (IsFloatScalar(args[0]) && IsFloatScalar(args[1])))) {
+      return Ok(Builtin::kSmoothstep, args[2]);
+    }
+    return mismatch();
+  }
+
+  if (name == "length") {
+    if (n == 1 && IsGen(args[0])) {
+      return Ok(Builtin::kLength, MakeType(BaseType::kFloat));
+    }
+    return mismatch();
+  }
+  if (name == "distance") {
+    if (n == 2 && IsGen(args[0]) && args[1] == args[0]) {
+      return Ok(Builtin::kDistance, MakeType(BaseType::kFloat));
+    }
+    return mismatch();
+  }
+  if (name == "dot") {
+    if (n == 2 && IsGen(args[0]) && args[1] == args[0]) {
+      return Ok(Builtin::kDot, MakeType(BaseType::kFloat));
+    }
+    return mismatch();
+  }
+  if (name == "cross") {
+    if (n == 2 && args[0] == MakeType(BaseType::kVec3) && args[1] == args[0]) {
+      return Ok(Builtin::kCross, MakeType(BaseType::kVec3));
+    }
+    return mismatch();
+  }
+  if (name == "normalize") {
+    if (n == 1 && IsGen(args[0])) return Ok(Builtin::kNormalize, args[0]);
+    return mismatch();
+  }
+  if (name == "faceforward") {
+    if (n == 3 && IsGen(args[0]) && args[1] == args[0] && args[2] == args[0]) {
+      return Ok(Builtin::kFaceforward, args[0]);
+    }
+    return mismatch();
+  }
+  if (name == "reflect") {
+    if (n == 2 && IsGen(args[0]) && args[1] == args[0]) {
+      return Ok(Builtin::kReflect, args[0]);
+    }
+    return mismatch();
+  }
+  if (name == "refract") {
+    if (n == 3 && IsGen(args[0]) && args[1] == args[0] &&
+        IsFloatScalar(args[2])) {
+      return Ok(Builtin::kRefract, args[0]);
+    }
+    return mismatch();
+  }
+  if (name == "matrixCompMult") {
+    if (n == 2 && IsMat(args[0]) && args[1] == args[0]) {
+      return Ok(Builtin::kMatrixCompMult, args[0]);
+    }
+    return mismatch();
+  }
+
+  // Vector relational functions.
+  if (name == "lessThan" || name == "lessThanEqual" || name == "greaterThan" ||
+      name == "greaterThanEqual") {
+    const Builtin b = name == "lessThan" ? Builtin::kLessThan
+                      : name == "lessThanEqual" ? Builtin::kLessThanEqual
+                      : name == "greaterThan" ? Builtin::kGreaterThan
+                                              : Builtin::kGreaterThanEqual;
+    if (n == 2 && (IsFloatVec(args[0]) || IsIntVec(args[0])) &&
+        args[1] == args[0]) {
+      return Ok(b, MakeType(VectorOf(BaseType::kBool,
+                                     ComponentCount(args[0].base))));
+    }
+    return mismatch();
+  }
+  if (name == "equal" || name == "notEqual") {
+    const Builtin b = name == "equal" ? Builtin::kEqual : Builtin::kNotEqual;
+    if (n == 2 &&
+        (IsFloatVec(args[0]) || IsIntVec(args[0]) || IsBoolVec(args[0])) &&
+        args[1] == args[0]) {
+      return Ok(b, MakeType(VectorOf(BaseType::kBool,
+                                     ComponentCount(args[0].base))));
+    }
+    return mismatch();
+  }
+  if (name == "any" || name == "all") {
+    const Builtin b = name == "any" ? Builtin::kAny : Builtin::kAll;
+    if (n == 1 && IsBoolVec(args[0])) {
+      return Ok(b, MakeType(BaseType::kBool));
+    }
+    return mismatch();
+  }
+  if (name == "not") {
+    if (n == 1 && IsBoolVec(args[0])) return Ok(Builtin::kNot, args[0]);
+    return mismatch();
+  }
+
+  // Texture lookups.
+  const Type vec4 = MakeType(BaseType::kVec4);
+  if (name == "texture2D") {
+    if (n >= 1 && args[0].base == BaseType::kSampler2D && !args[0].IsArray()) {
+      if (n == 2 && args[1] == MakeType(BaseType::kVec2)) {
+        return Ok(Builtin::kTexture2D, vec4);
+      }
+      if (n == 3 && args[1] == MakeType(BaseType::kVec2) &&
+          IsFloatScalar(args[2])) {
+        if (stage != Stage::kFragment) {
+          BuiltinResolution r;
+          r.error = "texture2D with bias is only available in fragment "
+                    "shaders";
+          return r;
+        }
+        return Ok(Builtin::kTexture2DBias, vec4);
+      }
+    }
+    return mismatch();
+  }
+  if (name == "texture2DProj") {
+    if (n >= 2 && args[0].base == BaseType::kSampler2D) {
+      const bool v3 = args[1] == MakeType(BaseType::kVec3);
+      const bool v4 = args[1] == vec4;
+      if ((v3 || v4) && n == 2) {
+        return Ok(v3 ? Builtin::kTexture2DProj3 : Builtin::kTexture2DProj4,
+                  vec4);
+      }
+      if ((v3 || v4) && n == 3 && IsFloatScalar(args[2])) {
+        if (stage != Stage::kFragment) {
+          BuiltinResolution r;
+          r.error = "texture2DProj with bias is only available in fragment "
+                    "shaders";
+          return r;
+        }
+        return Ok(v3 ? Builtin::kTexture2DProj3Bias
+                     : Builtin::kTexture2DProj4Bias,
+                  vec4);
+      }
+    }
+    return mismatch();
+  }
+  if (name == "texture2DLod" || name == "texture2DProjLod") {
+    if (stage != Stage::kVertex) {
+      BuiltinResolution r;
+      r.error = StrFormat("%s is only available in vertex shaders",
+                          name.c_str());
+      return r;
+    }
+    if (name == "texture2DLod" && n == 3 &&
+        args[0].base == BaseType::kSampler2D &&
+        args[1] == MakeType(BaseType::kVec2) && IsFloatScalar(args[2])) {
+      return Ok(Builtin::kTexture2DLod, vec4);
+    }
+    if (name == "texture2DProjLod" && n == 3 &&
+        args[0].base == BaseType::kSampler2D && IsFloatScalar(args[2])) {
+      if (args[1] == MakeType(BaseType::kVec3)) {
+        return Ok(Builtin::kTexture2DProjLod3, vec4);
+      }
+      if (args[1] == vec4) return Ok(Builtin::kTexture2DProjLod4, vec4);
+    }
+    return mismatch();
+  }
+  if (name == "textureCube" || name == "textureCubeLod") {
+    BuiltinResolution r;
+    r.error = StrFormat("%s: cube maps are not supported by this "
+                        "implementation (documented subset)",
+                        name.c_str());
+    return r;
+  }
+
+  BuiltinResolution r;
+  r.error = StrFormat("unknown function '%s'", name.c_str());
+  return r;
+}
+
+namespace {
+
+// Applies `fn` component-wise over the float components of `a`.
+template <typename F>
+Value MapUnary(const Value& a, F&& fn) {
+  Value out(a.type());
+  for (int i = 0; i < a.count(); ++i) out.SetF(i, fn(a.F(i)));
+  return out;
+}
+
+// Applies `fn` component-wise over `a` and `b`, broadcasting `b` when it is a
+// scalar and `a` is a vector.
+template <typename F>
+Value MapBinary(const Value& a, const Value& b, F&& fn) {
+  Value out(a.type());
+  const bool broadcast = b.count() == 1 && a.count() > 1;
+  for (int i = 0; i < a.count(); ++i) {
+    out.SetF(i, fn(a.F(i), b.F(broadcast ? 0 : i)));
+  }
+  return out;
+}
+
+template <typename F>
+Value MapTernary(const Value& a, const Value& b, const Value& c, F&& fn) {
+  Value out(a.type());
+  const bool bb = b.count() == 1 && a.count() > 1;
+  const bool cb = c.count() == 1 && a.count() > 1;
+  for (int i = 0; i < a.count(); ++i) {
+    out.SetF(i, fn(a.F(i), b.F(bb ? 0 : i), c.F(cb ? 0 : i)));
+  }
+  return out;
+}
+
+float DotProduct(const Value& a, const Value& b, AluModel& alu) {
+  float acc = alu.Mul(a.F(0), b.F(0));
+  for (int i = 1; i < a.count(); ++i) {
+    acc = alu.Add(acc, alu.Mul(a.F(i), b.F(i)));
+  }
+  return acc;
+}
+
+Value TextureFetch(const TextureFn& texture, AluModel& alu, int unit, float s,
+                   float t, float lod) {
+  alu.CountTmu(1);
+  std::array<float, 4> rgba{0.0f, 0.0f, 0.0f, 1.0f};
+  if (texture) rgba = texture(unit, s, t, lod);
+  return Value::MakeVec4(rgba[0], rgba[1], rgba[2], rgba[3]);
+}
+
+}  // namespace
+
+Value EvalBuiltin(Builtin b, Type result_type, std::vector<Value>& args,
+                  AluModel& alu, const TextureFn& texture) {
+  constexpr float kPi = 3.14159265358979323846f;
+  switch (b) {
+    case Builtin::kRadians:
+      return MapUnary(args[0],
+                      [&](float x) { return alu.Mul(x, kPi / 180.0f); });
+    case Builtin::kDegrees:
+      return MapUnary(args[0],
+                      [&](float x) { return alu.Mul(x, 180.0f / kPi); });
+    case Builtin::kSin:
+      return MapUnary(args[0], [&](float x) { return alu.Sin(x); });
+    case Builtin::kCos:
+      return MapUnary(args[0], [&](float x) { return alu.Cos(x); });
+    case Builtin::kTan:
+      return MapUnary(args[0], [&](float x) { return alu.Tan(x); });
+    case Builtin::kAsin:
+      return MapUnary(args[0], [&](float x) { return alu.Asin(x); });
+    case Builtin::kAcos:
+      return MapUnary(args[0], [&](float x) { return alu.Acos(x); });
+    case Builtin::kAtan:
+      return MapUnary(args[0], [&](float x) { return alu.Atan(x); });
+    case Builtin::kAtan2:
+      return MapBinary(args[0], args[1],
+                       [&](float y, float x) { return alu.Atan2(y, x); });
+    case Builtin::kPow:
+      return MapBinary(args[0], args[1],
+                       [&](float x, float y) { return alu.Pow(x, y); });
+    case Builtin::kExp:
+      return MapUnary(args[0], [&](float x) { return alu.Exp(x); });
+    case Builtin::kLog:
+      return MapUnary(args[0], [&](float x) { return alu.Log(x); });
+    case Builtin::kExp2:
+      return MapUnary(args[0], [&](float x) { return alu.Exp2(x); });
+    case Builtin::kLog2:
+      return MapUnary(args[0], [&](float x) { return alu.Log2(x); });
+    case Builtin::kSqrt:
+      return MapUnary(args[0], [&](float x) { return alu.Sqrt(x); });
+    case Builtin::kInverseSqrt:
+      return MapUnary(args[0], [&](float x) { return alu.RecipSqrt(x); });
+
+    case Builtin::kAbs:
+      return MapUnary(args[0], [&](float x) {
+        alu.Count(1);
+        return std::fabs(x);
+      });
+    case Builtin::kSign:
+      return MapUnary(args[0], [&](float x) {
+        alu.Count(1);
+        return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+      });
+    case Builtin::kFloor:
+      return MapUnary(args[0], [&](float x) {
+        alu.Count(1);
+        return std::floor(x);
+      });
+    case Builtin::kCeil:
+      return MapUnary(args[0], [&](float x) {
+        alu.Count(1);
+        return std::ceil(x);
+      });
+    case Builtin::kFract:
+      // x - floor(x), one ALU op for the floor and one for the subtract.
+      return MapUnary(args[0], [&](float x) {
+        alu.Count(1);
+        return alu.Sub(x, std::floor(x));
+      });
+    case Builtin::kMod:
+      // mod(x, y) = x - y * floor(x / y), per spec.
+      return MapBinary(args[0], args[1], [&](float x, float y) {
+        const float q = alu.Div(x, y);
+        alu.Count(1);
+        return alu.Sub(x, alu.Mul(y, std::floor(q)));
+      });
+    case Builtin::kMin:
+      return MapBinary(args[0], args[1], [&](float x, float y) {
+        alu.Count(1);
+        return std::fmin(x, y);
+      });
+    case Builtin::kMax:
+      return MapBinary(args[0], args[1], [&](float x, float y) {
+        alu.Count(1);
+        return std::fmax(x, y);
+      });
+    case Builtin::kClamp:
+      return MapTernary(args[0], args[1], args[2],
+                        [&](float x, float lo, float hi) {
+                          alu.Count(2);
+                          return std::fmin(std::fmax(x, lo), hi);
+                        });
+    case Builtin::kMix:
+      return MapTernary(args[0], args[1], args[2],
+                        [&](float x, float y, float a) {
+                          return alu.Add(alu.Mul(x, alu.Sub(1.0f, a)),
+                                         alu.Mul(y, a));
+                        });
+    case Builtin::kStep:
+      // step(edge, x): note argument order (edge first).
+      return MapBinary(args[1], args[0], [&](float x, float edge) {
+        alu.Count(1);
+        return x < edge ? 0.0f : 1.0f;
+      });
+    case Builtin::kSmoothstep: {
+      // t = clamp((x-e0)/(e1-e0), 0, 1); t*t*(3-2t).
+      const Value& e0 = args[0];
+      const Value& e1 = args[1];
+      const Value& x = args[2];
+      Value out(x.type());
+      const bool bcast = e0.count() == 1 && x.count() > 1;
+      for (int i = 0; i < x.count(); ++i) {
+        const float a = e0.F(bcast ? 0 : i);
+        const float bb = e1.F(bcast ? 0 : i);
+        float t = alu.Div(alu.Sub(x.F(i), a), alu.Sub(bb, a));
+        alu.Count(2);
+        t = std::fmin(std::fmax(t, 0.0f), 1.0f);
+        out.SetF(i, alu.Mul(alu.Mul(t, t), alu.Sub(3.0f, alu.Mul(2.0f, t))));
+      }
+      return out;
+    }
+
+    case Builtin::kLength: {
+      const float d = DotProduct(args[0], args[0], alu);
+      return Value::MakeFloat(alu.Sqrt(d));
+    }
+    case Builtin::kDistance: {
+      Value diff = MapBinary(args[0], args[1], [&](float x, float y) {
+        return alu.Sub(x, y);
+      });
+      return Value::MakeFloat(alu.Sqrt(DotProduct(diff, diff, alu)));
+    }
+    case Builtin::kDot:
+      return Value::MakeFloat(DotProduct(args[0], args[1], alu));
+    case Builtin::kCross: {
+      const Value& a = args[0];
+      const Value& c = args[1];
+      Value out(MakeType(BaseType::kVec3));
+      out.SetF(0, alu.Sub(alu.Mul(a.F(1), c.F(2)), alu.Mul(a.F(2), c.F(1))));
+      out.SetF(1, alu.Sub(alu.Mul(a.F(2), c.F(0)), alu.Mul(a.F(0), c.F(2))));
+      out.SetF(2, alu.Sub(alu.Mul(a.F(0), c.F(1)), alu.Mul(a.F(1), c.F(0))));
+      return out;
+    }
+    case Builtin::kNormalize: {
+      const float inv = alu.RecipSqrt(DotProduct(args[0], args[0], alu));
+      return MapUnary(args[0], [&](float x) { return alu.Mul(x, inv); });
+    }
+    case Builtin::kFaceforward: {
+      const float d = DotProduct(args[2], args[1], alu);
+      alu.Count(1);
+      if (d < 0.0f) return args[0];
+      return MapUnary(args[0], [&](float x) { return alu.Sub(0.0f, x); });
+    }
+    case Builtin::kReflect: {
+      const float d = DotProduct(args[1], args[0], alu);
+      const float two_d = alu.Mul(2.0f, d);
+      return MapBinary(args[0], args[1], [&](float i, float nn) {
+        return alu.Sub(i, alu.Mul(two_d, nn));
+      });
+    }
+    case Builtin::kRefract: {
+      const float eta = args[2].F(0);
+      const float d = DotProduct(args[1], args[0], alu);
+      const float k = alu.Sub(
+          1.0f, alu.Mul(alu.Mul(eta, eta),
+                        alu.Sub(1.0f, alu.Mul(d, d))));
+      alu.Count(1);
+      if (k < 0.0f) {
+        Value out(args[0].type());
+        return out;  // zero vector
+      }
+      const float coeff = alu.Add(alu.Mul(eta, d), alu.Sqrt(k));
+      return MapBinary(args[0], args[1], [&](float i, float nn) {
+        return alu.Sub(alu.Mul(eta, i), alu.Mul(coeff, nn));
+      });
+    }
+    case Builtin::kMatrixCompMult:
+      return MapBinary(args[0], args[1],
+                       [&](float x, float y) { return alu.Mul(x, y); });
+
+    case Builtin::kLessThan:
+    case Builtin::kLessThanEqual:
+    case Builtin::kGreaterThan:
+    case Builtin::kGreaterThanEqual:
+    case Builtin::kEqual:
+    case Builtin::kNotEqual: {
+      const Value& a = args[0];
+      const Value& c = args[1];
+      Value out(result_type);
+      const bool is_float = a.scalar() == BaseType::kFloat;
+      for (int i = 0; i < a.count(); ++i) {
+        alu.Count(1);
+        bool r = false;
+        if (is_float) {
+          const float x = a.F(i);
+          const float y = c.F(i);
+          switch (b) {
+            case Builtin::kLessThan: r = x < y; break;
+            case Builtin::kLessThanEqual: r = x <= y; break;
+            case Builtin::kGreaterThan: r = x > y; break;
+            case Builtin::kGreaterThanEqual: r = x >= y; break;
+            case Builtin::kEqual: r = x == y; break;
+            default: r = x != y; break;
+          }
+        } else {
+          const std::int32_t x = a.I(i);
+          const std::int32_t y = c.I(i);
+          switch (b) {
+            case Builtin::kLessThan: r = x < y; break;
+            case Builtin::kLessThanEqual: r = x <= y; break;
+            case Builtin::kGreaterThan: r = x > y; break;
+            case Builtin::kGreaterThanEqual: r = x >= y; break;
+            case Builtin::kEqual: r = x == y; break;
+            default: r = x != y; break;
+          }
+        }
+        out.SetB(i, r);
+      }
+      return out;
+    }
+    case Builtin::kAny: {
+      bool r = false;
+      for (int i = 0; i < args[0].count(); ++i) r = r || args[0].B(i);
+      alu.Count(args[0].count());
+      return Value::MakeBool(r);
+    }
+    case Builtin::kAll: {
+      bool r = true;
+      for (int i = 0; i < args[0].count(); ++i) r = r && args[0].B(i);
+      alu.Count(args[0].count());
+      return Value::MakeBool(r);
+    }
+    case Builtin::kNot: {
+      Value out(args[0].type());
+      for (int i = 0; i < args[0].count(); ++i) out.SetB(i, !args[0].B(i));
+      alu.Count(args[0].count());
+      return out;
+    }
+
+    case Builtin::kTexture2D:
+      return TextureFetch(texture, alu, args[0].I(0), args[1].F(0),
+                          args[1].F(1), 0.0f);
+    case Builtin::kTexture2DBias:
+      return TextureFetch(texture, alu, args[0].I(0), args[1].F(0),
+                          args[1].F(1), args[2].F(0));
+    case Builtin::kTexture2DLod:
+      return TextureFetch(texture, alu, args[0].I(0), args[1].F(0),
+                          args[1].F(1), args[2].F(0));
+    case Builtin::kTexture2DProj3:
+    case Builtin::kTexture2DProj3Bias:
+    case Builtin::kTexture2DProjLod3: {
+      const float q = args[1].F(2);
+      const float lod = args.size() > 2 ? args[2].F(0) : 0.0f;
+      return TextureFetch(texture, alu, args[0].I(0),
+                          alu.Div(args[1].F(0), q), alu.Div(args[1].F(1), q),
+                          lod);
+    }
+    case Builtin::kTexture2DProj4:
+    case Builtin::kTexture2DProj4Bias:
+    case Builtin::kTexture2DProjLod4: {
+      const float q = args[1].F(3);
+      const float lod = args.size() > 2 ? args[2].F(0) : 0.0f;
+      return TextureFetch(texture, alu, args[0].I(0),
+                          alu.Div(args[1].F(0), q), alu.Div(args[1].F(1), q),
+                          lod);
+    }
+  }
+  return Value();
+}
+
+}  // namespace mgpu::glsl

@@ -1,0 +1,61 @@
+// The GLSL ES 1.00 built-in function library (spec chapter 8): resolution of
+// overloads during semantic analysis and evaluation during interpretation.
+#ifndef MGPU_GLSL_BUILTINS_H_
+#define MGPU_GLSL_BUILTINS_H_
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "glsl/alu.h"
+#include "glsl/type.h"
+#include "glsl/value.h"
+
+namespace mgpu::glsl {
+
+enum class Builtin : int {
+  kRadians, kDegrees, kSin, kCos, kTan, kAsin, kAcos, kAtan, kAtan2,
+  kPow, kExp, kLog, kExp2, kLog2, kSqrt, kInverseSqrt,
+  kAbs, kSign, kFloor, kCeil, kFract, kMod, kMin, kMax, kClamp, kMix,
+  kStep, kSmoothstep,
+  kLength, kDistance, kDot, kCross, kNormalize, kFaceforward, kReflect,
+  kRefract,
+  kMatrixCompMult,
+  kLessThan, kLessThanEqual, kGreaterThan, kGreaterThanEqual, kEqual,
+  kNotEqual, kAny, kAll, kNot,
+  kTexture2D, kTexture2DBias, kTexture2DProj3, kTexture2DProj4,
+  kTexture2DProj3Bias, kTexture2DProj4Bias, kTexture2DLod,
+  kTexture2DProjLod3, kTexture2DProjLod4,
+};
+
+// True if `name` is a built-in function name (used to reject user
+// redefinitions, as GLSL ES 1.00 reserves them).
+[[nodiscard]] bool IsBuiltinName(const std::string& name);
+
+struct BuiltinResolution {
+  bool ok = false;
+  Builtin builtin{};
+  Type result_type;
+  std::string error;  // set when ok == false and the name matched but the
+                      // argument types did not
+};
+
+// Resolves `name(arg_types...)` against the builtin library for `stage`
+// (texture bias is fragment-only, texture*Lod is vertex-only).
+[[nodiscard]] BuiltinResolution ResolveBuiltin(
+    const std::string& name, const std::vector<Type>& arg_types, Stage stage);
+
+// Texture fetch callback: (unit, s, t, lod) -> RGBA in [0,1]. Installed by
+// the gles2 draw pipeline.
+using TextureFn =
+    std::function<std::array<float, 4>(int unit, float s, float t, float lod)>;
+
+// Evaluates a resolved builtin. `args` are already-evaluated argument values.
+[[nodiscard]] Value EvalBuiltin(Builtin b, Type result_type,
+                                std::vector<Value>& args, AluModel& alu,
+                                const TextureFn& texture);
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_BUILTINS_H_

@@ -1,0 +1,41 @@
+#include "glsl/compile.h"
+
+#include "glsl/diag.h"
+#include "glsl/lexer.h"
+#include "glsl/parser.h"
+#include "glsl/preprocessor.h"
+#include "glsl/sema.h"
+
+namespace mgpu::glsl {
+
+CompileResult CompileGlsl(const std::string& source, Stage stage,
+                          const Limits& limits) {
+  CompileResult result;
+  DiagSink diags;
+
+  const PreprocessResult pp = Preprocess(source, diags);
+  if (diags.has_errors()) {
+    result.info_log = diags.InfoLog();
+    return result;
+  }
+  const std::vector<Token> tokens = Lex(pp.text, diags);
+  if (diags.has_errors()) {
+    result.info_log = diags.InfoLog();
+    return result;
+  }
+  std::unique_ptr<TranslationUnit> tu = Parse(tokens, diags);
+  if (diags.has_errors()) {
+    result.info_log = diags.InfoLog();
+    return result;
+  }
+  std::unique_ptr<CompiledShader> shader =
+      Analyze(std::move(tu), stage, limits, diags);
+  shader->version = pp.version;
+  result.info_log = diags.InfoLog();
+  if (diags.has_errors()) return result;
+  result.ok = true;
+  result.shader = std::move(shader);
+  return result;
+}
+
+}  // namespace mgpu::glsl

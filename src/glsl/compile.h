@@ -1,0 +1,23 @@
+// One-call front-end driver: preprocess -> lex -> parse -> analyze.
+#ifndef MGPU_GLSL_COMPILE_H_
+#define MGPU_GLSL_COMPILE_H_
+
+#include <memory>
+#include <string>
+
+#include "glsl/shader.h"
+
+namespace mgpu::glsl {
+
+struct CompileResult {
+  bool ok = false;
+  std::string info_log;  // driver-style "ERROR: 0:<line>: ..." text
+  std::unique_ptr<CompiledShader> shader;  // valid only when ok
+};
+
+[[nodiscard]] CompileResult CompileGlsl(const std::string& source, Stage stage,
+                                        const Limits& limits = Limits{});
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_COMPILE_H_

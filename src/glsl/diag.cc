@@ -1,0 +1,17 @@
+#include "glsl/diag.h"
+
+#include "common/strings.h"
+
+namespace mgpu::glsl {
+
+std::string DiagSink::InfoLog() const {
+  std::string log;
+  for (const Diagnostic& d : diags_) {
+    log += StrFormat("%s: 0:%d: %s\n",
+                     d.severity == Severity::kError ? "ERROR" : "WARNING",
+                     d.loc.line, d.message.c_str());
+  }
+  return log;
+}
+
+}  // namespace mgpu::glsl

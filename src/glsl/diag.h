@@ -1,0 +1,50 @@
+// Diagnostics for the GLSL ES 1.00 front end. The gles2 layer turns these
+// into glGetShaderInfoLog text, mirroring how a mobile driver reports errors.
+#ifndef MGPU_GLSL_DIAG_H_
+#define MGPU_GLSL_DIAG_H_
+
+#include <string>
+#include <vector>
+
+namespace mgpu::glsl {
+
+struct SrcLoc {
+  int line = 0;
+  int column = 0;
+};
+
+enum class Severity { kError, kWarning };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SrcLoc loc;
+  std::string message;
+};
+
+class DiagSink {
+ public:
+  void Error(SrcLoc loc, std::string message) {
+    diags_.push_back({Severity::kError, loc, std::move(message)});
+  }
+  void Warning(SrcLoc loc, std::string message) {
+    diags_.push_back({Severity::kWarning, loc, std::move(message)});
+  }
+  [[nodiscard]] bool has_errors() const {
+    for (const auto& d : diags_) {
+      if (d.severity == Severity::kError) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  // Renders an info-log in the classic "ERROR: 0:<line>: <msg>" driver style.
+  [[nodiscard]] std::string InfoLog() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_DIAG_H_

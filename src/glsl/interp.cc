@@ -1,0 +1,650 @@
+#include "glsl/interp.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mgpu::glsl {
+namespace {
+
+constexpr std::uint64_t kMaxLoopSteps = 100'000'000;
+constexpr int kMaxCallDepth = 64;
+
+}  // namespace
+
+ShaderExec::ShaderExec(const CompiledShader& cs, AluModel& alu)
+    : cs_(cs), alu_(alu) {
+  InitGlobals();
+}
+
+int ShaderExec::GlobalSlot(const std::string& name) const {
+  const VarDecl* d = cs_.FindGlobal(name);
+  return d != nullptr ? d->slot : -1;
+}
+
+void ShaderExec::InitGlobals() {
+  globals_.clear();
+  globals_.reserve(cs_.globals.size());
+  for (const VarDecl* g : cs_.globals) {
+    globals_.emplace_back(g->type);
+  }
+  for (const VarDecl* g : cs_.globals) {
+    if (g->init != nullptr) {
+      globals_[static_cast<std::size_t>(g->slot)] = EvalInit(*g->init);
+      if (!g->is_builtin && g->qual == Qualifier::kNone) {
+        reinit_slots_.push_back(g->slot);
+      }
+    }
+  }
+}
+
+Value ShaderExec::EvalInit(const Expr& e) {
+  Frame dummy;
+  return Eval(e, dummy);
+}
+
+bool ShaderExec::Run() {
+  if (cs_.main == nullptr || cs_.main->body == nullptr) {
+    throw RuntimeError("shader has no executable main()");
+  }
+  loop_steps_ = 0;
+  call_depth_ = 0;
+  for (const int slot : reinit_slots_) {
+    globals_[static_cast<std::size_t>(slot)] =
+        EvalInit(*cs_.globals[static_cast<std::size_t>(slot)]->init);
+  }
+  Frame frame;
+  frame.slots.resize(static_cast<std::size_t>(cs_.main->frame_size));
+  const Flow flow = ExecBlock(*cs_.main->body, frame);
+  return flow != Flow::kDiscard;
+}
+
+void ShaderExec::CheckLoopGuard() {
+  if (++loop_steps_ > kMaxLoopSteps) {
+    throw RuntimeError("shader exceeded the loop iteration budget (a real "
+                       "GPU would hang or be reset here)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+ShaderExec::Flow ShaderExec::ExecBlock(const BlockStmt& b, Frame& f) {
+  for (const StmtPtr& s : b.stmts) {
+    const Flow flow = Exec(*s, f);
+    if (flow != Flow::kNormal) return flow;
+  }
+  return Flow::kNormal;
+}
+
+ShaderExec::Flow ShaderExec::Exec(const Stmt& s, Frame& f) {
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      return ExecBlock(static_cast<const BlockStmt&>(s), f);
+    case StmtKind::kExpr: {
+      const auto& es = static_cast<const ExprStmt&>(s);
+      if (es.expr) Eval(*es.expr, f);
+      return Flow::kNormal;
+    }
+    case StmtKind::kDecl: {
+      const auto& ds = static_cast<const DeclStmt&>(s);
+      for (const auto& vd : ds.decls) {
+        Value v = vd->init ? Eval(*vd->init, f) : Value(vd->type);
+        f.slots[static_cast<std::size_t>(vd->slot)] = std::move(v);
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kIf: {
+      const auto& is = static_cast<const IfStmt&>(s);
+      if (Eval(*is.cond, f).B(0)) return Exec(*is.then_stmt, f);
+      if (is.else_stmt) return Exec(*is.else_stmt, f);
+      return Flow::kNormal;
+    }
+    case StmtKind::kFor: {
+      const auto& fs = static_cast<const ForStmt&>(s);
+      if (fs.init) Exec(*fs.init, f);
+      while (true) {
+        CheckLoopGuard();
+        if (fs.cond && !Eval(*fs.cond, f).B(0)) break;
+        const Flow flow = Exec(*fs.body, f);
+        if (flow == Flow::kBreak) break;
+        if (flow == Flow::kReturn || flow == Flow::kDiscard) return flow;
+        if (fs.step) Eval(*fs.step, f);
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kWhile: {
+      const auto& ws = static_cast<const WhileStmt&>(s);
+      while (true) {
+        CheckLoopGuard();
+        if (!Eval(*ws.cond, f).B(0)) break;
+        const Flow flow = Exec(*ws.body, f);
+        if (flow == Flow::kBreak) break;
+        if (flow == Flow::kReturn || flow == Flow::kDiscard) return flow;
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kDoWhile: {
+      const auto& ds = static_cast<const DoWhileStmt&>(s);
+      while (true) {
+        CheckLoopGuard();
+        const Flow flow = Exec(*ds.body, f);
+        if (flow == Flow::kBreak) break;
+        if (flow == Flow::kReturn || flow == Flow::kDiscard) return flow;
+        if (!Eval(*ds.cond, f).B(0)) break;
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kReturn: {
+      const auto& rs = static_cast<const ReturnStmt&>(s);
+      if (rs.value) {
+        f.ret = Eval(*rs.value, f);
+      }
+      f.returned = true;
+      return Flow::kReturn;
+    }
+    case StmtKind::kBreak:
+      return Flow::kBreak;
+    case StmtKind::kContinue:
+      return Flow::kContinue;
+    case StmtKind::kDiscard:
+      return Flow::kDiscard;
+  }
+  return Flow::kNormal;
+}
+
+// ---------------------------------------------------------------------------
+// L-values
+// ---------------------------------------------------------------------------
+
+ShaderExec::LRef ShaderExec::EvalLValue(const Expr& e, Frame& f) {
+  switch (e.kind) {
+    case ExprKind::kVarRef: {
+      const auto& v = static_cast<const VarRefExpr&>(e);
+      LRef r;
+      r.storage = v.scope == VarScope::kGlobal
+                      ? &globals_[static_cast<std::size_t>(v.slot)]
+                      : &f.slots[static_cast<std::size_t>(v.slot)];
+      r.type = v.type;
+      r.n = v.type.CellCount() > 16 ? 16 : v.type.CellCount();
+      // Arrays larger than 16 cells are referenced whole only via index
+      // expressions below; identity maps cover the head.
+      for (int i = 0; i < r.n; ++i) {
+        r.idx[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(i);
+      }
+      if (v.type.CellCount() > 16) r.n = -v.type.CellCount();  // whole-array marker
+      return r;
+    }
+    case ExprKind::kIndex: {
+      const auto& ix = static_cast<const IndexExpr&>(e);
+      LRef base = EvalLValue(*ix.base, f);
+      const Type bt = ix.base->type;
+      int i = Eval(*ix.index, f).I(0);
+      int limit, elem_cells;
+      Type elem_type;
+      if (bt.IsArray()) {
+        limit = bt.array_size;
+        elem_type = bt.ElementType();
+        elem_cells = ComponentCount(bt.base);
+      } else if (IsMatrix(bt.base)) {
+        limit = ColumnCount(bt.base);
+        elem_type = MakeType(ColumnTypeOf(bt.base));
+        elem_cells = RowCount(bt.base);
+      } else {
+        limit = ComponentCount(bt.base);
+        elem_type = MakeType(ScalarOf(bt.base));
+        elem_cells = 1;
+      }
+      if (i < 0) i = 0;
+      if (i >= limit) i = limit - 1;  // runtime clamp (UB in the spec)
+      LRef r;
+      r.storage = base.storage;
+      r.type = elem_type;
+      r.n = elem_cells;
+      for (int k = 0; k < elem_cells; ++k) {
+        const int flat = i * elem_cells + k;
+        r.idx[static_cast<std::size_t>(k)] =
+            base.n < 0 ? static_cast<std::uint16_t>(flat)
+                       : base.idx[static_cast<std::size_t>(flat)];
+      }
+      return r;
+    }
+    case ExprKind::kSwizzle: {
+      const auto& sw = static_cast<const SwizzleExpr&>(e);
+      LRef base = EvalLValue(*sw.base, f);
+      LRef r;
+      r.storage = base.storage;
+      r.type = sw.type;
+      r.n = sw.count;
+      for (int k = 0; k < sw.count; ++k) {
+        r.idx[static_cast<std::size_t>(k)] =
+            base.idx[sw.comps[static_cast<std::size_t>(k)]];
+      }
+      return r;
+    }
+    default:
+      throw RuntimeError("internal error: expression is not an l-value");
+  }
+}
+
+Value ShaderExec::ReadRef(const LRef& r) const {
+  Value v(r.type);
+  if (r.n < 0) {
+    // Whole large array.
+    for (int i = 0; i < -r.n; ++i) v.data()[i] = r.storage->data()[i];
+    return v;
+  }
+  for (int i = 0; i < r.n; ++i) {
+    v.data()[i] = r.storage->data()[r.idx[static_cast<std::size_t>(i)]];
+  }
+  return v;
+}
+
+void ShaderExec::WriteRef(const LRef& r, const Value& v) {
+  if (r.n < 0) {
+    for (int i = 0; i < -r.n; ++i) r.storage->data()[i] = v.data()[i];
+    return;
+  }
+  for (int i = 0; i < r.n; ++i) {
+    r.storage->data()[r.idx[static_cast<std::size_t>(i)]] = v.data()[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Value ShaderExec::Eval(const Expr& e, Frame& f) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return Value::MakeInt(static_cast<const IntLitExpr&>(e).value);
+    case ExprKind::kFloatLit:
+      return Value::MakeFloat(static_cast<const FloatLitExpr&>(e).value);
+    case ExprKind::kBoolLit:
+      return Value::MakeBool(static_cast<const BoolLitExpr&>(e).value);
+    case ExprKind::kVarRef: {
+      const auto& v = static_cast<const VarRefExpr&>(e);
+      return v.scope == VarScope::kGlobal
+                 ? globals_[static_cast<std::size_t>(v.slot)]
+                 : f.slots[static_cast<std::size_t>(v.slot)];
+    }
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(e);
+      if (call.fn != nullptr) return CallFunction(*call.fn, call, f);
+      std::vector<Value> args;
+      args.reserve(call.args.size());
+      for (const auto& a : call.args) args.push_back(Eval(*a, f));
+      return EvalBuiltin(static_cast<Builtin>(call.builtin), call.type, args,
+                         alu_, texture_);
+    }
+    case ExprKind::kCtor:
+      return EvalCtor(static_cast<const CtorExpr&>(e), f);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      switch (b.op) {
+        case BinOp::kLogicalAnd: {
+          if (!Eval(*b.lhs, f).B(0)) return Value::MakeBool(false);
+          return Value::MakeBool(Eval(*b.rhs, f).B(0));
+        }
+        case BinOp::kLogicalOr: {
+          if (Eval(*b.lhs, f).B(0)) return Value::MakeBool(true);
+          return Value::MakeBool(Eval(*b.rhs, f).B(0));
+        }
+        case BinOp::kLogicalXor: {
+          const bool l = Eval(*b.lhs, f).B(0);
+          const bool r = Eval(*b.rhs, f).B(0);
+          return Value::MakeBool(l != r);
+        }
+        default: {
+          const Value l = Eval(*b.lhs, f);
+          const Value r = Eval(*b.rhs, f);
+          return EvalArith(b.op, l, r, b.type);
+        }
+      }
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      switch (u.op) {
+        case UnOp::kPlus:
+          return Eval(*u.operand, f);
+        case UnOp::kNeg: {
+          const Value v = Eval(*u.operand, f);
+          Value out(v.type());
+          const bool is_float = v.scalar() == BaseType::kFloat;
+          for (int i = 0; i < v.count(); ++i) {
+            alu_.Count(1);
+            if (is_float) {
+              out.SetF(i, alu_.Round(-v.F(i)));
+            } else {
+              out.SetI(i, -v.I(i));
+            }
+          }
+          return out;
+        }
+        case UnOp::kNot: {
+          const Value v = Eval(*u.operand, f);
+          alu_.Count(1);
+          return Value::MakeBool(!v.B(0));
+        }
+        case UnOp::kPreInc:
+        case UnOp::kPreDec:
+        case UnOp::kPostInc:
+        case UnOp::kPostDec: {
+          const LRef ref = EvalLValue(*u.operand, f);
+          const Value old = ReadRef(ref);
+          Value updated(old.type());
+          const float delta =
+              (u.op == UnOp::kPreInc || u.op == UnOp::kPostInc) ? 1.0f : -1.0f;
+          const bool is_float = old.scalar() == BaseType::kFloat;
+          for (int i = 0; i < old.count(); ++i) {
+            if (is_float) {
+              updated.SetF(i, alu_.Add(old.F(i), delta));
+            } else {
+              alu_.Count(1);
+              updated.SetI(i, old.I(i) + static_cast<std::int32_t>(delta));
+            }
+          }
+          WriteRef(ref, updated);
+          const bool post =
+              u.op == UnOp::kPostInc || u.op == UnOp::kPostDec;
+          return post ? old : updated;
+        }
+      }
+      return Value();
+    }
+    case ExprKind::kAssign: {
+      const auto& a = static_cast<const AssignExpr&>(e);
+      const Value rhs = Eval(*a.rhs, f);
+      const LRef ref = EvalLValue(*a.lhs, f);
+      if (a.op == AssignOp::kAssign) {
+        WriteRef(ref, rhs);
+        return rhs;
+      }
+      const BinOp op = a.op == AssignOp::kAdd   ? BinOp::kAdd
+                       : a.op == AssignOp::kSub ? BinOp::kSub
+                       : a.op == AssignOp::kMul ? BinOp::kMul
+                                                : BinOp::kDiv;
+      const Value result = EvalArith(op, ReadRef(ref), rhs, a.type);
+      WriteRef(ref, result);
+      return result;
+    }
+    case ExprKind::kTernary: {
+      const auto& t = static_cast<const TernaryExpr&>(e);
+      return Eval(*t.cond, f).B(0) ? Eval(*t.then_expr, f)
+                                   : Eval(*t.else_expr, f);
+    }
+    case ExprKind::kIndex: {
+      const auto& ix = static_cast<const IndexExpr&>(e);
+      const Value base = Eval(*ix.base, f);
+      int i = Eval(*ix.index, f).I(0);
+      const Type bt = ix.base->type;
+      int limit, elem_cells;
+      if (bt.IsArray()) {
+        limit = bt.array_size;
+        elem_cells = ComponentCount(bt.base);
+      } else if (IsMatrix(bt.base)) {
+        limit = ColumnCount(bt.base);
+        elem_cells = RowCount(bt.base);
+      } else {
+        limit = ComponentCount(bt.base);
+        elem_cells = 1;
+      }
+      if (i < 0) i = 0;
+      if (i >= limit) i = limit - 1;
+      Value out(ix.type);
+      for (int k = 0; k < elem_cells; ++k) {
+        out.data()[k] = base.data()[i * elem_cells + k];
+      }
+      return out;
+    }
+    case ExprKind::kSwizzle: {
+      const auto& sw = static_cast<const SwizzleExpr&>(e);
+      const Value base = Eval(*sw.base, f);
+      Value out(sw.type);
+      for (int k = 0; k < sw.count; ++k) {
+        out.data()[k] = base.data()[sw.comps[static_cast<std::size_t>(k)]];
+      }
+      return out;
+    }
+    case ExprKind::kComma: {
+      const auto& c = static_cast<const CommaExpr&>(e);
+      Eval(*c.lhs, f);
+      return Eval(*c.rhs, f);
+    }
+  }
+  return Value();
+}
+
+bool EqualAll(const Value& l, const Value& r);
+
+Value ShaderExec::EvalArith(BinOp op, const Value& l, const Value& r,
+                            Type result) {
+  Value out(result);
+  const BaseType lb = l.type().base;
+  const BaseType rb = r.type().base;
+  const bool is_float = ScalarOf(lb) == BaseType::kFloat;
+
+  // Linear-algebra multiplication cases first.
+  if (op == BinOp::kMul && IsMatrix(lb) && IsMatrix(rb)) {
+    const int n = RowCount(lb);
+    for (int c = 0; c < n; ++c) {
+      for (int row = 0; row < n; ++row) {
+        float acc = alu_.Mul(l.F(row), r.F(c * n));
+        for (int k = 1; k < n; ++k) {
+          acc = alu_.Add(acc, alu_.Mul(l.F(k * n + row), r.F(c * n + k)));
+        }
+        out.SetF(c * n + row, acc);
+      }
+    }
+    return out;
+  }
+  if (op == BinOp::kMul && IsMatrix(lb) && IsVector(rb)) {
+    const int n = RowCount(lb);
+    for (int row = 0; row < n; ++row) {
+      float acc = alu_.Mul(l.F(row), r.F(0));
+      for (int k = 1; k < n; ++k) {
+        acc = alu_.Add(acc, alu_.Mul(l.F(k * n + row), r.F(k)));
+      }
+      out.SetF(row, acc);
+    }
+    return out;
+  }
+  if (op == BinOp::kMul && IsVector(lb) && IsMatrix(rb)) {
+    const int n = RowCount(rb);
+    for (int c = 0; c < n; ++c) {
+      float acc = alu_.Mul(l.F(0), r.F(c * n));
+      for (int k = 1; k < n; ++k) {
+        acc = alu_.Add(acc, alu_.Mul(l.F(k), r.F(c * n + k)));
+      }
+      out.SetF(c, acc);
+    }
+    return out;
+  }
+
+  // Component-wise with scalar broadcast.
+  const int n = out.count();
+  const bool lbc = l.count() == 1 && n > 1;
+  const bool rbc = r.count() == 1 && n > 1;
+  for (int i = 0; i < n; ++i) {
+    const int li = lbc ? 0 : i;
+    const int ri = rbc ? 0 : i;
+    if (is_float) {
+      const float a = l.F(li);
+      const float b = r.F(ri);
+      float v = 0.0f;
+      switch (op) {
+        case BinOp::kAdd: v = alu_.Add(a, b); break;
+        case BinOp::kSub: v = alu_.Sub(a, b); break;
+        case BinOp::kMul: v = alu_.Mul(a, b); break;
+        case BinOp::kDiv: v = alu_.Div(a, b); break;
+        case BinOp::kLt: alu_.Count(1); out.SetB(i, a < b); continue;
+        case BinOp::kGt: alu_.Count(1); out.SetB(i, a > b); continue;
+        case BinOp::kLe: alu_.Count(1); out.SetB(i, a <= b); continue;
+        case BinOp::kGe: alu_.Count(1); out.SetB(i, a >= b); continue;
+        case BinOp::kEq: alu_.Count(1); out.SetB(i, EqualAll(l, r)); continue;
+        case BinOp::kNe: alu_.Count(1); out.SetB(i, !EqualAll(l, r)); continue;
+        default: break;
+      }
+      out.SetF(i, v);
+    } else {
+      const std::int32_t a = l.scalar() == BaseType::kBool ? l.I(li) : l.I(li);
+      const std::int32_t b = r.I(ri);
+      alu_.Count(1);
+      switch (op) {
+        case BinOp::kAdd: out.SetI(i, a + b); break;
+        case BinOp::kSub: out.SetI(i, a - b); break;
+        case BinOp::kMul: out.SetI(i, a * b); break;
+        case BinOp::kDiv: out.SetI(i, b == 0 ? 0 : a / b); break;
+        case BinOp::kLt: out.SetB(i, a < b); break;
+        case BinOp::kGt: out.SetB(i, a > b); break;
+        case BinOp::kLe: out.SetB(i, a <= b); break;
+        case BinOp::kGe: out.SetB(i, a >= b); break;
+        case BinOp::kEq: out.SetB(i, EqualAll(l, r)); break;
+        case BinOp::kNe: out.SetB(i, !EqualAll(l, r)); break;
+        default: break;
+      }
+    }
+  }
+  return out;
+}
+
+Value ShaderExec::EvalCtor(const CtorExpr& c, Frame& f) {
+  std::vector<Value> args;
+  args.reserve(c.args.size());
+  for (const auto& a : c.args) args.push_back(Eval(*a, f));
+  const BaseType target = c.ctor_type.base;
+  Value out(c.ctor_type);
+  alu_.Count(out.count());  // conversion/mov cost
+
+  if (IsScalar(target)) {
+    out.SetConverted(0, args[0], 0);
+    return out;
+  }
+  if (IsVector(target)) {
+    const int n = out.count();
+    if (args.size() == 1 && args[0].count() == 1) {
+      for (int i = 0; i < n; ++i) out.SetConverted(i, args[0], 0);
+      return out;
+    }
+    int w = 0;
+    for (const Value& a : args) {
+      for (int i = 0; i < a.count() && w < n; ++i, ++w) {
+        out.SetConverted(w, a, i);
+      }
+    }
+    return out;
+  }
+  // Matrices.
+  const int n = RowCount(target);
+  if (args.size() == 1 && args[0].count() == 1) {
+    for (int col = 0; col < n; ++col) {
+      for (int row = 0; row < n; ++row) {
+        out.SetF(col * n + row, col == row ? args[0].AsFloat(0) : 0.0f);
+      }
+    }
+    return out;
+  }
+  if (args.size() == 1 && IsMatrix(args[0].type().base)) {
+    const int m = RowCount(args[0].type().base);
+    for (int col = 0; col < n; ++col) {
+      for (int row = 0; row < n; ++row) {
+        float v = col == row ? 1.0f : 0.0f;
+        if (col < m && row < m) v = args[0].F(col * m + row);
+        out.SetF(col * n + row, v);
+      }
+    }
+    return out;
+  }
+  int w = 0;
+  for (const Value& a : args) {
+    for (int i = 0; i < a.count() && w < out.count(); ++i, ++w) {
+      out.SetConverted(w, a, i);
+    }
+  }
+  return out;
+}
+
+Value ShaderExec::CallFunction(const FunctionDecl& fn, const CallExpr& call,
+                               Frame& caller) {
+  if (++call_depth_ > kMaxCallDepth) {
+    --call_depth_;
+    throw RuntimeError("shader call depth exceeded");
+  }
+  // Find the *definition* (a prototype may have been registered).
+  const FunctionDecl* def = &fn;
+  if (def->body == nullptr) {
+    for (const auto& other : cs_.tu->functions) {
+      if (other->name == fn.name && other->body != nullptr &&
+          other->params.size() == fn.params.size()) {
+        bool same = true;
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+          if (!(other->params[i]->type == fn.params[i]->type)) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          def = other.get();
+          break;
+        }
+      }
+    }
+    if (def->body == nullptr) {
+      --call_depth_;
+      throw RuntimeError(StrFormat("call to undefined function '%s'",
+                                   fn.name.c_str()));
+    }
+  }
+
+  Frame frame;
+  frame.slots.resize(static_cast<std::size_t>(def->frame_size));
+
+  // Copy-in.
+  std::vector<LRef> out_refs(call.args.size());
+  for (std::size_t i = 0; i < call.args.size(); ++i) {
+    const VarDecl& p = *def->params[i];
+    if (p.dir == ParamDir::kIn) {
+      frame.slots[static_cast<std::size_t>(p.slot)] = Eval(*call.args[i], caller);
+    } else {
+      out_refs[i] = EvalLValue(*call.args[i], caller);
+      if (p.dir == ParamDir::kInOut) {
+        frame.slots[static_cast<std::size_t>(p.slot)] = ReadRef(out_refs[i]);
+      } else {
+        frame.slots[static_cast<std::size_t>(p.slot)] = Value(p.type);
+      }
+    }
+  }
+
+  ExecBlock(*def->body, frame);
+
+  // Copy-out.
+  for (std::size_t i = 0; i < call.args.size(); ++i) {
+    const VarDecl& p = *def->params[i];
+    if (p.dir != ParamDir::kIn) {
+      WriteRef(out_refs[i], frame.slots[static_cast<std::size_t>(p.slot)]);
+    }
+  }
+  --call_depth_;
+  if (!frame.returned && def->return_type.base != BaseType::kVoid) {
+    return Value(def->return_type);  // fell off the end: zero value
+  }
+  return std::move(frame.ret);
+}
+
+// Deep equality across all components (GLSL == on vectors yields a single
+// bool that is true only when all components match).
+bool EqualAll(const Value& l, const Value& r) {
+  if (l.count() != r.count()) return false;
+  const bool is_float = l.scalar() == BaseType::kFloat;
+  for (int i = 0; i < l.count(); ++i) {
+    if (is_float) {
+      if (l.F(i) != r.F(i)) return false;
+    } else {
+      if (l.I(i) != r.I(i)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mgpu::glsl

@@ -1,0 +1,299 @@
+#include "glsl/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.h"
+
+namespace mgpu::glsl {
+namespace {
+
+const std::map<std::string, Tok>& KeywordTable() {
+  static const std::map<std::string, Tok> kTable = {
+      {"attribute", Tok::kKwAttribute},
+      {"const", Tok::kKwConst},
+      {"uniform", Tok::kKwUniform},
+      {"varying", Tok::kKwVarying},
+      {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue},
+      {"do", Tok::kKwDo},
+      {"for", Tok::kKwFor},
+      {"while", Tok::kKwWhile},
+      {"if", Tok::kKwIf},
+      {"else", Tok::kKwElse},
+      {"in", Tok::kKwIn},
+      {"out", Tok::kKwOut},
+      {"inout", Tok::kKwInOut},
+      {"true", Tok::kKwTrue},
+      {"false", Tok::kKwFalse},
+      {"lowp", Tok::kKwLowp},
+      {"mediump", Tok::kKwMediump},
+      {"highp", Tok::kKwHighp},
+      {"precision", Tok::kKwPrecision},
+      {"invariant", Tok::kKwInvariant},
+      {"discard", Tok::kKwDiscard},
+      {"return", Tok::kKwReturn},
+      {"struct", Tok::kKwStruct},
+      {"void", Tok::kKwVoid},
+      {"bool", Tok::kKwBool},
+      {"int", Tok::kKwInt},
+      {"float", Tok::kKwFloat},
+      {"vec2", Tok::kKwVec2},
+      {"vec3", Tok::kKwVec3},
+      {"vec4", Tok::kKwVec4},
+      {"bvec2", Tok::kKwBVec2},
+      {"bvec3", Tok::kKwBVec3},
+      {"bvec4", Tok::kKwBVec4},
+      {"ivec2", Tok::kKwIVec2},
+      {"ivec3", Tok::kKwIVec3},
+      {"ivec4", Tok::kKwIVec4},
+      {"mat2", Tok::kKwMat2},
+      {"mat3", Tok::kKwMat3},
+      {"mat4", Tok::kKwMat4},
+      {"sampler2D", Tok::kKwSampler2D},
+      {"samplerCube", Tok::kKwSamplerCube},
+  };
+  return kTable;
+}
+
+// Keywords reserved by GLSL ES 1.00 (spec 3.7) that a conforming compiler
+// must reject when used as identifiers.
+bool IsReservedWord(const std::string& w) {
+  static const std::map<std::string, int> kReserved = {
+      {"asm", 0},     {"class", 0},    {"union", 0},    {"enum", 0},
+      {"typedef", 0}, {"template", 0}, {"this", 0},     {"packed", 0},
+      {"goto", 0},    {"switch", 0},   {"default", 0},  {"inline", 0},
+      {"noinline", 0},{"volatile", 0}, {"public", 0},   {"static", 0},
+      {"extern", 0},  {"external", 0}, {"interface", 0},{"flat", 0},
+      {"long", 0},    {"short", 0},    {"double", 0},   {"half", 0},
+      {"fixed", 0},   {"unsigned", 0}, {"superp", 0},   {"input", 0},
+      {"output", 0},  {"hvec2", 0},    {"hvec3", 0},    {"hvec4", 0},
+      {"dvec2", 0},   {"dvec3", 0},    {"dvec4", 0},    {"fvec2", 0},
+      {"fvec3", 0},   {"fvec4", 0},    {"sampler1D", 0},{"sampler3D", 0},
+      {"sampler1DShadow", 0}, {"sampler2DShadow", 0},   {"sampler2DRect", 0},
+      {"sampler3DRect", 0},   {"sampler2DRectShadow", 0}, {"sizeof", 0},
+      {"cast", 0},    {"namespace", 0},{"using", 0},
+  };
+  return kReserved.count(w) != 0;
+}
+
+class Scanner {
+ public:
+  Scanner(const std::string& src, DiagSink& diags)
+      : src_(src), diags_(diags) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespace();
+      Token t = Next();
+      const bool eof = t.kind == Tok::kEof;
+      tokens.push_back(std::move(t));
+      if (eof) break;
+    }
+    return tokens;
+  }
+
+ private:
+  char Peek(int off = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(off);
+    return i < src_.size() ? src_[i] : '\0';
+  }
+  char Advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool Match(char c) {
+    if (Peek() != c) return false;
+    Advance();
+    return true;
+  }
+  void SkipWhitespace() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(Peek())) != 0) {
+      Advance();
+    }
+  }
+  SrcLoc Here() const { return {line_, col_}; }
+
+  Token Make(Tok kind, SrcLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    return t;
+  }
+
+  Token Next() {
+    const SrcLoc loc = Here();
+    if (pos_ >= src_.size()) return Make(Tok::kEof, loc);
+    const char c = Advance();
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      return Identifier(c, loc);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek())) != 0)) {
+      return Number(c, loc);
+    }
+    switch (c) {
+      case '(': return Make(Tok::kLParen, loc);
+      case ')': return Make(Tok::kRParen, loc);
+      case '[': return Make(Tok::kLBracket, loc);
+      case ']': return Make(Tok::kRBracket, loc);
+      case '{': return Make(Tok::kLBrace, loc);
+      case '}': return Make(Tok::kRBrace, loc);
+      case '.': return Make(Tok::kDot, loc);
+      case ',': return Make(Tok::kComma, loc);
+      case ';': return Make(Tok::kSemicolon, loc);
+      case ':': return Make(Tok::kColon, loc);
+      case '?': return Make(Tok::kQuestion, loc);
+      case '+':
+        if (Match('+')) return Make(Tok::kPlusPlus, loc);
+        if (Match('=')) return Make(Tok::kPlusEq, loc);
+        return Make(Tok::kPlus, loc);
+      case '-':
+        if (Match('-')) return Make(Tok::kMinusMinus, loc);
+        if (Match('=')) return Make(Tok::kMinusEq, loc);
+        return Make(Tok::kMinus, loc);
+      case '*':
+        if (Match('=')) return Make(Tok::kStarEq, loc);
+        return Make(Tok::kStar, loc);
+      case '/':
+        if (Match('=')) return Make(Tok::kSlashEq, loc);
+        return Make(Tok::kSlash, loc);
+      case '!':
+        if (Match('=')) return Make(Tok::kBangEq, loc);
+        return Make(Tok::kBang, loc);
+      case '<':
+        if (Match('=')) return Make(Tok::kLessEq, loc);
+        if (Peek() == '<') break;  // reserved
+        return Make(Tok::kLess, loc);
+      case '>':
+        if (Match('=')) return Make(Tok::kGreaterEq, loc);
+        if (Peek() == '>') break;  // reserved
+        return Make(Tok::kGreater, loc);
+      case '=':
+        if (Match('=')) return Make(Tok::kEqEq, loc);
+        return Make(Tok::kEq, loc);
+      case '&':
+        if (Match('&')) return Make(Tok::kAmpAmp, loc);
+        break;  // reserved
+      case '|':
+        if (Match('|')) return Make(Tok::kPipePipe, loc);
+        break;  // reserved
+      case '^':
+        if (Match('^')) return Make(Tok::kCaretCaret, loc);
+        break;  // reserved
+      default:
+        break;
+    }
+    if (c == '%' || c == '&' || c == '|' || c == '^' || c == '~' ||
+        (c == '<' && Peek() == '<') || (c == '>' && Peek() == '>')) {
+      diags_.Error(loc, StrFormat("operator '%c' is reserved in GLSL ES 1.00",
+                                  c));
+    } else {
+      diags_.Error(loc, StrFormat("unexpected character '%c'", c));
+    }
+    return Next();
+  }
+
+  Token Identifier(char first, SrcLoc loc) {
+    std::string word(1, first);
+    while (IsIdentCont(Peek())) word.push_back(Advance());
+    const auto& kw = KeywordTable();
+    const auto it = kw.find(word);
+    if (it != kw.end()) return Make(it->second, loc);
+    if (IsReservedWord(word)) {
+      diags_.Error(loc, StrFormat("'%s' is a reserved keyword in GLSL ES "
+                                  "1.00",
+                                  word.c_str()));
+    }
+    if (word.size() > 2 && word[0] == '_' && word[1] == '_') {
+      diags_.Error(loc, "identifiers beginning with '__' are reserved");
+    }
+    Token t = Make(Tok::kIdentifier, loc);
+    t.text = std::move(word);
+    return t;
+  }
+
+  static bool IsIdentCont(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  }
+
+  Token Number(char first, SrcLoc loc) {
+    std::string text(1, first);
+    bool is_float = first == '.';
+    bool is_hex = false;
+    if (first == '0' && (Peek() == 'x' || Peek() == 'X')) {
+      is_hex = true;
+      text.push_back(Advance());
+      while (std::isxdigit(static_cast<unsigned char>(Peek())) != 0) {
+        text.push_back(Advance());
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        text.push_back(Advance());
+      }
+      if (!is_float && Peek() == '.') {
+        is_float = true;
+        text.push_back(Advance());
+      }
+      if (is_float) {
+        while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+          text.push_back(Advance());
+        }
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        const char exp_next = Peek(1);
+        const char exp_next2 = Peek(2);
+        if (std::isdigit(static_cast<unsigned char>(exp_next)) != 0 ||
+            ((exp_next == '+' || exp_next == '-') &&
+             std::isdigit(static_cast<unsigned char>(exp_next2)) != 0)) {
+          is_float = true;
+          text.push_back(Advance());
+          if (Peek() == '+' || Peek() == '-') text.push_back(Advance());
+          while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+            text.push_back(Advance());
+          }
+        }
+      }
+    }
+    if (Peek() == 'f' || Peek() == 'F') {
+      diags_.Error(Here(),
+                   "float literal suffixes ('f') are not part of GLSL ES "
+                   "1.00");
+      Advance();
+    }
+    if (is_float) {
+      Token t = Make(Tok::kFloatLiteral, loc);
+      t.float_value = std::strtof(text.c_str(), nullptr);
+      t.text = std::move(text);
+      return t;
+    }
+    Token t = Make(Tok::kIntLiteral, loc);
+    t.int_value = static_cast<std::int32_t>(
+        std::strtol(text.c_str(), nullptr, is_hex ? 16 : (first == '0' && text.size() > 1 ? 8 : 10)));
+    t.text = std::move(text);
+    return t;
+  }
+
+  const std::string& src_;
+  DiagSink& diags_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source, DiagSink& diags) {
+  return Scanner(source, diags).Run();
+}
+
+}  // namespace mgpu::glsl

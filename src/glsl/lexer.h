@@ -1,0 +1,21 @@
+// Scanner for preprocessed GLSL ES 1.00 source.
+#ifndef MGPU_GLSL_LEXER_H_
+#define MGPU_GLSL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "glsl/diag.h"
+#include "glsl/token.h"
+
+namespace mgpu::glsl {
+
+// Tokenizes `source`. Always ends the stream with a kEof token. Lexical
+// errors (bad characters, reserved operators like '%' or '&', float suffixes
+// that ES 1.00 forbids) are reported to `diags` and skipped.
+[[nodiscard]] std::vector<Token> Lex(const std::string& source,
+                                     DiagSink& diags);
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_LEXER_H_

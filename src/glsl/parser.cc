@@ -1,0 +1,573 @@
+#include "glsl/parser.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace mgpu::glsl {
+namespace {
+
+// Internal unwinding exception; never escapes Parse().
+struct ParseAbort {};
+
+class Parser {
+ public:
+  Parser(const std::vector<Token>& tokens, DiagSink& diags)
+      : toks_(tokens), diags_(diags) {}
+
+  std::unique_ptr<TranslationUnit> Run() {
+    auto tu = std::make_unique<TranslationUnit>();
+    try {
+      while (!AtEnd()) ParseGlobal(*tu);
+    } catch (const ParseAbort&) {
+      // Diagnostics already recorded.
+    }
+    return tu;
+  }
+
+ private:
+  // --- token plumbing ---
+  const Token& Peek(int off = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(off);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Prev() const { return toks_[pos_ > 0 ? pos_ - 1 : 0]; }
+  bool AtEnd() const { return Peek().kind == Tok::kEof; }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (!AtEnd()) ++pos_;
+    return t;
+  }
+  bool Check(Tok k) const { return Peek().kind == k; }
+  bool Match(Tok k) {
+    if (!Check(k)) return false;
+    Advance();
+    return true;
+  }
+  const Token& Expect(Tok k, const char* context) {
+    if (!Check(k)) {
+      Fail(StrFormat("expected %s %s, got %s", TokName(k), context,
+                     TokName(Peek().kind)));
+    }
+    return Advance();
+  }
+  [[noreturn]] void Fail(std::string msg) {
+    diags_.Error(Peek().loc, std::move(msg));
+    throw ParseAbort{};
+  }
+
+  // --- qualifiers / types ---
+  static Precision PrecisionFromTok(Tok t) {
+    switch (t) {
+      case Tok::kKwLowp: return Precision::kLow;
+      case Tok::kKwMediump: return Precision::kMedium;
+      case Tok::kKwHighp: return Precision::kHigh;
+      default: return Precision::kNone;
+    }
+  }
+  bool CheckPrecisionTok() const {
+    return Check(Tok::kKwLowp) || Check(Tok::kKwMediump) ||
+           Check(Tok::kKwHighp);
+  }
+  Precision ParseOptPrecision() {
+    if (CheckPrecisionTok()) return PrecisionFromTok(Advance().kind);
+    return Precision::kNone;
+  }
+
+  // True when the upcoming tokens begin a declaration (inside a function).
+  bool StartsDeclaration() const {
+    if (Check(Tok::kKwConst) || CheckPrecisionTok()) return true;
+    if (Check(Tok::kKwStruct)) return true;
+    if (IsTypeToken(Peek().kind)) {
+      // A type token followed by '(' is a constructor *expression*.
+      return Peek(1).kind != Tok::kLParen;
+    }
+    return false;
+  }
+
+  Type ParseTypeSpecifier() {
+    if (Check(Tok::kKwStruct)) {
+      Fail("struct types are not supported by this implementation "
+           "(documented subset)");
+    }
+    if (!IsTypeToken(Peek().kind)) {
+      Fail(StrFormat("expected a type, got %s", TokName(Peek().kind)));
+    }
+    const Tok t = Advance().kind;
+    return MakeType(TypeTokenToBase(t));
+  }
+
+  int ParseArraySuffix() {
+    // '[' constant-int ']' — ES 1.00 requires a constant integral expression;
+    // we accept integer literals (the subset the framework generates) plus
+    // nothing else, diagnosing the rest.
+    Expect(Tok::kLBracket, "in array declarator");
+    if (!Check(Tok::kIntLiteral)) {
+      Fail("array size must be an integer literal in this implementation");
+    }
+    const int n = Advance().int_value;
+    if (n <= 0) Fail("array size must be positive");
+    Expect(Tok::kRBracket, "after array size");
+    return n;
+  }
+
+  // --- globals ---
+  void ParseGlobal(TranslationUnit& tu) {
+    if (Match(Tok::kKwPrecision)) {
+      PrecisionDecl pd;
+      pd.loc = Prev().loc;
+      if (!CheckPrecisionTok()) Fail("expected precision qualifier");
+      pd.precision = PrecisionFromTok(Advance().kind);
+      const Type t = ParseTypeSpecifier();
+      pd.base = t.base;
+      if (pd.base != BaseType::kFloat && pd.base != BaseType::kInt &&
+          !IsSampler(pd.base)) {
+        Fail("default precision can only be set for float, int and sampler "
+             "types");
+      }
+      Expect(Tok::kSemicolon, "after precision statement");
+      tu.default_precisions.push_back(pd);
+      return;
+    }
+
+    bool invariant = false;
+    if (Match(Tok::kKwInvariant)) {
+      invariant = true;
+      // "invariant varying ..." or re-declaration "invariant gl_Position;"
+      if (Check(Tok::kIdentifier)) {
+        Advance();
+        Expect(Tok::kSemicolon, "after invariant re-declaration");
+        return;
+      }
+    }
+
+    Qualifier qual = Qualifier::kNone;
+    if (Match(Tok::kKwConst)) qual = Qualifier::kConst;
+    else if (Match(Tok::kKwAttribute)) qual = Qualifier::kAttribute;
+    else if (Match(Tok::kKwUniform)) qual = Qualifier::kUniform;
+    else if (Match(Tok::kKwVarying)) qual = Qualifier::kVarying;
+
+    const Precision prec = ParseOptPrecision();
+    const SrcLoc type_loc = Peek().loc;
+    Type type = ParseTypeSpecifier();
+
+    // void f() {...}
+    if (Check(Tok::kIdentifier) && Peek(1).kind == Tok::kLParen) {
+      if (qual != Qualifier::kNone) {
+        diags_.Error(type_loc, "storage qualifiers are not allowed on "
+                               "function declarations");
+      }
+      ParseFunction(tu, type, prec);
+      return;
+    }
+
+    if (type.base == BaseType::kVoid) {
+      Fail("variables may not have void type");
+    }
+
+    // Variable declarator list.
+    while (true) {
+      auto vd = std::make_unique<VarDecl>();
+      vd->loc = Peek().loc;
+      vd->name = Expect(Tok::kIdentifier, "in declaration").text;
+      vd->type = type;
+      vd->qual = qual;
+      vd->precision = prec;
+      vd->invariant = invariant;
+      if (Check(Tok::kLBracket)) vd->type.array_size = ParseArraySuffix();
+      if (Match(Tok::kEq)) vd->init = ParseAssignment();
+      tu.globals.push_back(std::move(vd));
+      if (Match(Tok::kComma)) continue;
+      Expect(Tok::kSemicolon, "after declaration");
+      break;
+    }
+  }
+
+  void ParseFunction(TranslationUnit& tu, Type return_type, Precision prec) {
+    auto fn = std::make_unique<FunctionDecl>();
+    fn->loc = Peek().loc;
+    fn->name = Advance().text;
+    fn->return_type = return_type;
+    fn->return_precision = prec;
+    Expect(Tok::kLParen, "in function declaration");
+    if (!Check(Tok::kRParen)) {
+      // 'void' as the sole parameter means an empty list.
+      if (Check(Tok::kKwVoid) && Peek(1).kind == Tok::kRParen) {
+        Advance();
+      } else {
+        while (true) {
+          fn->params.push_back(ParseParam());
+          if (!Match(Tok::kComma)) break;
+        }
+      }
+    }
+    Expect(Tok::kRParen, "after parameter list");
+    if (Match(Tok::kSemicolon)) {
+      tu.functions.push_back(std::move(fn));  // prototype
+      return;
+    }
+    fn->body = ParseBlock();
+    tu.functions.push_back(std::move(fn));
+  }
+
+  std::unique_ptr<VarDecl> ParseParam() {
+    auto p = std::make_unique<VarDecl>();
+    p->is_param = true;
+    p->loc = Peek().loc;
+    if (Match(Tok::kKwConst)) p->qual = Qualifier::kConst;
+    if (Match(Tok::kKwIn)) p->dir = ParamDir::kIn;
+    else if (Match(Tok::kKwOut)) p->dir = ParamDir::kOut;
+    else if (Match(Tok::kKwInOut)) p->dir = ParamDir::kInOut;
+    p->precision = ParseOptPrecision();
+    p->type = ParseTypeSpecifier();
+    if (p->type.base == BaseType::kVoid) Fail("parameters may not be void");
+    if (Check(Tok::kIdentifier)) p->name = Advance().text;
+    if (Check(Tok::kLBracket)) p->type.array_size = ParseArraySuffix();
+    return p;
+  }
+
+  // --- statements ---
+  std::unique_ptr<BlockStmt> ParseBlock() {
+    const SrcLoc loc = Peek().loc;
+    Expect(Tok::kLBrace, "to open block");
+    auto block = std::make_unique<BlockStmt>(loc);
+    while (!Check(Tok::kRBrace)) {
+      if (AtEnd()) Fail("unterminated block");
+      block->stmts.push_back(ParseStatement());
+    }
+    Advance();  // consume '}'
+    return block;
+  }
+
+  StmtPtr ParseStatement() {
+    const SrcLoc loc = Peek().loc;
+    switch (Peek().kind) {
+      case Tok::kLBrace:
+        return ParseBlock();
+      case Tok::kKwIf: {
+        Advance();
+        Expect(Tok::kLParen, "after 'if'");
+        ExprPtr cond = ParseExpression();
+        Expect(Tok::kRParen, "after if condition");
+        StmtPtr then_stmt = ParseStatement();
+        StmtPtr else_stmt;
+        if (Match(Tok::kKwElse)) else_stmt = ParseStatement();
+        return std::make_unique<IfStmt>(loc, std::move(cond),
+                                        std::move(then_stmt),
+                                        std::move(else_stmt));
+      }
+      case Tok::kKwFor: {
+        Advance();
+        auto fs = std::make_unique<ForStmt>(loc);
+        Expect(Tok::kLParen, "after 'for'");
+        if (!Match(Tok::kSemicolon)) {
+          fs->init = StartsDeclaration() ? ParseDeclStmt() : ParseExprStmt();
+        }
+        if (!Check(Tok::kSemicolon)) fs->cond = ParseExpression();
+        Expect(Tok::kSemicolon, "after for condition");
+        if (!Check(Tok::kRParen)) fs->step = ParseExpression();
+        Expect(Tok::kRParen, "after for header");
+        fs->body = ParseStatement();
+        return fs;
+      }
+      case Tok::kKwWhile: {
+        Advance();
+        Expect(Tok::kLParen, "after 'while'");
+        ExprPtr cond = ParseExpression();
+        Expect(Tok::kRParen, "after while condition");
+        StmtPtr body = ParseStatement();
+        return std::make_unique<WhileStmt>(loc, std::move(cond),
+                                           std::move(body));
+      }
+      case Tok::kKwDo: {
+        Advance();
+        StmtPtr body = ParseStatement();
+        Expect(Tok::kKwWhile, "after do-body");
+        Expect(Tok::kLParen, "after 'while'");
+        ExprPtr cond = ParseExpression();
+        Expect(Tok::kRParen, "after do-while condition");
+        Expect(Tok::kSemicolon, "after do-while");
+        return std::make_unique<DoWhileStmt>(loc, std::move(body),
+                                             std::move(cond));
+      }
+      case Tok::kKwReturn: {
+        Advance();
+        ExprPtr value;
+        if (!Check(Tok::kSemicolon)) value = ParseExpression();
+        Expect(Tok::kSemicolon, "after return");
+        return std::make_unique<ReturnStmt>(loc, std::move(value));
+      }
+      case Tok::kKwBreak:
+        Advance();
+        Expect(Tok::kSemicolon, "after 'break'");
+        return std::make_unique<BreakStmt>(loc);
+      case Tok::kKwContinue:
+        Advance();
+        Expect(Tok::kSemicolon, "after 'continue'");
+        return std::make_unique<ContinueStmt>(loc);
+      case Tok::kKwDiscard:
+        Advance();
+        Expect(Tok::kSemicolon, "after 'discard'");
+        return std::make_unique<DiscardStmt>(loc);
+      case Tok::kSemicolon:
+        Advance();
+        return std::make_unique<ExprStmt>(loc, nullptr);
+      default:
+        if (StartsDeclaration()) return ParseDeclStmt();
+        return ParseExprStmt();
+    }
+  }
+
+  StmtPtr ParseDeclStmt() {
+    const SrcLoc loc = Peek().loc;
+    auto ds = std::make_unique<DeclStmt>(loc);
+    Qualifier qual = Qualifier::kNone;
+    if (Match(Tok::kKwConst)) qual = Qualifier::kConst;
+    const Precision prec = ParseOptPrecision();
+    const Type type = ParseTypeSpecifier();
+    if (type.base == BaseType::kVoid) Fail("variables may not have void type");
+    while (true) {
+      auto vd = std::make_unique<VarDecl>();
+      vd->loc = Peek().loc;
+      vd->name = Expect(Tok::kIdentifier, "in declaration").text;
+      vd->type = type;
+      vd->qual = qual;
+      vd->precision = prec;
+      if (Check(Tok::kLBracket)) vd->type.array_size = ParseArraySuffix();
+      if (Match(Tok::kEq)) vd->init = ParseAssignment();
+      ds->decls.push_back(std::move(vd));
+      if (Match(Tok::kComma)) continue;
+      Expect(Tok::kSemicolon, "after declaration");
+      break;
+    }
+    return ds;
+  }
+
+  StmtPtr ParseExprStmt() {
+    const SrcLoc loc = Peek().loc;
+    ExprPtr e = ParseExpression();
+    Expect(Tok::kSemicolon, "after expression");
+    return std::make_unique<ExprStmt>(loc, std::move(e));
+  }
+
+  // --- expressions (precedence climbing) ---
+  ExprPtr ParseExpression() {
+    ExprPtr e = ParseAssignment();
+    while (Check(Tok::kComma)) {
+      const SrcLoc loc = Advance().loc;
+      ExprPtr rhs = ParseAssignment();
+      e = std::make_unique<CommaExpr>(loc, std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+
+  ExprPtr ParseAssignment() {
+    ExprPtr lhs = ParseTernary();
+    AssignOp op;
+    switch (Peek().kind) {
+      case Tok::kEq: op = AssignOp::kAssign; break;
+      case Tok::kPlusEq: op = AssignOp::kAdd; break;
+      case Tok::kMinusEq: op = AssignOp::kSub; break;
+      case Tok::kStarEq: op = AssignOp::kMul; break;
+      case Tok::kSlashEq: op = AssignOp::kDiv; break;
+      default: return lhs;
+    }
+    const SrcLoc loc = Advance().loc;
+    ExprPtr rhs = ParseAssignment();  // right associative
+    return std::make_unique<AssignExpr>(loc, op, std::move(lhs),
+                                        std::move(rhs));
+  }
+
+  ExprPtr ParseTernary() {
+    ExprPtr cond = ParseLogicalOr();
+    if (!Check(Tok::kQuestion)) return cond;
+    const SrcLoc loc = Advance().loc;
+    ExprPtr t = ParseExpression();
+    Expect(Tok::kColon, "in conditional expression");
+    ExprPtr f = ParseAssignment();
+    return std::make_unique<TernaryExpr>(loc, std::move(cond), std::move(t),
+                                         std::move(f));
+  }
+
+  ExprPtr ParseLogicalOr() {
+    ExprPtr e = ParseLogicalXor();
+    while (Check(Tok::kPipePipe)) {
+      const SrcLoc loc = Advance().loc;
+      e = std::make_unique<BinaryExpr>(loc, BinOp::kLogicalOr, std::move(e),
+                                       ParseLogicalXor());
+    }
+    return e;
+  }
+
+  ExprPtr ParseLogicalXor() {
+    ExprPtr e = ParseLogicalAnd();
+    while (Check(Tok::kCaretCaret)) {
+      const SrcLoc loc = Advance().loc;
+      e = std::make_unique<BinaryExpr>(loc, BinOp::kLogicalXor, std::move(e),
+                                       ParseLogicalAnd());
+    }
+    return e;
+  }
+
+  ExprPtr ParseLogicalAnd() {
+    ExprPtr e = ParseEquality();
+    while (Check(Tok::kAmpAmp)) {
+      const SrcLoc loc = Advance().loc;
+      e = std::make_unique<BinaryExpr>(loc, BinOp::kLogicalAnd, std::move(e),
+                                       ParseEquality());
+    }
+    return e;
+  }
+
+  ExprPtr ParseEquality() {
+    ExprPtr e = ParseRelational();
+    while (Check(Tok::kEqEq) || Check(Tok::kBangEq)) {
+      const BinOp op = Peek().kind == Tok::kEqEq ? BinOp::kEq : BinOp::kNe;
+      const SrcLoc loc = Advance().loc;
+      e = std::make_unique<BinaryExpr>(loc, op, std::move(e),
+                                       ParseRelational());
+    }
+    return e;
+  }
+
+  ExprPtr ParseRelational() {
+    ExprPtr e = ParseAdditive();
+    while (true) {
+      BinOp op;
+      switch (Peek().kind) {
+        case Tok::kLess: op = BinOp::kLt; break;
+        case Tok::kGreater: op = BinOp::kGt; break;
+        case Tok::kLessEq: op = BinOp::kLe; break;
+        case Tok::kGreaterEq: op = BinOp::kGe; break;
+        default: return e;
+      }
+      const SrcLoc loc = Advance().loc;
+      e = std::make_unique<BinaryExpr>(loc, op, std::move(e),
+                                       ParseAdditive());
+    }
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr e = ParseMultiplicative();
+    while (Check(Tok::kPlus) || Check(Tok::kMinus)) {
+      const BinOp op = Peek().kind == Tok::kPlus ? BinOp::kAdd : BinOp::kSub;
+      const SrcLoc loc = Advance().loc;
+      e = std::make_unique<BinaryExpr>(loc, op, std::move(e),
+                                       ParseMultiplicative());
+    }
+    return e;
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr e = ParseUnary();
+    while (Check(Tok::kStar) || Check(Tok::kSlash)) {
+      const BinOp op = Peek().kind == Tok::kStar ? BinOp::kMul : BinOp::kDiv;
+      const SrcLoc loc = Advance().loc;
+      e = std::make_unique<BinaryExpr>(loc, op, std::move(e), ParseUnary());
+    }
+    return e;
+  }
+
+  ExprPtr ParseUnary() {
+    const SrcLoc loc = Peek().loc;
+    switch (Peek().kind) {
+      case Tok::kMinus:
+        Advance();
+        return std::make_unique<UnaryExpr>(loc, UnOp::kNeg, ParseUnary());
+      case Tok::kPlus:
+        Advance();
+        return std::make_unique<UnaryExpr>(loc, UnOp::kPlus, ParseUnary());
+      case Tok::kBang:
+        Advance();
+        return std::make_unique<UnaryExpr>(loc, UnOp::kNot, ParseUnary());
+      case Tok::kPlusPlus:
+        Advance();
+        return std::make_unique<UnaryExpr>(loc, UnOp::kPreInc, ParseUnary());
+      case Tok::kMinusMinus:
+        Advance();
+        return std::make_unique<UnaryExpr>(loc, UnOp::kPreDec, ParseUnary());
+      default:
+        return ParsePostfix();
+    }
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr e = ParsePrimary();
+    while (true) {
+      const SrcLoc loc = Peek().loc;
+      if (Match(Tok::kLBracket)) {
+        ExprPtr idx = ParseExpression();
+        Expect(Tok::kRBracket, "after index");
+        e = std::make_unique<IndexExpr>(loc, std::move(e), std::move(idx));
+      } else if (Match(Tok::kDot)) {
+        const Token& field = Expect(Tok::kIdentifier, "after '.'");
+        e = std::make_unique<SwizzleExpr>(loc, std::move(e), field.text);
+      } else if (Match(Tok::kPlusPlus)) {
+        e = std::make_unique<UnaryExpr>(loc, UnOp::kPostInc, std::move(e));
+      } else if (Match(Tok::kMinusMinus)) {
+        e = std::make_unique<UnaryExpr>(loc, UnOp::kPostDec, std::move(e));
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr ParsePrimary() {
+    const SrcLoc loc = Peek().loc;
+    if (Check(Tok::kIntLiteral)) {
+      return std::make_unique<IntLitExpr>(loc, Advance().int_value);
+    }
+    if (Check(Tok::kFloatLiteral)) {
+      return std::make_unique<FloatLitExpr>(loc, Advance().float_value);
+    }
+    if (Match(Tok::kKwTrue)) return std::make_unique<BoolLitExpr>(loc, true);
+    if (Match(Tok::kKwFalse)) return std::make_unique<BoolLitExpr>(loc, false);
+    if (Match(Tok::kLParen)) {
+      ExprPtr e = ParseExpression();
+      Expect(Tok::kRParen, "to close parenthesized expression");
+      return e;
+    }
+    if (IsTypeToken(Peek().kind)) {
+      const Type t = MakeType(TypeTokenToBase(Advance().kind));
+      auto ctor = std::make_unique<CtorExpr>(loc, t);
+      Expect(Tok::kLParen, "after constructor type");
+      if (!Check(Tok::kRParen)) {
+        while (true) {
+          ctor->args.push_back(ParseAssignment());
+          if (!Match(Tok::kComma)) break;
+        }
+      }
+      Expect(Tok::kRParen, "after constructor arguments");
+      return ctor;
+    }
+    if (Check(Tok::kIdentifier)) {
+      const Token& id = Advance();
+      if (Match(Tok::kLParen)) {
+        auto call = std::make_unique<CallExpr>(loc, id.text);
+        if (!Check(Tok::kRParen)) {
+          while (true) {
+            call->args.push_back(ParseAssignment());
+            if (!Match(Tok::kComma)) break;
+          }
+        }
+        Expect(Tok::kRParen, "after call arguments");
+        return call;
+      }
+      return std::make_unique<VarRefExpr>(loc, id.text);
+    }
+    Fail(StrFormat("unexpected %s in expression", TokName(Peek().kind)));
+  }
+
+  const std::vector<Token>& toks_;
+  DiagSink& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<TranslationUnit> Parse(const std::vector<Token>& tokens,
+                                       DiagSink& diags) {
+  return Parser(tokens, diags).Run();
+}
+
+}  // namespace mgpu::glsl

@@ -1,0 +1,22 @@
+// Recursive-descent parser for GLSL ES 1.00.
+#ifndef MGPU_GLSL_PARSER_H_
+#define MGPU_GLSL_PARSER_H_
+
+#include <memory>
+#include <vector>
+
+#include "glsl/ast.h"
+#include "glsl/diag.h"
+#include "glsl/token.h"
+
+namespace mgpu::glsl {
+
+// Parses a token stream into a translation unit. Parsing stops at the first
+// syntax error (reported to `diags`); the returned (partial) tree must not be
+// used when diags.has_errors().
+[[nodiscard]] std::unique_ptr<TranslationUnit> Parse(
+    const std::vector<Token>& tokens, DiagSink& diags);
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_PARSER_H_

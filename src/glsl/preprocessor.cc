@@ -1,0 +1,214 @@
+#include "glsl/preprocessor.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mgpu::glsl {
+namespace {
+
+// Replaces comments with spaces, keeping newlines so line numbers survive.
+std::string StripComments(const std::string& src, DiagSink& diags) {
+  std::string out;
+  out.reserve(src.size());
+  std::size_t i = 0;
+  int line = 1;
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const int start_line = line;
+      i += 2;
+      bool closed = false;
+      while (i < src.size()) {
+        if (src[i] == '*' && i + 1 < src.size() && src[i + 1] == '/') {
+          i += 2;
+          closed = true;
+          break;
+        }
+        if (src[i] == '\n') {
+          out.push_back('\n');
+          ++line;
+        }
+        ++i;
+      }
+      if (!closed) diags.Error({start_line, 0}, "unterminated block comment");
+      out.push_back(' ');
+    } else {
+      if (c == '\n') ++line;
+      out.push_back(c);
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Expands object-like macros with one level of rescanning (sufficient for
+// the nesting depth GLSL shaders actually use).
+std::string ExpandMacros(const std::string& line,
+                         const std::map<std::string, std::string>& macros,
+                         int depth = 0) {
+  if (depth > 16) return line;
+  std::string out;
+  std::size_t i = 0;
+  bool changed = false;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < line.size() && IsIdentChar(line[j])) ++j;
+      const std::string word = line.substr(i, j - i);
+      const auto it = macros.find(word);
+      if (it != macros.end()) {
+        out += it->second;
+        changed = true;
+      } else {
+        out += word;
+      }
+      i = j;
+    } else {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  return changed ? ExpandMacros(out, macros, depth + 1) : out;
+}
+
+struct CondState {
+  bool taken;        // this branch is active
+  bool any_taken;    // some branch of this #if chain was active
+  bool in_else;
+};
+
+}  // namespace
+
+PreprocessResult Preprocess(const std::string& source, DiagSink& diags) {
+  PreprocessResult result;
+  std::map<std::string, std::string> macros;
+  macros["GL_ES"] = "1";
+  macros["__VERSION__"] = "100";
+
+  std::vector<CondState> conds;
+  std::istringstream in(StripComments(source, diags));
+  std::string line;
+  std::string out;
+  int lineno = 0;
+  bool seen_non_directive = false;
+
+  auto active = [&] {
+    for (const auto& c : conds) {
+      if (!c.taken) return false;
+    }
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first != std::string::npos && line[first] == '#') {
+      std::istringstream ls(line.substr(first + 1));
+      std::string directive;
+      ls >> directive;
+      const SrcLoc loc{lineno, static_cast<int>(first) + 1};
+      if (directive == "version") {
+        int v = 0;
+        ls >> v;
+        if (seen_non_directive) {
+          diags.Error(loc, "#version must appear before any other tokens");
+        } else if (v != 100) {
+          diags.Error(loc, StrFormat("unsupported #version %d; this compiler "
+                                     "implements GLSL ES 1.00 (use 100)",
+                                     v));
+        }
+        result.version = v == 0 ? 100 : v;
+      } else if (directive == "define") {
+        if (active()) {
+          std::string name;
+          ls >> name;
+          if (name.empty()) {
+            diags.Error(loc, "#define requires a macro name");
+          } else if (name.find('(') != std::string::npos ||
+                     ls.peek() == '(') {
+            diags.Error(loc, "function-like macros are not supported");
+          } else {
+            std::string body;
+            std::getline(ls, body);
+            const std::size_t b = body.find_first_not_of(" \t");
+            macros[name] = b == std::string::npos ? "" : body.substr(b);
+          }
+        }
+      } else if (directive == "undef") {
+        if (active()) {
+          std::string name;
+          ls >> name;
+          macros.erase(name);
+        }
+      } else if (directive == "ifdef" || directive == "ifndef") {
+        std::string name;
+        ls >> name;
+        const bool defined = macros.count(name) != 0;
+        const bool taken =
+            active() && (directive == "ifdef" ? defined : !defined);
+        conds.push_back({taken, taken, false});
+      } else if (directive == "else") {
+        if (conds.empty()) {
+          diags.Error(loc, "#else without matching #ifdef/#ifndef");
+        } else if (conds.back().in_else) {
+          diags.Error(loc, "duplicate #else");
+        } else {
+          CondState& c = conds.back();
+          c.in_else = true;
+          const bool parent_active = [&] {
+            for (std::size_t k = 0; k + 1 < conds.size(); ++k) {
+              if (!conds[k].taken) return false;
+            }
+            return true;
+          }();
+          c.taken = parent_active && !c.any_taken;
+          c.any_taken = c.any_taken || c.taken;
+        }
+      } else if (directive == "endif") {
+        if (conds.empty()) {
+          diags.Error(loc, "#endif without matching #ifdef/#ifndef");
+        } else {
+          conds.pop_back();
+        }
+      } else if (directive == "error") {
+        if (active()) {
+          std::string rest;
+          std::getline(ls, rest);
+          diags.Error(loc, StrFormat("#error%s", rest.c_str()));
+        }
+      } else if (directive == "pragma" || directive == "extension" ||
+                 directive == "line" || directive.empty()) {
+        // Accepted and ignored; ES 2.0 implementations are free to ignore
+        // unknown pragmas, and we expose no extensions.
+      } else {
+        if (active()) {
+          diags.Error(loc,
+                      StrFormat("unknown directive '#%s'", directive.c_str()));
+        }
+      }
+      out.push_back('\n');
+      continue;
+    }
+    if (first != std::string::npos) seen_non_directive = true;
+    out += active() ? ExpandMacros(line, macros) : "";
+    out.push_back('\n');
+  }
+  if (!conds.empty()) {
+    diags.Error({lineno, 0}, "unterminated #ifdef/#ifndef block");
+  }
+  result.text = std::move(out);
+  return result;
+}
+
+}  // namespace mgpu::glsl

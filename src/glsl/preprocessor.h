@@ -1,0 +1,25 @@
+// Minimal GLSL ES 1.00 preprocessor: comment stripping, #version, object-like
+// #define/#undef, #ifdef/#ifndef/#else/#endif, #error, and pass-through for
+// #pragma/#extension (with a warning for unknown extensions). Function-like
+// macros are diagnosed as unsupported. Line structure is preserved so that
+// downstream diagnostics point at the original source lines.
+#ifndef MGPU_GLSL_PREPROCESSOR_H_
+#define MGPU_GLSL_PREPROCESSOR_H_
+
+#include <string>
+
+#include "glsl/diag.h"
+
+namespace mgpu::glsl {
+
+struct PreprocessResult {
+  std::string text;     // preprocessed source, same number of lines as input
+  int version = 100;    // from #version, default 100
+};
+
+[[nodiscard]] PreprocessResult Preprocess(const std::string& source,
+                                          DiagSink& diags);
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_PREPROCESSOR_H_

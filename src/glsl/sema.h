@@ -1,0 +1,26 @@
+// Semantic analysis for GLSL ES 1.00: symbol resolution (variables to global
+// or frame slots), full type checking with the ES rules (notably: *no*
+// implicit int->float conversions), l-value and storage-qualifier
+// enforcement, recursion ban, resource-limit checks, and the mandatory
+// default-precision rule for fragment shaders.
+#ifndef MGPU_GLSL_SEMA_H_
+#define MGPU_GLSL_SEMA_H_
+
+#include <memory>
+
+#include "glsl/ast.h"
+#include "glsl/diag.h"
+#include "glsl/shader.h"
+
+namespace mgpu::glsl {
+
+// Consumes the parsed translation unit and produces a CompiledShader with all
+// annotations filled in. On error, diagnostics are recorded in `diags` and
+// the returned shader must not be executed.
+[[nodiscard]] std::unique_ptr<CompiledShader> Analyze(
+    std::unique_ptr<TranslationUnit> tu, Stage stage, const Limits& limits,
+    DiagSink& diags);
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_SEMA_H_

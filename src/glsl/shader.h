@@ -1,0 +1,56 @@
+// Compiled shader representation shared by the semantic analyzer, the
+// interpreter and the gles2 program linker.
+#ifndef MGPU_GLSL_SHADER_H_
+#define MGPU_GLSL_SHADER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "glsl/ast.h"
+#include "glsl/type.h"
+
+namespace mgpu::glsl {
+
+// Implementation-defined limits, advertised through glGet* and enforced at
+// compile time. Defaults model a VideoCore IV class driver.
+struct Limits {
+  int max_vertex_attribs = 8;
+  int max_varying_vectors = 8;
+  int max_vertex_uniform_vectors = 128;
+  int max_fragment_uniform_vectors = 64;
+  int max_draw_buffers = 1;  // ES 2.0: a single fragment output (challenge 8)
+  int max_texture_image_units = 8;
+  int max_vertex_texture_image_units = 8;
+  // When false (Mali-400 class hardware, paper §IV-E footnote 1), `highp
+  // float` is unsupported in the fragment language and downgraded.
+  bool fragment_highp_float = true;
+};
+
+// Number of vec4-equivalent registers a type occupies (used for the
+// attribute/varying/uniform limit checks).
+[[nodiscard]] int Vec4Slots(const Type& t);
+
+struct CompiledShader {
+  Stage stage = Stage::kFragment;
+  int version = 100;
+  Limits limits;
+  std::unique_ptr<TranslationUnit> tu;
+  // gl_* variables synthesized during analysis; they occupy global slots
+  // exactly like user globals.
+  std::vector<std::unique_ptr<VarDecl>> builtin_vars;
+  // Slot-ordered view over all globals (builtins first, then user globals).
+  std::vector<VarDecl*> globals;
+  const FunctionDecl* main = nullptr;
+
+  [[nodiscard]] const VarDecl* FindGlobal(const std::string& name) const {
+    for (const VarDecl* g : globals) {
+      if (g->name == name) return g;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_SHADER_H_

@@ -1,0 +1,155 @@
+#include "glsl/token.h"
+
+#include "glsl/type.h"
+
+namespace mgpu::glsl {
+
+bool IsTypeToken(Tok t) {
+  switch (t) {
+    case Tok::kKwVoid:
+    case Tok::kKwBool:
+    case Tok::kKwInt:
+    case Tok::kKwFloat:
+    case Tok::kKwVec2:
+    case Tok::kKwVec3:
+    case Tok::kKwVec4:
+    case Tok::kKwBVec2:
+    case Tok::kKwBVec3:
+    case Tok::kKwBVec4:
+    case Tok::kKwIVec2:
+    case Tok::kKwIVec3:
+    case Tok::kKwIVec4:
+    case Tok::kKwMat2:
+    case Tok::kKwMat3:
+    case Tok::kKwMat4:
+    case Tok::kKwSampler2D:
+    case Tok::kKwSamplerCube:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BaseType TypeTokenToBase(Tok t) {
+  switch (t) {
+    case Tok::kKwVoid:
+      return BaseType::kVoid;
+    case Tok::kKwBool:
+      return BaseType::kBool;
+    case Tok::kKwInt:
+      return BaseType::kInt;
+    case Tok::kKwFloat:
+      return BaseType::kFloat;
+    case Tok::kKwVec2:
+      return BaseType::kVec2;
+    case Tok::kKwVec3:
+      return BaseType::kVec3;
+    case Tok::kKwVec4:
+      return BaseType::kVec4;
+    case Tok::kKwBVec2:
+      return BaseType::kBVec2;
+    case Tok::kKwBVec3:
+      return BaseType::kBVec3;
+    case Tok::kKwBVec4:
+      return BaseType::kBVec4;
+    case Tok::kKwIVec2:
+      return BaseType::kIVec2;
+    case Tok::kKwIVec3:
+      return BaseType::kIVec3;
+    case Tok::kKwIVec4:
+      return BaseType::kIVec4;
+    case Tok::kKwMat2:
+      return BaseType::kMat2;
+    case Tok::kKwMat3:
+      return BaseType::kMat3;
+    case Tok::kKwMat4:
+      return BaseType::kMat4;
+    case Tok::kKwSampler2D:
+      return BaseType::kSampler2D;
+    case Tok::kKwSamplerCube:
+      return BaseType::kSamplerCube;
+    default:
+      return BaseType::kVoid;
+  }
+}
+
+const char* TokName(Tok t) {
+  switch (t) {
+    case Tok::kEof:
+      return "<eof>";
+    case Tok::kIdentifier:
+      return "identifier";
+    case Tok::kIntLiteral:
+      return "integer literal";
+    case Tok::kFloatLiteral:
+      return "float literal";
+    case Tok::kLParen:
+      return "'('";
+    case Tok::kRParen:
+      return "')'";
+    case Tok::kLBracket:
+      return "'['";
+    case Tok::kRBracket:
+      return "']'";
+    case Tok::kLBrace:
+      return "'{'";
+    case Tok::kRBrace:
+      return "'}'";
+    case Tok::kDot:
+      return "'.'";
+    case Tok::kComma:
+      return "','";
+    case Tok::kSemicolon:
+      return "';'";
+    case Tok::kColon:
+      return "':'";
+    case Tok::kQuestion:
+      return "'?'";
+    case Tok::kPlus:
+      return "'+'";
+    case Tok::kMinus:
+      return "'-'";
+    case Tok::kStar:
+      return "'*'";
+    case Tok::kSlash:
+      return "'/'";
+    case Tok::kBang:
+      return "'!'";
+    case Tok::kLess:
+      return "'<'";
+    case Tok::kGreater:
+      return "'>'";
+    case Tok::kLessEq:
+      return "'<='";
+    case Tok::kGreaterEq:
+      return "'>='";
+    case Tok::kEqEq:
+      return "'=='";
+    case Tok::kBangEq:
+      return "'!='";
+    case Tok::kAmpAmp:
+      return "'&&'";
+    case Tok::kPipePipe:
+      return "'||'";
+    case Tok::kCaretCaret:
+      return "'^^'";
+    case Tok::kEq:
+      return "'='";
+    case Tok::kPlusEq:
+      return "'+='";
+    case Tok::kMinusEq:
+      return "'-='";
+    case Tok::kStarEq:
+      return "'*='";
+    case Tok::kSlashEq:
+      return "'/='";
+    case Tok::kPlusPlus:
+      return "'++'";
+    case Tok::kMinusMinus:
+      return "'--'";
+    default:
+      return "keyword";
+  }
+}
+
+}  // namespace mgpu::glsl

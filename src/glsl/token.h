@@ -1,0 +1,112 @@
+// Token definitions for the GLSL ES 1.00 scanner.
+#ifndef MGPU_GLSL_TOKEN_H_
+#define MGPU_GLSL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "glsl/diag.h"
+#include "glsl/type.h"
+
+namespace mgpu::glsl {
+
+enum class Tok : unsigned char {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  // Keywords.
+  kKwAttribute,
+  kKwConst,
+  kKwUniform,
+  kKwVarying,
+  kKwBreak,
+  kKwContinue,
+  kKwDo,
+  kKwFor,
+  kKwWhile,
+  kKwIf,
+  kKwElse,
+  kKwIn,
+  kKwOut,
+  kKwInOut,
+  kKwTrue,
+  kKwFalse,
+  kKwLowp,
+  kKwMediump,
+  kKwHighp,
+  kKwPrecision,
+  kKwInvariant,
+  kKwDiscard,
+  kKwReturn,
+  kKwStruct,
+  kKwVoid,
+  kKwBool,
+  kKwInt,
+  kKwFloat,
+  kKwVec2,
+  kKwVec3,
+  kKwVec4,
+  kKwBVec2,
+  kKwBVec3,
+  kKwBVec4,
+  kKwIVec2,
+  kKwIVec3,
+  kKwIVec4,
+  kKwMat2,
+  kKwMat3,
+  kKwMat4,
+  kKwSampler2D,
+  kKwSamplerCube,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kDot,
+  kComma,
+  kSemicolon,
+  kColon,
+  kQuestion,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kBang,
+  kLess,
+  kGreater,
+  kLessEq,
+  kGreaterEq,
+  kEqEq,
+  kBangEq,
+  kAmpAmp,
+  kPipePipe,
+  kCaretCaret,
+  kEq,
+  kPlusEq,
+  kMinusEq,
+  kStarEq,
+  kSlashEq,
+  kPlusPlus,
+  kMinusMinus,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  SrcLoc loc;
+  std::string text;      // identifier spelling
+  std::int32_t int_value = 0;
+  float float_value = 0.0f;
+};
+
+// True for tokens that name a type (void/bool/.../samplerCube).
+[[nodiscard]] bool IsTypeToken(Tok t);
+// Maps a type token to its BaseType; kVoid for non-type tokens.
+[[nodiscard]] BaseType TypeTokenToBase(Tok t);
+[[nodiscard]] const char* TokName(Tok t);
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_TOKEN_H_

@@ -1,0 +1,79 @@
+// The GLSL ES 1.00 type system (spec section 4.1): scalars, vectors,
+// matrices, samplers and constant-size arrays thereof. Structs are not
+// supported by this implementation (documented subset; the GPGPU framework
+// never emits them).
+#ifndef MGPU_GLSL_TYPE_H_
+#define MGPU_GLSL_TYPE_H_
+
+#include <string>
+
+namespace mgpu::glsl {
+
+enum class Stage { kVertex, kFragment };
+
+enum class BaseType : unsigned char {
+  kVoid,
+  kBool,
+  kInt,
+  kFloat,
+  kBVec2,
+  kBVec3,
+  kBVec4,
+  kIVec2,
+  kIVec3,
+  kIVec4,
+  kVec2,
+  kVec3,
+  kVec4,
+  kMat2,
+  kMat3,
+  kMat4,
+  kSampler2D,
+  kSamplerCube,
+};
+
+enum class Precision : unsigned char { kNone, kLow, kMedium, kHigh };
+
+// Scalar component count of a base type (mat3 -> 9). Samplers count as 1.
+[[nodiscard]] int ComponentCount(BaseType t);
+// The scalar category: Float for vec*/mat*, Int for ivec*, Bool for bvec*.
+[[nodiscard]] BaseType ScalarOf(BaseType t);
+[[nodiscard]] bool IsScalar(BaseType t);
+[[nodiscard]] bool IsVector(BaseType t);
+[[nodiscard]] bool IsMatrix(BaseType t);
+[[nodiscard]] bool IsSampler(BaseType t);
+[[nodiscard]] bool IsNumeric(BaseType t);  // int/float scalar or vector/matrix
+[[nodiscard]] bool IsFloatFamily(BaseType t);
+// Rows of a vector (vec3 -> 3) or of a matrix column (mat3 -> 3); 1 for
+// scalars.
+[[nodiscard]] int RowCount(BaseType t);
+// Columns of a matrix (mat3 -> 3); 1 otherwise.
+[[nodiscard]] int ColumnCount(BaseType t);
+// Builds the vector (or scalar, when n == 1) type with the given scalar kind.
+[[nodiscard]] BaseType VectorOf(BaseType scalar, int n);
+// The type of a matrix column: mat3 -> vec3.
+[[nodiscard]] BaseType ColumnTypeOf(BaseType mat);
+[[nodiscard]] const char* BaseTypeName(BaseType t);
+
+constexpr int kNotArray = -1;
+
+struct Type {
+  BaseType base = BaseType::kVoid;
+  int array_size = kNotArray;  // kNotArray for non-array types
+
+  [[nodiscard]] bool IsArray() const { return array_size != kNotArray; }
+  // Total scalar cells occupied by a value of this type.
+  [[nodiscard]] int CellCount() const {
+    return ComponentCount(base) * (IsArray() ? array_size : 1);
+  }
+  [[nodiscard]] Type ElementType() const { return Type{base, kNotArray}; }
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+[[nodiscard]] inline Type MakeType(BaseType b) { return Type{b, kNotArray}; }
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_TYPE_H_

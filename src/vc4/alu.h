@@ -1,0 +1,39 @@
+// The VideoCore-class ALU model: IEEE fp32 add/mul pipes, denormal flush,
+// and a special function unit whose EXP2/LOG2 deliver only ~16 good bits —
+// the mechanistic source of the paper's float-precision result (§V).
+// RECIP/RECIPSQRT are modeled near-exact because the shader compiler emits a
+// Newton-Raphson refinement step for them (as the real VC4 driver does),
+// which is also why the paper's *integer* path stays exact: its byte
+// decomposition uses division but never exp2/log2.
+#ifndef MGPU_VC4_ALU_H_
+#define MGPU_VC4_ALU_H_
+
+#include "glsl/alu.h"
+#include "vc4/profiles.h"
+
+namespace mgpu::vc4 {
+
+class Vc4Alu final : public glsl::AluModel {
+ public:
+  explicit Vc4Alu(const GpuProfile& profile) : profile_(profile) {}
+
+  float Exp2(float x) override;
+  float Log2(float x) override;
+  float Recip(float x) override;
+  float RecipSqrt(float x) override;
+  float Round(float x) override;
+
+  [[nodiscard]] const GpuProfile& profile() const { return profile_; }
+
+ private:
+  // Deterministic signed perturbation with |eta| <= 2^-sfu_error_bits,
+  // derived from the input bit pattern (so repeated evaluation of the same
+  // value reproduces the same hardware error, as on silicon).
+  [[nodiscard]] float SfuPerturb(float exact, float input) const;
+
+  GpuProfile profile_;
+};
+
+}  // namespace mgpu::vc4
+
+#endif  // MGPU_VC4_ALU_H_

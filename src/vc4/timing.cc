@@ -1,0 +1,82 @@
+#include "vc4/timing.h"
+
+namespace mgpu::vc4 {
+
+CpuModel Arm1176() { return CpuModel{}; }
+
+CpuWork& CpuWork::operator+=(const CpuWork& o) {
+  int_ops += o.int_ops;
+  int_muls += o.int_muls;
+  fp_adds += o.fp_adds;
+  fp_muls += o.fp_muls;
+  fp_divs += o.fp_divs;
+  loads += o.loads;
+  stores += o.stores;
+  iterations += o.iterations;
+  return *this;
+}
+
+GpuWork& GpuWork::operator+=(const GpuWork& o) {
+  fragments += o.fragments;
+  vertices += o.vertices;
+  shader_ops += o.shader_ops;
+  bytes_uploaded += o.bytes_uploaded;
+  bytes_readback += o.bytes_readback;
+  program_compiles += o.program_compiles;
+  draw_calls += o.draw_calls;
+  host_work += o.host_work;
+  return *this;
+}
+
+double CpuSeconds(const CpuModel& cpu, const CpuWork& w) {
+  const double cycles =
+      static_cast<double>(w.int_ops) * cpu.int_alu_cycles +
+      static_cast<double>(w.int_muls) * cpu.int_mul_cycles +
+      static_cast<double>(w.fp_adds) * cpu.fp_add_cycles +
+      static_cast<double>(w.fp_muls) * cpu.fp_mul_cycles +
+      static_cast<double>(w.fp_divs) * cpu.fp_div_cycles +
+      static_cast<double>(w.loads) * cpu.load_cycles +
+      static_cast<double>(w.stores) * cpu.store_cycles +
+      static_cast<double>(w.iterations) * cpu.loop_overhead_cycles;
+  return cycles / cpu.clock_hz;
+}
+
+GpuTimeBreakdown GpuSeconds(const GpuProfile& gpu, const CpuModel& cpu,
+                            const GpuWork& w) {
+  GpuTimeBreakdown t;
+  // Lane-cycles: each invocation occupies one SIMD lane; the add and mul
+  // pipes dual-issue on VideoCore-class hardware, so ALU ops retire at up to
+  // 2 per lane-cycle when dual_issue is set.
+  const double alu_cycles = static_cast<double>(w.shader_ops.alu) /
+                            (gpu.dual_issue ? 2.0 : 1.0) /
+                            gpu.interp_ops_per_native;
+  const double sfu_cycles =
+      static_cast<double>(w.shader_ops.sfu) * gpu.sfu_cycles +
+      static_cast<double>(w.shader_ops.sfu_trans) * gpu.sfu_trans_cycles;
+  const std::uint64_t tmu_hits =
+      w.shader_ops.tmu >= w.shader_ops.tmu_miss
+          ? w.shader_ops.tmu - w.shader_ops.tmu_miss
+          : 0;
+  const double tmu_cycles =
+      static_cast<double>(tmu_hits) * gpu.tmu_cycles +
+      static_cast<double>(w.shader_ops.tmu_miss) * gpu.tmu_miss_cycles;
+  const double lane_cycles = alu_cycles + sfu_cycles + tmu_cycles;
+  const double lanes =
+      static_cast<double>(gpu.shader_cores) * gpu.lanes_per_core;
+  t.shader = lane_cycles / (lanes * gpu.clock_hz);
+  t.upload = static_cast<double>(w.bytes_uploaded) / gpu.upload_bytes_per_sec;
+  t.readback =
+      static_cast<double>(w.bytes_readback) / gpu.readback_bytes_per_sec;
+  t.compile = static_cast<double>(w.program_compiles) * gpu.compile_seconds;
+  t.api_overhead =
+      static_cast<double>(w.draw_calls) * gpu.draw_overhead_seconds;
+  t.host = CpuSeconds(cpu, w.host_work);
+  return t;
+}
+
+double PeakFlops(const GpuProfile& gpu) {
+  return static_cast<double>(gpu.shader_cores) * gpu.lanes_per_core *
+         (gpu.dual_issue ? 2.0 : 1.0) * gpu.clock_hz;
+}
+
+}  // namespace mgpu::vc4

@@ -1,0 +1,113 @@
+// CPU baseline correctness and the analytic op-count formulas.
+#include "cpuref/cpuref.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::cpuref {
+namespace {
+
+TEST(CpuRefTest, AddF32) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {0.5f, -2.0f, 10.0f};
+  std::vector<float> out(3);
+  AddF32(a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{1.5f, 0.0f, 13.0f}));
+}
+
+TEST(CpuRefTest, AddU8Wraps) {
+  const std::vector<std::uint8_t> a = {250, 1};
+  const std::vector<std::uint8_t> b = {10, 1};
+  std::vector<std::uint8_t> out(2);
+  AddU8(a, b, out);
+  EXPECT_EQ(out[0], 4);  // 260 mod 256
+  EXPECT_EQ(out[1], 2);
+}
+
+TEST(CpuRefTest, SgemmIdentity) {
+  const int n = 8;
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 0.0f);
+  for (int i = 0; i < n; ++i) a[static_cast<std::size_t>(i * n + i)] = 1.0f;
+  Rng rng(5);
+  const auto b = rng.FloatVector(static_cast<std::size_t>(n) * n, -3.0f, 3.0f);
+  std::vector<float> out(b.size());
+  SgemmF32(n, a, b, out);
+  EXPECT_EQ(out, b);
+}
+
+TEST(CpuRefTest, BlockedSgemmMatchesNaive) {
+  Rng rng(6);
+  for (const int n : {8, 16, 33}) {
+    const auto a = rng.FloatVector(static_cast<std::size_t>(n) * n, -1, 1);
+    const auto b = rng.FloatVector(static_cast<std::size_t>(n) * n, -1, 1);
+    std::vector<float> naive(a.size()), blocked(a.size());
+    SgemmF32(n, a, b, naive);
+    SgemmBlockedF32(n, a, b, blocked, 8);
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_NEAR(naive[i], blocked[i],
+                  1e-4f * std::max(1.0f, std::fabs(naive[i])))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(CpuRefTest, GemmI32SmallKnown) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<std::int32_t> a = {1, 2, 3, 4};
+  const std::vector<std::int32_t> b = {5, 6, 7, 8};
+  std::vector<std::int32_t> out(4);
+  GemmI32(2, a, b, out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{19, 22, 43, 50}));
+}
+
+TEST(CpuRefTest, ConvIdentityKernel) {
+  const int w = 8, h = 4;
+  Rng rng(7);
+  const auto img = rng.ByteVector(static_cast<std::size_t>(w) * h);
+  const std::vector<float> identity = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+  std::vector<std::uint8_t> out(img.size());
+  Conv3x3U8(w, h, img, identity, out);
+  EXPECT_EQ(out, img);
+}
+
+TEST(CpuRefTest, ReduceAndTreeAgreeOnIntegers) {
+  std::vector<float> v(777);
+  std::iota(v.begin(), v.end(), 1.0f);
+  EXPECT_EQ(ReduceSumF32(v), ReduceSumTree4F32(v));
+  EXPECT_EQ(ReduceSumF32(v), 777.0f * 778.0f / 2.0f);
+}
+
+TEST(CpuRefTest, MinMax) {
+  const std::vector<float> v = {3.0f, -5.0f, 100.0f, 0.0f};
+  const auto [mn, mx] = MinMaxF32(v);
+  EXPECT_EQ(mn, -5.0f);
+  EXPECT_EQ(mx, 100.0f);
+}
+
+TEST(CpuRefTest, WorkFormulasScale) {
+  // Sum work is linear, sgemm cubic; fp ops live in the fp fields.
+  const auto add1 = AddWorkF32(1000);
+  const auto add2 = AddWorkF32(2000);
+  EXPECT_EQ(add2.fp_adds, 2 * add1.fp_adds);
+  EXPECT_EQ(add1.loads, 2000u);
+  const auto g1 = SgemmWorkF32(16);
+  const auto g2 = SgemmWorkF32(32);
+  EXPECT_EQ(g2.fp_muls, 8 * g1.fp_muls);
+  const auto gi = GemmWorkI32(16);
+  EXPECT_EQ(gi.fp_muls, 0u);
+  EXPECT_EQ(gi.int_muls, g1.fp_muls);
+}
+
+TEST(CpuRefTest, IntSumCheaperThanFloatSumOnArm1176) {
+  // The CPU-side asymmetry behind the paper's speedup ordering.
+  const vc4::CpuModel cpu = vc4::Arm1176();
+  EXPECT_LT(vc4::CpuSeconds(cpu, AddWorkI32(1'000'000)),
+            vc4::CpuSeconds(cpu, AddWorkF32(1'000'000)));
+}
+
+}  // namespace
+}  // namespace mgpu::cpuref

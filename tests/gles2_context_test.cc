@@ -1,0 +1,414 @@
+// End-to-end GL pipeline through the Context API: state, errors, draws,
+// uniforms, textures-in-shaders, and the ES 2.0 restrictions the paper
+// enumerates (no GL_QUADS, no float data, single output).
+#include "gles2/context.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "gles2_test_util.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::gles2 {
+namespace {
+
+using testutil::BuildProgramOrDie;
+using testutil::CompileShaderOrDie;
+using testutil::DrawFullscreenQuad;
+using testutil::ReadRgba;
+
+ContextConfig SmallConfig(int w = 4, int h = 4) {
+  ContextConfig c;
+  c.width = w;
+  c.height = h;
+  return c;
+}
+
+TEST(ContextTest, ClearAndReadPixels) {
+  Context ctx(SmallConfig());
+  ctx.ClearColor(1.0f, 0.5f, 0.0f, 1.0f);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+  const auto px = ReadRgba(ctx, 4, 4);
+  EXPECT_EQ(px[0], 255);
+  EXPECT_EQ(px[1], 128);  // round(0.5 * 255)
+  EXPECT_EQ(px[2], 0);
+  EXPECT_EQ(px[3], 255);
+  EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
+}
+
+TEST(ContextTest, SolidColorQuadFillsFramebuffer) {
+  Context ctx(SmallConfig());
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { gl_FragColor = vec4(0.0, "
+      "1.0, 0.0, 1.0); }");
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 4, 4);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(px[i * 4 + 0], 0);
+    EXPECT_EQ(px[i * 4 + 1], 255);
+    EXPECT_EQ(px[i * 4 + 3], 255);
+  }
+  EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
+}
+
+TEST(ContextTest, VaryingGradientMatchesPixelCenters) {
+  Context ctx(SmallConfig(8, 8));
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision highp float;\nvarying vec2 v_uv;\nvoid main() { "
+      "gl_FragColor = vec4(v_uv, 0.0, 1.0); }");
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const float u = (x + 0.5f) / 8.0f;
+      const float v = (y + 0.5f) / 8.0f;
+      const int r = px[(y * 8 + x) * 4];
+      const int g = px[(y * 8 + x) * 4 + 1];
+      EXPECT_EQ(r, static_cast<int>(std::floor(u * 255.0f + 0.5f)));
+      EXPECT_EQ(g, static_cast<int>(std::floor(v * 255.0f + 0.5f)));
+    }
+  }
+}
+
+TEST(ContextTest, UniformsAffectDraw) {
+  Context ctx(SmallConfig());
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nuniform vec4 u_color;\nvoid main() { "
+      "gl_FragColor = u_color; }");
+  ctx.UseProgram(p);
+  const GLint loc = ctx.GetUniformLocation(p, "u_color");
+  ASSERT_GE(loc, 0);
+  ctx.Uniform4f(loc, 0.2f, 0.4f, 0.6f, 0.8f);
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 4, 4);
+  EXPECT_EQ(px[0], 51);
+  EXPECT_EQ(px[1], 102);
+  EXPECT_EQ(px[2], 153);
+  EXPECT_EQ(px[3], 204);
+}
+
+TEST(ContextTest, UniformArrayElements) {
+  Context ctx(SmallConfig());
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nuniform float u_k[3];\nvoid main() { "
+      "gl_FragColor = vec4(u_k[0], u_k[1], u_k[2], 1.0); }");
+  ctx.UseProgram(p);
+  const GLint base = ctx.GetUniformLocation(p, "u_k");
+  const GLint e2 = ctx.GetUniformLocation(p, "u_k[2]");
+  ASSERT_GE(base, 0);
+  ASSERT_EQ(e2, base + 2);
+  const float all[3] = {0.1f, 0.2f, 0.3f};
+  ctx.Uniform1fv(base, 3, all);
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 4, 4);
+  EXPECT_EQ(px[0], 26);
+  EXPECT_EQ(px[1], 51);
+  EXPECT_EQ(px[2], 77);
+}
+
+TEST(ContextTest, TextureSamplingInFragmentShader) {
+  Context ctx(SmallConfig(2, 2));
+  GLuint tex;
+  ctx.GenTextures(1, &tex);
+  ctx.ActiveTexture(GL_TEXTURE0 + 1);
+  ctx.BindTexture(GL_TEXTURE_2D, tex);
+  const std::vector<std::uint8_t> data = {
+      10, 0, 0, 255, 20, 0, 0, 255,
+      30, 0, 0, 255, 40, 0, 0, 255,
+  };
+  ctx.TexImage2D(GL_TEXTURE_2D, 0, GL_RGBA, 2, 2, 0, GL_RGBA,
+                 GL_UNSIGNED_BYTE, data.data());
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MIN_FILTER, GL_NEAREST);
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MAG_FILTER, GL_NEAREST);
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvarying vec2 v_uv;\nuniform sampler2D "
+      "u_tex;\nvoid main() { gl_FragColor = texture2D(u_tex, v_uv); }");
+  ctx.UseProgram(p);
+  ctx.Uniform1i(ctx.GetUniformLocation(p, "u_tex"), 1);
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 2, 2);
+  EXPECT_EQ(px[0 * 4], 10);
+  EXPECT_EQ(px[1 * 4], 20);
+  EXPECT_EQ(px[2 * 4], 30);
+  EXPECT_EQ(px[3 * 4], 40);
+  EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
+}
+
+TEST(ContextTest, QuadPrimitiveRejected) {
+  // Paper limitation #2: only triangles (and points/lines) exist in ES 2.0.
+  Context ctx(SmallConfig());
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+  ctx.UseProgram(p);
+  constexpr GLenum kDesktopGlQuads = 0x0007;
+  ctx.DrawArrays(kDesktopGlQuads, 0, 4);
+  EXPECT_EQ(ctx.GetError(), GL_INVALID_ENUM);
+}
+
+TEST(ContextTest, FloatTextureUploadSetsError) {
+  Context ctx(SmallConfig());
+  GLuint tex;
+  ctx.GenTextures(1, &tex);
+  ctx.BindTexture(GL_TEXTURE_2D, tex);
+  const float data[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  ctx.TexImage2D(GL_TEXTURE_2D, 0, GL_RGBA, 1, 1, 0, GL_RGBA, GL_FLOAT, data);
+  EXPECT_EQ(ctx.GetError(), GL_INVALID_ENUM);
+}
+
+TEST(ContextTest, ReadPixelsOnlyRgbaUnsignedByte) {
+  // Paper limitation #7 context: the readback path is byte-RGBA only.
+  Context ctx(SmallConfig());
+  std::vector<float> fdata(16 * 4);
+  ctx.ReadPixels(0, 0, 4, 4, GL_RGBA, GL_FLOAT, fdata.data());
+  EXPECT_EQ(ctx.GetError(), GL_INVALID_ENUM);
+}
+
+TEST(ContextTest, MissingVertexShaderFailsLink) {
+  // Paper challenge 1: ES 2.0 requires BOTH programmable stages.
+  Context ctx(SmallConfig());
+  const GLuint fs = CompileShaderOrDie(
+      ctx, GL_FRAGMENT_SHADER,
+      "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+  const GLuint p = ctx.CreateProgram();
+  ctx.AttachShader(p, fs);
+  ctx.LinkProgram(p);
+  GLint ok = GL_TRUE;
+  ctx.GetProgramiv(p, GL_LINK_STATUS, &ok);
+  EXPECT_EQ(ok, GL_FALSE);
+  EXPECT_TRUE(Contains(ctx.GetProgramInfoLog(p), "vertex"));
+}
+
+TEST(ContextTest, VaryingTypeMismatchFailsLink) {
+  Context ctx(SmallConfig());
+  const GLuint vs = CompileShaderOrDie(
+      ctx, GL_VERTEX_SHADER,
+      "attribute vec2 a_pos;\nvarying vec2 v_x;\nvoid main() { v_x = a_pos; "
+      "gl_Position = vec4(a_pos, 0.0, 1.0); }");
+  const GLuint fs = CompileShaderOrDie(
+      ctx, GL_FRAGMENT_SHADER,
+      "precision mediump float;\nvarying vec3 v_x;\nvoid main() { "
+      "gl_FragColor = vec4(v_x, 1.0); }");
+  const GLuint p = ctx.CreateProgram();
+  ctx.AttachShader(p, vs);
+  ctx.AttachShader(p, fs);
+  ctx.LinkProgram(p);
+  GLint ok = GL_TRUE;
+  ctx.GetProgramiv(p, GL_LINK_STATUS, &ok);
+  EXPECT_EQ(ok, GL_FALSE);
+}
+
+TEST(ContextTest, CompileErrorReportedInInfoLog) {
+  Context ctx(SmallConfig());
+  const GLuint s = ctx.CreateShader(GL_FRAGMENT_SHADER);
+  ctx.ShaderSource(s, "void main() { gl_FragColor = 1.0; }");
+  ctx.CompileShader(s);
+  GLint ok = GL_TRUE;
+  ctx.GetShaderiv(s, GL_COMPILE_STATUS, &ok);
+  EXPECT_EQ(ok, GL_FALSE);
+  EXPECT_FALSE(ctx.GetShaderInfoLog(s).empty());
+}
+
+TEST(ContextTest, GlFragDataZeroWorksAsOutput) {
+  Context ctx(SmallConfig());
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { gl_FragData[0] = vec4(0.0, "
+      "0.0, 1.0, 1.0); }");
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 4, 4);
+  EXPECT_EQ(px[2], 255);
+}
+
+TEST(ContextTest, ScissorRestrictsDraw) {
+  Context ctx(SmallConfig(4, 4));
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+  ctx.Enable(GL_SCISSOR_TEST);
+  ctx.Scissor(0, 0, 2, 2);
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 4, 4);
+  EXPECT_EQ(px[(0 * 4 + 0) * 4], 255);
+  EXPECT_EQ(px[(0 * 4 + 1) * 4], 255);
+  EXPECT_EQ(px[(0 * 4 + 2) * 4], 0);
+  EXPECT_EQ(px[(3 * 4 + 3) * 4], 0);
+}
+
+TEST(ContextTest, DepthTestKeepsNearestFragment) {
+  Context ctx(SmallConfig(2, 2));
+  const GLuint p = BuildProgramOrDie(
+      ctx,
+      "attribute vec3 a_pos;\nvoid main() { gl_Position = vec4(a_pos, 1.0); "
+      "}",
+      "precision mediump float;\nuniform vec4 u_c;\nvoid main() { "
+      "gl_FragColor = u_c; }");
+  ctx.UseProgram(p);
+  ctx.Enable(GL_DEPTH_TEST);
+  ctx.Clear(GL_COLOR_BUFFER_BIT | GL_DEPTH_BUFFER_BIT);
+  const GLint loc = ctx.GetAttribLocation(p, "a_pos");
+  const GLint c = ctx.GetUniformLocation(p, "u_c");
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+  // Near quad (z = 0) drawn first, red.
+  const float near_quad[] = {-1, -1, 0, 1, -1, 0, 1, 1, 0,
+                             -1, -1, 0, 1, 1, 0, -1, 1, 0};
+  ctx.VertexAttribPointer(static_cast<GLuint>(loc), 3, GL_FLOAT, GL_FALSE, 0,
+                          near_quad);
+  ctx.Uniform4f(c, 1.0f, 0.0f, 0.0f, 1.0f);
+  ctx.DrawArrays(GL_TRIANGLES, 0, 6);
+  // Far quad (z = 0.5) drawn second, blue: must lose the depth test.
+  const float far_quad[] = {-1, -1, 0.5f, 1, -1, 0.5f, 1, 1, 0.5f,
+                            -1, -1, 0.5f, 1, 1, 0.5f, -1, 1, 0.5f};
+  ctx.VertexAttribPointer(static_cast<GLuint>(loc), 3, GL_FLOAT, GL_FALSE, 0,
+                          far_quad);
+  ctx.Uniform4f(c, 0.0f, 0.0f, 1.0f, 1.0f);
+  ctx.DrawArrays(GL_TRIANGLES, 0, 6);
+  const auto px = ReadRgba(ctx, 2, 2);
+  EXPECT_EQ(px[0], 255);
+  EXPECT_EQ(px[2], 0);
+}
+
+TEST(ContextTest, BlendingAdds) {
+  Context ctx(SmallConfig(1, 1));
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nuniform vec4 u_c;\nvoid main() { "
+      "gl_FragColor = u_c; }");
+  ctx.UseProgram(p);
+  const GLint c = ctx.GetUniformLocation(p, "u_c");
+  ctx.Enable(GL_BLEND);
+  ctx.BlendFunc(GL_ONE, GL_ONE);
+  ctx.Uniform4f(c, 0.25f, 0.0f, 0.0f, 1.0f);
+  DrawFullscreenQuad(ctx, p);
+  ctx.Uniform4f(c, 0.25f, 0.0f, 0.0f, 1.0f);
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 1, 1);
+  EXPECT_NEAR(px[0], 128, 1);
+}
+
+TEST(ContextTest, ColorMaskSuppressesChannels) {
+  Context ctx(SmallConfig(1, 1));
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+  ctx.ColorMask(GL_TRUE, GL_FALSE, GL_TRUE, GL_FALSE);
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 1, 1);
+  EXPECT_EQ(px[0], 255);
+  EXPECT_EQ(px[1], 0);
+  EXPECT_EQ(px[2], 255);
+  EXPECT_EQ(px[3], 0);
+}
+
+TEST(ContextTest, DrawElementsWithIndices) {
+  Context ctx(SmallConfig());
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+  ctx.UseProgram(p);
+  const GLint loc = ctx.GetAttribLocation(p, "a_pos");
+  const float verts[] = {-1, -1, 1, -1, 1, 1, -1, 1};
+  const std::uint8_t idx[] = {0, 1, 2, 0, 2, 3};
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+  ctx.VertexAttribPointer(static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE, 0,
+                          verts);
+  ctx.DrawElements(GL_TRIANGLES, 6, GL_UNSIGNED_BYTE, idx);
+  const auto px = ReadRgba(ctx, 4, 4);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(px[i * 4], 255) << i;
+}
+
+TEST(ContextTest, VboVertexFetch) {
+  Context ctx(SmallConfig());
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+  ctx.UseProgram(p);
+  GLuint vbo;
+  ctx.GenBuffers(1, &vbo);
+  ctx.BindBuffer(GL_ARRAY_BUFFER, vbo);
+  ctx.BufferData(GL_ARRAY_BUFFER, sizeof(float) * 12,
+                 testutil::kQuad.data(), GL_STATIC_DRAW);
+  const GLint loc = ctx.GetAttribLocation(p, "a_pos");
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+  ctx.VertexAttribPointer(static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE, 0,
+                          nullptr);  // offset 0 into VBO
+  ctx.DrawArrays(GL_TRIANGLES, 0, 6);
+  EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
+  const auto px = ReadRgba(ctx, 4, 4);
+  EXPECT_EQ(px[0], 255);
+}
+
+TEST(ContextTest, RunawayShaderSetsDrawError) {
+  Context ctx(SmallConfig(1, 1));
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { float a = 0.0; while (a < "
+      "1.0) { a *= 1.0; } gl_FragColor = vec4(a); }");
+  DrawFullscreenQuad(ctx, p);
+  EXPECT_EQ(ctx.GetError(), GL_INVALID_OPERATION);
+  EXPECT_FALSE(ctx.last_draw_error().empty());
+}
+
+TEST(ContextTest, PrecisionFormatQueriesMatchProfile) {
+  Context ctx(SmallConfig());
+  GLint range[2] = {0, 0};
+  GLint precision = 0;
+  // The query the paper (§IV-E) prescribes for discovering GPU float format.
+  ctx.GetShaderPrecisionFormat(GL_FRAGMENT_SHADER, GL_HIGH_FLOAT, range,
+                               &precision);
+  EXPECT_EQ(precision, 23);
+  EXPECT_EQ(range[0], 127);
+
+  ContextConfig mali = SmallConfig();
+  mali.limits.fragment_highp_float = false;  // Mali-400 class
+  Context ctx2(mali);
+  ctx2.GetShaderPrecisionFormat(GL_FRAGMENT_SHADER, GL_HIGH_FLOAT, range,
+                                &precision);
+  EXPECT_EQ(precision, 0);  // highp unsupported in the fragment stage
+  ctx2.GetShaderPrecisionFormat(GL_VERTEX_SHADER, GL_HIGH_FLOAT, range,
+                                &precision);
+  EXPECT_EQ(precision, 23);  // ...but supported in the vertex stage
+}
+
+TEST(ContextTest, GetStringAndIntegerQueries) {
+  Context ctx(SmallConfig());
+  EXPECT_EQ(std::string(ctx.GetString(GL_SHADING_LANGUAGE_VERSION)),
+            "OpenGL ES GLSL ES 1.00");
+  EXPECT_EQ(std::string(ctx.GetString(GL_EXTENSIONS)), "");
+  GLint v = 0;
+  ctx.GetIntegerv(GL_MAX_VERTEX_ATTRIBS, &v);
+  EXPECT_EQ(v, 8);
+  ctx.GetIntegerv(GL_MAX_TEXTURE_SIZE, &v);
+  EXPECT_EQ(v, 4096);
+}
+
+TEST(ContextTest, ErrorStateIsStickyUntilRead) {
+  Context ctx(SmallConfig());
+  ctx.Enable(0xDEAD);
+  ctx.Viewport(0, 0, -1, -1);  // would be INVALID_VALUE, but first error wins
+  EXPECT_EQ(ctx.GetError(), GL_INVALID_ENUM);
+  EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
+}
+
+TEST(ContextTest, PaperQuantizationModeFloors) {
+  ContextConfig cfg = SmallConfig(1, 1);
+  cfg.quantization = FbQuantization::kFloorPaper;
+  Context ctx(cfg);
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { gl_FragColor = "
+      "vec4(0.9999); }");
+  DrawFullscreenQuad(ctx, p);
+  const auto px = ReadRgba(ctx, 1, 1);
+  EXPECT_EQ(px[0], 254);  // floor(0.9999 * 255) per the paper's Eq. (2)
+}
+
+}  // namespace
+}  // namespace mgpu::gles2

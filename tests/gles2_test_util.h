@@ -1,0 +1,75 @@
+// Helpers to drive the software GL ES 2.0 context in tests: the canonical
+// pass-through pipeline of the paper (fullscreen two-triangle quad).
+#ifndef MGPU_TESTS_GLES2_TEST_UTIL_H_
+#define MGPU_TESTS_GLES2_TEST_UTIL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "gles2/context.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::gles2::testutil {
+
+inline constexpr char kPassthroughVs[] = R"(
+attribute vec2 a_pos;
+varying vec2 v_uv;
+void main() {
+  v_uv = a_pos * 0.5 + 0.5;
+  gl_Position = vec4(a_pos, 0.0, 1.0);
+}
+)";
+
+// The two-triangle fullscreen quad (paper challenge 2).
+inline constexpr std::array<float, 12> kQuad = {
+    -1.0f, -1.0f, 1.0f, -1.0f, 1.0f, 1.0f,
+    -1.0f, -1.0f, 1.0f, 1.0f, -1.0f, 1.0f,
+};
+
+inline GLuint CompileShaderOrDie(Context& ctx, GLenum type,
+                                 const std::string& src) {
+  const GLuint s = ctx.CreateShader(type);
+  ctx.ShaderSource(s, src);
+  ctx.CompileShader(s);
+  GLint ok = GL_FALSE;
+  ctx.GetShaderiv(s, GL_COMPILE_STATUS, &ok);
+  EXPECT_EQ(ok, GL_TRUE) << ctx.GetShaderInfoLog(s) << "\nsource:\n" << src;
+  return s;
+}
+
+inline GLuint BuildProgramOrDie(Context& ctx, const std::string& vs_src,
+                                const std::string& fs_src) {
+  const GLuint vs = CompileShaderOrDie(ctx, GL_VERTEX_SHADER, vs_src);
+  const GLuint fs = CompileShaderOrDie(ctx, GL_FRAGMENT_SHADER, fs_src);
+  const GLuint p = ctx.CreateProgram();
+  ctx.AttachShader(p, vs);
+  ctx.AttachShader(p, fs);
+  ctx.LinkProgram(p);
+  GLint ok = GL_FALSE;
+  ctx.GetProgramiv(p, GL_LINK_STATUS, &ok);
+  EXPECT_EQ(ok, GL_TRUE) << ctx.GetProgramInfoLog(p);
+  return p;
+}
+
+// Draws the fullscreen quad with `program` (expects attribute a_pos).
+inline void DrawFullscreenQuad(Context& ctx, GLuint program) {
+  ctx.UseProgram(program);
+  const GLint loc = ctx.GetAttribLocation(program, "a_pos");
+  ASSERT_GE(loc, 0);
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+  ctx.VertexAttribPointer(static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE, 0,
+                          kQuad.data());
+  ctx.DrawArrays(GL_TRIANGLES, 0, 6);
+}
+
+// Reads the full default framebuffer (or bound FBO) as RGBA bytes.
+inline std::vector<std::uint8_t> ReadRgba(Context& ctx, int w, int h) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(w) * h * 4);
+  ctx.ReadPixels(0, 0, w, h, GL_RGBA, GL_UNSIGNED_BYTE, out.data());
+  return out;
+}
+
+}  // namespace mgpu::gles2::testutil
+
+#endif  // MGPU_TESTS_GLES2_TEST_UTIL_H_

@@ -1,0 +1,206 @@
+// GLSL ES 1.00 built-in function library behaviour, including the exact
+// definitions the paper's numeric transformations depend on (floor, mod,
+// exp2, log2, sign) and parameterized sweeps over representative inputs.
+#include <array>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/strings.h"
+#include "glsl_test_util.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::glsl {
+namespace {
+
+using testutil::RunFragment;
+
+float Run1(const std::string& expr) {
+  const auto c = RunFragment("gl_FragColor = vec4(" + expr +
+                             ", 0.0, 0.0, 0.0);");
+  return c[0];
+}
+
+TEST(BuiltinsTest, AngleConversions) {
+  EXPECT_NEAR(Run1("radians(180.0)"), 3.14159265f, 1e-5f);
+  EXPECT_NEAR(Run1("degrees(3.14159265)"), 180.0f, 1e-3f);
+}
+
+TEST(BuiltinsTest, Trig) {
+  EXPECT_NEAR(Run1("sin(1.0)"), std::sin(1.0f), 1e-6f);
+  EXPECT_NEAR(Run1("cos(1.0)"), std::cos(1.0f), 1e-6f);
+  EXPECT_NEAR(Run1("tan(1.0)"), std::tan(1.0f), 1e-6f);
+  EXPECT_NEAR(Run1("asin(0.5)"), std::asin(0.5f), 1e-6f);
+  EXPECT_NEAR(Run1("acos(0.5)"), std::acos(0.5f), 1e-6f);
+  EXPECT_NEAR(Run1("atan(1.0)"), std::atan(1.0f), 1e-6f);
+  EXPECT_NEAR(Run1("atan(1.0, -1.0)"), std::atan2(1.0f, -1.0f), 1e-6f);
+}
+
+TEST(BuiltinsTest, Exponential) {
+  EXPECT_NEAR(Run1("pow(2.0, 10.0)"), 1024.0f, 1e-2f);
+  EXPECT_NEAR(Run1("exp(1.0)"), 2.718281828f, 1e-5f);
+  EXPECT_NEAR(Run1("log(exp(2.0))"), 2.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(Run1("exp2(8.0)"), 256.0f);
+  EXPECT_FLOAT_EQ(Run1("log2(256.0)"), 8.0f);
+  EXPECT_FLOAT_EQ(Run1("sqrt(9.0)"), 3.0f);
+  EXPECT_FLOAT_EQ(Run1("inversesqrt(4.0)"), 0.5f);
+}
+
+TEST(BuiltinsTest, CommonFunctions) {
+  EXPECT_FLOAT_EQ(Run1("abs(-3.5)"), 3.5f);
+  EXPECT_FLOAT_EQ(Run1("sign(-2.0)"), -1.0f);
+  EXPECT_FLOAT_EQ(Run1("sign(0.0)"), 0.0f);
+  EXPECT_FLOAT_EQ(Run1("floor(2.7)"), 2.0f);
+  EXPECT_FLOAT_EQ(Run1("floor(-2.1)"), -3.0f);
+  EXPECT_FLOAT_EQ(Run1("ceil(2.1)"), 3.0f);
+  EXPECT_FLOAT_EQ(Run1("fract(2.75)"), 0.75f);
+  EXPECT_FLOAT_EQ(Run1("min(2.0, 3.0)"), 2.0f);
+  EXPECT_FLOAT_EQ(Run1("max(2.0, 3.0)"), 3.0f);
+  EXPECT_FLOAT_EQ(Run1("clamp(5.0, 0.0, 1.0)"), 1.0f);
+  EXPECT_FLOAT_EQ(Run1("clamp(-5.0, 0.0, 1.0)"), 0.0f);
+  EXPECT_FLOAT_EQ(Run1("mix(0.0, 10.0, 0.25)"), 2.5f);
+  EXPECT_FLOAT_EQ(Run1("step(0.5, 0.4)"), 0.0f);
+  EXPECT_FLOAT_EQ(Run1("step(0.5, 0.6)"), 1.0f);
+  EXPECT_NEAR(Run1("smoothstep(0.0, 1.0, 0.5)"), 0.5f, 1e-6f);
+}
+
+// mod() underpins the paper's byte-significance decomposition (Eq. 7); its
+// GLSL definition x - y*floor(x/y) must hold including negatives.
+TEST(BuiltinsTest, ModMatchesSpecDefinition) {
+  const std::array<std::array<float, 2>, 6> cases = {{
+      {7.0f, 4.0f}, {256.0f, 255.0f}, {-7.0f, 4.0f},
+      {7.0f, -4.0f}, {65535.0f, 256.0f}, {12345.0f, 65536.0f},
+  }};
+  for (const auto& c : cases) {
+    const float expected = c[0] - c[1] * std::floor(c[0] / c[1]);
+    EXPECT_NEAR(Run1(StrFormat("mod(%f, %f)", c[0], c[1])), expected, 1e-3f)
+        << c[0] << " mod " << c[1];
+  }
+}
+
+TEST(BuiltinsTest, VectorizedGenTypeApplication) {
+  const auto c = RunFragment(
+      "gl_FragColor = floor(vec4(1.5, 2.5, -0.5, 3.9));");
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+  EXPECT_FLOAT_EQ(c[1], 2.0f);
+  EXPECT_FLOAT_EQ(c[2], -1.0f);
+  EXPECT_FLOAT_EQ(c[3], 3.0f);
+}
+
+TEST(BuiltinsTest, ScalarBroadcastSecondArg) {
+  const auto c = RunFragment(
+      "gl_FragColor = max(vec4(0.1, 0.5, 0.9, 0.2), 0.4);");
+  EXPECT_FLOAT_EQ(c[0], 0.4f);
+  EXPECT_FLOAT_EQ(c[1], 0.5f);
+  EXPECT_FLOAT_EQ(c[2], 0.9f);
+  EXPECT_FLOAT_EQ(c[3], 0.4f);
+}
+
+TEST(BuiltinsTest, GeometricFunctions) {
+  EXPECT_FLOAT_EQ(Run1("length(vec3(3.0, 4.0, 0.0))"), 5.0f);
+  EXPECT_FLOAT_EQ(Run1("distance(vec2(1.0, 1.0), vec2(4.0, 5.0))"), 5.0f);
+  EXPECT_FLOAT_EQ(Run1("dot(vec3(1.0, 2.0, 3.0), vec3(4.0, 5.0, 6.0))"),
+                  32.0f);
+  const auto cr = RunFragment(
+      "gl_FragColor = vec4(cross(vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0)), "
+      "0.0);");
+  EXPECT_FLOAT_EQ(cr[0], 0.0f);
+  EXPECT_FLOAT_EQ(cr[1], 0.0f);
+  EXPECT_FLOAT_EQ(cr[2], 1.0f);
+  const auto nm = RunFragment(
+      "gl_FragColor = vec4(normalize(vec3(10.0, 0.0, 0.0)), 0.0);");
+  EXPECT_NEAR(nm[0], 1.0f, 1e-6f);
+}
+
+TEST(BuiltinsTest, ReflectRefract) {
+  const auto r = RunFragment(
+      "gl_FragColor = vec4(reflect(vec2(1.0, -1.0), vec2(0.0, 1.0)), 0.0, "
+      "0.0);");
+  EXPECT_FLOAT_EQ(r[0], 1.0f);
+  EXPECT_FLOAT_EQ(r[1], 1.0f);
+  // Total internal reflection yields the zero vector.
+  const auto z = RunFragment(
+      "gl_FragColor = vec4(refract(normalize(vec2(1.0, -0.1)), vec2(0.0, "
+      "1.0), 2.0), 0.0, 0.0);");
+  EXPECT_FLOAT_EQ(z[0], 0.0f);
+  EXPECT_FLOAT_EQ(z[1], 0.0f);
+}
+
+TEST(BuiltinsTest, MatrixCompMult) {
+  const auto c = RunFragment(R"(
+mat2 a = mat2(1.0, 2.0, 3.0, 4.0);
+mat2 b = mat2(5.0, 6.0, 7.0, 8.0);
+mat2 m = matrixCompMult(a, b);
+gl_FragColor = vec4(m[0][0], m[0][1], m[1][0], m[1][1]);)");
+  EXPECT_FLOAT_EQ(c[0], 5.0f);
+  EXPECT_FLOAT_EQ(c[1], 12.0f);
+  EXPECT_FLOAT_EQ(c[2], 21.0f);
+  EXPECT_FLOAT_EQ(c[3], 32.0f);
+}
+
+TEST(BuiltinsTest, VectorRelational) {
+  const auto c = RunFragment(R"(
+vec3 a = vec3(1.0, 2.0, 3.0);
+vec3 b = vec3(3.0, 2.0, 1.0);
+bvec3 lt = lessThan(a, b);
+bvec3 eq = equal(a, b);
+gl_FragColor = vec4(lt.x ? 1.0 : 0.0, lt.z ? 1.0 : 0.0,
+                    eq.y ? 1.0 : 0.0, any(lt) ? 1.0 : 0.0);)");
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+  EXPECT_FLOAT_EQ(c[1], 0.0f);
+  EXPECT_FLOAT_EQ(c[2], 1.0f);
+  EXPECT_FLOAT_EQ(c[3], 1.0f);
+}
+
+TEST(BuiltinsTest, AnyAllNot) {
+  const auto c = RunFragment(R"(
+bvec3 v = bvec3(true, false, true);
+gl_FragColor = vec4(any(v) ? 1.0 : 0.0, all(v) ? 1.0 : 0.0,
+                    all(not(v)) ? 1.0 : 0.0, any(not(v)) ? 1.0 : 0.0);)");
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+  EXPECT_FLOAT_EQ(c[1], 0.0f);
+  EXPECT_FLOAT_EQ(c[2], 0.0f);
+  EXPECT_FLOAT_EQ(c[3], 1.0f);
+}
+
+TEST(BuiltinsTest, IntVectorRelational) {
+  const auto c = RunFragment(R"(
+ivec2 a = ivec2(1, 5);
+ivec2 b = ivec2(2, 2);
+bvec2 lt = lessThan(a, b);
+gl_FragColor = vec4(lt.x ? 1.0 : 0.0, lt.y ? 1.0 : 0.0, 0.0, 0.0);)");
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+  EXPECT_FLOAT_EQ(c[1], 0.0f);
+}
+
+// Parameterized sweep: floor/fract/mod identities over a range of values,
+// the invariants the paper's §IV packing algebra relies on.
+class FloorModProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(FloorModProperty, FloorPlusFractReconstructs) {
+  const float x = GetParam();
+  const auto c = RunFragment(StrFormat(
+      "float x = %f;\ngl_FragColor = vec4(floor(x) + fract(x), floor(x), "
+      "fract(x), 0.0);",
+      x));
+  EXPECT_NEAR(c[0], x, std::fabs(x) * 1e-6f + 1e-6f);
+  EXPECT_LE(c[2], 1.0f);
+  EXPECT_GE(c[2], 0.0f);
+}
+
+TEST_P(FloorModProperty, ModRange) {
+  const float x = GetParam();
+  const auto c = RunFragment(
+      StrFormat("gl_FragColor = vec4(mod(%f, 256.0), 0.0, 0.0, 0.0);", x));
+  EXPECT_GE(c[0], 0.0f);
+  EXPECT_LT(c[0], 256.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FloorModProperty,
+                         ::testing::Values(0.0f, 0.5f, 1.0f, 254.99f, 255.0f,
+                                           256.0f, 257.5f, 1023.25f,
+                                           65535.0f, -1.5f, -255.75f,
+                                           123456.0f));
+
+}  // namespace
+}  // namespace mgpu::glsl

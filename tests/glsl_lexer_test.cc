@@ -1,0 +1,130 @@
+#include "glsl/lexer.h"
+
+#include <vector>
+
+#include "glsl/diag.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::glsl {
+namespace {
+
+std::vector<Token> LexOk(const std::string& src) {
+  DiagSink diags;
+  auto toks = Lex(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.InfoLog();
+  return toks;
+}
+
+TEST(LexerTest, EmptySourceYieldsEof) {
+  const auto toks = LexOk("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEof);
+}
+
+TEST(LexerTest, Identifiers) {
+  const auto toks = LexOk("foo _bar baz123");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "_bar");
+  EXPECT_EQ(toks[2].text, "baz123");
+}
+
+TEST(LexerTest, Keywords) {
+  const auto toks = LexOk("uniform varying attribute const highp vec4 mat3");
+  EXPECT_EQ(toks[0].kind, Tok::kKwUniform);
+  EXPECT_EQ(toks[1].kind, Tok::kKwVarying);
+  EXPECT_EQ(toks[2].kind, Tok::kKwAttribute);
+  EXPECT_EQ(toks[3].kind, Tok::kKwConst);
+  EXPECT_EQ(toks[4].kind, Tok::kKwHighp);
+  EXPECT_EQ(toks[5].kind, Tok::kKwVec4);
+  EXPECT_EQ(toks[6].kind, Tok::kKwMat3);
+}
+
+TEST(LexerTest, IntLiteralsDecimalHexOctal) {
+  const auto toks = LexOk("42 0x1F 017 0");
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].int_value, 31);
+  EXPECT_EQ(toks[2].int_value, 15);
+  EXPECT_EQ(toks[3].int_value, 0);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  const auto toks = LexOk("1.0 .5 3. 2e3 1.5e-2 255.0");
+  EXPECT_EQ(toks[0].kind, Tok::kFloatLiteral);
+  EXPECT_FLOAT_EQ(toks[0].float_value, 1.0f);
+  EXPECT_FLOAT_EQ(toks[1].float_value, 0.5f);
+  EXPECT_FLOAT_EQ(toks[2].float_value, 3.0f);
+  EXPECT_FLOAT_EQ(toks[3].float_value, 2000.0f);
+  EXPECT_FLOAT_EQ(toks[4].float_value, 0.015f);
+  EXPECT_FLOAT_EQ(toks[5].float_value, 255.0f);
+}
+
+TEST(LexerTest, FloatSuffixIsAnError) {
+  DiagSink diags;
+  (void)Lex("1.0f", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, OperatorsMultiChar) {
+  const auto toks = LexOk("== != <= >= && || ^^ += -= *= /= ++ --");
+  EXPECT_EQ(toks[0].kind, Tok::kEqEq);
+  EXPECT_EQ(toks[1].kind, Tok::kBangEq);
+  EXPECT_EQ(toks[2].kind, Tok::kLessEq);
+  EXPECT_EQ(toks[3].kind, Tok::kGreaterEq);
+  EXPECT_EQ(toks[4].kind, Tok::kAmpAmp);
+  EXPECT_EQ(toks[5].kind, Tok::kPipePipe);
+  EXPECT_EQ(toks[6].kind, Tok::kCaretCaret);
+  EXPECT_EQ(toks[7].kind, Tok::kPlusEq);
+  EXPECT_EQ(toks[8].kind, Tok::kMinusEq);
+  EXPECT_EQ(toks[9].kind, Tok::kStarEq);
+  EXPECT_EQ(toks[10].kind, Tok::kSlashEq);
+  EXPECT_EQ(toks[11].kind, Tok::kPlusPlus);
+  EXPECT_EQ(toks[12].kind, Tok::kMinusMinus);
+}
+
+TEST(LexerTest, ReservedOperatorsDiagnosed) {
+  for (const char* src : {"a % b", "a & b", "a | b", "a ^ b", "~a",
+                          "a << 2", "a >> 2"}) {
+    DiagSink diags;
+    (void)Lex(src, diags);
+    EXPECT_TRUE(diags.has_errors()) << src;
+  }
+}
+
+TEST(LexerTest, ReservedKeywordsDiagnosed) {
+  for (const char* src : {"double x", "long y", "switch", "goto", "half h",
+                          "sampler3D s"}) {
+    DiagSink diags;
+    (void)Lex(src, diags);
+    EXPECT_TRUE(diags.has_errors()) << src;
+  }
+}
+
+TEST(LexerTest, DoubleUnderscoreReserved) {
+  DiagSink diags;
+  (void)Lex("__foo", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, SourceLocationsTracked) {
+  const auto toks = LexOk("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.column, 3);
+}
+
+TEST(LexerTest, SamplerKeywordCaseSensitive) {
+  const auto toks = LexOk("sampler2D");
+  EXPECT_EQ(toks[0].kind, Tok::kKwSampler2D);
+}
+
+TEST(LexerTest, DotFollowedByIdentifierIsFieldAccess) {
+  const auto toks = LexOk("v.xyz");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdentifier);
+  EXPECT_EQ(toks[1].kind, Tok::kDot);
+  EXPECT_EQ(toks[2].text, "xyz");
+}
+
+}  // namespace
+}  // namespace mgpu::glsl

@@ -1,0 +1,157 @@
+// Parser-level tests exercised through the full compile pipeline: valid
+// programs must compile, syntax errors must be diagnosed.
+#include <string>
+
+#include "glsl_test_util.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::glsl {
+namespace {
+
+using testutil::MustCompile;
+using testutil::MustFail;
+
+constexpr char kPrec[] = "precision highp float;\n";
+
+TEST(ParserTest, MinimalFragmentShader) {
+  MustCompile(std::string(kPrec) + "void main() { gl_FragColor = vec4(0.0); }");
+}
+
+TEST(ParserTest, MinimalVertexShader) {
+  MustCompile("attribute vec4 a_pos;\nvoid main() { gl_Position = a_pos; }",
+              Stage::kVertex);
+}
+
+TEST(ParserTest, AllStatementForms) {
+  MustCompile(std::string(kPrec) + R"(
+void main() {
+  float acc = 0.0;
+  for (int i = 0; i < 4; ++i) { acc += 1.0; }
+  int j = 0;
+  while (j < 3) { j++; if (j == 2) continue; acc += 0.5; }
+  do { acc -= 0.25; } while (acc > 10.0);
+  if (acc > 0.0) { gl_FragColor = vec4(acc); } else { gl_FragColor = vec4(0.0); }
+})");
+}
+
+TEST(ParserTest, FunctionDefinitionAndCall) {
+  MustCompile(std::string(kPrec) + R"(
+float twice(float x) { return x * 2.0; }
+void main() { gl_FragColor = vec4(twice(0.25)); })");
+}
+
+TEST(ParserTest, FunctionPrototypeThenDefinition) {
+  MustCompile(std::string(kPrec) + R"(
+float twice(float x);
+void main() { gl_FragColor = vec4(twice(0.25)); }
+float twice(float x) { return x * 2.0; })");
+}
+
+TEST(ParserTest, OutAndInoutParams) {
+  MustCompile(std::string(kPrec) + R"(
+void split(in float v, out float a, inout float b) { a = v; b += v; }
+void main() {
+  float x; float y = 1.0;
+  split(0.5, x, y);
+  gl_FragColor = vec4(x, y, 0.0, 1.0);
+})");
+}
+
+TEST(ParserTest, ArrayDeclarationAndIndexing) {
+  MustCompile(std::string(kPrec) + R"(
+void main() {
+  float tbl[4];
+  for (int i = 0; i < 4; ++i) { tbl[i] = float(i); }
+  gl_FragColor = vec4(tbl[3]);
+})");
+}
+
+TEST(ParserTest, MultipleDeclaratorsWithInit) {
+  MustCompile(std::string(kPrec) +
+              "void main() { float a = 1.0, b = 2.0, c; c = a + b; "
+              "gl_FragColor = vec4(c); }");
+}
+
+TEST(ParserTest, TernaryAndComma) {
+  MustCompile(std::string(kPrec) + R"(
+void main() {
+  float a = 1.0;
+  float b = a > 0.5 ? 2.0 : 3.0;
+  a = (b += 1.0, b);
+  gl_FragColor = vec4(a);
+})");
+}
+
+TEST(ParserTest, VoidParameterList) {
+  MustCompile(std::string(kPrec) +
+              "float one(void) { return 1.0; }\n"
+              "void main() { gl_FragColor = vec4(one()); }");
+}
+
+TEST(ParserTest, StructRejected) {
+  MustFail("struct S { float x; };\nvoid main() {}");
+}
+
+TEST(ParserTest, MissingSemicolonRejected) {
+  MustFail(std::string(kPrec) + "void main() { float a = 1.0 }");
+}
+
+TEST(ParserTest, UnbalancedBraceRejected) {
+  MustFail(std::string(kPrec) + "void main() { ");
+}
+
+TEST(ParserTest, NonLiteralArraySizeRejected) {
+  MustFail(std::string(kPrec) + "void main() { int n = 4; float a[n]; }");
+}
+
+TEST(ParserTest, ZeroArraySizeRejected) {
+  MustFail(std::string(kPrec) + "void main() { float a[0]; }");
+}
+
+TEST(ParserTest, QualifierOnFunctionRejected) {
+  MustFail("uniform float f() { return 1.0; }\nvoid main() {}");
+}
+
+TEST(ParserTest, PrecisionStatementForms) {
+  MustCompile("precision mediump float;\nprecision highp int;\n"
+              "void main() { gl_FragColor = vec4(1.0); }");
+}
+
+TEST(ParserTest, PrecisionOnBoolRejected) {
+  MustFail("precision highp bool;\nvoid main() {}");
+}
+
+TEST(ParserTest, InvariantVarying) {
+  MustCompile("invariant varying vec2 v_uv;\nattribute vec4 a_p;\n"
+              "void main() { v_uv = a_p.xy; gl_Position = a_p; }",
+              Stage::kVertex);
+}
+
+TEST(ParserTest, ConstructorExpressionNotMistakenForDeclaration) {
+  MustCompile(std::string(kPrec) +
+              "void main() { gl_FragColor = vec4(vec2(1.0), vec2(0.0)); }");
+}
+
+TEST(ParserTest, NestedFunctionCallsAndSwizzles) {
+  MustCompile(std::string(kPrec) + R"(
+void main() {
+  vec4 c = vec4(0.1, 0.2, 0.3, 0.4);
+  gl_FragColor = vec4(c.zyx, c.w).wzyx;
+})");
+}
+
+TEST(ParserTest, EmptyStatementAllowed) {
+  MustCompile(std::string(kPrec) + "void main() { ;;; gl_FragColor = vec4(0.0); }");
+}
+
+TEST(ParserTest, ForWithEmptyClauses) {
+  MustCompile(std::string(kPrec) + R"(
+void main() {
+  float a = 0.0;
+  for (;;) { a += 1.0; if (a > 3.0) break; }
+  gl_FragColor = vec4(a);
+})");
+}
+
+}  // namespace
+}  // namespace mgpu::glsl

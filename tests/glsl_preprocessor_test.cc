@@ -1,0 +1,151 @@
+#include "glsl/preprocessor.h"
+
+#include "common/strings.h"
+#include "glsl/diag.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::glsl {
+namespace {
+
+PreprocessResult PpOk(const std::string& src) {
+  DiagSink diags;
+  auto r = Preprocess(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.InfoLog();
+  return r;
+}
+
+TEST(PreprocessorTest, LineCommentsStripped) {
+  const auto r = PpOk("a // comment\nb");
+  EXPECT_TRUE(Contains(r.text, "a"));
+  EXPECT_TRUE(Contains(r.text, "b"));
+  EXPECT_FALSE(Contains(r.text, "comment"));
+}
+
+TEST(PreprocessorTest, BlockCommentsPreserveLineNumbers) {
+  const auto r = PpOk("a /* x\ny\nz */ b");
+  int newlines = 0;
+  for (const char c : r.text) newlines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(newlines, 3);  // same line structure as input
+}
+
+TEST(PreprocessorTest, UnterminatedBlockCommentIsError) {
+  DiagSink diags;
+  (void)Preprocess("a /* no end", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PreprocessorTest, Version100Accepted) {
+  const auto r = PpOk("#version 100\nvoid main(){}");
+  EXPECT_EQ(r.version, 100);
+}
+
+TEST(PreprocessorTest, Version300Rejected) {
+  DiagSink diags;
+  (void)Preprocess("#version 300\nvoid main(){}", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PreprocessorTest, VersionAfterCodeRejected) {
+  DiagSink diags;
+  (void)Preprocess("void main(){}\n#version 100\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PreprocessorTest, ObjectMacroExpansion) {
+  const auto r = PpOk("#define N 16\nfloat a[N];");
+  EXPECT_TRUE(Contains(r.text, "float a[16];"));
+}
+
+TEST(PreprocessorTest, MacroRescan) {
+  const auto r = PpOk("#define A B\n#define B 3\nint x = A;");
+  EXPECT_TRUE(Contains(r.text, "int x = 3;"));
+}
+
+TEST(PreprocessorTest, MacroDoesNotExpandSubstrings) {
+  const auto r = PpOk("#define N 16\nint NN = 1; int xN = N;");
+  EXPECT_TRUE(Contains(r.text, "NN = 1"));
+  EXPECT_TRUE(Contains(r.text, "xN = 16"));
+}
+
+TEST(PreprocessorTest, UndefStopsExpansion) {
+  const auto r = PpOk("#define N 16\n#undef N\nint x = N;");
+  EXPECT_TRUE(Contains(r.text, "int x = N;"));
+}
+
+TEST(PreprocessorTest, FunctionLikeMacroRejected) {
+  DiagSink diags;
+  (void)Preprocess("#define F(x) (x)\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PreprocessorTest, IfdefTakenBranch) {
+  const auto r = PpOk("#define FEATURE 1\n#ifdef FEATURE\nint a;\n#else\nint "
+                      "b;\n#endif\n");
+  EXPECT_TRUE(Contains(r.text, "int a;"));
+  EXPECT_FALSE(Contains(r.text, "int b;"));
+}
+
+TEST(PreprocessorTest, IfndefElseBranch) {
+  const auto r = PpOk("#ifndef MISSING\nint a;\n#else\nint b;\n#endif\n");
+  EXPECT_TRUE(Contains(r.text, "int a;"));
+  EXPECT_FALSE(Contains(r.text, "int b;"));
+}
+
+TEST(PreprocessorTest, NestedConditionals) {
+  const auto r = PpOk(
+      "#define OUTER 1\n#ifdef OUTER\n#ifdef INNER\nint a;\n#else\nint "
+      "b;\n#endif\n#endif\n");
+  EXPECT_FALSE(Contains(r.text, "int a;"));
+  EXPECT_TRUE(Contains(r.text, "int b;"));
+}
+
+TEST(PreprocessorTest, InactiveBranchSuppressesDefines) {
+  const auto r =
+      PpOk("#ifdef MISSING\n#define N 5\n#endif\nint x = N;\n");
+  EXPECT_TRUE(Contains(r.text, "int x = N;"));
+}
+
+TEST(PreprocessorTest, UnterminatedIfdefIsError) {
+  DiagSink diags;
+  (void)Preprocess("#ifdef X\nint a;\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PreprocessorTest, ElseWithoutIfIsError) {
+  DiagSink diags;
+  (void)Preprocess("#else\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PreprocessorTest, ErrorDirective) {
+  DiagSink diags;
+  (void)Preprocess("#error custom message\n", diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_TRUE(Contains(diags.InfoLog(), "custom message"));
+}
+
+TEST(PreprocessorTest, ErrorInInactiveBranchIgnored) {
+  DiagSink diags;
+  (void)Preprocess("#ifdef MISSING\n#error nope\n#endif\n", diags);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(PreprocessorTest, GlEsPredefined) {
+  const auto r = PpOk("#ifdef GL_ES\nint yes;\n#endif\n");
+  EXPECT_TRUE(Contains(r.text, "int yes;"));
+}
+
+TEST(PreprocessorTest, PragmaAndExtensionIgnored) {
+  const auto r = PpOk("#pragma optimize(on)\n#extension GL_OES_foo : "
+                      "enable\nint a;\n");
+  EXPECT_TRUE(Contains(r.text, "int a;"));
+}
+
+TEST(PreprocessorTest, UnknownDirectiveIsError) {
+  DiagSink diags;
+  (void)Preprocess("#include \"foo.h\"\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace mgpu::glsl

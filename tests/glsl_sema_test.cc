@@ -1,0 +1,389 @@
+// Semantic rules of GLSL ES 1.00 that matter for the paper's GPGPU usage:
+// the no-implicit-conversion rule, mandatory fragment float precision,
+// storage qualifier enforcement, the single-output rule and resource limits.
+#include <string>
+
+#include "common/strings.h"
+#include "glsl_test_util.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::glsl {
+namespace {
+
+using testutil::MustCompile;
+using testutil::MustFail;
+
+constexpr char kPrec[] = "precision highp float;\n";
+
+// --- the fragment default-precision rule (paper challenge context) ---
+
+TEST(SemaTest, FragmentFloatWithoutDefaultPrecisionRejected) {
+  const std::string log =
+      MustFail("void main() { float x = 1.0; gl_FragColor = vec4(x); }");
+  EXPECT_TRUE(Contains(log, "precision"));
+}
+
+TEST(SemaTest, FragmentIntHasDefaultPrecision) {
+  MustCompile("void main() { int i = 3; if (i > 2) { gl_FragColor = "
+              "vec4(1.0); } }");
+}
+
+TEST(SemaTest, VertexFloatHasDefaultPrecision) {
+  MustCompile("void main() { float x = 1.0; gl_Position = vec4(x); }",
+              Stage::kVertex);
+}
+
+TEST(SemaTest, ExplicitPrecisionOnDeclSuffices) {
+  MustCompile("void main() { highp float x = 1.0; gl_FragColor = vec4(x); }");
+}
+
+// --- no implicit conversions ---
+
+TEST(SemaTest, IntToFloatAssignmentRejected) {
+  const std::string log =
+      MustFail(std::string(kPrec) + "void main() { float x = 1; }");
+  EXPECT_TRUE(Contains(log, "implicit"));
+}
+
+TEST(SemaTest, IntPlusFloatRejected) {
+  MustFail(std::string(kPrec) + "void main() { float x = 1 + 2.0; }");
+}
+
+TEST(SemaTest, ConstructorConversionAccepted) {
+  MustCompile(std::string(kPrec) +
+              "void main() { float x = float(1) + 2.0; gl_FragColor = "
+              "vec4(x); }");
+}
+
+TEST(SemaTest, FloatIndexRejected) {
+  MustFail(std::string(kPrec) +
+           "void main() { vec4 v = vec4(0.0); float f = v[1.0]; }");
+}
+
+// --- undeclared / redeclared identifiers ---
+
+TEST(SemaTest, UndeclaredIdentifierRejected) {
+  MustFail(std::string(kPrec) + "void main() { gl_FragColor = vec4(nope); }");
+}
+
+TEST(SemaTest, RedeclarationInSameScopeRejected) {
+  MustFail(std::string(kPrec) + "void main() { float a = 1.0; float a; }");
+}
+
+TEST(SemaTest, ShadowingInInnerScopeAllowed) {
+  MustCompile(std::string(kPrec) + R"(
+void main() {
+  float a = 1.0;
+  { float a = 2.0; gl_FragColor = vec4(a); }
+})");
+}
+
+TEST(SemaTest, DeclarationVisibleOnlyAfterScopeEnds) {
+  MustFail(std::string(kPrec) + R"(
+void main() {
+  { float inner = 1.0; }
+  gl_FragColor = vec4(inner);
+})");
+}
+
+// --- storage qualifiers ---
+
+TEST(SemaTest, AssignToUniformRejected) {
+  MustFail(std::string(kPrec) +
+           "uniform float u;\nvoid main() { u = 1.0; }");
+}
+
+TEST(SemaTest, AssignToAttributeRejected) {
+  MustFail("attribute vec4 a;\nvoid main() { a = vec4(0.0); gl_Position = a; }",
+           Stage::kVertex);
+}
+
+TEST(SemaTest, AttributeInFragmentRejected) {
+  MustFail(std::string(kPrec) + "attribute vec4 a;\nvoid main() {}");
+}
+
+TEST(SemaTest, VaryingWritableInVertex) {
+  MustCompile("varying vec2 v_uv;\nattribute vec4 a_p;\n"
+              "void main() { v_uv = a_p.xy; gl_Position = a_p; }",
+              Stage::kVertex);
+}
+
+TEST(SemaTest, VaryingReadOnlyInFragment) {
+  MustFail(std::string(kPrec) +
+           "varying vec2 v_uv;\nvoid main() { v_uv = vec2(0.0); }");
+}
+
+TEST(SemaTest, IntVaryingRejected) {
+  MustFail("varying int v_i;\nvoid main() { gl_Position = vec4(0.0); }",
+           Stage::kVertex);
+}
+
+TEST(SemaTest, ConstWithoutInitializerRejected) {
+  MustFail(std::string(kPrec) + "void main() { const float k; }");
+}
+
+TEST(SemaTest, AssignToConstRejected) {
+  MustFail(std::string(kPrec) +
+           "void main() { const float k = 1.0; k = 2.0; }");
+}
+
+TEST(SemaTest, UniformWithInitializerRejected) {
+  MustFail(std::string(kPrec) + "uniform float u = 1.0;\nvoid main() {}");
+}
+
+TEST(SemaTest, SamplerMustBeUniform) {
+  MustFail(std::string(kPrec) + "void main() { sampler2D s; }");
+}
+
+// --- gl_* builtins ---
+
+TEST(SemaTest, GlFragColorWritable) {
+  MustCompile(std::string(kPrec) + "void main() { gl_FragColor = vec4(1.0); }");
+}
+
+TEST(SemaTest, GlFragDataZeroWritable) {
+  MustCompile(std::string(kPrec) +
+              "void main() { gl_FragData[0] = vec4(1.0); }");
+}
+
+TEST(SemaTest, GlFragDataOutOfRangeRejected) {
+  // ES 2.0 guarantees only gl_MaxDrawBuffers == 1 entry: this is the paper's
+  // challenge 8 (single output per shader).
+  MustFail(std::string(kPrec) + "void main() { gl_FragData[1] = vec4(1.0); }");
+}
+
+TEST(SemaTest, GlFragCoordReadOnly) {
+  MustFail(std::string(kPrec) + "void main() { gl_FragCoord = vec4(0.0); }");
+}
+
+TEST(SemaTest, GlPositionNotVisibleInFragment) {
+  MustFail(std::string(kPrec) + "void main() { gl_Position = vec4(0.0); }");
+}
+
+TEST(SemaTest, GlFragColorNotVisibleInVertex) {
+  MustFail("void main() { gl_FragColor = vec4(0.0); }", Stage::kVertex);
+}
+
+TEST(SemaTest, GlPrefixReservedForUserVariables) {
+  MustFail(std::string(kPrec) + "float gl_mine;\nvoid main() {}");
+}
+
+TEST(SemaTest, BuiltinConstantsReadable) {
+  MustCompile(std::string(kPrec) + R"(
+void main() {
+  if (gl_MaxDrawBuffers == 1) { gl_FragColor = vec4(1.0); }
+})");
+}
+
+// --- functions ---
+
+TEST(SemaTest, VoidMainRequired) {
+  MustFail(std::string(kPrec) + "float main() { return 1.0; }");
+}
+
+TEST(SemaTest, MissingMainRejected) {
+  MustFail(std::string(kPrec) + "float helper() { return 1.0; }");
+}
+
+TEST(SemaTest, RecursionRejected) {
+  const std::string log = MustFail(std::string(kPrec) + R"(
+float f(float x) { return x <= 0.0 ? 0.0 : f(x - 1.0); }
+void main() { gl_FragColor = vec4(f(3.0)); })");
+  EXPECT_TRUE(Contains(log, "recursion"));
+}
+
+TEST(SemaTest, MutualRecursionRejected) {
+  MustFail(std::string(kPrec) + R"(
+float g(float x);
+float f(float x) { return g(x); }
+float g(float x) { return f(x); }
+void main() { gl_FragColor = vec4(f(1.0)); })");
+}
+
+TEST(SemaTest, OverloadingBySignatureAllowed) {
+  MustCompile(std::string(kPrec) + R"(
+float pick(float x) { return x; }
+float pick(vec2 x) { return x.x; }
+void main() { gl_FragColor = vec4(pick(1.0) + pick(vec2(2.0, 3.0))); })");
+}
+
+TEST(SemaTest, BuiltinRedefinitionRejected) {
+  MustFail(std::string(kPrec) +
+           "float sin(float x) { return x; }\nvoid main() {}");
+}
+
+TEST(SemaTest, OutArgumentMustBeLValue) {
+  MustFail(std::string(kPrec) + R"(
+void get(out float x) { x = 1.0; }
+void main() { get(1.0 + 2.0); })");
+}
+
+TEST(SemaTest, ReturnTypeMismatchRejected) {
+  MustFail(std::string(kPrec) +
+           "float f() { return 1; }\nvoid main() { gl_FragColor = vec4(f()); }");
+}
+
+// --- operators and swizzles ---
+
+TEST(SemaTest, VectorSizeMismatchRejected) {
+  MustFail(std::string(kPrec) +
+           "void main() { vec3 a = vec3(0.0); vec2 b = vec2(0.0); vec3 c = a "
+           "+ b; }");
+}
+
+TEST(SemaTest, MatVecMulShapes) {
+  MustCompile(std::string(kPrec) + R"(
+void main() {
+  mat3 m = mat3(1.0);
+  vec3 v = vec3(1.0, 2.0, 3.0);
+  vec3 a = m * v;
+  vec3 b = v * m;
+  mat3 mm = m * m;
+  gl_FragColor = vec4(a.x + b.y + mm[0][0]);
+})");
+}
+
+TEST(SemaTest, MixedSwizzleSetsRejected) {
+  MustFail(std::string(kPrec) +
+           "void main() { vec4 v = vec4(0.0); vec2 s = v.xg; }");
+}
+
+TEST(SemaTest, SwizzleBeyondSizeRejected) {
+  MustFail(std::string(kPrec) +
+           "void main() { vec2 v = vec2(0.0); float z = v.z; }");
+}
+
+TEST(SemaTest, RepeatedSwizzleReadAllowed) {
+  MustCompile(std::string(kPrec) +
+              "void main() { vec2 v = vec2(0.3, 0.0); gl_FragColor = v.xxyy; "
+              "}");
+}
+
+TEST(SemaTest, RepeatedSwizzleWriteRejected) {
+  MustFail(std::string(kPrec) +
+           "void main() { vec4 v; v.xx = vec2(1.0); }");
+}
+
+TEST(SemaTest, ConstantIndexOutOfRangeRejected) {
+  MustFail(std::string(kPrec) + "void main() { vec3 v = vec3(0.0); float f = "
+                                "v[3]; }");
+}
+
+TEST(SemaTest, LogicalOpsRequireBool) {
+  MustFail(std::string(kPrec) + "void main() { float a = 1.0; if (a && a) {} "
+                                "}");
+}
+
+TEST(SemaTest, TernaryArmTypeMismatchRejected) {
+  MustFail(std::string(kPrec) +
+           "void main() { float f = true ? 1.0 : 1; }");
+}
+
+TEST(SemaTest, ArrayAssignmentRejected) {
+  MustFail(std::string(kPrec) +
+           "void main() { float a[2]; float b[2]; a = b; }");
+}
+
+TEST(SemaTest, ArrayInitializerRejected) {
+  MustFail(std::string(kPrec) + "void main() { float a[2] = 1.0; }");
+}
+
+// --- constructors ---
+
+TEST(SemaTest, VectorCtorComponentCount) {
+  MustFail(std::string(kPrec) + "void main() { vec4 v = vec4(1.0, 2.0); }");
+}
+
+TEST(SemaTest, VectorCtorUnusedArgumentRejected) {
+  MustFail(std::string(kPrec) +
+           "void main() { vec2 v = vec2(vec2(1.0), 3.0); }");
+}
+
+TEST(SemaTest, VectorCtorTruncatesLastArgument) {
+  MustCompile(std::string(kPrec) +
+              "void main() { vec3 v = vec3(vec4(1.0)); gl_FragColor = "
+              "vec4(v, 1.0); }");
+}
+
+TEST(SemaTest, MatrixCtorExactFill) {
+  MustFail(std::string(kPrec) +
+           "void main() { mat2 m = mat2(1.0, 2.0, 3.0); }");
+}
+
+TEST(SemaTest, MatrixFromMatrixAllowed) {
+  MustCompile(std::string(kPrec) +
+              "void main() { mat4 m4 = mat4(1.0); mat2 m2 = mat2(m4); "
+              "gl_FragColor = vec4(m2[0][0]); }");
+}
+
+// --- resource limits ---
+
+TEST(SemaTest, TooManyVaryingsRejected) {
+  Limits lim;
+  lim.max_varying_vectors = 2;
+  MustFail("varying vec4 v0; varying vec4 v1; varying vec4 v2;\n"
+           "void main() { gl_Position = vec4(0.0); v0 = v1 = v2 = "
+           "vec4(0.0); }",
+           Stage::kVertex, lim);
+}
+
+TEST(SemaTest, TooManyAttributesRejected) {
+  Limits lim;
+  lim.max_vertex_attribs = 1;
+  MustFail("attribute vec4 a0; attribute vec4 a1;\n"
+           "void main() { gl_Position = a0 + a1; }",
+           Stage::kVertex, lim);
+}
+
+TEST(SemaTest, MatrixVaryingCountsColumns) {
+  Limits lim;
+  lim.max_varying_vectors = 3;
+  MustFail("varying mat4 vm;\nvoid main() { vm = mat4(1.0); gl_Position = "
+           "vec4(0.0); }",
+           Stage::kVertex, lim);
+}
+
+TEST(SemaTest, FragmentHighpDowngradeWarnsWhenUnsupported) {
+  Limits lim;
+  lim.fragment_highp_float = false;  // Mali-400 class profile
+  CompileResult r = CompileGlsl(
+      "precision highp float;\nvoid main() { gl_FragColor = vec4(1.0); }",
+      Stage::kFragment, lim);
+  EXPECT_TRUE(r.ok) << r.info_log;
+  EXPECT_TRUE(Contains(r.info_log, "WARNING"));
+}
+
+// --- stage-specific statements ---
+
+TEST(SemaTest, DiscardOnlyInFragment) {
+  MustFail("void main() { discard; gl_Position = vec4(0.0); }",
+           Stage::kVertex);
+  MustCompile(std::string(kPrec) +
+              "void main() { if (gl_FragCoord.x < 0.0) discard; gl_FragColor "
+              "= vec4(1.0); }");
+}
+
+TEST(SemaTest, BreakOutsideLoopRejected) {
+  MustFail(std::string(kPrec) + "void main() { break; }");
+}
+
+TEST(SemaTest, TextureLodOnlyInVertex) {
+  MustFail(std::string(kPrec) + "uniform sampler2D s;\n"
+           "void main() { gl_FragColor = texture2DLod(s, vec2(0.5), 0.0); }");
+}
+
+TEST(SemaTest, TextureBiasOnlyInFragment) {
+  MustFail("uniform sampler2D s;\nvoid main() { gl_Position = texture2D(s, "
+           "vec2(0.5), 1.0); }",
+           Stage::kVertex);
+}
+
+TEST(SemaTest, CubeMapsUnsupportedDiagnosed) {
+  const std::string log = MustFail(
+      std::string(kPrec) + "uniform samplerCube c;\nvoid main() { "
+      "gl_FragColor = textureCube(c, vec3(0.0)); }");
+  EXPECT_TRUE(Contains(log, "cube"));
+}
+
+}  // namespace
+}  // namespace mgpu::glsl

@@ -1,0 +1,71 @@
+// Shared helpers for GLSL front-end and interpreter tests.
+#ifndef MGPU_TESTS_GLSL_TEST_UTIL_H_
+#define MGPU_TESTS_GLSL_TEST_UTIL_H_
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "glsl/alu.h"
+#include "glsl/compile.h"
+#include "glsl/interp.h"
+
+#include "gtest/gtest.h"
+
+namespace mgpu::glsl::testutil {
+
+// Compiles and expects success; fails the test with the info log otherwise.
+inline std::unique_ptr<CompiledShader> MustCompile(
+    const std::string& src, Stage stage = Stage::kFragment,
+    const Limits& limits = Limits{}) {
+  CompileResult r = CompileGlsl(src, stage, limits);
+  EXPECT_TRUE(r.ok) << "compile failed:\n" << r.info_log << "\nsource:\n"
+                    << src;
+  return std::move(r.shader);
+}
+
+// Compiles and expects failure; returns the info log.
+inline std::string MustFail(const std::string& src,
+                            Stage stage = Stage::kFragment,
+                            const Limits& limits = Limits{}) {
+  CompileResult r = CompileGlsl(src, stage, limits);
+  EXPECT_FALSE(r.ok) << "expected compile error for:\n" << src;
+  return r.info_log;
+}
+
+// Runs a fragment shader body that assigns gl_FragColor and returns the
+// resulting vec4. The body is wrapped with highp default precision.
+inline std::array<float, 4> RunFragment(const std::string& body,
+                                        AluModel& alu) {
+  const std::string src = "precision highp float;\nvoid main() {\n" + body +
+                          "\n}\n";
+  auto shader = MustCompile(src, Stage::kFragment);
+  if (shader == nullptr) return {};
+  ShaderExec exec(*shader, alu);
+  EXPECT_TRUE(exec.Run());
+  const int slot = exec.GlobalSlot("gl_FragColor");
+  EXPECT_GE(slot, 0);
+  const Value& v = exec.GlobalAt(slot);
+  return {v.F(0), v.F(1), v.F(2), v.F(3)};
+}
+
+inline std::array<float, 4> RunFragment(const std::string& body) {
+  ExactAlu alu;
+  return RunFragment(body, alu);
+}
+
+// Runs a full fragment shader (caller provides precision + main) and returns
+// gl_FragColor.
+inline std::array<float, 4> RunFragmentSource(const std::string& src,
+                                              AluModel& alu) {
+  auto shader = MustCompile(src, Stage::kFragment);
+  if (shader == nullptr) return {};
+  ShaderExec exec(*shader, alu);
+  EXPECT_TRUE(exec.Run());
+  const Value& v = exec.GlobalAt(exec.GlobalSlot("gl_FragColor"));
+  return {v.F(0), v.F(1), v.F(2), v.F(3)};
+}
+
+}  // namespace mgpu::glsl::testutil
+
+#endif  // MGPU_TESTS_GLSL_TEST_UTIL_H_
