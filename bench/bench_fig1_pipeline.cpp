@@ -3,26 +3,48 @@
 // that the screen-covering two-triangle quad shades exactly one fragment
 // per output element and that the varying/coordinate path addresses each
 // element exactly (no over/under-shading, no addressing drift at any size).
+//
+// Also times the sweep on both shader execution engines — the bytecode VM
+// (production path) and the tree-walking interpreter (oracle) — and emits
+// BENCH_fig1_pipeline.json for the perf trajectory.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "compute/kernel.h"
 #include "vc4/profiles.h"
 
-int main() {
-  using namespace mgpu;
+namespace {
+
+using namespace mgpu;
+
+struct SweepRow {
+  int elements = 0;
+  std::uint64_t fragments = 0;
+  bool one_to_one = false;
+  int bad = 0;
+};
+
+struct SweepResult {
+  bool ok = true;
+  double seconds = 0.0;
+  std::vector<SweepRow> rows;
+};
+
+// Runs the 1:1 coverage/addressing sweep on the given engine. The timed
+// region covers the whole dispatch pipeline — kernel compile, upload,
+// shading, readback, validation — identically for both engines (console
+// output happens outside), so the reported speedup is end-to-end wall
+// clock, a conservative lower bound on the pure shader-execution speedup.
+SweepResult RunSweep(gles2::ExecEngine engine) {
   compute::DeviceOptions o;
   o.profile = vc4::IeeeExact();
+  o.exec_engine = engine;
   compute::Device d(o);
 
-  std::printf("=== Paper Fig. 1: one fragment per output element ===\n\n");
-  std::printf("%10s %10s %12s %14s\n", "elements", "fragments", "1:1?",
-              "addressing");
-
-  // The kernel writes its own linear index; reading it back verifies both
-  // coverage (every element written exactly once) and addressing (the
-  // index arrived intact through the rasterizer's varying interpolation).
-  bool all_ok = true;
+  SweepResult result;
+  const auto t0 = std::chrono::steady_clock::now();
   for (const int n : {1, 2, 16, 100, 4096, 10000, 65536, 250000}) {
     compute::PackedBuffer out(d, compute::ElemType::kI32,
                               static_cast<std::size_t>(n));
@@ -37,17 +59,38 @@ int main() {
     const vc4::GpuWork w = d.ConsumeWork();
     std::vector<std::int32_t> back(static_cast<std::size_t>(n));
     out.Download(std::span<std::int32_t>(back));
-    int bad = 0;
+    SweepRow row;
+    row.elements = n;
+    row.fragments = w.fragments;
     for (int i = 0; i < n; ++i) {
-      bad += back[static_cast<std::size_t>(i)] != i;
+      row.bad += back[static_cast<std::size_t>(i)] != i;
     }
     const std::uint64_t texels =
         static_cast<std::uint64_t>(out.tex_width()) * out.tex_height();
-    const bool one_to_one = w.fragments == texels;
-    std::printf("%10d %10llu %12s %10d bad\n", n,
-                static_cast<unsigned long long>(w.fragments),
-                one_to_one ? "yes" : "NO", bad);
-    all_ok = all_ok && one_to_one && bad == 0;
+    row.one_to_one = w.fragments == texels;
+    result.ok = result.ok && row.one_to_one && row.bad == 0;
+    result.rows.push_back(row);
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Paper Fig. 1: one fragment per output element ===\n\n");
+
+  const SweepResult vm = RunSweep(gles2::ExecEngine::kBytecodeVm);
+  const SweepResult tree = RunSweep(gles2::ExecEngine::kTreeWalk);
+
+  std::printf("%10s %10s %12s %14s\n", "elements", "fragments", "1:1?",
+              "addressing");
+  for (const SweepRow& r : vm.rows) {
+    std::printf("%10d %10llu %12s %10d bad\n", r.elements,
+                static_cast<unsigned long long>(r.fragments),
+                r.one_to_one ? "yes" : "NO", r.bad);
   }
 
   std::printf("\npipeline stages exercised per dispatch (paper Fig. 1):\n");
@@ -57,6 +100,24 @@ int main() {
               "-> fragment shader (the kernel)\n");
   std::printf("  -> framebuffer pack (Eq. 2) -> ReadPixels (challenge "
               "III-7)\n");
+
+  std::printf("\nexecution engines (same sweep, wall clock):\n");
+  std::printf("  bytecode VM (default): %8.3f s  [coverage %s]\n", vm.seconds,
+              vm.ok ? "ok" : "FAILURE");
+  std::printf("  tree-walking oracle:   %8.3f s  [coverage %s]\n",
+              tree.seconds, tree.ok ? "ok" : "FAILURE");
+  std::printf("  VM speedup: %.2fx\n", tree.seconds / vm.seconds);
+
+  bench::JsonBenchWriter json("fig1_pipeline");
+  json.Add("vm_sweep", vm.seconds, "s");
+  json.Add("tree_sweep", tree.seconds, "s");
+  json.Add("vm_speedup", tree.seconds / vm.seconds, "x");
+  json.Add("coverage_ok", vm.ok && tree.ok ? 1.0 : 0.0, "bool");
+  if (!json.Write()) {
+    std::fprintf(stderr, "warning: could not write BENCH_fig1_pipeline.json\n");
+  }
+
+  const bool all_ok = vm.ok && tree.ok;
   std::printf("\nresult: %s\n", all_ok ? "every size maps 1:1" : "FAILURE");
   return all_ok ? 0 : 1;
 }

@@ -9,6 +9,8 @@
 #include "compute/kernel.h"
 #include "glsl/compile.h"
 #include "glsl/interp.h"
+#include "glsl/ir.h"
+#include "glsl/vm.h"
 #include "vc4/profiles.h"
 
 namespace {
@@ -35,7 +37,21 @@ void BM_CompileFragmentShader(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileFragmentShader);
 
-void BM_FragmentInvocation(benchmark::State& state) {
+// The per-fragment hot loop on both engines: the bytecode VM (production
+// path) vs the tree-walking interpreter (oracle). The VM target is >= 2x.
+void BM_FragmentInvocationVm(benchmark::State& state) {
+  auto r = glsl::CompileGlsl(kFragSrc, glsl::Stage::kFragment);
+  glsl::ExactAlu alu;
+  glsl::VmExec exec(glsl::LowerToBytecode(*r.shader), alu);
+  exec.GlobalAt(exec.GlobalSlot("u_x")).SetF(0, 0.37f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FragmentInvocationVm);
+
+void BM_FragmentInvocationTree(benchmark::State& state) {
   auto r = glsl::CompileGlsl(kFragSrc, glsl::Stage::kFragment);
   glsl::ExactAlu alu;
   glsl::ShaderExec exec(*r.shader, alu);
@@ -45,11 +61,12 @@ void BM_FragmentInvocation(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_FragmentInvocation);
+BENCHMARK(BM_FragmentInvocationTree);
 
-void BM_KernelDispatchF32(benchmark::State& state) {
+void KernelDispatchF32(benchmark::State& state, gles2::ExecEngine engine) {
   compute::DeviceOptions o;
   o.profile = vc4::IeeeExact();
+  o.exec_engine = engine;
   compute::Device d(o);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
@@ -71,7 +88,16 @@ void BM_KernelDispatchF32(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
+
+void BM_KernelDispatchF32(benchmark::State& state) {
+  KernelDispatchF32(state, gles2::ExecEngine::kBytecodeVm);
+}
 BENCHMARK(BM_KernelDispatchF32)->Arg(256)->Arg(4096)->Arg(16384);
+
+void BM_KernelDispatchF32Tree(benchmark::State& state) {
+  KernelDispatchF32(state, gles2::ExecEngine::kTreeWalk);
+}
+BENCHMARK(BM_KernelDispatchF32Tree)->Arg(4096);
 
 void BM_TextureSampleNearest(benchmark::State& state) {
   gles2::Texture t;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -17,6 +18,48 @@
 #include "vc4/timing.h"
 
 namespace mgpu::bench {
+
+// --- JSON capture ----------------------------------------------------------
+// Benchmark mains append named metrics and write a BENCH_<name>.json next to
+// the working directory, so CI (and the perf-trajectory tooling) can diff
+// runs without scraping stdout.
+class JsonBenchWriter {
+ public:
+  explicit JsonBenchWriter(std::string benchmark) : benchmark_(std::move(benchmark)) {}
+
+  void Add(const std::string& name, double value, const std::string& unit) {
+    rows_.push_back({name, unit, value});
+  }
+
+  // Writes BENCH_<benchmark>.json (or `path` when given). Returns false on
+  // I/O failure.
+  bool Write(const std::string& path = "") const {
+    const std::string file =
+        path.empty() ? "BENCH_" + benchmark_ + ".json" : path;
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"metrics\": [\n",
+                 benchmark_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %.9g}%s\n",
+                   rows_[i].name.c_str(), rows_[i].unit.c_str(),
+                   rows_[i].value, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    const bool ok = std::ferror(f) == 0;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::string unit;
+    double value;
+  };
+  std::string benchmark_;
+  std::vector<Row> rows_;
+};
 
 // Scales the linear parts of a measured workload by `factor` (streaming
 // kernels: everything except compiles and draw calls scales with n).

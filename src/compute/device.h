@@ -19,6 +19,9 @@ struct DeviceOptions {
   vc4::GpuProfile profile = vc4::VideoCoreIV();
   gles2::FbQuantization quantization =
       gles2::FbQuantization::kRoundNearest;
+  // Shader execution engine for every kernel dispatch: the bytecode VM
+  // (default, fast) or the tree-walking interpreter (reference oracle).
+  gles2::ExecEngine exec_engine = gles2::ExecEngine::kBytecodeVm;
   int max_texture_size = 4096;
 };
 

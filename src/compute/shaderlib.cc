@@ -107,12 +107,15 @@ std::string UnpackFunction(ElemType t) {
     case ElemType::kF32:
       // Paper §IV-E with the Fig. 2 layout: byte3 = biased exponent,
       // byte2 = sign | high mantissa bits, bytes1..0 = low mantissa.
+      // Exponent byte 255 carries the IEEE non-finites: zero mantissa is
+      // +/-Inf (exp2(128) overflows to Inf), nonzero mantissa is NaN.
       return R"(float gp_unpack_f32(vec4 t) {
   vec4 b = floor(t * 255.0 + vec4(0.5));
   float expo = b.a;
   float sgn = b.b < 128.0 ? 1.0 : -1.0;
   float mhi = b.b - step(128.0, b.b) * 128.0;
   if (expo == 0.0) { return 0.0; }  // zero (denormals flush, as on the QPU)
+  if (expo == 255.0 && b.r + b.g + mhi > 0.0) { return 0.0 / 0.0; }  // NaN
   float mant = (b.r + b.g * 256.0 + mhi * 65536.0) / 8388608.0;
   return sgn * (1.0 + mant) * exp2(expo - 127.0);
 }
@@ -186,8 +189,15 @@ std::string PackFunction(ElemType t) {
       // the paper's "15 most significant bits" result.
       return R"(vec4 gp_pack_f32(float v) {
   if (v == 0.0) { return vec4(0.25 / 255.0); }
+  // Non-finites get the IEEE encodings (exponent byte 255) instead of
+  // flowing into the log2/exp2 chain, whose NaN propagation would corrupt
+  // every byte of the texel.
+  if (v != v) { return (vec4(0.0, 0.0, 64.0, 255.0) + vec4(0.25)) / 255.0; }
   float sgn = v < 0.0 ? 128.0 : 0.0;
   float a = abs(v);
+  if (a > 3.4028234e38) {
+    return (vec4(0.0, 0.0, sgn, 255.0) + vec4(0.25)) / 255.0;
+  }
   float e = floor(log2(a));
   float m = a * exp2(-e) - 1.0;
   if (m < 0.0) { e -= 1.0; m = a * exp2(-e) - 1.0; }

@@ -464,9 +464,16 @@ void Context::SetUniformValue(const UniformInfo& u, int element, int comps,
   }
   count = std::min(count, max_elements - element);
 
-  for (glsl::ShaderExec* exec : {p->vexec.get(), p->fexec.get()}) {
-    const int slot = exec == p->vexec.get() ? u.vs_slot : u.fs_slot;
-    if (slot < 0) continue;
+  // Uniforms are mirrored into both execution engines of each stage so the
+  // ExecEngine switch can flip between draws without a re-sync.
+  const std::array<std::pair<glsl::ShaderEngine*, int>, 4> engines{{
+      {p->vexec.get(), u.vs_slot},
+      {p->vvm.get(), u.vs_slot},
+      {p->fexec.get(), u.fs_slot},
+      {p->fvm.get(), u.fs_slot},
+  }};
+  for (const auto& [exec, slot] : engines) {
+    if (exec == nullptr || slot < 0) continue;
     Value& val = exec->GlobalAt(slot);
     for (int e = 0; e < count; ++e) {
       const int cell_base = (element + e) * type_comps;
@@ -1226,9 +1233,13 @@ void Context::WritePixel(RenderTarget& rt, int x, int y, float depth,
   for (int i = 0; i < 4; ++i) {
     if (!color_mask_[static_cast<std::size_t>(i)]) continue;
     const float f = src[static_cast<std::size_t>(i)];
-    const float scaled = config_.quantization == FbQuantization::kFloorPaper
-                             ? std::floor(f * 255.0f)
-                             : std::floor(f * 255.0f + 0.5f);
+    float scaled = config_.quantization == FbQuantization::kFloorPaper
+                       ? std::floor(f * 255.0f)
+                       : std::floor(f * 255.0f + 0.5f);
+    // NaN survives both clamps (every comparison is false) and the
+    // float->byte cast of a NaN is undefined; GL leaves the converted value
+    // undefined too, so pick the stable choice: 0.
+    if (!(scaled >= 0.0f)) scaled = 0.0f;
     (*rt.color)[off + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(std::clamp(scaled, 0.0f, 255.0f));
   }
@@ -1302,9 +1313,14 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   }
   if (count == 0) return;
 
+  // --- engine selection: the bytecode VM is the production path; the
+  // tree-walking interpreter is the switchable reference oracle. ---
+  const bool use_vm = config_.exec_engine == ExecEngine::kBytecodeVm;
+
   // --- vertex stage ---
   std::vector<RasterVertex> verts(static_cast<std::size_t>(count));
-  glsl::ShaderExec& vexec = *prog->vexec;
+  glsl::ShaderEngine& vexec =
+      use_vm ? static_cast<glsl::ShaderEngine&>(*prog->vvm) : *prog->vexec;
   try {
     for (GLsizei i = 0; i < count; ++i) {
       const GLuint vi = index_at(i);
@@ -1339,14 +1355,15 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
         }
       }
     }
-  } catch (const glsl::ShaderExec::RuntimeError& e) {
+  } catch (const glsl::ShaderRuntimeError& e) {
     last_draw_error_ = e.what();
     SetError(GL_INVALID_OPERATION);
     return;
   }
 
   // --- fragment stage setup ---
-  glsl::ShaderExec& fexec = *prog->fexec;
+  glsl::ShaderEngine& fexec =
+      use_vm ? static_cast<glsl::ShaderEngine&>(*prog->fvm) : *prog->fexec;
   tmu_cache_.fill(~0ull);
   tmu_cache_rr_.fill(0);
   fexec.SetTextureFn([this](int unit, float s, float t, float lod)
@@ -1432,7 +1449,7 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
         color = {c.F(0), c.F(1), c.F(2), c.F(3)};
       }
       WritePixel(rt, x, y, depth, color, /*depth_valid=*/true);
-    } catch (const glsl::ShaderExec::RuntimeError& e) {
+    } catch (const glsl::ShaderRuntimeError& e) {
       last_draw_error_ = e.what();
       failed = true;
     }

@@ -28,12 +28,19 @@ namespace mgpu::gles2 {
 // under either (see bench_ablation_readback and the packing tests).
 enum class FbQuantization { kRoundNearest, kFloorPaper };
 
+// Which shader execution engine draws run on. The bytecode VM is the
+// production path (shaders are lowered once at link time and executed as a
+// flat instruction stream); the tree-walking interpreter is kept as a
+// byte-identical reference oracle, selectable for differential testing.
+enum class ExecEngine { kBytecodeVm, kTreeWalk };
+
 struct ContextConfig {
   int width = 64;
   int height = 64;
   bool has_depth = true;
   glsl::Limits limits;
   FbQuantization quantization = FbQuantization::kRoundNearest;
+  ExecEngine exec_engine = ExecEngine::kBytecodeVm;
   int max_texture_size = 4096;
   std::string renderer_name = "mgpu software GLES2 (VideoCore IV model)";
 };
@@ -158,6 +165,10 @@ class Context {
   // --- introspection for tests and the timing model ---
   [[nodiscard]] glsl::AluModel& alu() { return *alu_; }
   [[nodiscard]] const ContextConfig& config() const { return config_; }
+  // Execution-engine switch (applies to subsequent draws; programs carry
+  // both engines, compiled at link time).
+  [[nodiscard]] ExecEngine exec_engine() const { return config_.exec_engine; }
+  void SetExecEngine(ExecEngine engine) { config_.exec_engine = engine; }
   // Last shader runtime failure during a draw ("" when none): loop budget
   // exceeded etc.; a real GPU would hang or reset.
   [[nodiscard]] const std::string& last_draw_error() const {

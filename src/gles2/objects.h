@@ -12,8 +12,11 @@
 
 #include "gles2/enums.h"
 #include "glsl/alu.h"
+#include "glsl/engine.h"
 #include "glsl/interp.h"
+#include "glsl/ir.h"
 #include "glsl/shader.h"
+#include "glsl/vm.h"
 
 namespace mgpu::gles2 {
 
@@ -81,11 +84,18 @@ struct ProgramObject {
   std::string info_log;
   std::map<std::string, GLint> bound_attribs;  // BindAttribLocation requests
 
-  // Link products.
+  // Link products. Each stage carries both execution engines: the bytecode
+  // VM (production path; lowered once here at link time) and the
+  // tree-walking interpreter (reference oracle). The context's ExecEngine
+  // selects which one draws use; uniforms are mirrored into both.
   std::shared_ptr<const glsl::CompiledShader> vs;
   std::shared_ptr<const glsl::CompiledShader> fs;
   std::unique_ptr<glsl::ShaderExec> vexec;
   std::unique_ptr<glsl::ShaderExec> fexec;
+  std::shared_ptr<const glsl::VmProgram> vs_bytecode;
+  std::shared_ptr<const glsl::VmProgram> fs_bytecode;
+  std::unique_ptr<glsl::VmExec> vvm;
+  std::unique_ptr<glsl::VmExec> fvm;
   std::vector<VaryingLink> varyings;
   int varying_cells = 0;
   std::vector<AttribInfo> attribs;

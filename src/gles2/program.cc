@@ -308,9 +308,15 @@ void LinkProgram(ProgramObject& prog,
 
   if (!prog.link_ok) return;
 
-  // --- instantiate executors and cache gl_* slots.
+  // --- instantiate executors and cache gl_* slots. Both engines are built
+  // here: the interpreter oracle and the bytecode VM (lowered once, cached
+  // on the program object for the lifetime of the link).
   prog.vexec = std::make_unique<glsl::ShaderExec>(*prog.vs, alu);
   prog.fexec = std::make_unique<glsl::ShaderExec>(*prog.fs, alu);
+  prog.vs_bytecode = glsl::LowerToBytecode(*prog.vs);
+  prog.fs_bytecode = glsl::LowerToBytecode(*prog.fs);
+  prog.vvm = std::make_unique<glsl::VmExec>(prog.vs_bytecode, alu);
+  prog.fvm = std::make_unique<glsl::VmExec>(prog.fs_bytecode, alu);
   prog.vs_position_slot = prog.vexec->GlobalSlot("gl_Position");
   prog.vs_point_size_slot = prog.vexec->GlobalSlot("gl_PointSize");
   prog.fs_frag_color_slot = prog.fexec->GlobalSlot("gl_FragColor");

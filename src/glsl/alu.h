@@ -80,6 +80,10 @@ class AluModel {
 
   [[nodiscard]] const OpCounts& counts() const { return counts_; }
   void ResetCounts() { counts_ = OpCounts{}; }
+  // Restores a snapshot taken via counts(). Used by the bytecode VM to keep
+  // its one-time constant-initializer evaluation out of the counters (the
+  // tree-walking oracle already charged those ops at construction).
+  void SetCounts(const OpCounts& c) { counts_ = c; }
 
   // Rounds an ALU result to the modeled register precision. The exact model
   // returns x unchanged; reduced-precision profiles (e.g. a mediump-only

@@ -329,35 +329,39 @@ BuiltinResolution ResolveBuiltin(const std::string& name,
 
 namespace {
 
-// Applies `fn` component-wise over the float components of `a`.
+// Applies `fn` component-wise over the float components of `a`, writing the
+// results into `dst` (pre-typed with the result type, which for these
+// builtins always matches `a`'s shape).
 template <typename F>
-Value MapUnary(const Value& a, F&& fn) {
-  Value out(a.type());
-  for (int i = 0; i < a.count(); ++i) out.SetF(i, fn(a.F(i)));
-  return out;
+void MapUnaryInto(Value& dst, const Value& a, F&& fn) {
+  for (int i = 0; i < a.count(); ++i) dst.SetF(i, fn(a.F(i)));
 }
 
 // Applies `fn` component-wise over `a` and `b`, broadcasting `b` when it is a
 // scalar and `a` is a vector.
 template <typename F>
-Value MapBinary(const Value& a, const Value& b, F&& fn) {
-  Value out(a.type());
+void MapBinaryInto(Value& dst, const Value& a, const Value& b, F&& fn) {
   const bool broadcast = b.count() == 1 && a.count() > 1;
   for (int i = 0; i < a.count(); ++i) {
-    out.SetF(i, fn(a.F(i), b.F(broadcast ? 0 : i)));
+    dst.SetF(i, fn(a.F(i), b.F(broadcast ? 0 : i)));
   }
-  return out;
 }
 
 template <typename F>
-Value MapTernary(const Value& a, const Value& b, const Value& c, F&& fn) {
-  Value out(a.type());
+void MapTernaryInto(Value& dst, const Value& a, const Value& b,
+                    const Value& c, F&& fn) {
   const bool bb = b.count() == 1 && a.count() > 1;
   const bool cb = c.count() == 1 && a.count() > 1;
   for (int i = 0; i < a.count(); ++i) {
-    out.SetF(i, fn(a.F(i), b.F(bb ? 0 : i), c.F(cb ? 0 : i)));
+    dst.SetF(i, fn(a.F(i), b.F(bb ? 0 : i), c.F(cb ? 0 : i)));
   }
-  return out;
+}
+
+void SetScalarF(Value& dst, float v) { dst.SetF(0, v); }
+void SetScalarB(Value& dst, bool v) { dst.SetB(0, v); }
+
+void CopyCellsInto(Value& dst, const Value& src) {
+  for (int i = 0; i < src.count(); ++i) dst.data()[i] = src.data()[i];
 }
 
 float DotProduct(const Value& a, const Value& b, AluModel& alu) {
@@ -368,124 +372,128 @@ float DotProduct(const Value& a, const Value& b, AluModel& alu) {
   return acc;
 }
 
-Value TextureFetch(const TextureFn& texture, AluModel& alu, int unit, float s,
-                   float t, float lod) {
+void TextureFetchInto(Value& dst, const TextureFn& texture, AluModel& alu,
+                      int unit, float s, float t, float lod) {
   alu.CountTmu(1);
   std::array<float, 4> rgba{0.0f, 0.0f, 0.0f, 1.0f};
   if (texture) rgba = texture(unit, s, t, lod);
-  return Value::MakeVec4(rgba[0], rgba[1], rgba[2], rgba[3]);
+  for (int i = 0; i < 4; ++i) dst.SetF(i, rgba[static_cast<std::size_t>(i)]);
 }
 
 }  // namespace
 
-Value EvalBuiltin(Builtin b, Type result_type, std::vector<Value>& args,
-                  AluModel& alu, const TextureFn& texture) {
+void EvalBuiltinInto(Builtin b, Type result_type,
+                     std::span<const Value* const> argp, AluModel& alu,
+                     const TextureFn& texture, Value& dst) {
+  (void)result_type;  // dst carries it; kept for signature symmetry
+  // Convenience view: args(i) is the i-th argument value.
+  const auto args = [&](std::size_t i) -> const Value& { return *argp[i]; };
   constexpr float kPi = 3.14159265358979323846f;
   switch (b) {
     case Builtin::kRadians:
-      return MapUnary(args[0],
+      return MapUnaryInto(dst, args(0),
                       [&](float x) { return alu.Mul(x, kPi / 180.0f); });
     case Builtin::kDegrees:
-      return MapUnary(args[0],
+      return MapUnaryInto(dst, args(0),
                       [&](float x) { return alu.Mul(x, 180.0f / kPi); });
     case Builtin::kSin:
-      return MapUnary(args[0], [&](float x) { return alu.Sin(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Sin(x); });
     case Builtin::kCos:
-      return MapUnary(args[0], [&](float x) { return alu.Cos(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Cos(x); });
     case Builtin::kTan:
-      return MapUnary(args[0], [&](float x) { return alu.Tan(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Tan(x); });
     case Builtin::kAsin:
-      return MapUnary(args[0], [&](float x) { return alu.Asin(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Asin(x); });
     case Builtin::kAcos:
-      return MapUnary(args[0], [&](float x) { return alu.Acos(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Acos(x); });
     case Builtin::kAtan:
-      return MapUnary(args[0], [&](float x) { return alu.Atan(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Atan(x); });
     case Builtin::kAtan2:
-      return MapBinary(args[0], args[1],
+      return MapBinaryInto(dst, args(0), args(1),
                        [&](float y, float x) { return alu.Atan2(y, x); });
     case Builtin::kPow:
-      return MapBinary(args[0], args[1],
+      return MapBinaryInto(dst, args(0), args(1),
                        [&](float x, float y) { return alu.Pow(x, y); });
     case Builtin::kExp:
-      return MapUnary(args[0], [&](float x) { return alu.Exp(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Exp(x); });
     case Builtin::kLog:
-      return MapUnary(args[0], [&](float x) { return alu.Log(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Log(x); });
     case Builtin::kExp2:
-      return MapUnary(args[0], [&](float x) { return alu.Exp2(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Exp2(x); });
     case Builtin::kLog2:
-      return MapUnary(args[0], [&](float x) { return alu.Log2(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Log2(x); });
     case Builtin::kSqrt:
-      return MapUnary(args[0], [&](float x) { return alu.Sqrt(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Sqrt(x); });
     case Builtin::kInverseSqrt:
-      return MapUnary(args[0], [&](float x) { return alu.RecipSqrt(x); });
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.RecipSqrt(x); });
 
     case Builtin::kAbs:
-      return MapUnary(args[0], [&](float x) {
+      return MapUnaryInto(dst, args(0), [&](float x) {
         alu.Count(1);
         return std::fabs(x);
       });
     case Builtin::kSign:
-      return MapUnary(args[0], [&](float x) {
+      return MapUnaryInto(dst, args(0), [&](float x) {
         alu.Count(1);
         return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
       });
     case Builtin::kFloor:
-      return MapUnary(args[0], [&](float x) {
+      return MapUnaryInto(dst, args(0), [&](float x) {
         alu.Count(1);
         return std::floor(x);
       });
     case Builtin::kCeil:
-      return MapUnary(args[0], [&](float x) {
+      return MapUnaryInto(dst, args(0), [&](float x) {
         alu.Count(1);
         return std::ceil(x);
       });
     case Builtin::kFract:
       // x - floor(x), one ALU op for the floor and one for the subtract.
-      return MapUnary(args[0], [&](float x) {
+      return MapUnaryInto(dst, args(0), [&](float x) {
         alu.Count(1);
         return alu.Sub(x, std::floor(x));
       });
     case Builtin::kMod:
       // mod(x, y) = x - y * floor(x / y), per spec.
-      return MapBinary(args[0], args[1], [&](float x, float y) {
+      return MapBinaryInto(dst, args(0), args(1), [&](float x, float y) {
         const float q = alu.Div(x, y);
         alu.Count(1);
         return alu.Sub(x, alu.Mul(y, std::floor(q)));
       });
     case Builtin::kMin:
-      return MapBinary(args[0], args[1], [&](float x, float y) {
+      return MapBinaryInto(dst, args(0), args(1), [&](float x, float y) {
         alu.Count(1);
         return std::fmin(x, y);
       });
     case Builtin::kMax:
-      return MapBinary(args[0], args[1], [&](float x, float y) {
+      return MapBinaryInto(dst, args(0), args(1), [&](float x, float y) {
         alu.Count(1);
         return std::fmax(x, y);
       });
     case Builtin::kClamp:
-      return MapTernary(args[0], args[1], args[2],
+      return MapTernaryInto(dst, args(0), args(1), args(2),
                         [&](float x, float lo, float hi) {
                           alu.Count(2);
                           return std::fmin(std::fmax(x, lo), hi);
                         });
     case Builtin::kMix:
-      return MapTernary(args[0], args[1], args[2],
+      return MapTernaryInto(dst, args(0), args(1), args(2),
                         [&](float x, float y, float a) {
                           return alu.Add(alu.Mul(x, alu.Sub(1.0f, a)),
                                          alu.Mul(y, a));
                         });
     case Builtin::kStep:
       // step(edge, x): note argument order (edge first).
-      return MapBinary(args[1], args[0], [&](float x, float edge) {
+      return MapBinaryInto(dst, args(1), args(0), [&](float x, float edge) {
         alu.Count(1);
         return x < edge ? 0.0f : 1.0f;
       });
     case Builtin::kSmoothstep: {
       // t = clamp((x-e0)/(e1-e0), 0, 1); t*t*(3-2t).
-      const Value& e0 = args[0];
-      const Value& e1 = args[1];
-      const Value& x = args[2];
-      Value out(x.type());
+      const Value& e0 = args(0);
+      const Value& e1 = args(1);
+      const Value& x = args(2);
+      Value& out = dst;
       const bool bcast = e0.count() == 1 && x.count() > 1;
       for (int i = 0; i < x.count(); ++i) {
         const float a = e0.F(bcast ? 0 : i);
@@ -495,65 +503,68 @@ Value EvalBuiltin(Builtin b, Type result_type, std::vector<Value>& args,
         t = std::fmin(std::fmax(t, 0.0f), 1.0f);
         out.SetF(i, alu.Mul(alu.Mul(t, t), alu.Sub(3.0f, alu.Mul(2.0f, t))));
       }
-      return out;
+      return;
     }
 
     case Builtin::kLength: {
-      const float d = DotProduct(args[0], args[0], alu);
-      return Value::MakeFloat(alu.Sqrt(d));
+      const float d = DotProduct(args(0), args(0), alu);
+      return SetScalarF(dst, alu.Sqrt(d));
     }
     case Builtin::kDistance: {
-      Value diff = MapBinary(args[0], args[1], [&](float x, float y) {
+      Value diff(args(0).type());
+      MapBinaryInto(diff, args(0), args(1), [&](float x, float y) {
         return alu.Sub(x, y);
       });
-      return Value::MakeFloat(alu.Sqrt(DotProduct(diff, diff, alu)));
+      return SetScalarF(dst, alu.Sqrt(DotProduct(diff, diff, alu)));
     }
     case Builtin::kDot:
-      return Value::MakeFloat(DotProduct(args[0], args[1], alu));
+      return SetScalarF(dst, DotProduct(args(0), args(1), alu));
     case Builtin::kCross: {
-      const Value& a = args[0];
-      const Value& c = args[1];
-      Value out(MakeType(BaseType::kVec3));
+      const Value& a = args(0);
+      const Value& c = args(1);
+      Value& out = dst;
       out.SetF(0, alu.Sub(alu.Mul(a.F(1), c.F(2)), alu.Mul(a.F(2), c.F(1))));
       out.SetF(1, alu.Sub(alu.Mul(a.F(2), c.F(0)), alu.Mul(a.F(0), c.F(2))));
       out.SetF(2, alu.Sub(alu.Mul(a.F(0), c.F(1)), alu.Mul(a.F(1), c.F(0))));
-      return out;
+      return;
     }
     case Builtin::kNormalize: {
-      const float inv = alu.RecipSqrt(DotProduct(args[0], args[0], alu));
-      return MapUnary(args[0], [&](float x) { return alu.Mul(x, inv); });
+      const float inv = alu.RecipSqrt(DotProduct(args(0), args(0), alu));
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Mul(x, inv); });
     }
     case Builtin::kFaceforward: {
-      const float d = DotProduct(args[2], args[1], alu);
+      const float d = DotProduct(args(2), args(1), alu);
       alu.Count(1);
-      if (d < 0.0f) return args[0];
-      return MapUnary(args[0], [&](float x) { return alu.Sub(0.0f, x); });
+      if (d < 0.0f) return CopyCellsInto(dst, args(0));
+      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Sub(0.0f, x); });
     }
     case Builtin::kReflect: {
-      const float d = DotProduct(args[1], args[0], alu);
+      const float d = DotProduct(args(1), args(0), alu);
       const float two_d = alu.Mul(2.0f, d);
-      return MapBinary(args[0], args[1], [&](float i, float nn) {
+      return MapBinaryInto(dst, args(0), args(1), [&](float i, float nn) {
         return alu.Sub(i, alu.Mul(two_d, nn));
       });
     }
     case Builtin::kRefract: {
-      const float eta = args[2].F(0);
-      const float d = DotProduct(args[1], args[0], alu);
+      const float eta = args(2).F(0);
+      const float d = DotProduct(args(1), args(0), alu);
       const float k = alu.Sub(
           1.0f, alu.Mul(alu.Mul(eta, eta),
                         alu.Sub(1.0f, alu.Mul(d, d))));
       alu.Count(1);
       if (k < 0.0f) {
-        Value out(args[0].type());
-        return out;  // zero vector
+        // Zero vector; written explicitly because the VM's destination
+        // register may hold a stale value.
+        for (int i = 0; i < args(0).count(); ++i) dst.SetF(i, 0.0f);
+        return;
       }
       const float coeff = alu.Add(alu.Mul(eta, d), alu.Sqrt(k));
-      return MapBinary(args[0], args[1], [&](float i, float nn) {
+      return MapBinaryInto(dst, args(0), args(1), [&](float i, float nn) {
         return alu.Sub(alu.Mul(eta, i), alu.Mul(coeff, nn));
       });
     }
     case Builtin::kMatrixCompMult:
-      return MapBinary(args[0], args[1],
+      return MapBinaryInto(dst, args(0), args(1),
                        [&](float x, float y) { return alu.Mul(x, y); });
 
     case Builtin::kLessThan:
@@ -562,9 +573,9 @@ Value EvalBuiltin(Builtin b, Type result_type, std::vector<Value>& args,
     case Builtin::kGreaterThanEqual:
     case Builtin::kEqual:
     case Builtin::kNotEqual: {
-      const Value& a = args[0];
-      const Value& c = args[1];
-      Value out(result_type);
+      const Value& a = args(0);
+      const Value& c = args(1);
+      Value& out = dst;
       const bool is_float = a.scalar() == BaseType::kFloat;
       for (int i = 0; i < a.count(); ++i) {
         alu.Count(1);
@@ -594,56 +605,63 @@ Value EvalBuiltin(Builtin b, Type result_type, std::vector<Value>& args,
         }
         out.SetB(i, r);
       }
-      return out;
+      return;
     }
     case Builtin::kAny: {
       bool r = false;
-      for (int i = 0; i < args[0].count(); ++i) r = r || args[0].B(i);
-      alu.Count(args[0].count());
-      return Value::MakeBool(r);
+      for (int i = 0; i < args(0).count(); ++i) r = r || args(0).B(i);
+      alu.Count(args(0).count());
+      return SetScalarB(dst, r);
     }
     case Builtin::kAll: {
       bool r = true;
-      for (int i = 0; i < args[0].count(); ++i) r = r && args[0].B(i);
-      alu.Count(args[0].count());
-      return Value::MakeBool(r);
+      for (int i = 0; i < args(0).count(); ++i) r = r && args(0).B(i);
+      alu.Count(args(0).count());
+      return SetScalarB(dst, r);
     }
     case Builtin::kNot: {
-      Value out(args[0].type());
-      for (int i = 0; i < args[0].count(); ++i) out.SetB(i, !args[0].B(i));
-      alu.Count(args[0].count());
-      return out;
+      Value& out = dst;
+      for (int i = 0; i < args(0).count(); ++i) out.SetB(i, !args(0).B(i));
+      alu.Count(args(0).count());
+      return;
     }
 
     case Builtin::kTexture2D:
-      return TextureFetch(texture, alu, args[0].I(0), args[1].F(0),
-                          args[1].F(1), 0.0f);
+      return TextureFetchInto(dst, texture, alu, args(0).I(0), args(1).F(0),
+                          args(1).F(1), 0.0f);
     case Builtin::kTexture2DBias:
-      return TextureFetch(texture, alu, args[0].I(0), args[1].F(0),
-                          args[1].F(1), args[2].F(0));
+      return TextureFetchInto(dst, texture, alu, args(0).I(0), args(1).F(0),
+                          args(1).F(1), args(2).F(0));
     case Builtin::kTexture2DLod:
-      return TextureFetch(texture, alu, args[0].I(0), args[1].F(0),
-                          args[1].F(1), args[2].F(0));
+      return TextureFetchInto(dst, texture, alu, args(0).I(0), args(1).F(0),
+                          args(1).F(1), args(2).F(0));
     case Builtin::kTexture2DProj3:
     case Builtin::kTexture2DProj3Bias:
     case Builtin::kTexture2DProjLod3: {
-      const float q = args[1].F(2);
-      const float lod = args.size() > 2 ? args[2].F(0) : 0.0f;
-      return TextureFetch(texture, alu, args[0].I(0),
-                          alu.Div(args[1].F(0), q), alu.Div(args[1].F(1), q),
+      const float q = args(1).F(2);
+      const float lod = argp.size() > 2 ? args(2).F(0) : 0.0f;
+      return TextureFetchInto(dst, texture, alu, args(0).I(0),
+                          alu.Div(args(1).F(0), q), alu.Div(args(1).F(1), q),
                           lod);
     }
     case Builtin::kTexture2DProj4:
     case Builtin::kTexture2DProj4Bias:
     case Builtin::kTexture2DProjLod4: {
-      const float q = args[1].F(3);
-      const float lod = args.size() > 2 ? args[2].F(0) : 0.0f;
-      return TextureFetch(texture, alu, args[0].I(0),
-                          alu.Div(args[1].F(0), q), alu.Div(args[1].F(1), q),
+      const float q = args(1).F(3);
+      const float lod = argp.size() > 2 ? args(2).F(0) : 0.0f;
+      return TextureFetchInto(dst, texture, alu, args(0).I(0),
+                          alu.Div(args(1).F(0), q), alu.Div(args(1).F(1), q),
                           lod);
     }
   }
-  return Value();
+}
+
+Value EvalBuiltin(Builtin b, Type result_type,
+                  std::span<const Value* const> args, AluModel& alu,
+                  const TextureFn& texture) {
+  Value out(result_type);
+  EvalBuiltinInto(b, result_type, args, alu, texture, out);
+  return out;
 }
 
 }  // namespace mgpu::glsl

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,10 @@ enum class Builtin : int {
   kTexture2DProjLod3, kTexture2DProjLod4,
 };
 
+// Largest argument count across the builtin table (texture2D with bias /
+// clamp / smoothstep take 3; callers size fixed pointer buffers with this).
+inline constexpr int kMaxBuiltinArgs = 4;
+
 // True if `name` is a built-in function name (used to reject user
 // redefinitions, as GLSL ES 1.00 reserves them).
 [[nodiscard]] bool IsBuiltinName(const std::string& name);
@@ -51,10 +56,17 @@ struct BuiltinResolution {
 using TextureFn =
     std::function<std::array<float, 4>(int unit, float s, float t, float lod)>;
 
-// Evaluates a resolved builtin. `args` are already-evaluated argument values.
+// Evaluates a resolved builtin. `args` are pointers to already-evaluated
+// argument values (pointers so the bytecode VM can pass its registers
+// without copying). The Into form writes the result into `dst`, which must
+// be pre-typed with `result_type` (every case overwrites all result cells);
+// the value-returning form wraps it for tree-walking callers.
+void EvalBuiltinInto(Builtin b, Type result_type,
+                     std::span<const Value* const> args, AluModel& alu,
+                     const TextureFn& texture, Value& dst);
 [[nodiscard]] Value EvalBuiltin(Builtin b, Type result_type,
-                                std::vector<Value>& args, AluModel& alu,
-                                const TextureFn& texture);
+                                std::span<const Value* const> args,
+                                AluModel& alu, const TextureFn& texture);
 
 }  // namespace mgpu::glsl
 

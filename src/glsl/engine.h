@@ -1,0 +1,34 @@
+// Common interface of the two shader execution engines: the tree-walking
+// ShaderExec (reference oracle) and the bytecode VmExec (default fast path).
+// The gles2 draw pipeline and the compute dispatcher program against this
+// interface so the engine is switchable per context.
+#ifndef MGPU_GLSL_ENGINE_H_
+#define MGPU_GLSL_ENGINE_H_
+
+#include <string>
+
+#include "glsl/builtins.h"
+#include "glsl/evalcore.h"
+#include "glsl/value.h"
+
+namespace mgpu::glsl {
+
+class ShaderEngine {
+ public:
+  virtual ~ShaderEngine() = default;
+
+  // Executes main(). Returns false if the invocation was discarded. Throws
+  // ShaderRuntimeError on conditions a real GPU would hang on.
+  virtual bool Run() = 0;
+
+  // Slot of a global (uniform, attribute, varying, gl_*); -1 when absent.
+  [[nodiscard]] virtual int GlobalSlot(const std::string& name) const = 0;
+  [[nodiscard]] virtual Value& GlobalAt(int slot) = 0;
+
+  // Texture fetch callback, installed by the gles2 draw pipeline.
+  virtual void SetTextureFn(TextureFn fn) = 0;
+};
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_ENGINE_H_

@@ -1,0 +1,309 @@
+#include "glsl/evalcore.h"
+
+#include <cmath>
+
+namespace mgpu::glsl {
+
+LRef RefWhole(Value& storage, const Type& t) {
+  LRef r;
+  r.storage = &storage;
+  r.type = t;
+  r.n = t.CellCount() > 16 ? 16 : t.CellCount();
+  // Arrays larger than 16 cells are referenced whole only via index steps;
+  // identity maps cover the head.
+  for (int i = 0; i < r.n; ++i) {
+    r.idx[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(i);
+  }
+  if (t.CellCount() > 16) r.n = -t.CellCount();  // whole-array marker
+  return r;
+}
+
+IndexStep IndexStepOf(const Type& bt) {
+  IndexStep s;
+  if (bt.IsArray()) {
+    s.limit = bt.array_size;
+    s.elem_type = bt.ElementType();
+    s.elem_cells = ComponentCount(bt.base);
+  } else if (IsMatrix(bt.base)) {
+    s.limit = ColumnCount(bt.base);
+    s.elem_type = MakeType(ColumnTypeOf(bt.base));
+    s.elem_cells = RowCount(bt.base);
+  } else {
+    s.limit = ComponentCount(bt.base);
+    s.elem_type = MakeType(ScalarOf(bt.base));
+    s.elem_cells = 1;
+  }
+  return s;
+}
+
+LRef RefIndex(const LRef& base, const IndexStep& step, int i) {
+  if (i < 0) i = 0;
+  if (i >= step.limit) i = step.limit - 1;  // runtime clamp (UB in the spec)
+  LRef r;
+  r.storage = base.storage;
+  r.type = step.elem_type;
+  r.n = step.elem_cells;
+  for (int k = 0; k < step.elem_cells; ++k) {
+    const int flat = i * step.elem_cells + k;
+    r.idx[static_cast<std::size_t>(k)] =
+        base.n < 0 ? static_cast<std::uint16_t>(flat)
+                   : base.idx[static_cast<std::size_t>(flat)];
+  }
+  return r;
+}
+
+LRef RefSwizzle(const LRef& base, const Type& result_type,
+                const std::uint8_t* comps, int count) {
+  LRef r;
+  r.storage = base.storage;
+  r.type = result_type;
+  r.n = count;
+  for (int k = 0; k < count; ++k) {
+    r.idx[static_cast<std::size_t>(k)] = base.idx[comps[k]];
+  }
+  return r;
+}
+
+Value ReadRef(const LRef& r) {
+  Value v(r.type);
+  if (r.n < 0) {
+    // Whole large array.
+    for (int i = 0; i < -r.n; ++i) v.data()[i] = r.storage->data()[i];
+    return v;
+  }
+  for (int i = 0; i < r.n; ++i) {
+    v.data()[i] = r.storage->data()[r.idx[static_cast<std::size_t>(i)]];
+  }
+  return v;
+}
+
+void WriteRef(const LRef& r, const Value& v) {
+  if (r.n < 0) {
+    for (int i = 0; i < -r.n; ++i) r.storage->data()[i] = v.data()[i];
+    return;
+  }
+  for (int i = 0; i < r.n; ++i) {
+    r.storage->data()[r.idx[static_cast<std::size_t>(i)]] = v.data()[i];
+  }
+}
+
+bool EqualAll(const Value& l, const Value& r) {
+  if (l.count() != r.count()) return false;
+  const bool is_float = l.scalar() == BaseType::kFloat;
+  for (int i = 0; i < l.count(); ++i) {
+    if (is_float) {
+      if (l.F(i) != r.F(i)) return false;
+    } else {
+      if (l.I(i) != r.I(i)) return false;
+    }
+  }
+  return true;
+}
+
+void EvalArithInto(AluModel& alu, BinOp op, const Value& l, const Value& r,
+                   Value& out) {
+  const BaseType lb = l.type().base;
+  const BaseType rb = r.type().base;
+  const bool is_float = ScalarOf(lb) == BaseType::kFloat;
+
+  // Linear-algebra multiplication cases first.
+  if (op == BinOp::kMul && IsMatrix(lb) && IsMatrix(rb)) {
+    const int n = RowCount(lb);
+    for (int c = 0; c < n; ++c) {
+      for (int row = 0; row < n; ++row) {
+        float acc = alu.Mul(l.F(row), r.F(c * n));
+        for (int k = 1; k < n; ++k) {
+          acc = alu.Add(acc, alu.Mul(l.F(k * n + row), r.F(c * n + k)));
+        }
+        out.SetF(c * n + row, acc);
+      }
+    }
+    return;
+  }
+  if (op == BinOp::kMul && IsMatrix(lb) && IsVector(rb)) {
+    const int n = RowCount(lb);
+    for (int row = 0; row < n; ++row) {
+      float acc = alu.Mul(l.F(row), r.F(0));
+      for (int k = 1; k < n; ++k) {
+        acc = alu.Add(acc, alu.Mul(l.F(k * n + row), r.F(k)));
+      }
+      out.SetF(row, acc);
+    }
+    return;
+  }
+  if (op == BinOp::kMul && IsVector(lb) && IsMatrix(rb)) {
+    const int n = RowCount(rb);
+    for (int c = 0; c < n; ++c) {
+      float acc = alu.Mul(l.F(0), r.F(c * n));
+      for (int k = 1; k < n; ++k) {
+        acc = alu.Add(acc, alu.Mul(l.F(k), r.F(c * n + k)));
+      }
+      out.SetF(c, acc);
+    }
+    return;
+  }
+
+  // Component-wise with scalar broadcast.
+  const int n = out.count();
+  const bool lbc = l.count() == 1 && n > 1;
+  const bool rbc = r.count() == 1 && n > 1;
+  for (int i = 0; i < n; ++i) {
+    const int li = lbc ? 0 : i;
+    const int ri = rbc ? 0 : i;
+    if (is_float) {
+      const float a = l.F(li);
+      const float b = r.F(ri);
+      float v = 0.0f;
+      switch (op) {
+        case BinOp::kAdd: v = alu.Add(a, b); break;
+        case BinOp::kSub: v = alu.Sub(a, b); break;
+        case BinOp::kMul: v = alu.Mul(a, b); break;
+        case BinOp::kDiv: v = alu.Div(a, b); break;
+        case BinOp::kLt: alu.Count(1); out.SetB(i, a < b); continue;
+        case BinOp::kGt: alu.Count(1); out.SetB(i, a > b); continue;
+        case BinOp::kLe: alu.Count(1); out.SetB(i, a <= b); continue;
+        case BinOp::kGe: alu.Count(1); out.SetB(i, a >= b); continue;
+        case BinOp::kEq: alu.Count(1); out.SetB(i, EqualAll(l, r)); continue;
+        case BinOp::kNe: alu.Count(1); out.SetB(i, !EqualAll(l, r)); continue;
+        default: break;
+      }
+      out.SetF(i, v);
+    } else {
+      const std::int32_t a = l.I(li);
+      const std::int32_t b = r.I(ri);
+      alu.Count(1);
+      switch (op) {
+        case BinOp::kAdd: out.SetI(i, a + b); break;
+        case BinOp::kSub: out.SetI(i, a - b); break;
+        case BinOp::kMul: out.SetI(i, a * b); break;
+        case BinOp::kDiv: out.SetI(i, b == 0 ? 0 : a / b); break;
+        case BinOp::kLt: out.SetB(i, a < b); break;
+        case BinOp::kGt: out.SetB(i, a > b); break;
+        case BinOp::kLe: out.SetB(i, a <= b); break;
+        case BinOp::kGe: out.SetB(i, a >= b); break;
+        case BinOp::kEq: out.SetB(i, EqualAll(l, r)); break;
+        case BinOp::kNe: out.SetB(i, !EqualAll(l, r)); break;
+        default: break;
+      }
+    }
+  }
+}
+
+void EvalCtorInto(AluModel& alu, std::span<const Value* const> args,
+                  Value& out) {
+  const BaseType target = out.type().base;
+  alu.Count(out.count());  // conversion/mov cost
+
+  if (IsScalar(target)) {
+    out.SetConverted(0, *args[0], 0);
+    return;
+  }
+  if (IsVector(target)) {
+    const int n = out.count();
+    if (args.size() == 1 && args[0]->count() == 1) {
+      for (int i = 0; i < n; ++i) out.SetConverted(i, *args[0], 0);
+      return;
+    }
+    int w = 0;
+    for (const Value* a : args) {
+      for (int i = 0; i < a->count() && w < n; ++i, ++w) {
+        out.SetConverted(w, *a, i);
+      }
+    }
+    return;
+  }
+  // Matrices.
+  const int n = RowCount(target);
+  if (args.size() == 1 && args[0]->count() == 1) {
+    for (int col = 0; col < n; ++col) {
+      for (int row = 0; row < n; ++row) {
+        out.SetF(col * n + row, col == row ? args[0]->AsFloat(0) : 0.0f);
+      }
+    }
+    return;
+  }
+  if (args.size() == 1 && IsMatrix(args[0]->type().base)) {
+    const int m = RowCount(args[0]->type().base);
+    for (int col = 0; col < n; ++col) {
+      for (int row = 0; row < n; ++row) {
+        float v = col == row ? 1.0f : 0.0f;
+        if (col < m && row < m) v = args[0]->F(col * m + row);
+        out.SetF(col * n + row, v);
+      }
+    }
+    return;
+  }
+  int w = 0;
+  for (const Value* a : args) {
+    for (int i = 0; i < a->count() && w < out.count(); ++i, ++w) {
+      out.SetConverted(w, *a, i);
+    }
+  }
+}
+
+void EvalNegInto(AluModel& alu, const Value& v, Value& out) {
+  const bool is_float = v.scalar() == BaseType::kFloat;
+  for (int i = 0; i < v.count(); ++i) {
+    alu.Count(1);
+    if (is_float) {
+      out.SetF(i, alu.Round(-v.F(i)));
+    } else {
+      out.SetI(i, -v.I(i));
+    }
+  }
+}
+
+void EvalNotInto(AluModel& alu, const Value& v, Value& out) {
+  alu.Count(1);
+  out.SetB(0, !v.B(0));
+}
+
+void EvalIncDecInto(AluModel& alu, const LRef& ref, bool increment, bool post,
+                    Value& out) {
+  const Value old = ReadRef(ref);
+  Value updated(old.type());
+  const float delta = increment ? 1.0f : -1.0f;
+  const bool is_float = old.scalar() == BaseType::kFloat;
+  for (int i = 0; i < old.count(); ++i) {
+    if (is_float) {
+      updated.SetF(i, alu.Add(old.F(i), delta));
+    } else {
+      alu.Count(1);
+      updated.SetI(i, old.I(i) + static_cast<std::int32_t>(delta));
+    }
+  }
+  WriteRef(ref, updated);
+  out = post ? old : updated;
+}
+
+void EvalIncDecVar(AluModel& alu, Value& var, bool increment, bool post,
+                   Value& out) {
+  const float delta = increment ? 1.0f : -1.0f;
+  const bool is_float = var.scalar() == BaseType::kFloat;
+  const int n = var.count();
+  for (int i = 0; i < n; ++i) {
+    if (is_float) {
+      const float old = var.F(i);
+      const float updated = alu.Add(old, delta);
+      var.SetF(i, updated);
+      out.SetF(i, post ? old : updated);
+    } else {
+      alu.Count(1);
+      const std::int32_t old = var.I(i);
+      const std::int32_t updated = old + static_cast<std::int32_t>(delta);
+      var.SetI(i, updated);
+      out.SetI(i, post ? old : updated);
+    }
+  }
+}
+
+void EvalExtractInto(const Value& base, const IndexStep& step, int i,
+                     Value& out) {
+  if (i < 0) i = 0;
+  if (i >= step.limit) i = step.limit - 1;
+  for (int k = 0; k < step.elem_cells; ++k) {
+    out.data()[k] = base.data()[i * step.elem_cells + k];
+  }
+}
+
+}  // namespace mgpu::glsl

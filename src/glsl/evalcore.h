@@ -1,0 +1,98 @@
+// Evaluation core shared by the two shader execution engines: the
+// tree-walking ShaderExec (reference oracle) and the bytecode VmExec (the
+// default fast path). Every operation that touches the AluModel — arithmetic,
+// constructors, unary ops, increment/decrement — lives here exactly once, so
+// the engines are byte-identical in results AND in ALU/SFU/TMU op counts by
+// construction.
+#ifndef MGPU_GLSL_EVALCORE_H_
+#define MGPU_GLSL_EVALCORE_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "glsl/alu.h"
+#include "glsl/ast.h"
+#include "glsl/value.h"
+
+namespace mgpu::glsl {
+
+// Thrown on conditions a real GPU would turn into hangs or undefined
+// behaviour (runaway loops, call-depth overflow); the gles2 context converts
+// it into a draw error.
+struct ShaderRuntimeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// L-value reference: maps result components onto cells of a storage Value.
+// A negative n (-cell_count) marks a whole array too large for the index
+// map; reads/writes then cover the head cells directly.
+struct LRef {
+  Value* storage = nullptr;
+  Type type;
+  std::array<std::uint16_t, 16> idx{};
+  int n = 0;
+};
+
+// Whole-variable reference.
+[[nodiscard]] LRef RefWhole(Value& storage, const Type& t);
+
+// Static metadata of an indexing step over a value of type `bt`:
+// element count limit, cells per element, and the element type.
+struct IndexStep {
+  int limit = 0;
+  int elem_cells = 0;
+  Type elem_type;
+};
+[[nodiscard]] IndexStep IndexStepOf(const Type& bt);
+
+// Indexes `base` by i with the spec's runtime clamp, using precomputed step
+// metadata (the bytecode VM bakes the step into the instruction).
+[[nodiscard]] LRef RefIndex(const LRef& base, const IndexStep& step, int i);
+
+// Component-selection on `base` (comps/count from the analyzed swizzle).
+[[nodiscard]] LRef RefSwizzle(const LRef& base, const Type& result_type,
+                              const std::uint8_t* comps, int count);
+
+[[nodiscard]] Value ReadRef(const LRef& r);
+void WriteRef(const LRef& r, const Value& v);
+
+// Deep equality across all components (GLSL == on vectors yields a single
+// bool that is true only when all components match).
+[[nodiscard]] bool EqualAll(const Value& l, const Value& r);
+
+// Binary arithmetic / comparison. `out` must be pre-typed with the result
+// type; every cell is overwritten.
+void EvalArithInto(AluModel& alu, BinOp op, const Value& l, const Value& r,
+                   Value& out);
+
+// Type constructor semantics (scalar/vector/matrix conversions, diagonal
+// matrices, matrix resizing). `out` is pre-typed with the constructed type.
+void EvalCtorInto(AluModel& alu, std::span<const Value* const> args,
+                  Value& out);
+
+// Component-wise negation (float rounds through the ALU model).
+void EvalNegInto(AluModel& alu, const Value& v, Value& out);
+
+// Scalar logical not.
+void EvalNotInto(AluModel& alu, const Value& v, Value& out);
+
+// ++/-- on an l-value; `out` receives the expression's value (old for
+// postfix, updated for prefix).
+void EvalIncDecInto(AluModel& alu, const LRef& ref, bool increment, bool post,
+                    Value& out);
+
+// Whole-variable ++/-- (the VM's fast path for plain loop counters):
+// identical arithmetic and counts as EvalIncDecInto, minus the LRef and
+// Value round trips.
+void EvalIncDecVar(AluModel& alu, Value& var, bool increment, bool post,
+                   Value& out);
+
+// R-value dynamic indexing with the runtime clamp: out = base[i].
+void EvalExtractInto(const Value& base, const IndexStep& step, int i,
+                     Value& out);
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_EVALCORE_H_

@@ -1,8 +1,10 @@
 #include "glsl/interp.h"
 
+#include <array>
 #include <cmath>
 
 #include "common/strings.h"
+#include "glsl/evalcore.h"
 
 namespace mgpu::glsl {
 namespace {
@@ -158,96 +160,28 @@ ShaderExec::Flow ShaderExec::Exec(const Stmt& s, Frame& f) {
 // L-values
 // ---------------------------------------------------------------------------
 
-ShaderExec::LRef ShaderExec::EvalLValue(const Expr& e, Frame& f) {
+LRef ShaderExec::EvalLValue(const Expr& e, Frame& f) {
   switch (e.kind) {
     case ExprKind::kVarRef: {
       const auto& v = static_cast<const VarRefExpr&>(e);
-      LRef r;
-      r.storage = v.scope == VarScope::kGlobal
-                      ? &globals_[static_cast<std::size_t>(v.slot)]
-                      : &f.slots[static_cast<std::size_t>(v.slot)];
-      r.type = v.type;
-      r.n = v.type.CellCount() > 16 ? 16 : v.type.CellCount();
-      // Arrays larger than 16 cells are referenced whole only via index
-      // expressions below; identity maps cover the head.
-      for (int i = 0; i < r.n; ++i) {
-        r.idx[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(i);
-      }
-      if (v.type.CellCount() > 16) r.n = -v.type.CellCount();  // whole-array marker
-      return r;
+      Value& storage = v.scope == VarScope::kGlobal
+                           ? globals_[static_cast<std::size_t>(v.slot)]
+                           : f.slots[static_cast<std::size_t>(v.slot)];
+      return RefWhole(storage, v.type);
     }
     case ExprKind::kIndex: {
       const auto& ix = static_cast<const IndexExpr&>(e);
-      LRef base = EvalLValue(*ix.base, f);
-      const Type bt = ix.base->type;
-      int i = Eval(*ix.index, f).I(0);
-      int limit, elem_cells;
-      Type elem_type;
-      if (bt.IsArray()) {
-        limit = bt.array_size;
-        elem_type = bt.ElementType();
-        elem_cells = ComponentCount(bt.base);
-      } else if (IsMatrix(bt.base)) {
-        limit = ColumnCount(bt.base);
-        elem_type = MakeType(ColumnTypeOf(bt.base));
-        elem_cells = RowCount(bt.base);
-      } else {
-        limit = ComponentCount(bt.base);
-        elem_type = MakeType(ScalarOf(bt.base));
-        elem_cells = 1;
-      }
-      if (i < 0) i = 0;
-      if (i >= limit) i = limit - 1;  // runtime clamp (UB in the spec)
-      LRef r;
-      r.storage = base.storage;
-      r.type = elem_type;
-      r.n = elem_cells;
-      for (int k = 0; k < elem_cells; ++k) {
-        const int flat = i * elem_cells + k;
-        r.idx[static_cast<std::size_t>(k)] =
-            base.n < 0 ? static_cast<std::uint16_t>(flat)
-                       : base.idx[static_cast<std::size_t>(flat)];
-      }
-      return r;
+      const LRef base = EvalLValue(*ix.base, f);
+      const int i = Eval(*ix.index, f).I(0);
+      return RefIndex(base, IndexStepOf(ix.base->type), i);
     }
     case ExprKind::kSwizzle: {
       const auto& sw = static_cast<const SwizzleExpr&>(e);
-      LRef base = EvalLValue(*sw.base, f);
-      LRef r;
-      r.storage = base.storage;
-      r.type = sw.type;
-      r.n = sw.count;
-      for (int k = 0; k < sw.count; ++k) {
-        r.idx[static_cast<std::size_t>(k)] =
-            base.idx[sw.comps[static_cast<std::size_t>(k)]];
-      }
-      return r;
+      const LRef base = EvalLValue(*sw.base, f);
+      return RefSwizzle(base, sw.type, sw.comps.data(), sw.count);
     }
     default:
       throw RuntimeError("internal error: expression is not an l-value");
-  }
-}
-
-Value ShaderExec::ReadRef(const LRef& r) const {
-  Value v(r.type);
-  if (r.n < 0) {
-    // Whole large array.
-    for (int i = 0; i < -r.n; ++i) v.data()[i] = r.storage->data()[i];
-    return v;
-  }
-  for (int i = 0; i < r.n; ++i) {
-    v.data()[i] = r.storage->data()[r.idx[static_cast<std::size_t>(i)]];
-  }
-  return v;
-}
-
-void ShaderExec::WriteRef(const LRef& r, const Value& v) {
-  if (r.n < 0) {
-    for (int i = 0; i < -r.n; ++i) r.storage->data()[i] = v.data()[i];
-    return;
-  }
-  for (int i = 0; i < r.n; ++i) {
-    r.storage->data()[r.idx[static_cast<std::size_t>(i)]] = v.data()[i];
   }
 }
 
@@ -275,7 +209,14 @@ Value ShaderExec::Eval(const Expr& e, Frame& f) {
       std::vector<Value> args;
       args.reserve(call.args.size());
       for (const auto& a : call.args) args.push_back(Eval(*a, f));
-      return EvalBuiltin(static_cast<Builtin>(call.builtin), call.type, args,
+      if (args.size() > static_cast<std::size_t>(kMaxBuiltinArgs)) {
+        throw RuntimeError("internal error: builtin argument count");
+      }
+      std::array<const Value*, kMaxBuiltinArgs> ptrs{};
+      for (std::size_t i = 0; i < args.size(); ++i) ptrs[i] = &args[i];
+      return EvalBuiltin(static_cast<Builtin>(call.builtin), call.type,
+                         std::span<const Value* const>(ptrs.data(),
+                                                       args.size()),
                          alu_, texture_);
     }
     case ExprKind::kCtor:
@@ -311,44 +252,27 @@ Value ShaderExec::Eval(const Expr& e, Frame& f) {
         case UnOp::kNeg: {
           const Value v = Eval(*u.operand, f);
           Value out(v.type());
-          const bool is_float = v.scalar() == BaseType::kFloat;
-          for (int i = 0; i < v.count(); ++i) {
-            alu_.Count(1);
-            if (is_float) {
-              out.SetF(i, alu_.Round(-v.F(i)));
-            } else {
-              out.SetI(i, -v.I(i));
-            }
-          }
+          EvalNegInto(alu_, v, out);
           return out;
         }
         case UnOp::kNot: {
           const Value v = Eval(*u.operand, f);
-          alu_.Count(1);
-          return Value::MakeBool(!v.B(0));
+          Value out(MakeType(BaseType::kBool));
+          EvalNotInto(alu_, v, out);
+          return out;
         }
         case UnOp::kPreInc:
         case UnOp::kPreDec:
         case UnOp::kPostInc:
         case UnOp::kPostDec: {
           const LRef ref = EvalLValue(*u.operand, f);
-          const Value old = ReadRef(ref);
-          Value updated(old.type());
-          const float delta =
-              (u.op == UnOp::kPreInc || u.op == UnOp::kPostInc) ? 1.0f : -1.0f;
-          const bool is_float = old.scalar() == BaseType::kFloat;
-          for (int i = 0; i < old.count(); ++i) {
-            if (is_float) {
-              updated.SetF(i, alu_.Add(old.F(i), delta));
-            } else {
-              alu_.Count(1);
-              updated.SetI(i, old.I(i) + static_cast<std::int32_t>(delta));
-            }
-          }
-          WriteRef(ref, updated);
+          const bool inc =
+              u.op == UnOp::kPreInc || u.op == UnOp::kPostInc;
           const bool post =
               u.op == UnOp::kPostInc || u.op == UnOp::kPostDec;
-          return post ? old : updated;
+          Value out;
+          EvalIncDecInto(alu_, ref, inc, post, out);
+          return out;
         }
       }
       return Value();
@@ -377,25 +301,9 @@ Value ShaderExec::Eval(const Expr& e, Frame& f) {
     case ExprKind::kIndex: {
       const auto& ix = static_cast<const IndexExpr&>(e);
       const Value base = Eval(*ix.base, f);
-      int i = Eval(*ix.index, f).I(0);
-      const Type bt = ix.base->type;
-      int limit, elem_cells;
-      if (bt.IsArray()) {
-        limit = bt.array_size;
-        elem_cells = ComponentCount(bt.base);
-      } else if (IsMatrix(bt.base)) {
-        limit = ColumnCount(bt.base);
-        elem_cells = RowCount(bt.base);
-      } else {
-        limit = ComponentCount(bt.base);
-        elem_cells = 1;
-      }
-      if (i < 0) i = 0;
-      if (i >= limit) i = limit - 1;
+      const int i = Eval(*ix.index, f).I(0);
       Value out(ix.type);
-      for (int k = 0; k < elem_cells; ++k) {
-        out.data()[k] = base.data()[i * elem_cells + k];
-      }
+      EvalExtractInto(base, IndexStepOf(ix.base->type), i, out);
       return out;
     }
     case ExprKind::kSwizzle: {
@@ -416,96 +324,10 @@ Value ShaderExec::Eval(const Expr& e, Frame& f) {
   return Value();
 }
 
-bool EqualAll(const Value& l, const Value& r);
-
 Value ShaderExec::EvalArith(BinOp op, const Value& l, const Value& r,
                             Type result) {
   Value out(result);
-  const BaseType lb = l.type().base;
-  const BaseType rb = r.type().base;
-  const bool is_float = ScalarOf(lb) == BaseType::kFloat;
-
-  // Linear-algebra multiplication cases first.
-  if (op == BinOp::kMul && IsMatrix(lb) && IsMatrix(rb)) {
-    const int n = RowCount(lb);
-    for (int c = 0; c < n; ++c) {
-      for (int row = 0; row < n; ++row) {
-        float acc = alu_.Mul(l.F(row), r.F(c * n));
-        for (int k = 1; k < n; ++k) {
-          acc = alu_.Add(acc, alu_.Mul(l.F(k * n + row), r.F(c * n + k)));
-        }
-        out.SetF(c * n + row, acc);
-      }
-    }
-    return out;
-  }
-  if (op == BinOp::kMul && IsMatrix(lb) && IsVector(rb)) {
-    const int n = RowCount(lb);
-    for (int row = 0; row < n; ++row) {
-      float acc = alu_.Mul(l.F(row), r.F(0));
-      for (int k = 1; k < n; ++k) {
-        acc = alu_.Add(acc, alu_.Mul(l.F(k * n + row), r.F(k)));
-      }
-      out.SetF(row, acc);
-    }
-    return out;
-  }
-  if (op == BinOp::kMul && IsVector(lb) && IsMatrix(rb)) {
-    const int n = RowCount(rb);
-    for (int c = 0; c < n; ++c) {
-      float acc = alu_.Mul(l.F(0), r.F(c * n));
-      for (int k = 1; k < n; ++k) {
-        acc = alu_.Add(acc, alu_.Mul(l.F(k), r.F(c * n + k)));
-      }
-      out.SetF(c, acc);
-    }
-    return out;
-  }
-
-  // Component-wise with scalar broadcast.
-  const int n = out.count();
-  const bool lbc = l.count() == 1 && n > 1;
-  const bool rbc = r.count() == 1 && n > 1;
-  for (int i = 0; i < n; ++i) {
-    const int li = lbc ? 0 : i;
-    const int ri = rbc ? 0 : i;
-    if (is_float) {
-      const float a = l.F(li);
-      const float b = r.F(ri);
-      float v = 0.0f;
-      switch (op) {
-        case BinOp::kAdd: v = alu_.Add(a, b); break;
-        case BinOp::kSub: v = alu_.Sub(a, b); break;
-        case BinOp::kMul: v = alu_.Mul(a, b); break;
-        case BinOp::kDiv: v = alu_.Div(a, b); break;
-        case BinOp::kLt: alu_.Count(1); out.SetB(i, a < b); continue;
-        case BinOp::kGt: alu_.Count(1); out.SetB(i, a > b); continue;
-        case BinOp::kLe: alu_.Count(1); out.SetB(i, a <= b); continue;
-        case BinOp::kGe: alu_.Count(1); out.SetB(i, a >= b); continue;
-        case BinOp::kEq: alu_.Count(1); out.SetB(i, EqualAll(l, r)); continue;
-        case BinOp::kNe: alu_.Count(1); out.SetB(i, !EqualAll(l, r)); continue;
-        default: break;
-      }
-      out.SetF(i, v);
-    } else {
-      const std::int32_t a = l.scalar() == BaseType::kBool ? l.I(li) : l.I(li);
-      const std::int32_t b = r.I(ri);
-      alu_.Count(1);
-      switch (op) {
-        case BinOp::kAdd: out.SetI(i, a + b); break;
-        case BinOp::kSub: out.SetI(i, a - b); break;
-        case BinOp::kMul: out.SetI(i, a * b); break;
-        case BinOp::kDiv: out.SetI(i, b == 0 ? 0 : a / b); break;
-        case BinOp::kLt: out.SetB(i, a < b); break;
-        case BinOp::kGt: out.SetB(i, a > b); break;
-        case BinOp::kLe: out.SetB(i, a <= b); break;
-        case BinOp::kGe: out.SetB(i, a >= b); break;
-        case BinOp::kEq: out.SetB(i, EqualAll(l, r)); break;
-        case BinOp::kNe: out.SetB(i, !EqualAll(l, r)); break;
-        default: break;
-      }
-    }
-  }
+  EvalArithInto(alu_, op, l, r, out);
   return out;
 }
 
@@ -513,55 +335,11 @@ Value ShaderExec::EvalCtor(const CtorExpr& c, Frame& f) {
   std::vector<Value> args;
   args.reserve(c.args.size());
   for (const auto& a : c.args) args.push_back(Eval(*a, f));
-  const BaseType target = c.ctor_type.base;
+  std::vector<const Value*> ptrs;
+  ptrs.reserve(args.size());
+  for (const Value& a : args) ptrs.push_back(&a);
   Value out(c.ctor_type);
-  alu_.Count(out.count());  // conversion/mov cost
-
-  if (IsScalar(target)) {
-    out.SetConverted(0, args[0], 0);
-    return out;
-  }
-  if (IsVector(target)) {
-    const int n = out.count();
-    if (args.size() == 1 && args[0].count() == 1) {
-      for (int i = 0; i < n; ++i) out.SetConverted(i, args[0], 0);
-      return out;
-    }
-    int w = 0;
-    for (const Value& a : args) {
-      for (int i = 0; i < a.count() && w < n; ++i, ++w) {
-        out.SetConverted(w, a, i);
-      }
-    }
-    return out;
-  }
-  // Matrices.
-  const int n = RowCount(target);
-  if (args.size() == 1 && args[0].count() == 1) {
-    for (int col = 0; col < n; ++col) {
-      for (int row = 0; row < n; ++row) {
-        out.SetF(col * n + row, col == row ? args[0].AsFloat(0) : 0.0f);
-      }
-    }
-    return out;
-  }
-  if (args.size() == 1 && IsMatrix(args[0].type().base)) {
-    const int m = RowCount(args[0].type().base);
-    for (int col = 0; col < n; ++col) {
-      for (int row = 0; row < n; ++row) {
-        float v = col == row ? 1.0f : 0.0f;
-        if (col < m && row < m) v = args[0].F(col * m + row);
-        out.SetF(col * n + row, v);
-      }
-    }
-    return out;
-  }
-  int w = 0;
-  for (const Value& a : args) {
-    for (int i = 0; i < a.count() && w < out.count(); ++i, ++w) {
-      out.SetConverted(w, a, i);
-    }
-  }
+  EvalCtorInto(alu_, ptrs, out);
   return out;
 }
 
@@ -630,21 +408,6 @@ Value ShaderExec::CallFunction(const FunctionDecl& fn, const CallExpr& call,
     return Value(def->return_type);  // fell off the end: zero value
   }
   return std::move(frame.ret);
-}
-
-// Deep equality across all components (GLSL == on vectors yields a single
-// bool that is true only when all components match).
-bool EqualAll(const Value& l, const Value& r) {
-  if (l.count() != r.count()) return false;
-  const bool is_float = l.scalar() == BaseType::kFloat;
-  for (int i = 0; i < l.count(); ++i) {
-    if (is_float) {
-      if (l.F(i) != r.F(i)) return false;
-    } else {
-      if (l.I(i) != r.I(i)) return false;
-    }
-  }
-  return true;
 }
 
 }  // namespace mgpu::glsl

@@ -1,45 +1,48 @@
 // Tree-walking evaluator for analyzed GLSL ES 1.00 shaders. One ShaderExec
 // holds the mutable state of a shader stage (uniforms, attributes/varyings,
 // gl_* registers); Run() executes main() once per vertex or fragment. All
-// float arithmetic is routed through an AluModel (precision + op counting).
+// float arithmetic is routed through an AluModel (precision + op counting)
+// via the evaluation core shared with the bytecode VM (evalcore.h).
+//
+// This engine is the semantic reference oracle; the production fragment path
+// runs the bytecode VM (vm.h), which is proven byte-identical — outputs and
+// op counts — against this interpreter by the differential conformance
+// harness (tests/glsl_vm_test.cc).
 #ifndef MGPU_GLSL_INTERP_H_
 #define MGPU_GLSL_INTERP_H_
 
-#include <array>
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "glsl/alu.h"
 #include "glsl/builtins.h"
+#include "glsl/engine.h"
+#include "glsl/evalcore.h"
 #include "glsl/shader.h"
 #include "glsl/value.h"
 
 namespace mgpu::glsl {
 
-class ShaderExec {
+class ShaderExec final : public ShaderEngine {
  public:
-  // Thrown on conditions a real GPU would turn into hangs or undefined
-  // behaviour (runaway loops, call-depth overflow); the gles2 context
-  // converts it into a draw error.
-  struct RuntimeError : std::runtime_error {
-    using std::runtime_error::runtime_error;
-  };
+  // Historic name, kept for callers that predate the engine split.
+  using RuntimeError = ShaderRuntimeError;
 
   ShaderExec(const CompiledShader& cs, AluModel& alu);
 
-  void SetTextureFn(TextureFn fn) { texture_ = std::move(fn); }
+  void SetTextureFn(TextureFn fn) override { texture_ = std::move(fn); }
 
-  // Slot of a global (uniform, attribute, varying, gl_*); -1 when absent.
-  [[nodiscard]] int GlobalSlot(const std::string& name) const;
-  [[nodiscard]] Value& GlobalAt(int slot) { return globals_[static_cast<std::size_t>(slot)]; }
+  [[nodiscard]] int GlobalSlot(const std::string& name) const override;
+  [[nodiscard]] Value& GlobalAt(int slot) override {
+    return globals_[static_cast<std::size_t>(slot)];
+  }
   [[nodiscard]] const Value& GlobalAt(int slot) const {
     return globals_[static_cast<std::size_t>(slot)];
   }
 
   // Executes main(). Returns false if the invocation was discarded.
-  bool Run();
+  bool Run() override;
 
   [[nodiscard]] const CompiledShader& shader() const { return cs_; }
   [[nodiscard]] AluModel& alu() { return alu_; }
@@ -53,14 +56,6 @@ class ShaderExec {
     bool returned = false;
   };
 
-  // L-value reference: maps result components onto cells of a storage Value.
-  struct LRef {
-    Value* storage = nullptr;
-    Type type;
-    std::array<std::uint16_t, 16> idx{};
-    int n = 0;
-  };
-
   void InitGlobals();
   Value EvalInit(const Expr& e);
 
@@ -69,8 +64,6 @@ class ShaderExec {
   Flow ExecBlock(const BlockStmt& b, Frame& f);
 
   LRef EvalLValue(const Expr& e, Frame& f);
-  [[nodiscard]] Value ReadRef(const LRef& r) const;
-  void WriteRef(const LRef& r, const Value& v);
 
   Value EvalArith(BinOp op, const Value& l, const Value& r, Type result);
   Value EvalCtor(const CtorExpr& c, Frame& f);

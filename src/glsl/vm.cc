@@ -1,0 +1,201 @@
+#include "glsl/vm.h"
+
+#include <array>
+#include <cstring>
+
+namespace mgpu::glsl {
+namespace {
+
+// Same budgets (and messages) as the tree-walking interpreter.
+constexpr std::uint64_t kMaxLoopSteps = 100'000'000;
+constexpr int kMaxCallDepth = 64;
+
+}  // namespace
+
+VmExec::VmExec(std::shared_ptr<const VmProgram> program, AluModel& alu)
+    : prog_(std::move(program)), alu_(alu) {
+  globals_.reserve(prog_->globals.size());
+  for (const VmGlobal& g : prog_->globals) globals_.emplace_back(g.type);
+  regs_.reserve(prog_->reg_types.size());
+  for (const Type& t : prog_->reg_types) regs_.emplace_back(t);
+  refs_.resize(prog_->ref_slot_count);
+
+  // One-time global initialization (consts and initial values of plain
+  // globals). The oracle counts this work at its own construction, so the
+  // counter snapshot keeps link-time totals unchanged when both engines are
+  // instantiated side by side.
+  const OpCounts saved = alu_.counts();
+  loop_steps_ = 0;
+  (void)Execute(prog_->const_init_entry);
+  alu_.SetCounts(saved);
+}
+
+bool VmExec::Run() {
+  loop_steps_ = 0;
+  return Execute(prog_->run_entry);
+}
+
+bool VmExec::Execute(std::uint32_t pc) {
+  const VmInst* const code = prog_->code.data();
+  const std::uint32_t* const arg_ops = prog_->arg_ops.data();
+  // One extra slot: the run chunk's call into main occupies the stack but
+  // does not count against the interpreter's user-call depth limit.
+  std::array<std::uint32_t, kMaxCallDepth + 1> ret_stack;
+  int sp = 0;
+
+  while (true) {
+    const VmInst& in = code[pc];
+    switch (in.op) {
+      case VmOp::kCopy: {
+        Value& d = At(in.dst);
+        const Value& s = Read(in.a);
+        const int n = d.count();
+        if (n <= 4) {
+          for (int k = 0; k < n; ++k) d.data()[k] = s.data()[k];
+        } else {
+          std::memmove(d.data(), s.data(),
+                       static_cast<std::size_t>(n) * sizeof(Cell));
+        }
+        break;
+      }
+      case VmOp::kZero: {
+        Value& d = At(in.dst);
+        const int n = d.count();
+        if (n <= 4) {
+          for (int k = 0; k < n; ++k) d.data()[k].i = 0;
+        } else {
+          std::memset(d.data(), 0,
+                      static_cast<std::size_t>(n) * sizeof(Cell));
+        }
+        break;
+      }
+      case VmOp::kShuffle: {
+        Value& d = At(in.dst);
+        const Value& s = Read(in.a);
+        for (int k = 0; k < in.n; ++k) {
+          d.data()[k] = s.data()[(in.aux >> (8 * k)) & 0xffu];
+        }
+        break;
+      }
+      case VmOp::kExtract: {
+        IndexStep step;
+        step.limit = static_cast<int>(in.aux);
+        step.elem_cells = in.n;
+        EvalExtractInto(Read(in.a), step, Read(in.b).I(0), At(in.dst));
+        break;
+      }
+      case VmOp::kArith:
+        EvalArithInto(alu_, static_cast<BinOp>(in.u8), Read(in.a), Read(in.b),
+                      At(in.dst));
+        break;
+      case VmOp::kNeg:
+        EvalNegInto(alu_, Read(in.a), At(in.dst));
+        break;
+      case VmOp::kNot:
+        EvalNotInto(alu_, Read(in.a), At(in.dst));
+        break;
+      case VmOp::kXor:
+        At(in.dst).SetB(0, Read(in.a).B(0) != Read(in.b).B(0));
+        break;
+      case VmOp::kBoolNorm:
+        At(in.dst).SetB(0, Read(in.a).B(0));
+        break;
+      case VmOp::kCtor: {
+        std::array<const Value*, 16> ptrs;
+        for (int i = 0; i < in.n; ++i) ptrs[i] = &Read(arg_ops[in.aux + i]);
+        Value& d = At(in.dst);
+        // Fresh-value semantics: the interpreter constructs into a zeroed
+        // Value; clear so partially-covering (malformed) ctors still match.
+        std::memset(d.data(), 0,
+                    static_cast<std::size_t>(d.count()) * sizeof(Cell));
+        EvalCtorInto(alu_,
+                     std::span<const Value* const>(ptrs.data(), in.n), d);
+        break;
+      }
+      case VmOp::kBuiltin: {
+        std::array<const Value*, kMaxBuiltinArgs> ptrs;
+        for (int i = 0; i < in.n; ++i) ptrs[i] = &Read(arg_ops[in.aux + i]);
+        EvalBuiltinInto(static_cast<Builtin>(in.u8), in.type,
+                        std::span<const Value* const>(ptrs.data(), in.n),
+                        alu_, texture_, At(in.dst));
+        break;
+      }
+      case VmOp::kJump:
+        pc = in.aux;
+        continue;
+      case VmOp::kJumpIfFalse:
+        if (!Read(in.a).B(0)) {
+          pc = in.aux;
+          continue;
+        }
+        break;
+      case VmOp::kJumpIfTrue:
+        if (Read(in.a).B(0)) {
+          pc = in.aux;
+          continue;
+        }
+        break;
+      case VmOp::kLoopGuard:
+        if (++loop_steps_ > kMaxLoopSteps) {
+          throw ShaderRuntimeError(
+              "shader exceeded the loop iteration budget (a real GPU would "
+              "hang or be reset here)");
+        }
+        break;
+      case VmOp::kCall:
+        if (sp > kMaxCallDepth) {
+          throw ShaderRuntimeError("shader call depth exceeded");
+        }
+        ret_stack[static_cast<std::size_t>(sp++)] = pc + 1;
+        pc = prog_->functions[in.aux].entry;
+        continue;
+      case VmOp::kRet:
+        if (sp == 0) return true;  // main returned
+        pc = ret_stack[static_cast<std::size_t>(--sp)];
+        continue;
+      case VmOp::kDiscard:
+        return false;
+      case VmOp::kHalt:
+        return true;
+      case VmOp::kTrap:
+        throw ShaderRuntimeError(prog_->messages[in.aux]);
+      case VmOp::kRefVar:
+        refs_[in.dst] = RefWhole(At(in.a), in.type);
+        break;
+      case VmOp::kRefIndex: {
+        IndexStep step;
+        step.limit = static_cast<int>(in.aux);
+        step.elem_cells = in.n;
+        step.elem_type = in.type;
+        refs_[in.dst] = RefIndex(refs_[in.a], step, Read(in.b).I(0));
+        break;
+      }
+      case VmOp::kRefSwizzle: {
+        std::array<std::uint8_t, 4> comps{};
+        for (int k = 0; k < in.n; ++k) {
+          comps[static_cast<std::size_t>(k)] =
+              static_cast<std::uint8_t>((in.aux >> (8 * k)) & 0xffu);
+        }
+        refs_[in.dst] = RefSwizzle(refs_[in.a], in.type, comps.data(), in.n);
+        break;
+      }
+      case VmOp::kReadRef:
+        At(in.dst) = ReadRef(refs_[in.a]);
+        break;
+      case VmOp::kWriteRef:
+        WriteRef(refs_[in.dst], Read(in.a));
+        break;
+      case VmOp::kIncDec:
+        EvalIncDecInto(alu_, refs_[in.a], (in.u8 & 1) != 0, (in.u8 & 2) != 0,
+                       At(in.dst));
+        break;
+      case VmOp::kIncDecVar:
+        EvalIncDecVar(alu_, At(in.a), (in.u8 & 1) != 0, (in.u8 & 2) != 0,
+                      At(in.dst));
+        break;
+    }
+    ++pc;
+  }
+}
+
+}  // namespace mgpu::glsl

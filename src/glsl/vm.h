@@ -1,0 +1,75 @@
+// Bytecode VM executor: the default execution engine for shader
+// invocations. A VmExec instantiates the register file / globals / ref
+// slots of a lowered VmProgram once, then Run() executes the flat
+// instruction stream with a tight dispatch loop — no recursion, no
+// per-invocation allocation. All float math routes through the AluModel via
+// the evaluation core shared with the tree-walking oracle (evalcore.h), so
+// results and op counts are identical to ShaderExec by construction.
+#ifndef MGPU_GLSL_VM_H_
+#define MGPU_GLSL_VM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "glsl/alu.h"
+#include "glsl/builtins.h"
+#include "glsl/engine.h"
+#include "glsl/evalcore.h"
+#include "glsl/ir.h"
+
+namespace mgpu::glsl {
+
+class VmExec final : public ShaderEngine {
+ public:
+  // Evaluates the program's constant-initializer chunk once; the ops it
+  // spends are excluded from `alu`'s counters (the oracle charged the same
+  // work at its own construction, so per-Run counts stay comparable).
+  VmExec(std::shared_ptr<const VmProgram> program, AluModel& alu);
+
+  bool Run() override;
+
+  [[nodiscard]] int GlobalSlot(const std::string& name) const override {
+    return prog_->GlobalSlot(name);
+  }
+  [[nodiscard]] Value& GlobalAt(int slot) override {
+    return globals_[static_cast<std::size_t>(slot)];
+  }
+  [[nodiscard]] const Value& GlobalAt(int slot) const {
+    return globals_[static_cast<std::size_t>(slot)];
+  }
+  void SetTextureFn(TextureFn fn) override { texture_ = std::move(fn); }
+
+  [[nodiscard]] const VmProgram& program() const { return *prog_; }
+  [[nodiscard]] AluModel& alu() { return alu_; }
+
+ private:
+  bool Execute(std::uint32_t pc);
+
+  [[nodiscard]] Value& At(std::uint32_t operand) {
+    const std::uint32_t idx = operand & kOperandIndexMask;
+    return (operand & ~kOperandIndexMask) == kSpaceReg ? regs_[idx]
+                                                       : globals_[idx];
+  }
+  [[nodiscard]] const Value& Read(std::uint32_t operand) const {
+    const std::uint32_t idx = operand & kOperandIndexMask;
+    switch (operand & ~kOperandIndexMask) {
+      case kSpaceReg: return regs_[idx];
+      case kSpaceGlobal: return globals_[idx];
+      default: return prog_->consts[idx];
+    }
+  }
+
+  std::shared_ptr<const VmProgram> prog_;
+  AluModel& alu_;
+  TextureFn texture_;
+  std::vector<Value> globals_;
+  std::vector<Value> regs_;
+  std::vector<LRef> refs_;
+  std::uint64_t loop_steps_ = 0;
+};
+
+}  // namespace mgpu::glsl
+
+#endif  // MGPU_GLSL_VM_H_

@@ -1,0 +1,658 @@
+// Differential harness for the bytecode VM: every shader in the corpus runs
+// through BOTH engines — the tree-walking ShaderExec oracle and the bytecode
+// VmExec — and must produce bit-identical outputs and identical AluModel op
+// counts. The corpus covers the same ground as the conformance suite
+// (expressions, control flow, functions, arrays, swizzled stores) plus
+// VM-specific hazards (register clobbering across calls, side effects in
+// argument lists, discard inside helpers).
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/strings.h"
+#include "gles2/context.h"
+#include "glsl/compile.h"
+#include "glsl/interp.h"
+#include "glsl/ir.h"
+#include "glsl/vm.h"
+#include "vc4/alu.h"
+#include "vc4/profiles.h"
+
+#include "glsl_test_util.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::glsl {
+namespace {
+
+struct EngineRun {
+  bool ok = false;            // compiled and ran
+  bool kept = false;          // not discarded
+  std::array<std::uint32_t, 4> color{};  // gl_FragColor bit patterns
+  OpCounts counts;
+};
+
+// Uniform assignments applied before Run(): name -> up to 16 float cells
+// (or int for samplers/ints via the int flag).
+struct UniformF {
+  const char* name;
+  std::vector<float> cells;
+};
+struct UniformI {
+  const char* name;
+  std::vector<std::int32_t> cells;
+};
+
+struct Case {
+  const char* label;
+  std::string source;
+  std::vector<UniformF> funiforms;
+  std::vector<UniformI> iuniforms;
+  bool with_texture = false;
+};
+
+template <typename Engine>
+EngineRun RunEngine(Engine& exec, AluModel& alu, const Case& c) {
+  EngineRun r;
+  for (const UniformF& u : c.funiforms) {
+    const int slot = exec.GlobalSlot(u.name);
+    if (slot < 0) continue;
+    Value& v = exec.GlobalAt(slot);
+    for (std::size_t i = 0; i < u.cells.size(); ++i) {
+      v.SetF(static_cast<int>(i), u.cells[i]);
+    }
+  }
+  for (const UniformI& u : c.iuniforms) {
+    const int slot = exec.GlobalSlot(u.name);
+    if (slot < 0) continue;
+    Value& v = exec.GlobalAt(slot);
+    for (std::size_t i = 0; i < u.cells.size(); ++i) {
+      v.SetI(static_cast<int>(i), u.cells[i]);
+    }
+  }
+  if (c.with_texture) {
+    exec.SetTextureFn([](int unit, float s, float t, float lod) {
+      return std::array<float, 4>{s * 0.5f + static_cast<float>(unit) * 0.125f,
+                                  t * 0.25f, s + t, lod + 0.75f};
+    });
+  }
+  alu.ResetCounts();
+  r.kept = exec.Run();
+  r.counts = alu.counts();
+  r.ok = true;
+  const int slot = exec.GlobalSlot("gl_FragColor");
+  if (slot >= 0) {
+    const Value& v = exec.GlobalAt(slot);
+    for (int i = 0; i < 4; ++i) r.color[static_cast<std::size_t>(i)] =
+        FloatToBits(v.F(i));
+  }
+  return r;
+}
+
+// Runs `c` through both engines on fresh ALUs of identical model and
+// asserts bit-identical color and identical op counts.
+void ExpectEnginesAgree(const Case& c, bool vc4_alu = false) {
+  SCOPED_TRACE(c.label);
+  CompileResult cr = CompileGlsl(c.source, Stage::kFragment);
+  ASSERT_TRUE(cr.ok) << "compile failed [" << c.label << "]:\n"
+                     << cr.info_log << "\nsource:\n" << c.source;
+
+  const vc4::GpuProfile profile = vc4::VideoCoreIV();
+  ExactAlu exact_a, exact_b;
+  vc4::Vc4Alu vc4_a(profile), vc4_b(profile);
+  AluModel& alu_interp = vc4_alu ? static_cast<AluModel&>(vc4_a) : exact_a;
+  AluModel& alu_vm = vc4_alu ? static_cast<AluModel&>(vc4_b) : exact_b;
+
+  ShaderExec interp(*cr.shader, alu_interp);
+  VmExec vm(LowerToBytecode(*cr.shader), alu_vm);
+
+  const EngineRun a = RunEngine(interp, alu_interp, c);
+  const EngineRun b = RunEngine(vm, alu_vm, c);
+
+  EXPECT_EQ(a.kept, b.kept) << "discard disagreement";
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.color[static_cast<std::size_t>(i)],
+              b.color[static_cast<std::size_t>(i)])
+        << "component " << i << " differs: interp="
+        << BitsToFloat(a.color[static_cast<std::size_t>(i)])
+        << " vm=" << BitsToFloat(b.color[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(a.counts.alu, b.counts.alu) << "alu op count";
+  EXPECT_EQ(a.counts.sfu, b.counts.sfu) << "sfu op count";
+  EXPECT_EQ(a.counts.sfu_trans, b.counts.sfu_trans) << "sfu_trans op count";
+  EXPECT_EQ(a.counts.tmu, b.counts.tmu) << "tmu op count";
+}
+
+std::string Frag(const std::string& body) {
+  return "precision highp float;\nvoid main() {\n" + body + "\n}\n";
+}
+
+// --- the conformance corpus (mirrors glsl_conformance_test + more) --------
+
+std::vector<Case> ConformanceCorpus() {
+  std::vector<Case> cases;
+  auto add = [&](const char* label, std::string src) {
+    Case c;
+    c.label = label;
+    c.source = std::move(src);
+    cases.push_back(std::move(c));
+  };
+
+  add("deeply_nested_expressions", Frag(
+      "gl_FragColor = vec4(((((1.0 + 2.0) * (3.0 - 1.0)) / ((2.0))) - "
+      "((1.0 + (1.0 * (1.0))))), 0.0, 0.0, 0.0);"));
+  add("chained_swizzle", Frag(R"(
+vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
+gl_FragColor = vec4(v.wzyx.xy.y, v.rgba.ba, 0.0);)"));
+  add("matrix_algebra_chain", Frag(R"(
+mat3 rot = mat3(0.0, 1.0, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0, 1.0);
+vec3 v = vec3(1.0, 0.0, 0.0);
+vec3 once = rot * v;
+vec3 four = rot * rot * rot * rot * v;
+gl_FragColor = vec4(once.xy, four.xy);)"));
+  add("matrix_scalar_division", Frag(R"(
+mat2 m = mat2(2.0, 4.0, 6.0, 8.0);
+mat2 half_m = m / 2.0;
+mat2 plus = m + mat2(1.0);
+gl_FragColor = vec4(half_m[1][1], plus[0][0], plus[0][1], 2.0 * half_m[0][0]);)"));
+  add("arrays_of_vectors", Frag(R"(
+vec2 pts[3];
+pts[0] = vec2(1.0, 2.0);
+pts[1] = vec2(3.0, 4.0);
+pts[2] = pts[0] + pts[1];
+gl_FragColor = vec4(pts[2], pts[1].y, pts[0].x);)"));
+  add("dynamic_matrix_trace", Frag(R"(
+mat3 m = mat3(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0);
+float acc = 0.0;
+for (int i = 0; i < 3; ++i) { acc += m[i][i]; }
+gl_FragColor = vec4(acc);)"));
+  add("function_overloads", R"(
+precision highp float;
+float total(vec2 v) { return v.x + v.y; }
+float total(vec3 v) { return v.x + v.y + v.z; }
+float total(float v) { return v; }
+void main() {
+  gl_FragColor = vec4(total(vec2(1.0, 2.0)), total(vec3(1.0, 2.0, 3.0)),
+                      total(7.0), 0.0);
+}
+)");
+  add("helpers_calling_helpers", R"(
+precision highp float;
+float sq(float x) { return x * x; }
+float quart(float x) { return sq(sq(x)); }
+float poly(float x) { return quart(x) + sq(x) + x; }
+void main() { gl_FragColor = vec4(poly(2.0)); }
+)");
+  add("const_global_and_macro_array", R"(
+#define N 4
+precision highp float;
+const float kWeights = 0.25;
+void main() {
+  float acc = 0.0;
+  float tbl[N];
+  for (int i = 0; i < N; ++i) { tbl[i] = kWeights; }
+  for (int i = 0; i < N; ++i) { acc += tbl[i]; }
+  gl_FragColor = vec4(acc);
+}
+)");
+  add("integer_division", Frag(R"(
+int a = 17; int b = 5;
+int q = a / b;
+int r = a - q * b;
+gl_FragColor = vec4(float(q), float(r), float(-17 / 5), 0.0);)"));
+  add("bool_vector_ctor", Frag(R"(
+bvec3 b = bvec3(1.0, 0.0, 5.0);
+gl_FragColor = vec4(b.x ? 1.0 : 0.0, b.y ? 1.0 : 0.0, b.z ? 1.0 : 0.0, 0.0);)"));
+  add("compound_assign_swizzle", Frag(R"(
+vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
+v.yz *= 10.0;
+v.x += v.w;
+gl_FragColor = v;)"));
+  add("for_comma_step", Frag(R"(
+float a = 0.0; float b = 0.0;
+for (int i = 0; i < 4; a += 1.0, ++i) { b += 2.0; }
+gl_FragColor = vec4(a, b, 0.0, 0.0);)"));
+  add("numeric_edge_infinity", Frag(R"(
+float inf = 1.0 / 0.0;
+float ninf = -1.0 / 0.0;
+gl_FragColor = vec4(inf > 1e30 ? 1.0 : 0.0, ninf < -1e30 ? 1.0 : 0.0,
+                    clamp(inf, 0.0, 2.0), 0.0);)"));
+
+  // --- control-flow corners ----------------------------------------------
+  add("while_break_continue", Frag(R"(
+float acc = 0.0;
+int i = 0;
+while (i < 10) {
+  ++i;
+  if (i == 3) { continue; }
+  if (i == 8) { break; }
+  acc += float(i);
+}
+gl_FragColor = vec4(acc);)"));
+  add("do_while_continue", Frag(R"(
+float acc = 0.0;
+int i = 0;
+do {
+  i += 2;
+  if (i == 4) { continue; }
+  acc += float(i);
+} while (i < 9);
+gl_FragColor = vec4(acc, float(i), 0.0, 0.0);)"));
+  add("nested_loops_break", Frag(R"(
+float acc = 0.0;
+for (int i = 0; i < 4; ++i) {
+  for (int j = 0; j < 4; ++j) {
+    if (j > i) { break; }
+    acc += 1.0;
+  }
+}
+gl_FragColor = vec4(acc);)"));
+  add("return_from_loop_in_main", Frag(R"(
+gl_FragColor = vec4(0.0);
+for (int i = 0; i < 10; ++i) {
+  if (i == 3) { gl_FragColor = vec4(float(i)); return; }
+}
+gl_FragColor = vec4(99.0);)"));
+  add("ternary_short_circuit", Frag(R"(
+float x = 2.0;
+float y = x > 1.0 ? (x += 10.0, x) : (x += 100.0, x);
+gl_FragColor = vec4(x, y, 0.0, 0.0);)"));
+  add("logical_short_circuit_effects", Frag(R"(
+float a = 0.0;
+bool t1 = (a += 1.0) > 0.0 || (a += 10.0) > 0.0;   // rhs skipped
+bool t2 = (a += 1.0) < 0.0 && (a += 100.0) > 0.0;  // rhs skipped
+bool t3 = (a += 1.0) > 0.0 ^^ (a += 1000.0) > 0.0; // both evaluated
+gl_FragColor = vec4(a, t1 ? 1.0 : 0.0, t2 ? 1.0 : 0.0, t3 ? 1.0 : 0.0);)"));
+
+  // --- functions: parameters, clobbering hazards -------------------------
+  add("out_inout_params", R"(
+precision highp float;
+void split(in float v, out float lo, inout float acc) {
+  lo = v - 1.0;
+  acc += v;
+}
+void main() {
+  float lo = 99.0;
+  float acc = 0.5;
+  split(4.0, lo, acc);
+  gl_FragColor = vec4(lo, acc, 0.0, 0.0);
+}
+)");
+  add("out_param_into_swizzle", R"(
+precision highp float;
+void pick(out vec2 dst) { dst = vec2(7.0, 8.0); }
+void main() {
+  vec4 v = vec4(0.0);
+  pick(v.yw);
+  gl_FragColor = v;
+}
+)");
+  add("nested_call_same_function", R"(
+precision highp float;
+float sq(float x) { return x * x; }
+void main() {
+  gl_FragColor = vec4(sq(sq(2.0)), sq(1.0) + sq(3.0), 0.0, 0.0);
+}
+)");
+  add("call_in_arg_clobbers", R"(
+precision highp float;
+float g_state = 1.0;
+float bump(float v) { g_state += v; return g_state; }
+void main() {
+  // Both arguments call bump(); evaluation is left to right.
+  gl_FragColor = vec4(bump(1.0) + bump(10.0), g_state, 0.0, 0.0);
+}
+)");
+  add("function_falls_off_end", R"(
+precision highp float;
+float maybe(float x) { if (x > 0.0) { return x * 2.0; } }
+void main() { gl_FragColor = vec4(maybe(3.0), maybe(-3.0), 0.0, 0.0); }
+)");
+  add("discard_inside_helper_is_early_return", R"(
+precision highp float;
+float risky(float x) { if (x > 0.0) { discard; } return 5.0; }
+void main() {
+  float r = risky(1.0);   // discard inside a helper returns zero
+  gl_FragColor = vec4(r, risky(-1.0), 0.0, 1.0);
+}
+)");
+  add("prototype_then_definition", R"(
+precision highp float;
+float twice(float x);
+void main() { gl_FragColor = vec4(twice(21.0)); }
+float twice(float x) { return x * 2.0; }
+)");
+  add("lvalue_index_mutates_rhs_var", R"(
+precision highp float;
+float x = 0.0;
+float arr[2];
+float bump() { x = 5.0; return 0.0; }
+void main() {
+  x = 1.0;
+  arr[1] = 9.0;
+  // The RHS (x == 1.0) must be snapshotted before the index call sets x=5.
+  arr[int(bump())] = x;
+  gl_FragColor = vec4(arr[0], arr[1], x, 0.0);
+}
+)");
+  add("lvalue_index_mutates_rhs_compound", R"(
+precision highp float;
+float x = 0.0;
+float arr[2];
+float bump() { x = 100.0; return 1.0; }
+void main() {
+  x = 3.0;
+  arr[0] = 10.0; arr[1] = 20.0;
+  arr[int(bump()) - 1] += x;  // snapshot of x (3.0) added to arr[0]
+  gl_FragColor = vec4(arr[0], arr[1], x, 0.0);
+}
+)");
+
+  // --- state: globals with initializers, inc/dec, comma ------------------
+  add("plain_global_reinit", R"(
+precision highp float;
+float counter = 3.0;
+void main() {
+  counter += 1.0;
+  gl_FragColor = vec4(counter);
+}
+)");
+  add("incdec_on_array_element", Frag(R"(
+float a[3];
+a[0] = 5.0; a[1] = 6.0; a[2] = 7.0;
+int i = 1;
+float pre = ++a[i];
+float post = a[i]--;
+gl_FragColor = vec4(a[1], pre, post, float(i++));)"));
+  add("comma_expression_value", Frag(R"(
+float a = 1.0;
+float b = (a += 1.0, a * 2.0);
+gl_FragColor = vec4(a, b, 0.0, 0.0);)"));
+  add("index_clamp_out_of_range", Frag(R"(
+vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
+int big = 7;
+int neg = -2;
+gl_FragColor = vec4(v[big], v[neg], 0.0, 0.0);)"));
+  add("matrix_from_matrix_ctor", Frag(R"(
+mat2 small_m = mat2(1.0, 2.0, 3.0, 4.0);
+mat4 big = mat4(small_m);
+mat2 back = mat2(big);
+gl_FragColor = vec4(big[2][2], big[3][1], back[0][1], back[1][1]);)"));
+  add("vec_eq_compare", Frag(R"(
+vec3 a = vec3(1.0, 2.0, 4.0);
+vec3 b = vec3(1.0, 2.0, 4.0);
+vec3 d = vec3(1.0, 2.0, 5.0);
+gl_FragColor = vec4(a == b ? 1.0 : 0.0, a == d ? 1.0 : 0.0,
+                    a != d ? 1.0 : 0.0, 0.0);)"));
+
+  // --- builtins ----------------------------------------------------------
+  add("builtin_sweep_math", Frag(R"(
+float x = 0.7;
+gl_FragColor = vec4(sin(x) + cos(x), pow(x, 2.3) + exp2(x),
+                    inversesqrt(x + 1.0) + fract(x * 10.0),
+                    mod(7.3, 2.0) + sign(-x));)"));
+  add("builtin_sweep_geometry", Frag(R"(
+vec3 a = vec3(1.0, 2.0, 2.0);
+vec3 b = vec3(0.0, 1.0, 0.0);
+gl_FragColor = vec4(length(a), dot(a, b), distance(a, b),
+                    normalize(a).y + cross(a, b).z);)"));
+  add("builtin_sweep_relational", Frag(R"(
+vec3 a = vec3(1.0, 5.0, 3.0);
+vec3 b = vec3(2.0, 4.0, 3.0);
+bvec3 lt = lessThan(a, b);
+bvec3 ge = greaterThanEqual(a, b);
+gl_FragColor = vec4(any(lt) ? 1.0 : 0.0, all(ge) ? 1.0 : 0.0,
+                    not(lt).y ? 1.0 : 0.0, equal(a, b).z ? 1.0 : 0.0);)"));
+  add("builtin_mix_step_smoothstep", Frag(R"(
+gl_FragColor = vec4(mix(1.0, 5.0, 0.25), step(2.0, vec2(1.0, 3.0)).y,
+                    smoothstep(0.0, 4.0, 1.0), clamp(vec3(-1.0, 0.5, 2.0),
+                    0.0, 1.0).z);)"));
+
+  return cases;
+}
+
+TEST(VmDifferentialTest, ConformanceCorpusExactAlu) {
+  for (const Case& c : ConformanceCorpus()) {
+    ExpectEnginesAgree(c, /*vc4_alu=*/false);
+  }
+}
+
+TEST(VmDifferentialTest, ConformanceCorpusVc4Alu) {
+  // The reduced-precision VideoCore ALU model exercises Round()/SFU error
+  // paths; engines must still agree bit for bit.
+  for (const Case& c : ConformanceCorpus()) {
+    ExpectEnginesAgree(c, /*vc4_alu=*/true);
+  }
+}
+
+TEST(VmDifferentialTest, UniformsAndSamplers) {
+  Case c;
+  c.label = "uniforms_and_samplers";
+  c.source = R"(
+precision highp float;
+uniform float u_scale;
+uniform vec2 u_offset;
+uniform float u_lut[8];
+uniform sampler2D u_tex;
+void main() {
+  float acc = 0.0;
+  for (int i = 0; i < 8; ++i) { acc += u_lut[i]; }
+  vec4 t = texture2D(u_tex, u_offset);
+  gl_FragColor = vec4(u_scale * acc, t.xy + u_offset, t.w);
+}
+)";
+  c.funiforms = {{"u_scale", {0.5f}},
+                 {"u_offset", {0.25f, 0.75f}},
+                 {"u_lut", {1, 2, 3, 4, 5, 6, 7, 8}}};
+  c.iuniforms = {{"u_tex", {3}}};
+  c.with_texture = true;
+  ExpectEnginesAgree(c);
+  ExpectEnginesAgree(c, /*vc4_alu=*/true);
+}
+
+TEST(VmDifferentialTest, DiscardAgreement) {
+  for (const float kill : {0.0f, 1.0f}) {
+    Case c;
+    c.label = kill > 0.5f ? "discard_taken" : "discard_not_taken";
+    c.source = R"(
+precision highp float;
+uniform float u_kill;
+void main() {
+  if (u_kill > 0.5) discard;
+  gl_FragColor = vec4(1.0);
+}
+)";
+    c.funiforms = {{"u_kill", {kill}}};
+    ExpectEnginesAgree(c);
+  }
+}
+
+// --- targeted VM behaviour ------------------------------------------------
+
+// Builds a helper-call chain main -> f1 -> ... -> fN returning N.
+std::string DeepCallChain(int depth) {
+  std::string src = "precision highp float;\n";
+  src += StrFormat("float f%d() { return %d.0; }\n", depth, depth);
+  for (int i = depth - 1; i >= 1; --i) {
+    src += StrFormat("float f%d() { return f%d(); }\n", i, i + 1);
+  }
+  src += "void main() { gl_FragColor = vec4(f1()); }\n";
+  return src;
+}
+
+TEST(VmDifferentialTest, CallDepthLimitMatchesInterpreter) {
+  // 64 concurrently active user calls are allowed; 65 throw. Both engines
+  // must sit on the same boundary.
+  {
+    auto shader = testutil::MustCompile(DeepCallChain(64));
+    ExactAlu alu_a, alu_b;
+    ShaderExec interp(*shader, alu_a);
+    VmExec vm(LowerToBytecode(*shader), alu_b);
+    ASSERT_TRUE(interp.Run());
+    ASSERT_TRUE(vm.Run());
+    EXPECT_EQ(interp.GlobalAt(interp.GlobalSlot("gl_FragColor")).F(0),
+              vm.GlobalAt(vm.GlobalSlot("gl_FragColor")).F(0));
+  }
+  {
+    auto shader = testutil::MustCompile(DeepCallChain(65));
+    ExactAlu alu_a, alu_b;
+    ShaderExec interp(*shader, alu_a);
+    VmExec vm(LowerToBytecode(*shader), alu_b);
+    EXPECT_THROW(interp.Run(), ShaderRuntimeError);
+    EXPECT_THROW(vm.Run(), ShaderRuntimeError);
+  }
+}
+
+TEST(VmExecTest, RunawayLoopRaisesRuntimeError) {
+  auto shader = testutil::MustCompile(
+      "precision highp float;\nvoid main() { float a = 0.0; while (true) { a "
+      "+= 1.0; } gl_FragColor = vec4(a); }");
+  ExactAlu alu;
+  VmExec vm(LowerToBytecode(*shader), alu);
+  EXPECT_THROW(vm.Run(), ShaderRuntimeError);
+}
+
+TEST(VmExecTest, UndefinedPrototypeTrapsOnlyWhenCalled) {
+  auto shader = testutil::MustCompile(R"(
+precision highp float;
+float ghost(float x);
+uniform float u_sel;
+void main() {
+  if (u_sel > 0.5) { gl_FragColor = vec4(ghost(1.0)); }
+  else { gl_FragColor = vec4(2.0); }
+}
+)");
+  ExactAlu alu;
+  VmExec vm(LowerToBytecode(*shader), alu);
+  vm.GlobalAt(vm.GlobalSlot("u_sel")).SetF(0, 0.0f);
+  EXPECT_TRUE(vm.Run());
+  EXPECT_FLOAT_EQ(vm.GlobalAt(vm.GlobalSlot("gl_FragColor")).F(0), 2.0f);
+  vm.GlobalAt(vm.GlobalSlot("u_sel")).SetF(0, 1.0f);
+  EXPECT_THROW(vm.Run(), ShaderRuntimeError);
+}
+
+TEST(VmExecTest, RunIsRepeatableAfterStateChange) {
+  auto shader = testutil::MustCompile(
+      "precision highp float;\nuniform float u_x;\nvoid main() { "
+      "gl_FragColor = vec4(u_x * u_x); }");
+  ExactAlu alu;
+  VmExec vm(LowerToBytecode(*shader), alu);
+  for (float x : {1.0f, 2.0f, 3.0f, 4.0f}) {
+    vm.GlobalAt(vm.GlobalSlot("u_x")).SetF(0, x);
+    ASSERT_TRUE(vm.Run());
+    EXPECT_FLOAT_EQ(vm.GlobalAt(vm.GlobalSlot("gl_FragColor")).F(0), x * x);
+  }
+}
+
+TEST(VmExecTest, VertexStageWritesPosition) {
+  auto shader = testutil::MustCompile(
+      "attribute vec4 a_pos;\nvoid main() { gl_Position = a_pos * 2.0; }",
+      Stage::kVertex);
+  ExactAlu alu;
+  VmExec vm(LowerToBytecode(*shader), alu);
+  Value& attr = vm.GlobalAt(vm.GlobalSlot("a_pos"));
+  attr.SetF(0, 0.5f);
+  attr.SetF(1, -0.5f);
+  attr.SetF(2, 0.0f);
+  attr.SetF(3, 1.0f);
+  ASSERT_TRUE(vm.Run());
+  const Value& pos = vm.GlobalAt(vm.GlobalSlot("gl_Position"));
+  EXPECT_FLOAT_EQ(pos.F(0), 1.0f);
+  EXPECT_FLOAT_EQ(pos.F(1), -1.0f);
+}
+
+TEST(VmExecTest, ConstructionDoesNotChargeAluCounters) {
+  auto shader = testutil::MustCompile(R"(
+precision highp float;
+const float kA = 1.0 + 2.0;
+float plain = kA * 3.0;
+void main() { gl_FragColor = vec4(plain); }
+)");
+  ExactAlu alu;
+  const OpCounts before = alu.counts();
+  VmExec vm(LowerToBytecode(*shader), alu);
+  EXPECT_EQ(alu.counts().alu, before.alu);
+  // And the per-run re-initialization of `plain` IS charged, matching the
+  // oracle's Run().
+  ExactAlu oracle_alu;
+  ShaderExec oracle(*shader, oracle_alu);
+  oracle_alu.ResetCounts();
+  ASSERT_TRUE(oracle.Run());
+  alu.ResetCounts();
+  ASSERT_TRUE(vm.Run());
+  EXPECT_EQ(alu.counts().alu, oracle_alu.counts().alu);
+}
+
+// --- full gles2 draw path: the ExecEngine switch ---------------------------
+
+TEST(VmGles2Test, DrawsAreByteIdenticalAcrossEngines) {
+  using namespace mgpu::gles2;
+  const vc4::GpuProfile profile = vc4::VideoCoreIV();
+  vc4::Vc4Alu alu(profile);
+  ContextConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  Context gl(cfg, &alu);
+
+  const char* vs_src =
+      "attribute vec2 a_pos;\n"
+      "varying vec2 v_uv;\n"
+      "void main() { v_uv = a_pos * 0.5 + 0.5; gl_Position = vec4(a_pos, "
+      "0.0, 1.0); }\n";
+  const char* fs_src =
+      "precision highp float;\n"
+      "varying vec2 v_uv;\n"
+      "uniform float u_gain;\n"
+      "void main() {\n"
+      "  float w = fract(v_uv.x * 7.0 + sin(v_uv.y * 13.0));\n"
+      "  gl_FragColor = vec4(w * u_gain, v_uv, 1.0);\n"
+      "}\n";
+  const GLuint vs = gl.CreateShader(GL_VERTEX_SHADER);
+  gl.ShaderSource(vs, vs_src);
+  gl.CompileShader(vs);
+  const GLuint fs = gl.CreateShader(GL_FRAGMENT_SHADER);
+  gl.ShaderSource(fs, fs_src);
+  gl.CompileShader(fs);
+  const GLuint prog = gl.CreateProgram();
+  gl.AttachShader(prog, vs);
+  gl.AttachShader(prog, fs);
+  gl.LinkProgram(prog);
+  GLint ok = GL_FALSE;
+  gl.GetProgramiv(prog, GL_LINK_STATUS, &ok);
+  ASSERT_EQ(ok, GL_TRUE) << gl.GetProgramInfoLog(prog);
+  gl.UseProgram(prog);
+  gl.Uniform1f(gl.GetUniformLocation(prog, "u_gain"), 0.8f);
+
+  const float quad[12] = {-1, -1, 1, -1, 1, 1, -1, -1, 1, 1, -1, 1};
+  const GLuint loc = static_cast<GLuint>(gl.GetAttribLocation(prog, "a_pos"));
+  gl.EnableVertexAttribArray(loc);
+  gl.VertexAttribPointer(loc, 2, GL_FLOAT, GL_FALSE, 0, quad);
+
+  auto draw_and_read = [&](ExecEngine engine, glsl::OpCounts* counts) {
+    gl.SetExecEngine(engine);
+    gl.ClearColor(0, 0, 0, 0);
+    gl.Clear(GL_COLOR_BUFFER_BIT);
+    alu.ResetCounts();
+    gl.DrawArrays(GL_TRIANGLES, 0, 6);
+    *counts = alu.counts();
+    std::vector<std::uint8_t> px(32 * 32 * 4);
+    gl.ReadPixels(0, 0, 32, 32, GL_RGBA, GL_UNSIGNED_BYTE, px.data());
+    EXPECT_EQ(gl.GetError(), static_cast<GLenum>(GL_NO_ERROR));
+    return px;
+  };
+
+  glsl::OpCounts vm_counts, tree_counts;
+  const auto vm_px = draw_and_read(ExecEngine::kBytecodeVm, &vm_counts);
+  const auto tree_px = draw_and_read(ExecEngine::kTreeWalk, &tree_counts);
+  EXPECT_EQ(vm_px, tree_px);
+  EXPECT_EQ(vm_counts.alu, tree_counts.alu);
+  EXPECT_EQ(vm_counts.sfu, tree_counts.sfu);
+  EXPECT_EQ(vm_counts.sfu_trans, tree_counts.sfu_trans);
+  EXPECT_EQ(vm_counts.tmu, tree_counts.tmu);
+  EXPECT_EQ(vm_counts.tmu_miss, tree_counts.tmu_miss);
+  EXPECT_GT(vm_counts.alu, 0u);
+}
+
+}  // namespace
+}  // namespace mgpu::glsl

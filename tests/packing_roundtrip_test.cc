@@ -1,0 +1,209 @@
+// Round-trip property tests for the float bit rotation and the
+// gp_pack_* / gp_unpack_* shader library across the IEEE edge cases the
+// paper never mentions: NaN (payloads included), +/-Inf, -0.0 and
+// denormals. Three layers are checked:
+//   1. host rotation (RotateFloatBitsForGpu/FromGpu): a pure bijection on
+//      bit patterns — must be exact for EVERY pattern;
+//   2. the RGBA8 texel path (PackF32 -> texture upload -> FBO ReadPixels ->
+//      UnpackF32): bytes are never interpreted, so it must also be
+//      bit-exact for every pattern;
+//   3. the in-shader numeric reconstruction (gp_unpack_f32 -> gp_pack_f32
+//      identity kernel): exact for normal floats on an IEEE-exact profile,
+//      with documented canonicalization for the specials (denormals flush
+//      to +0 as on the QPU; -0 loses its sign; NaN payloads collapse to the
+//      canonical quiet NaN; +/-Inf survive via the exponent-255 encoding).
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "compute/buffer.h"
+#include "compute/kernel.h"
+#include "compute/packing.h"
+#include "vc4/profiles.h"
+
+#include "gtest/gtest.h"
+
+namespace mgpu::compute {
+namespace {
+
+// Curated IEEE edge patterns: signed zeros, smallest/largest denormals,
+// boundary normals, infinities, and NaNs with distinct payloads.
+std::vector<std::uint32_t> EdgeBitPatterns() {
+  return {
+      0x00000000u,  // +0.0
+      0x80000000u,  // -0.0
+      0x00000001u,  // smallest +denormal
+      0x80000001u,  // smallest -denormal
+      0x007fffffu,  // largest +denormal
+      0x807fffffu,  // largest -denormal
+      0x00800000u,  // smallest +normal
+      0x80800000u,  // smallest -normal
+      0x7f7fffffu,  // +FLT_MAX
+      0xff7fffffu,  // -FLT_MAX
+      0x7f800000u,  // +Inf
+      0xff800000u,  // -Inf
+      0x7fc00000u,  // canonical quiet NaN
+      0xffc00000u,  // negative quiet NaN
+      0x7f800001u,  // signaling NaN, minimal payload
+      0x7fbfffffu,  // signaling NaN, maximal payload
+      0x7fdeadbeu & 0x7fffffffu,  // quiet NaN, arbitrary payload
+      0x3f800000u,  // 1.0
+      0xbf800000u,  // -1.0
+      0x3f000001u,  // just above 0.5
+      0x4effffffu,  // near 2^31
+  };
+}
+
+TEST(PackingRoundTripTest, RotationIsBijectiveOnEdgePatternsAndRandomBits) {
+  for (const std::uint32_t bits : EdgeBitPatterns()) {
+    EXPECT_EQ(RotateFloatBitsFromGpu(RotateFloatBitsForGpu(bits)), bits);
+    EXPECT_EQ(RotateFloatBitsForGpu(RotateFloatBitsFromGpu(bits)), bits);
+  }
+  Rng rng(2024);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t bits = rng.NextU32();
+    ASSERT_EQ(RotateFloatBitsFromGpu(RotateFloatBitsForGpu(bits)), bits);
+    ASSERT_EQ(RotateFloatBitsForGpu(RotateFloatBitsFromGpu(bits)), bits);
+  }
+}
+
+TEST(PackingRoundTripTest, HostPackUnpackF32IsBitExactForAllPatterns) {
+  std::vector<float> values;
+  for (const std::uint32_t bits : EdgeBitPatterns()) {
+    values.push_back(BitsToFloat(bits));
+  }
+  Rng rng(7);
+  for (int i = 0; i < 4096; ++i) values.push_back(BitsToFloat(rng.NextU32()));
+
+  const std::vector<std::uint8_t> texels =
+      PackF32(std::span<const float>(values));
+  std::vector<float> back(values.size());
+  UnpackF32(texels, std::span<float>(back));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(FloatToBits(back[i]), FloatToBits(values[i])) << "index " << i;
+  }
+}
+
+TEST(PackingRoundTripTest, TexelPathUploadDownloadIsBitExact) {
+  // Upload -> texture bytes -> FBO ReadPixels -> unpack. No shader ever
+  // interprets the value, so even NaN payloads must survive bit-for-bit.
+  compute::DeviceOptions o;
+  o.profile = vc4::IeeeExact();
+  Device d(o);
+  std::vector<float> values;
+  for (const std::uint32_t bits : EdgeBitPatterns()) {
+    values.push_back(BitsToFloat(bits));
+  }
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) values.push_back(BitsToFloat(rng.NextU32()));
+
+  PackedBuffer buf(d, ElemType::kF32, values.size());
+  buf.Upload(std::span<const float>(values));
+  std::vector<float> back(values.size());
+  buf.Download(std::span<float>(back));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(FloatToBits(back[i]), FloatToBits(values[i])) << "index " << i;
+  }
+}
+
+// Runs the f32 identity kernel (fetch -> gp_unpack_f32 -> gp_pack_f32) over
+// `values` and returns the downloaded results.
+std::vector<float> RunIdentityKernel(Device& d,
+                                     const std::vector<float>& values) {
+  PackedBuffer in(d, ElemType::kF32, values.size());
+  PackedBuffer out(d, ElemType::kF32, values.size());
+  in.Upload(std::span<const float>(values));
+  Kernel k(d, {.name = "identity_f32",
+               .inputs = {{"u_src", ElemType::kF32}},
+               .output = ElemType::kF32,
+               .extra_decls = "",
+               .body = "float gp_kernel(vec2 p) { return "
+                       "gp_fetch_u_src(gp_linear_index()); }\n"});
+  k.Run(out, {&in});
+  std::vector<float> back(values.size());
+  out.Download(std::span<float>(back));
+  return back;
+}
+
+TEST(PackingRoundTripTest, ShaderIdentityIsBitExactForNormalFloats) {
+  compute::DeviceOptions o;
+  o.profile = vc4::IeeeExact();
+  Device d(o);
+  std::vector<float> values;
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) values.push_back(rng.NextWorkloadFloat());
+  // Boundary normals (the mantissa-wrap corner of gp_pack_f32).
+  values.push_back(BitsToFloat(0x00800000u));  // smallest normal
+  values.push_back(BitsToFloat(0x80800000u));
+  values.push_back(BitsToFloat(0x7f7fffffu));  // FLT_MAX
+  values.push_back(BitsToFloat(0xff7fffffu));
+  values.push_back(BitsToFloat(0x3f7fffffu));  // just under 1.0
+  values.push_back(BitsToFloat(0x3f800001u));  // just over 1.0
+  values.push_back(1.0f);
+  values.push_back(-1.0f);
+
+  const std::vector<float> back = RunIdentityKernel(d, values);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(FloatToBits(back[i]), FloatToBits(values[i]))
+        << "value " << values[i] << " came back as " << back[i];
+  }
+}
+
+TEST(PackingRoundTripTest, ShaderIdentityCanonicalizesSpecials) {
+  compute::DeviceOptions o;
+  o.profile = vc4::IeeeExact();
+  Device d(o);
+  const std::vector<float> values = {
+      BitsToFloat(0x80000000u),  // -0.0
+      BitsToFloat(0x00000001u),  // +denormal
+      BitsToFloat(0x807fffffu),  // -denormal
+      BitsToFloat(0x7f800000u),  // +Inf
+      BitsToFloat(0xff800000u),  // -Inf
+      BitsToFloat(0x7f800001u),  // signaling NaN with payload
+      BitsToFloat(0xffc00001u),  // negative NaN with payload
+  };
+  const std::vector<float> back = RunIdentityKernel(d, values);
+
+  // -0 and denormals flush to +0 (QPU semantics, documented subset).
+  EXPECT_EQ(FloatToBits(back[0]), 0u);
+  EXPECT_EQ(FloatToBits(back[1]), 0u);
+  EXPECT_EQ(FloatToBits(back[2]), 0u);
+  // Infinities survive via the exponent-255 encoding.
+  EXPECT_EQ(FloatToBits(back[3]), 0x7f800000u);
+  EXPECT_EQ(FloatToBits(back[4]), 0xff800000u);
+  // NaNs collapse to the canonical quiet NaN (payload is not preserved).
+  EXPECT_EQ(FloatToBits(back[5]), 0x7fc00000u);
+  EXPECT_EQ(FloatToBits(back[6]), 0x7fc00000u);
+}
+
+TEST(PackingRoundTripTest, NanColorWritesZeroBytesNotUndefined) {
+  // A fragment shader can still emit NaN directly (0/0); the framebuffer
+  // conversion must stay deterministic instead of hitting the undefined
+  // float->byte cast.
+  compute::DeviceOptions o;
+  o.profile = vc4::IeeeExact();
+  Device d(o);
+  std::vector<float> dummy(4, 1.0f);
+  PackedBuffer in(d, ElemType::kF32, dummy.size());
+  PackedBuffer out(d, ElemType::kU8, dummy.size());
+  in.Upload(std::span<const float>(dummy));
+  Kernel k(d, {.name = "nan_color",
+               .inputs = {{"u_src", ElemType::kF32}},
+               .output = ElemType::kU8,
+               .extra_decls = "",
+               .body = "vec4 gp_kernel(vec2 p) { float z = "
+                       "gp_fetch_u_src(gp_linear_index()) - 1.0; return "
+                       "vec4(z / z); }\n"});  // 0/0 = NaN for every element
+  k.Run(out, {&in});
+  std::vector<std::uint8_t> back(dummy.size());
+  out.Download(std::span<std::uint8_t>(back));
+  for (const std::uint8_t b : back) {
+    EXPECT_EQ(b, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mgpu::compute
