@@ -5,10 +5,14 @@
 // element exactly (no over/under-shading, no addressing drift at any size).
 //
 // Also times the sweep on both shader execution engines — the bytecode VM
-// (production path) and the tree-walking interpreter (oracle) — and emits
-// BENCH_fig1_pipeline.json for the perf trajectory.
+// (production path) and the tree-walking interpreter (oracle) — plus a
+// thread-scaling sweep over the tiled rasterizer's worker pool (1/2/4/
+// hardware_concurrency shading workers), and emits
+// BENCH_fig1_pipeline.json and BENCH_threads_scaling.json for the perf
+// trajectory.
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -37,10 +41,11 @@ struct SweepResult {
 // shading, readback, validation — identically for both engines (console
 // output happens outside), so the reported speedup is end-to-end wall
 // clock, a conservative lower bound on the pure shader-execution speedup.
-SweepResult RunSweep(gles2::ExecEngine engine) {
+SweepResult RunSweep(gles2::ExecEngine engine, int shader_threads = 1) {
   compute::DeviceOptions o;
   o.profile = vc4::IeeeExact();
   o.exec_engine = engine;
+  o.shader_threads = shader_threads;
   compute::Device d(o);
 
   SweepResult result;
@@ -117,7 +122,45 @@ int main() {
     std::fprintf(stderr, "warning: could not write BENCH_fig1_pipeline.json\n");
   }
 
-  const bool all_ok = vm.ok && tree.ok;
+  // --- thread-scaling sweep over the tiled rasterizer's worker pool ---
+  // Every thread count must produce byte-identical output (asserted by the
+  // coverage/addressing validation inside RunSweep); only wall clock may
+  // change. PR 1's recorded single-thread VM baseline was 0.248 s.
+  constexpr double kPr1VmBaseline = 0.248;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("\ntiled shading worker scaling (same sweep, VM engine):\n");
+  bench::JsonBenchWriter scaling("threads_scaling");
+  scaling.Add("hardware_concurrency", hw, "threads");
+  scaling.Add("pr1_vm_baseline", kPr1VmBaseline, "s");
+  bool scaling_ok = true;
+  double t1 = 0.0;
+  std::vector<int> thread_counts{1, 2, 4};
+  // hw may be 0 (unknown, per the standard) — only a real count beyond the
+  // fixed sweep adds a datapoint.
+  if (hw > 4) thread_counts.push_back(hw);
+  for (const int threads : thread_counts) {
+    const SweepResult r = RunSweep(gles2::ExecEngine::kBytecodeVm, threads);
+    scaling_ok = scaling_ok && r.ok;
+    if (threads == 1) t1 = r.seconds;
+    std::printf("  %2d thread(s): %8.3f s  (%.2fx vs 1-thread, %.2fx vs "
+                "PR 1 baseline)  [coverage %s]\n",
+                threads, r.seconds, t1 / r.seconds,
+                kPr1VmBaseline / r.seconds, r.ok ? "ok" : "FAILURE");
+    char name[32];
+    std::snprintf(name, sizeof name, "vm_sweep_t%d", threads);
+    scaling.Add(name, r.seconds, "s");
+    if (threads == 4) {
+      scaling.Add("t4_speedup_vs_pr1_baseline", kPr1VmBaseline / r.seconds,
+                  "x");
+    }
+  }
+  scaling.Add("coverage_ok", scaling_ok ? 1.0 : 0.0, "bool");
+  if (!scaling.Write()) {
+    std::fprintf(stderr,
+                 "warning: could not write BENCH_threads_scaling.json\n");
+  }
+
+  const bool all_ok = vm.ok && tree.ok && scaling_ok;
   std::printf("\nresult: %s\n", all_ok ? "every size maps 1:1" : "FAILURE");
   return all_ok ? 0 : 1;
 }

@@ -1,0 +1,62 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+
+namespace mgpu::common {
+
+int DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      body = body_;
+    }
+    (*body)(index);
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunOnAll(const std::function<void(int)>& body) {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    running_ = size();
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return running_ == 0; });
+    body_ = nullptr;
+  }
+}
+
+}  // namespace mgpu::common

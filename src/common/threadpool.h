@@ -1,0 +1,55 @@
+// A small fork-join worker pool. Built for the tiled fragment pipeline
+// (each worker shades disjoint framebuffer tiles, the way VideoCore IV QPUs
+// do) but deliberately generic so other layers (e.g. compute readback /
+// packing) can reuse it. Workers are created once and parked on a condition
+// variable between jobs, so per-draw dispatch cost is a wake + a join, not
+// thread creation.
+#ifndef MGPU_COMMON_THREADPOOL_H_
+#define MGPU_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mgpu::common {
+
+// Number of workers to use when the caller asks for "one per hardware
+// thread" (hardware_concurrency, clamped to at least 1).
+[[nodiscard]] int DefaultThreadCount();
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to at least 1). Workers idle until
+  // RunOnAll / ParallelFor is called.
+  explicit ThreadPool(int threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  // Runs body(worker_index) once on every worker concurrently and returns
+  // when all have finished. `body` must not throw (catch inside). Callers
+  // that want work distribution pull items from their own shared atomic
+  // counter inside `body` (see gles2::Context::DrawGeneric).
+  void RunOnAll(const std::function<void(int worker)>& body);
+
+ private:
+  void WorkerLoop(int index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* body_ = nullptr;  // valid while a job runs
+  std::uint64_t epoch_ = 0;  // bumped per job; workers run once per epoch
+  int running_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mgpu::common
+
+#endif  // MGPU_COMMON_THREADPOOL_H_

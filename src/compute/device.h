@@ -22,6 +22,11 @@ struct DeviceOptions {
   // Shader execution engine for every kernel dispatch: the bytecode VM
   // (default, fast) or the tree-walking interpreter (reference oracle).
   gles2::ExecEngine exec_engine = gles2::ExecEngine::kBytecodeVm;
+  // Fragment-shading workers for the tiled rasterizer: 0 = one per hardware
+  // thread (default), 1 = serial reference path. Results (output bytes and
+  // ALU/SFU/TMU op counts) are identical for every value; see
+  // gles2::ContextConfig::shader_threads.
+  int shader_threads = 0;
   int max_texture_size = 4096;
 };
 

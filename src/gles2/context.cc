@@ -1,11 +1,14 @@
 #include "gles2/context.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
 #include "common/strings.h"
+#include "common/threadpool.h"
 #include "gles2/raster.h"
+#include "gles2/tiler.h"
 #include "glsl/compile.h"
 
 namespace mgpu::gles2 {
@@ -27,6 +30,8 @@ Context::Context(const ContextConfig& config, glsl::AluModel* alu)
   sc_w_ = config_.width;
   sc_h_ = config_.height;
 }
+
+Context::~Context() = default;
 
 void Context::SetError(GLenum e) {
   if (error_ == GL_NO_ERROR) error_ = e;
@@ -1361,48 +1366,9 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
     return;
   }
 
-  // --- fragment stage setup ---
-  glsl::ShaderEngine& fexec =
-      use_vm ? static_cast<glsl::ShaderEngine&>(*prog->fvm) : *prog->fexec;
-  tmu_cache_.fill(~0ull);
-  tmu_cache_rr_.fill(0);
-  fexec.SetTextureFn([this](int unit, float s, float t, float lod)
-                         -> std::array<float, 4> {
-    if (unit < 0 || unit >= static_cast<int>(units_.size())) {
-      return {0.0f, 0.0f, 0.0f, 1.0f};
-    }
-    const GLuint tex_id = units_[static_cast<std::size_t>(unit)].bound_2d;
-    Texture* tex = GetTextureObject(tex_id);
-    if (tex == nullptr) return {0.0f, 0.0f, 0.0f, 1.0f};
-    // Texture-cache model: 32-byte lines = 8 RGBA8 texels.
-    const long long texel = tex->NearestTexelIndex(s, t);
-    if (texel >= 0) {
-      const std::uint64_t line =
-          (static_cast<std::uint64_t>(tex_id) << 40) |
-          static_cast<std::uint64_t>(texel >> 3);
-      // Multiplicative hash so distinct textures' streams spread over sets.
-      const std::uint64_t h = line * 0x9E3779B97F4A7C15ull;
-      const std::size_t set = static_cast<std::size_t>(
-          (h >> 32) % static_cast<std::uint64_t>(kTmuCacheSets));
-      bool hit = false;
-      for (int way = 0; way < kTmuCacheWays; ++way) {
-        if (tmu_cache_[set * kTmuCacheWays + static_cast<std::size_t>(way)] ==
-            line) {
-          hit = true;
-          break;
-        }
-      }
-      if (!hit) {
-        const std::uint8_t victim = tmu_cache_rr_[set];
-        tmu_cache_[set * kTmuCacheWays + victim] = line;
-        tmu_cache_rr_[set] =
-            static_cast<std::uint8_t>((victim + 1) % kTmuCacheWays);
-        alu_->CountTmuMiss(1);
-      }
-    }
-    return tex->Sample(s, t, lod);
-  });
-
+  // --- fragment stage: two-phase tiled pipeline (VC4-style) ---
+  // Phase 1 binning: assemble primitives (strip/fan/loop orderings resolved
+  // here) and bin each into the 64x64 tiles its window bounds touch.
   RasterState rs;
   rs.viewport_x = vp_x_;
   rs.viewport_y = vp_y_;
@@ -1414,106 +1380,291 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   rs.cull_face = cull_face_;
   rs.front_face = front_face_;
 
-  bool failed = false;
-  FragmentSink sink = [&](int x, int y, float depth, const float* vars,
-                          bool front, float ps, float pt) {
-    if (failed) return;
-    try {
-      if (prog->fs_frag_coord_slot >= 0) {
-        Value& fc = fexec.GlobalAt(prog->fs_frag_coord_slot);
-        fc.SetF(0, static_cast<float>(x) + 0.5f);
-        fc.SetF(1, static_cast<float>(y) + 0.5f);
-        fc.SetF(2, depth);
-        fc.SetF(3, 1.0f);
-      }
-      if (prog->fs_front_facing_slot >= 0) {
-        fexec.GlobalAt(prog->fs_front_facing_slot).SetB(0, front);
-      }
-      if (prog->fs_point_coord_slot >= 0) {
-        Value& pc = fexec.GlobalAt(prog->fs_point_coord_slot);
-        pc.SetF(0, ps);
-        pc.SetF(1, pt);
-      }
-      for (const VaryingLink& link : prog->varyings) {
-        Value& dst = fexec.GlobalAt(link.fs_slot);
-        for (int c = 0; c < link.cells; ++c) {
-          dst.SetF(c, vars[link.offset + c]);
-        }
-      }
-      if (!fexec.Run()) return;  // discarded
-      const int slot = prog->uses_frag_data ? prog->fs_frag_data_slot
-                                            : prog->fs_frag_color_slot;
-      std::array<float, 4> color{0.0f, 0.0f, 0.0f, 0.0f};
-      if (slot >= 0) {
-        const Value& c = fexec.GlobalAt(slot);
-        color = {c.F(0), c.F(1), c.F(2), c.F(3)};
-      }
-      WritePixel(rt, x, y, depth, color, /*depth_valid=*/true);
-    } catch (const glsl::ShaderRuntimeError& e) {
-      last_draw_error_ = e.what();
-      failed = true;
-    }
+  std::vector<TilePrim> prims;
+  auto tri = [&](GLsizei a, GLsizei b, GLsizei c) {
+    prims.push_back({TilePrim::Kind::kTriangle, static_cast<std::uint32_t>(a),
+                     static_cast<std::uint32_t>(b),
+                     static_cast<std::uint32_t>(c)});
   };
-
-  // --- primitive assembly ---
-  const int vc = prog->varying_cells;
+  auto line = [&](GLsizei a, GLsizei b) {
+    prims.push_back({TilePrim::Kind::kLine, static_cast<std::uint32_t>(a),
+                     static_cast<std::uint32_t>(b), 0});
+  };
   switch (mode) {
     case GL_TRIANGLES:
-      for (GLsizei i = 0; i + 2 < count; i += 3) {
-        RasterizeTriangle(verts[static_cast<std::size_t>(i)],
-                          verts[static_cast<std::size_t>(i + 1)],
-                          verts[static_cast<std::size_t>(i + 2)], vc, rs,
-                          sink);
-      }
+      for (GLsizei i = 0; i + 2 < count; i += 3) tri(i, i + 1, i + 2);
       break;
     case GL_TRIANGLE_STRIP:
       for (GLsizei i = 0; i + 2 < count; ++i) {
         // Winding alternates; swap so face orientation stays consistent.
         const bool odd = (i & 1) != 0;
-        RasterizeTriangle(verts[static_cast<std::size_t>(i)],
-                          verts[static_cast<std::size_t>(i + (odd ? 2 : 1))],
-                          verts[static_cast<std::size_t>(i + (odd ? 1 : 2))],
-                          vc, rs, sink);
+        tri(i, i + (odd ? 2 : 1), i + (odd ? 1 : 2));
       }
       break;
     case GL_TRIANGLE_FAN:
-      for (GLsizei i = 1; i + 1 < count; ++i) {
-        RasterizeTriangle(verts[0], verts[static_cast<std::size_t>(i)],
-                          verts[static_cast<std::size_t>(i + 1)], vc, rs,
-                          sink);
-      }
+      for (GLsizei i = 1; i + 1 < count; ++i) tri(0, i, i + 1);
       break;
     case GL_POINTS:
       for (GLsizei i = 0; i < count; ++i) {
-        RasterizePoint(verts[static_cast<std::size_t>(i)], vc, rs, sink);
+        prims.push_back(
+            {TilePrim::Kind::kPoint, static_cast<std::uint32_t>(i), 0, 0});
       }
       break;
     case GL_LINES:
-      for (GLsizei i = 0; i + 1 < count; i += 2) {
-        RasterizeLine(verts[static_cast<std::size_t>(i)],
-                      verts[static_cast<std::size_t>(i + 1)], vc, rs, sink);
-      }
+      for (GLsizei i = 0; i + 1 < count; i += 2) line(i, i + 1);
       break;
     case GL_LINE_STRIP:
-      for (GLsizei i = 0; i + 1 < count; ++i) {
-        RasterizeLine(verts[static_cast<std::size_t>(i)],
-                      verts[static_cast<std::size_t>(i + 1)], vc, rs, sink);
-      }
+      for (GLsizei i = 0; i + 1 < count; ++i) line(i, i + 1);
       break;
     case GL_LINE_LOOP:
-      for (GLsizei i = 0; i + 1 < count; ++i) {
-        RasterizeLine(verts[static_cast<std::size_t>(i)],
-                      verts[static_cast<std::size_t>(i + 1)], vc, rs, sink);
-      }
-      if (count > 2) {
-        RasterizeLine(verts[static_cast<std::size_t>(count - 1)], verts[0],
-                      vc, rs, sink);
-      }
+      for (GLsizei i = 0; i + 1 < count; ++i) line(i, i + 1);
+      if (count > 2) line(count - 1, 0);
       break;
     default:
       break;
   }
-  if (failed) SetError(GL_INVALID_OPERATION);
+
+  TileBinner binner(rt.width, rt.height);
+  for (std::size_t pi = 0; pi < prims.size(); ++pi) {
+    const TilePrim& p = prims[pi];
+    PixelRect r;
+    bool live = false;
+    switch (p.kind) {
+      case TilePrim::Kind::kTriangle:
+        live = TriangleBounds(verts[p.v0], verts[p.v1], verts[p.v2], rs, &r);
+        break;
+      case TilePrim::Kind::kPoint:
+        live = PointBounds(verts[p.v0], rs, &r);
+        break;
+      case TilePrim::Kind::kLine:
+        // Lines bin tile-exactly by walking once (their bbox would cover
+        // quadratically many untouched tiles for diagonals).
+        LineTouchedTiles(verts[p.v0], verts[p.v1], rs, kTileSize,
+                         [&](int tx, int ty) {
+                           binner.BinTile(static_cast<std::uint32_t>(pi), tx,
+                                          ty);
+                         });
+        break;
+    }
+    if (live) binner.Bin(static_cast<std::uint32_t>(pi), r);
+  }
+  const std::vector<std::uint32_t> work = binner.NonEmptyTiles();
+  if (work.empty()) return;
+
+  // Phase 2 shading: each worker owns a private engine, ALU-counter shard
+  // and TMU-cache model; tiles partition the framebuffer, so pixel writes
+  // are lock-free and results are byte-identical for any worker count
+  // (counter shards merge by summation at join).
+  struct ShadeSlot {
+    glsl::ShaderEngine* engine = nullptr;
+    glsl::AluModel* alu = nullptr;
+    TmuCacheModel* cache = nullptr;
+    std::string error;
+    std::unique_ptr<glsl::VmExec> owned_engine;
+    std::unique_ptr<glsl::AluModel> owned_alu;
+    std::unique_ptr<TmuCacheModel> owned_cache;
+  };
+
+  // <= 0 selects one worker per hardware thread; a hard cap keeps a bogus
+  // huge knob value from spawning thousands of OS threads (or throwing
+  // out of a GL entry point).
+  constexpr int kMaxShaderThreads = 256;
+  int threads = config_.shader_threads;
+  if (threads <= 0) threads = common::DefaultThreadCount();
+  threads = std::min(threads, kMaxShaderThreads);
+  const int workers = std::min(threads, static_cast<int>(work.size()));
+
+  std::vector<ShadeSlot> slots;
+  if (workers > 1 && use_vm) {
+    // Parallel shading needs per-worker engine clones (bytecode VM only)
+    // and per-worker counter shards (forkable AluModel only).
+    std::unique_ptr<glsl::AluModel> first = alu_->Fork();
+    if (first != nullptr) {
+      slots.reserve(static_cast<std::size_t>(workers));
+      for (int i = 0; i < workers; ++i) {
+        ShadeSlot s;
+        s.owned_alu = i == 0 ? std::move(first) : alu_->Fork();
+        s.alu = s.owned_alu.get();
+        s.owned_engine = std::make_unique<glsl::VmExec>(*prog->fvm, *s.alu);
+        s.engine = s.owned_engine.get();
+        s.owned_cache = std::make_unique<TmuCacheModel>();
+        s.cache = s.owned_cache.get();
+        slots.push_back(std::move(s));
+      }
+    }
+  }
+  if (slots.empty()) {
+    // Serial reference path: the program's own engine on the calling
+    // thread, counting straight into the context's ALU model. The cache is
+    // the context-owned one so the TextureFn installed on the long-lived
+    // program engine never points at this draw's stack frame.
+    ShadeSlot s;
+    s.engine = use_vm ? static_cast<glsl::ShaderEngine*>(prog->fvm.get())
+                      : prog->fexec.get();
+    s.alu = alu_;
+    s.cache = &serial_tmu_cache_;
+    slots.push_back(std::move(s));
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<FragmentSink> sinks;
+  sinks.reserve(slots.size());
+  for (ShadeSlot& slot : slots) {
+    slot.engine->SetTextureFn(MakeTextureFn(slot.cache, slot.alu));
+    // Cache the engine's per-fragment input/output slots once per draw:
+    // global storage is stable across Run() calls, and resolving through
+    // the virtual GlobalAt per fragment is measurable on tiny kernels.
+    glsl::ShaderEngine& eng = *slot.engine;
+    Value* const fc_v = prog->fs_frag_coord_slot >= 0
+                            ? &eng.GlobalAt(prog->fs_frag_coord_slot)
+                            : nullptr;
+    Value* const ff_v = prog->fs_front_facing_slot >= 0
+                            ? &eng.GlobalAt(prog->fs_front_facing_slot)
+                            : nullptr;
+    Value* const pc_v = prog->fs_point_coord_slot >= 0
+                            ? &eng.GlobalAt(prog->fs_point_coord_slot)
+                            : nullptr;
+    const int color_slot = prog->uses_frag_data ? prog->fs_frag_data_slot
+                                                : prog->fs_frag_color_slot;
+    const Value* const color_v =
+        color_slot >= 0 ? &eng.GlobalAt(color_slot) : nullptr;
+    struct VaryingDst {
+      Value* value;
+      int cells;
+      int offset;
+    };
+    std::vector<VaryingDst> varying_dsts;
+    varying_dsts.reserve(prog->varyings.size());
+    for (const VaryingLink& link : prog->varyings) {
+      varying_dsts.push_back(
+          {&eng.GlobalAt(link.fs_slot), link.cells, link.offset});
+    }
+    sinks.push_back([this, &rt, &failed, &slot, fc_v, ff_v, pc_v, color_v,
+                     varying_dsts = std::move(varying_dsts)](
+                        int x, int y, float depth, const float* vars,
+                        bool front, float ps, float pt) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        if (fc_v != nullptr) {
+          fc_v->SetF(0, static_cast<float>(x) + 0.5f);
+          fc_v->SetF(1, static_cast<float>(y) + 0.5f);
+          fc_v->SetF(2, depth);
+          fc_v->SetF(3, 1.0f);
+        }
+        if (ff_v != nullptr) ff_v->SetB(0, front);
+        if (pc_v != nullptr) {
+          pc_v->SetF(0, ps);
+          pc_v->SetF(1, pt);
+        }
+        for (const VaryingDst& vd : varying_dsts) {
+          for (int c = 0; c < vd.cells; ++c) {
+            vd.value->SetF(c, vars[vd.offset + c]);
+          }
+        }
+        if (!slot.engine->Run()) return;  // discarded
+        std::array<float, 4> color{0.0f, 0.0f, 0.0f, 0.0f};
+        if (color_v != nullptr) {
+          color = {color_v->F(0), color_v->F(1), color_v->F(2), color_v->F(3)};
+        }
+        WritePixel(rt, x, y, depth, color, /*depth_valid=*/true);
+      } catch (const glsl::ShaderRuntimeError& e) {
+        slot.error = e.what();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const int vc = prog->varying_cells;
+  auto shade_tile = [&](std::uint32_t tile_index, int slot_index) {
+    ShadeSlot& slot = slots[static_cast<std::size_t>(slot_index)];
+    const FragmentSink& sink = sinks[static_cast<std::size_t>(slot_index)];
+    const TileBinner::Tile& tile =
+        binner.tiles()[static_cast<std::size_t>(tile_index)];
+    slot.cache->Reset();
+    RasterState tile_rs = rs;
+    tile_rs.clip_x0 = tile.rect.x0;
+    tile_rs.clip_y0 = tile.rect.y0;
+    tile_rs.clip_x1 = tile.rect.x1;
+    tile_rs.clip_y1 = tile.rect.y1;
+    for (const std::uint32_t pi : tile.prims) {
+      const TilePrim& p = prims[pi];
+      switch (p.kind) {
+        case TilePrim::Kind::kTriangle:
+          RasterizeTriangle(verts[p.v0], verts[p.v1], verts[p.v2], vc,
+                            tile_rs, sink);
+          break;
+        case TilePrim::Kind::kPoint:
+          RasterizePoint(verts[p.v0], vc, tile_rs, sink);
+          break;
+        case TilePrim::Kind::kLine:
+          RasterizeLine(verts[p.v0], verts[p.v1], vc, tile_rs, sink);
+          break;
+      }
+    }
+  };
+
+  if (slots.size() == 1) {
+    for (const std::uint32_t t : work) shade_tile(t, 0);
+  } else {
+    // The pool is sized by the configured thread count, not by this draw's
+    // slot count, so alternating draws with different tile counts reuse the
+    // parked workers instead of respawning threads every draw. Workers
+    // beyond the slot count simply sit this draw out.
+    if (pool_ == nullptr || pool_->size() != threads) {
+      pool_ = std::make_unique<common::ThreadPool>(threads);
+    }
+    const int slot_count = static_cast<int>(slots.size());
+    const int tile_count = static_cast<int>(work.size());
+    std::atomic<int> next_tile{0};
+    pool_->RunOnAll([&](int worker) {
+      if (worker >= slot_count) return;  // no slot: sit this draw out
+      // An exception escaping a pool worker would std::terminate; record it
+      // like a shader runtime error instead (the serial path, running on
+      // the caller's thread, still propagates normally).
+      try {
+        for (int item = next_tile.fetch_add(1, std::memory_order_relaxed);
+             item < tile_count;
+             item = next_tile.fetch_add(1, std::memory_order_relaxed)) {
+          shade_tile(work[static_cast<std::size_t>(item)], worker);
+        }
+      } catch (const std::exception& e) {
+        slots[static_cast<std::size_t>(worker)].error = e.what();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+    for (const ShadeSlot& slot : slots) alu_->AddCounts(slot.alu->counts());
+  }
+
+  if (failed.load(std::memory_order_relaxed)) {
+    for (const ShadeSlot& slot : slots) {
+      if (!slot.error.empty()) {
+        last_draw_error_ = slot.error;
+        break;
+      }
+    }
+    SetError(GL_INVALID_OPERATION);
+  }
+}
+
+glsl::TextureFn Context::MakeTextureFn(TmuCacheModel* cache,
+                                       glsl::AluModel* alu) {
+  return [this, cache, alu](int unit, float s, float t,
+                            float lod) -> std::array<float, 4> {
+    if (unit < 0 || unit >= static_cast<int>(units_.size())) {
+      return {0.0f, 0.0f, 0.0f, 1.0f};
+    }
+    const GLuint tex_id = units_[static_cast<std::size_t>(unit)].bound_2d;
+    Texture* tex = GetTextureObject(tex_id);
+    if (tex == nullptr) return {0.0f, 0.0f, 0.0f, 1.0f};
+    // Texture-cache model: 32-byte lines = 8 RGBA8 texels.
+    const long long texel = tex->NearestTexelIndex(s, t);
+    if (texel >= 0) {
+      const std::uint64_t line = (static_cast<std::uint64_t>(tex_id) << 40) |
+                                 static_cast<std::uint64_t>(texel >> 3);
+      if (cache->Access(line)) alu->CountTmuMiss(1);
+    }
+    return tex->Sample(s, t, lod);
+  };
 }
 
 }  // namespace mgpu::gles2

@@ -8,6 +8,7 @@
 #define MGPU_GLES2_CONTEXT_H_
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,6 +20,10 @@
 #include "gles2/texture.h"
 #include "glsl/alu.h"
 #include "glsl/shader.h"
+
+namespace mgpu::common {
+class ThreadPool;
+}
 
 namespace mgpu::gles2 {
 
@@ -42,7 +47,56 @@ struct ContextConfig {
   FbQuantization quantization = FbQuantization::kRoundNearest;
   ExecEngine exec_engine = ExecEngine::kBytecodeVm;
   int max_texture_size = 4096;
+  // Fragment-shading worker count for the tiled pipeline: <= 0 = one
+  // worker per hardware thread (default), 1 = serial reference path
+  // (shades on the calling thread with the program's own engine), N > 1 =
+  // exactly N workers (capped at 256). Because 64x64 tiles partition the framebuffer and each worker
+  // owns a private engine / ALU-counter shard / TMU-cache model, every
+  // successful draw produces identical framebuffer bytes and ALU/SFU/TMU
+  // op counts for every value. (A draw that raises a shader runtime error
+  // stops shading at a scheduling-dependent point — the GL error and
+  // last_draw_error are still reported; a real GPU would hang.) Parallel
+  // shading requires the bytecode VM engine and a forkable AluModel;
+  // otherwise the draw falls back to the serial path.
+  int shader_threads = 0;
   std::string renderer_name = "mgpu software GLES2 (VideoCore IV model)";
+};
+
+// Texture-cache model: 4 KB, 4-way set associative, 32-byte lines (8 RGBA8
+// texels), round-robin replacement. Reset per *tile*, the way a VC4 QPU's
+// TMU cache session is effectively private to the tile it shades; with
+// per-tile resets the total miss count is a sum of independent per-tile
+// counts, identical for any tile execution order and worker count. Misses
+// feed the ALU counters and are priced by the timing model (sequential
+// GPGPU streams mostly hit, strided matrix walks miss — the paper's
+// sum/sgemm asymmetry).
+struct TmuCacheModel {
+  static constexpr int kSets = 32;
+  static constexpr int kWays = 4;
+  std::array<std::uint64_t, kSets * kWays> lines{};
+  std::array<std::uint8_t, kSets> rr{};
+
+  TmuCacheModel() { Reset(); }
+  void Reset() {
+    lines.fill(~0ull);
+    rr.fill(0);
+  }
+  // Touches `line`, installing it on a miss. Returns true on a miss.
+  bool Access(std::uint64_t line) {
+    // Multiplicative hash so distinct textures' streams spread over sets.
+    const std::uint64_t h = line * 0x9E3779B97F4A7C15ull;
+    const std::size_t set = static_cast<std::size_t>(
+        (h >> 32) % static_cast<std::uint64_t>(kSets));
+    for (int way = 0; way < kWays; ++way) {
+      if (lines[set * kWays + static_cast<std::size_t>(way)] == line) {
+        return false;
+      }
+    }
+    const std::uint8_t victim = rr[set];
+    lines[set * kWays + victim] = line;
+    rr[set] = static_cast<std::uint8_t>((victim + 1) % kWays);
+    return true;
+  }
 };
 
 class Context {
@@ -51,6 +105,7 @@ class Context {
   // counting); it must outlive the context. Pass nullptr for IEEE-exact.
   explicit Context(const ContextConfig& config = ContextConfig{},
                    glsl::AluModel* alu = nullptr);
+  ~Context();
 
   // --- errors ---
   GLenum GetError();
@@ -169,6 +224,10 @@ class Context {
   // both engines, compiled at link time).
   [[nodiscard]] ExecEngine exec_engine() const { return config_.exec_engine; }
   void SetExecEngine(ExecEngine engine) { config_.exec_engine = engine; }
+  // Fragment-shading worker count (applies to subsequent draws; see
+  // ContextConfig::shader_threads for the semantics).
+  [[nodiscard]] int shader_threads() const { return config_.shader_threads; }
+  void SetShaderThreads(int n) { config_.shader_threads = n; }
   // Last shader runtime failure during a draw ("" when none): loop budget
   // exceeded etc.; a real GPU would hang or reset.
   [[nodiscard]] const std::string& last_draw_error() const {
@@ -214,6 +273,11 @@ class Context {
                    const std::function<GLuint(GLsizei)>& index_at);
   void WritePixel(RenderTarget& rt, int x, int y, float depth,
                   const std::array<float, 4>& color, bool depth_valid);
+  // Texture-fetch callback routing misses through the given cache model and
+  // counter shard; one per shading worker (thread-safe: texture contents
+  // are immutable during a draw, each worker owns its cache and counters).
+  [[nodiscard]] glsl::TextureFn MakeTextureFn(TmuCacheModel* cache,
+                                              glsl::AluModel* alu);
 
   ContextConfig config_;
   glsl::ExactAlu default_alu_;
@@ -229,6 +293,14 @@ class Context {
   std::map<GLuint, std::unique_ptr<RenderbufferObject>> renderbuffers_;
   std::map<GLuint, std::unique_ptr<FramebufferObject>> framebuffers_;
 
+  // Worker pool for the tiled fragment pipeline, created lazily on the
+  // first parallel draw and resized when shader_threads changes.
+  std::unique_ptr<common::ThreadPool> pool_;
+  // TMU cache used by the serial shading path. Context-owned (not
+  // draw-local) so the texture callback installed on the long-lived
+  // program engines never refers into a finished draw's stack frame.
+  TmuCacheModel serial_tmu_cache_;
+
   GLuint current_program_ = 0;
   GLuint array_buffer_ = 0;
   GLuint element_array_buffer_ = 0;
@@ -241,16 +313,6 @@ class Context {
   // Default framebuffer storage (bottom-up rows, GL convention).
   std::vector<std::uint8_t> fb_color_;
   std::vector<float> fb_depth_;
-
-  // Texture-cache model: 4 KB, 4-way set associative, 32-byte lines (8
-  // RGBA8 texels), round-robin replacement, reset per draw. Misses are
-  // reported to the ALU counters and priced by the timing model (sequential
-  // GPGPU streams mostly hit, strided matrix walks miss — the paper's
-  // sum/sgemm asymmetry).
-  static constexpr int kTmuCacheSets = 32;
-  static constexpr int kTmuCacheWays = 4;
-  std::array<std::uint64_t, kTmuCacheSets * kTmuCacheWays> tmu_cache_{};
-  std::array<std::uint8_t, kTmuCacheSets> tmu_cache_rr_{};
 
   // Fixed-function state.
   int vp_x_ = 0, vp_y_ = 0, vp_w_ = 0, vp_h_ = 0;

@@ -92,22 +92,29 @@ bool EdgeIsTopLeft(double dx, double dy) {
   return dy > 0.0;
 }
 
+// Facing/cull decision shared by EmitTriangle and TriangleBounds (the
+// binner and the rasterizer must agree, or tiles could be dropped/wasted).
+// With y-up window coords, positive area = counter-clockwise. Returns true
+// when the triangle is culled; *front reports facingness either way.
+bool CullTest(double area, const RasterState& s, bool* front) {
+  const bool ccw = area > 0.0;
+  *front = (s.front_face == GL_CCW) == ccw;
+  if (!s.cull_enabled) return false;
+  if (s.cull_face == GL_FRONT_AND_BACK) return true;
+  return *front == (s.cull_face == GL_FRONT);
+}
+
 void EmitTriangle(const DeviceVertex& d0, const DeviceVertex& d1,
                   const DeviceVertex& d2, int varying_cells,
                   const RasterState& s, const FragmentSink& sink) {
   const double area = Orient2d(d0.x, d0.y, d1.x, d1.y, d2.x, d2.y);
   if (area == 0.0) return;
 
-  // Facing: with y-up window coords, positive area = counter-clockwise.
-  const bool ccw = area > 0.0;
-  const bool front = (s.front_face == GL_CCW) == ccw;
-  if (s.cull_enabled) {
-    if (s.cull_face == GL_FRONT_AND_BACK) return;
-    const bool cull_front = s.cull_face == GL_FRONT;
-    if (front == cull_front) return;
-  }
+  bool front = false;
+  if (CullTest(area, s, &front)) return;
 
   // Wind to CCW for a uniform fill rule.
+  const bool ccw = area > 0.0;
   const DeviceVertex& a = d0;
   const DeviceVertex& b = ccw ? d1 : d2;
   const DeviceVertex& c = ccw ? d2 : d1;
@@ -117,22 +124,40 @@ void EmitTriangle(const DeviceVertex& d0, const DeviceVertex& d1,
   int max_x = static_cast<int>(std::ceil(std::max({a.x, b.x, c.x})));
   int min_y = static_cast<int>(std::floor(std::min({a.y, b.y, c.y})));
   int max_y = static_cast<int>(std::ceil(std::max({a.y, b.y, c.y})));
-  min_x = std::max(min_x, 0);
-  min_y = std::max(min_y, 0);
-  max_x = std::min(max_x, s.target_w);
-  max_y = std::min(max_y, s.target_h);
+  min_x = std::max({min_x, 0, s.clip_x0});
+  min_y = std::max({min_y, 0, s.clip_y0});
+  max_x = std::min({max_x, s.target_w, s.clip_x1});
+  max_y = std::min({max_y, s.target_h, s.clip_y1});
+  if (min_x >= max_x || min_y >= max_y) return;
 
   const bool tl0 = EdgeIsTopLeft(c.x - b.x, c.y - b.y);  // edge b->c (w0)
   const bool tl1 = EdgeIsTopLeft(a.x - c.x, a.y - c.y);  // edge c->a (w1)
   const bool tl2 = EdgeIsTopLeft(b.x - a.x, b.y - a.y);  // edge a->b (w2)
 
+  // Edge setup hoisted out of the pixel loop: each edge function is affine
+  // in the sample position, so it is evaluated exactly (Orient2d) once per
+  // row at the row anchor and stepped by its constant x-derivative across
+  // the row. For pixel-aligned vertex coordinates (the GPGPU quad and the
+  // exact-coverage corpus) anchor and increments are exactly representable
+  // in double, so the stepped values equal direct evaluation bit-for-bit —
+  // the shared-diagonal tests below guard this.
+  const double dw0dx = b.y - c.y;
+  const double dw1dx = c.y - a.y;
+  const double dw2dx = a.y - b.y;
+
+  // Interpolated varyings for the fragment being emitted. Only the first
+  // `varying_cells` cells are ever written and read; the tail stays
+  // uninitialized on purpose (zero-filling all kMaxVaryingCells cells per
+  // pixel dominated small-kernel rasterization).
+  std::array<float, kMaxVaryingCells> vars;
   for (int py = min_y; py < max_y; ++py) {
-    for (int px = min_x; px < max_x; ++px) {
-      const double sx = px + 0.5;
-      const double sy = py + 0.5;
-      const double w0 = Orient2d(b.x, b.y, c.x, c.y, sx, sy);
-      const double w1 = Orient2d(c.x, c.y, a.x, a.y, sx, sy);
-      const double w2 = Orient2d(a.x, a.y, b.x, b.y, sx, sy);
+    const double sy = py + 0.5;
+    const double sx0 = min_x + 0.5;
+    double w0 = Orient2d(b.x, b.y, c.x, c.y, sx0, sy);
+    double w1 = Orient2d(c.x, c.y, a.x, a.y, sx0, sy);
+    double w2 = Orient2d(a.x, a.y, b.x, b.y, sx0, sy);
+    for (int px = min_x; px < max_x;
+         ++px, w0 += dw0dx, w1 += dw1dx, w2 += dw2dx) {
       const bool in0 = w0 > 0.0 || (w0 == 0.0 && tl0);
       const bool in1 = w1 > 0.0 || (w1 == 0.0 && tl1);
       const bool in2 = w2 > 0.0 || (w2 == 0.0 && tl2);
@@ -148,7 +173,6 @@ void EmitTriangle(const DeviceVertex& d0, const DeviceVertex& d1,
       const double pb = bb * b.inv_w;
       const double pc = bc * c.inv_w;
       const double denom = pa + pb + pc;
-      std::array<float, kMaxVaryingCells> vars{};
       for (int k = 0; k < varying_cells; ++k) {
         const std::size_t ki = static_cast<std::size_t>(k);
         vars[ki] = static_cast<float>(
@@ -199,10 +223,10 @@ void RasterizePoint(const RasterVertex& v, int varying_cells,
   int max_x = static_cast<int>(std::ceil(d.x + half));
   int min_y = static_cast<int>(std::floor(d.y - half));
   int max_y = static_cast<int>(std::ceil(d.y + half));
-  min_x = std::max(min_x, 0);
-  min_y = std::max(min_y, 0);
-  max_x = std::min(max_x, state.target_w);
-  max_y = std::min(max_y, state.target_h);
+  min_x = std::max({min_x, 0, state.clip_x0});
+  min_y = std::max({min_y, 0, state.clip_y0});
+  max_x = std::min({max_x, state.target_w, state.clip_x1});
+  max_y = std::min({max_y, state.target_h, state.clip_y1});
   for (int py = min_y; py < max_y; ++py) {
     for (int px = min_x; px < max_x; ++px) {
       const double sx = px + 0.5;
@@ -216,12 +240,15 @@ void RasterizePoint(const RasterVertex& v, int varying_cells,
   }
 }
 
-void RasterizeLine(const RasterVertex& v0, const RasterVertex& v1,
-                   int varying_cells, const RasterState& state,
-                   const FragmentSink& sink) {
-  if (v0.clip[3] < kNearEps || v1.clip[3] < kNearEps) return;
-  const DeviceVertex a = ToDevice(v0, varying_cells, state);
-  const DeviceVertex b = ToDevice(v1, varying_cells, state);
+namespace {
+
+// The line's pixel walk, shared by RasterizeLine and LineTouchedTiles so
+// the binner sees exactly the pixels the rasterizer emits. Calls
+// fn(t, px, py) for each deduplicated step, pre-target-clip; fn returning
+// false stops the walk (used to bail once a monotone walk has passed its
+// clip rect for good).
+template <typename Fn>
+void WalkLine(const DeviceVertex& a, const DeviceVertex& b, Fn&& fn) {
   const double dx = b.x - a.x;
   const double dy = b.y - a.y;
   const int steps =
@@ -235,12 +262,44 @@ void RasterizeLine(const RasterVertex& v0, const RasterVertex& v1,
     if (px == last_x && py == last_y) continue;
     last_x = px;
     last_y = py;
+    if (!fn(t, px, py)) return;
+  }
+}
+
+}  // namespace
+
+void RasterizeLine(const RasterVertex& v0, const RasterVertex& v1,
+                   int varying_cells, const RasterState& state,
+                   const FragmentSink& sink) {
+  if (v0.clip[3] < kNearEps || v1.clip[3] < kNearEps) return;
+  const DeviceVertex a = ToDevice(v0, varying_cells, state);
+  const DeviceVertex b = ToDevice(v1, varying_cells, state);
+  // Each pixel coordinate advances in one direction only, so once the walk
+  // has passed the clip rect's far side on either axis it can never
+  // re-enter — stop instead of stepping the remainder (per-tile runs of a
+  // long line would otherwise each walk the full length). Stopping only
+  // skips steps that emit nothing, so the emitted sequence is unchanged.
+  const bool x_inc = b.x >= a.x;
+  const bool y_inc = b.y >= a.y;
+  // See EmitTriangle: only the first `varying_cells` cells are written/read.
+  std::array<float, kMaxVaryingCells> vars;
+  WalkLine(a, b, [&](double t, int px, int py) {
+    if ((x_inc ? px >= state.clip_x1 : px < state.clip_x0) ||
+        (y_inc ? py >= state.clip_y1 : py < state.clip_y0)) {
+      return false;
+    }
     if (px < 0 || py < 0 || px >= state.target_w || py >= state.target_h) {
-      continue;
+      return true;
+    }
+    // WalkLine's step dedup sees every step regardless of the clip rect, so
+    // per-tile runs of the same line visit identical (px, py) prefixes; the
+    // rect only filters emission.
+    if (px < state.clip_x0 || py < state.clip_y0 || px >= state.clip_x1 ||
+        py >= state.clip_y1) {
+      return true;
     }
     // Perspective-correct parameter along the line.
     const double pw = (1.0 - t) * a.inv_w + t * b.inv_w;
-    std::array<float, kMaxVaryingCells> vars{};
     for (int k = 0; k < varying_cells; ++k) {
       const std::size_t ki = static_cast<std::size_t>(k);
       vars[ki] = static_cast<float>(((1.0 - t) * a.inv_w * a.varyings[ki] +
@@ -250,7 +309,103 @@ void RasterizeLine(const RasterVertex& v0, const RasterVertex& v1,
     const double z = (1.0 - t) * a.z + t * b.z;
     sink(px, py, static_cast<float>(std::clamp(z, 0.0, 1.0)), vars.data(),
          true, 0.0f, 0.0f);
+    return true;
+  });
+}
+
+namespace {
+
+// Clamps a device-space bbox to the target and reports emptiness.
+bool FinishRect(double fx0, double fy0, double fx1, double fy1,
+                const RasterState& s, PixelRect* out) {
+  out->x0 = std::max(static_cast<int>(std::floor(fx0)), 0);
+  out->y0 = std::max(static_cast<int>(std::floor(fy0)), 0);
+  out->x1 = std::min(static_cast<int>(std::ceil(fx1)), s.target_w);
+  out->y1 = std::min(static_cast<int>(std::ceil(fy1)), s.target_h);
+  return !out->Empty();
+}
+
+}  // namespace
+
+bool TriangleBounds(const RasterVertex& v0, const RasterVertex& v1,
+                    const RasterVertex& v2, const RasterState& state,
+                    PixelRect* out) {
+  const bool in0 = v0.clip[3] >= kNearEps;
+  const bool in1 = v1.clip[3] >= kNearEps;
+  const bool in2 = v2.clip[3] >= kNearEps;
+  if (in0 && in1 && in2) {
+    const DeviceVertex a = ToDevice(v0, 0, state);
+    const DeviceVertex b = ToDevice(v1, 0, state);
+    const DeviceVertex c = ToDevice(v2, 0, state);
+    const double area = Orient2d(a.x, a.y, b.x, b.y, c.x, c.y);
+    if (area == 0.0) return false;
+    bool front = false;
+    if (CullTest(area, state, &front)) return false;
+    return FinishRect(std::min({a.x, b.x, c.x}), std::min({a.y, b.y, c.y}),
+                      std::max({a.x, b.x, c.x}), std::max({a.y, b.y, c.y}),
+                      state, out);
   }
+  // Near-clipped: bound the clipped polygon (no cull test here — it is
+  // conservative to bin a culled sliver; the rasterizer drops it per tile).
+  const std::vector<RasterVertex> poly = ClipNear({v0, v1, v2}, 0);
+  if (poly.size() < 3) return false;
+  double fx0 = 0.0, fy0 = 0.0, fx1 = 0.0, fy1 = 0.0;
+  bool first = true;
+  for (const RasterVertex& v : poly) {
+    const DeviceVertex d = ToDevice(v, 0, state);
+    if (first) {
+      fx0 = fx1 = d.x;
+      fy0 = fy1 = d.y;
+      first = false;
+    } else {
+      fx0 = std::min(fx0, d.x);
+      fy0 = std::min(fy0, d.y);
+      fx1 = std::max(fx1, d.x);
+      fy1 = std::max(fy1, d.y);
+    }
+  }
+  return FinishRect(fx0, fy0, fx1, fy1, state, out);
+}
+
+bool PointBounds(const RasterVertex& v, const RasterState& state,
+                 PixelRect* out) {
+  if (v.clip[3] < kNearEps) return false;
+  const DeviceVertex d = ToDevice(v, 0, state);
+  const double half = std::max(1.0f, d.point_size) * 0.5;
+  return FinishRect(d.x - half, d.y - half, d.x + half, d.y + half, state,
+                    out);
+}
+
+void LineTouchedTiles(const RasterVertex& v0, const RasterVertex& v1,
+                      const RasterState& state, int tile_size,
+                      const std::function<void(int, int)>& tile_fn) {
+  if (v0.clip[3] < kNearEps || v1.clip[3] < kNearEps) return;
+  const DeviceVertex a = ToDevice(v0, 0, state);
+  const DeviceVertex b = ToDevice(v1, 0, state);
+  const bool x_inc = b.x >= a.x;
+  const bool y_inc = b.y >= a.y;
+  int last_tx = INT_MIN, last_ty = INT_MIN;
+  WalkLine(a, b, [&](double, int px, int py) {
+    // Monotone walk: once past the target's far side on either axis the
+    // line never comes back in.
+    if ((x_inc ? px >= state.target_w : px < 0) ||
+        (y_inc ? py >= state.target_h : py < 0)) {
+      return false;
+    }
+    if (px < 0 || py < 0 || px >= state.target_w || py >= state.target_h) {
+      return true;
+    }
+    const int tx = px / tile_size;
+    const int ty = py / tile_size;
+    // The walk's pixel coordinates advance monotonically (each axis one
+    // direction only), so tile pairs repeat only consecutively: comparing
+    // against the previous pair is a complete dedup.
+    if (tx == last_tx && ty == last_ty) return true;
+    last_tx = tx;
+    last_ty = ty;
+    tile_fn(tx, ty);
+    return true;
+  });
 }
 
 }  // namespace mgpu::gles2

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "gles2/enums.h"
@@ -19,6 +20,15 @@ struct RasterVertex {
   float point_size = 1.0f;
 };
 
+// Half-open pixel rectangle [x0, x1) x [y0, y1).
+struct PixelRect {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  [[nodiscard]] bool Empty() const { return x0 >= x1 || y0 >= y1; }
+};
+
 struct RasterState {
   int viewport_x = 0;
   int viewport_y = 0;
@@ -29,6 +39,15 @@ struct RasterState {
   bool cull_enabled = false;
   GLenum cull_face = GL_BACK;
   GLenum front_face = GL_CCW;
+  // Additional pixel-space clip rectangle, intersected with the target
+  // bounds. The tiled pipeline points this at the tile being shaded, so the
+  // per-tile rasterizations of one primitive partition its fragments
+  // exactly (each pixel belongs to exactly one tile). Defaults to
+  // unbounded, i.e. plain whole-target rasterization.
+  int clip_x0 = 0;
+  int clip_y0 = 0;
+  int clip_x1 = std::numeric_limits<int>::max();
+  int clip_y1 = std::numeric_limits<int>::max();
 };
 
 // Fragment callback: window x, y (integer pixel coords), window-space depth
@@ -48,6 +67,29 @@ void RasterizePoint(const RasterVertex& v, int varying_cells,
 void RasterizeLine(const RasterVertex& v0, const RasterVertex& v1,
                    int varying_cells, const RasterState& state,
                    const FragmentSink& sink);
+
+// Conservative window-space pixel bounds of a primitive, clamped to the
+// render target — what the tile binner uses to assign primitives to tile
+// bins. Returns false when the primitive can produce no fragments (fully
+// near-clipped, culled, degenerate, or off-target). A true return with a
+// non-empty rect guarantees every fragment the primitive emits lies inside
+// the rect; the rect may cover tiles the primitive does not actually touch
+// (those rasterize to nothing).
+[[nodiscard]] bool TriangleBounds(const RasterVertex& v0,
+                                  const RasterVertex& v1,
+                                  const RasterVertex& v2,
+                                  const RasterState& state, PixelRect* out);
+[[nodiscard]] bool PointBounds(const RasterVertex& v, const RasterState& state,
+                               PixelRect* out);
+
+// Reports each tile_size-aligned tile whose pixels the line touches, in
+// walk order without repeats (the walk is shared with RasterizeLine, so the
+// reported tiles are exactly the ones that will emit fragments). Lines are
+// binned this way rather than by bounding box — a diagonal line's bbox
+// covers quadratically many tiles it never touches.
+void LineTouchedTiles(const RasterVertex& v0, const RasterVertex& v1,
+                      const RasterState& state, int tile_size,
+                      const std::function<void(int tx, int ty)>& tile_fn);
 
 }  // namespace mgpu::gles2
 

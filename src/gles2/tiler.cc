@@ -1,0 +1,52 @@
+#include "gles2/tiler.h"
+
+#include <algorithm>
+
+namespace mgpu::gles2 {
+
+TileBinner::TileBinner(int target_w, int target_h) {
+  tiles_x_ = std::max(0, (target_w + kTileSize - 1) / kTileSize);
+  tiles_y_ = std::max(0, (target_h + kTileSize - 1) / kTileSize);
+  tiles_.resize(static_cast<std::size_t>(tiles_x_) * tiles_y_);
+  for (int ty = 0; ty < tiles_y_; ++ty) {
+    for (int tx = 0; tx < tiles_x_; ++tx) {
+      Tile& t = tiles_[static_cast<std::size_t>(ty) * tiles_x_ + tx];
+      t.rect.x0 = tx * kTileSize;
+      t.rect.y0 = ty * kTileSize;
+      t.rect.x1 = std::min(t.rect.x0 + kTileSize, target_w);
+      t.rect.y1 = std::min(t.rect.y0 + kTileSize, target_h);
+    }
+  }
+}
+
+void TileBinner::Bin(std::uint32_t prim_index, const PixelRect& bounds) {
+  if (bounds.Empty() || tiles_.empty()) return;
+  const int tx0 = std::clamp(bounds.x0 / kTileSize, 0, tiles_x_ - 1);
+  const int ty0 = std::clamp(bounds.y0 / kTileSize, 0, tiles_y_ - 1);
+  const int tx1 = std::clamp((bounds.x1 - 1) / kTileSize, 0, tiles_x_ - 1);
+  const int ty1 = std::clamp((bounds.y1 - 1) / kTileSize, 0, tiles_y_ - 1);
+  for (int ty = ty0; ty <= ty1; ++ty) {
+    for (int tx = tx0; tx <= tx1; ++tx) {
+      tiles_[static_cast<std::size_t>(ty) * tiles_x_ + tx].prims.push_back(
+          prim_index);
+    }
+  }
+}
+
+void TileBinner::BinTile(std::uint32_t prim_index, int tx, int ty) {
+  if (tx < 0 || ty < 0 || tx >= tiles_x_ || ty >= tiles_y_) return;
+  tiles_[static_cast<std::size_t>(ty) * tiles_x_ + tx].prims.push_back(
+      prim_index);
+}
+
+std::vector<std::uint32_t> TileBinner::NonEmptyTiles() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    if (!tiles_[i].prims.empty()) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace mgpu::gles2

@@ -1,0 +1,72 @@
+// Tile binning for the two-phase, VC4-style fragment pipeline. The real
+// VideoCore IV is a tile-based renderer: a binning pass assigns primitives
+// to 64x64 tile lists, then the QPUs shade tiles independently. This module
+// reproduces that structure in the simulator: post-clip primitives are
+// binned by their window-space bounds, and the draw loop (gles2::Context)
+// shades the non-empty tiles — serially or on a worker pool. Because tiles
+// partition the framebuffer and each bin preserves primitive submission
+// order, the shaded result is byte-identical for any tile execution order
+// and any worker count.
+#ifndef MGPU_GLES2_TILER_H_
+#define MGPU_GLES2_TILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gles2/raster.h"
+
+namespace mgpu::gles2 {
+
+// Tile edge length in pixels, matching the VideoCore IV binning granularity
+// (64x64 in non-multisample mode).
+inline constexpr int kTileSize = 64;
+
+// One assembled primitive: vertex indices into the draw's post-transform
+// vertex array. Points use v0; lines v0/v1; triangles all three (already in
+// the winding the raster functions expect, i.e. strip parity is resolved at
+// assembly time).
+struct TilePrim {
+  enum class Kind : std::uint8_t { kTriangle, kPoint, kLine };
+  Kind kind = Kind::kTriangle;
+  std::uint32_t v0 = 0;
+  std::uint32_t v1 = 0;
+  std::uint32_t v2 = 0;
+};
+
+class TileBinner {
+ public:
+  struct Tile {
+    PixelRect rect;                     // clamped to the target
+    std::vector<std::uint32_t> prims;   // primitive indices, submission order
+  };
+
+  TileBinner(int target_w, int target_h);
+
+  [[nodiscard]] int tiles_x() const { return tiles_x_; }
+  [[nodiscard]] int tiles_y() const { return tiles_y_; }
+
+  // Bins primitive `prim_index` into every tile its bounds rect touches.
+  // `bounds` must already be clamped to the target (see *Bounds in
+  // raster.h).
+  void Bin(std::uint32_t prim_index, const PixelRect& bounds);
+
+  // Bins primitive `prim_index` into the single tile (tx, ty). Used with
+  // LineTouchedTiles, which walks the line and reports each touched tile
+  // exactly once. Out-of-range tiles are ignored.
+  void BinTile(std::uint32_t prim_index, int tx, int ty);
+
+  [[nodiscard]] const std::vector<Tile>& tiles() const { return tiles_; }
+
+  // Row-major indices of the tiles that received at least one primitive —
+  // the shading work list.
+  [[nodiscard]] std::vector<std::uint32_t> NonEmptyTiles() const;
+
+ private:
+  int tiles_x_ = 0;
+  int tiles_y_ = 0;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace mgpu::gles2
+
+#endif  // MGPU_GLES2_TILER_H_

@@ -11,6 +11,7 @@
 #define MGPU_GLSL_ALU_H_
 
 #include <cstdint>
+#include <memory>
 
 namespace mgpu::glsl {
 
@@ -36,14 +37,31 @@ class AluModel {
   virtual ~AluModel() = default;
 
   // --- basic float ALU (counted as `alu`) ---
-  float Add(float a, float b) { Count(1); return Round(a + b); }
-  float Sub(float a, float b) { Count(1); return Round(a - b); }
-  float Mul(float a, float b) { Count(1); return Round(a * b); }
+  // The identity-round flag lets these inline helpers skip the virtual
+  // Round() on the hot path when the model's register precision is full
+  // fp32 (ExactAlu always; Vc4Alu for IEEE-exact profiles) — bit-identical
+  // by definition of the flag.
+  float Add(float a, float b) {
+    Count(1);
+    const float r = a + b;
+    return round_identity_ ? r : Round(r);
+  }
+  float Sub(float a, float b) {
+    Count(1);
+    const float r = a - b;
+    return round_identity_ ? r : Round(r);
+  }
+  float Mul(float a, float b) {
+    Count(1);
+    const float r = a * b;
+    return round_identity_ ? r : Round(r);
+  }
   // Division: GPUs implement a/b as a * recip(b); the cost and precision of
   // the reciprocal belong to the SFU.
   float Div(float a, float b) {
     Count(1);
-    return Round(a * Recip(b));
+    const float r = a * Recip(b);
+    return round_identity_ ? r : Round(r);
   }
 
   // --- special functions (counted as `sfu`, precision model hooks) ---
@@ -80,6 +98,11 @@ class AluModel {
 
   [[nodiscard]] const OpCounts& counts() const { return counts_; }
   void ResetCounts() { counts_ = OpCounts{}; }
+  // Folds a worker shard's counters into this model (the tiled renderer
+  // gives each shading worker a Fork()ed model and sums them at join; the
+  // sum over disjoint tiles is order-independent, so totals are identical
+  // to a serial run).
+  void AddCounts(const OpCounts& c) { counts_ += c; }
   // Restores a snapshot taken via counts(). Used by the bytecode VM to keep
   // its one-time constant-initializer evaluation out of the counters (the
   // tree-walking oracle already charged those ops at construction).
@@ -90,13 +113,36 @@ class AluModel {
   // fragment pipe, paper §IV-E footnote 1) override this.
   virtual float Round(float x) { return x; }
 
+  // Creates an independent model with the same precision behaviour and zeroed
+  // counters, for use as a per-worker counter shard by the multithreaded
+  // fragment pipeline. Returns nullptr when the subclass does not support
+  // forking (the draw then falls back to single-threaded shading).
+  [[nodiscard]] virtual std::unique_ptr<AluModel> Fork() const {
+    return nullptr;
+  }
+
+  [[nodiscard]] bool round_identity() const { return round_identity_; }
+
+ protected:
+  // Subclasses whose Round() is the identity function declare it here to
+  // enable the inline fast path above. Defaults to false (conservative for
+  // unknown subclasses that override Round()).
+  void SetRoundIdentity(bool identity) { round_identity_ = identity; }
+
  private:
   OpCounts counts_;
+  bool round_identity_ = false;
 };
 
 // IEEE-exact ALU: reference behaviour, used for the CPU-side verification the
 // paper performs ("the same transformations on the CPU are precise", §V).
-class ExactAlu final : public AluModel {};
+class ExactAlu final : public AluModel {
+ public:
+  ExactAlu() { SetRoundIdentity(true); }
+  [[nodiscard]] std::unique_ptr<AluModel> Fork() const override {
+    return std::make_unique<ExactAlu>();
+  }
+};
 
 }  // namespace mgpu::glsl
 

@@ -77,6 +77,18 @@ Value ReadRef(const LRef& r) {
   return v;
 }
 
+void ReadRefInto(const LRef& r, Value& out) {
+  if (r.n < 0) {
+    for (int i = 0; i < -r.n; ++i) out.data()[i] = r.storage->data()[i];
+    return;
+  }
+  Cell* dst = out.data();
+  const Cell* src = r.storage->data();
+  for (int i = 0; i < r.n; ++i) {
+    dst[i] = src[r.idx[static_cast<std::size_t>(i)]];
+  }
+}
+
 void WriteRef(const LRef& r, const Value& v) {
   if (r.n < 0) {
     for (int i = 0; i < -r.n; ++i) r.storage->data()[i] = v.data()[i];
@@ -105,6 +117,20 @@ void EvalArithInto(AluModel& alu, BinOp op, const Value& l, const Value& r,
   const BaseType lb = l.type().base;
   const BaseType rb = r.type().base;
   const bool is_float = ScalarOf(lb) == BaseType::kFloat;
+
+  // Fast path: scalar float +-*/ — the bulk of lowered GPGPU kernel code.
+  // Identical to the component-wise loop below at n == 1 (same AluModel
+  // routing, same counts).
+  if (is_float && out.count() == 1 && op <= BinOp::kDiv) {
+    const float a = l.F(0);
+    const float b = r.F(0);
+    switch (op) {
+      case BinOp::kAdd: out.SetF(0, alu.Add(a, b)); return;
+      case BinOp::kSub: out.SetF(0, alu.Sub(a, b)); return;
+      case BinOp::kMul: out.SetF(0, alu.Mul(a, b)); return;
+      default: out.SetF(0, alu.Div(a, b)); return;
+    }
+  }
 
   // Linear-algebra multiplication cases first.
   if (op == BinOp::kMul && IsMatrix(lb) && IsMatrix(rb)) {
@@ -204,7 +230,21 @@ void EvalCtorInto(AluModel& alu, std::span<const Value* const> args,
       for (int i = 0; i < n; ++i) out.SetConverted(i, *args[0], 0);
       return;
     }
+    // Fast path: all-float gather (vecN(f, f, ...), the common shader
+    // ctor) — SetConverted degenerates to a plain float copy there.
+    bool all_float = ScalarOf(target) == BaseType::kFloat;
+    for (std::size_t a = 0; all_float && a < args.size(); ++a) {
+      all_float = args[a]->scalar() == BaseType::kFloat;
+    }
     int w = 0;
+    if (all_float) {
+      for (const Value* a : args) {
+        for (int i = 0; i < a->count() && w < n; ++i, ++w) {
+          out.SetF(w, a->F(i));
+        }
+      }
+      return;
+    }
     for (const Value* a : args) {
       for (int i = 0; i < a->count() && w < n; ++i, ++w) {
         out.SetConverted(w, *a, i);

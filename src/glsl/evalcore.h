@@ -57,6 +57,9 @@ struct IndexStep {
 
 [[nodiscard]] Value ReadRef(const LRef& r);
 void WriteRef(const LRef& r, const Value& v);
+// ReadRef without the zero-initialized temporary: gathers straight into
+// `out` (pre-typed by the caller; the bytecode VM's registers already are).
+void ReadRefInto(const LRef& r, Value& out);
 
 // Deep equality across all components (GLSL == on vectors yields a single
 // bool that is true only when all components match).

@@ -3,6 +3,7 @@
 // preserves the tree-walking interpreter's evaluation order *exactly* —
 // including argument evaluation order, l-value timing, and short-circuit
 // behaviour — so the VM's results and AluModel op counts are identical.
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 
@@ -105,6 +106,21 @@ class Lowerer {
       prog_->globals.push_back({g->name, g->type});
     }
     PrepassFunctions();
+
+    // Inlining must not change the call-depth boundary the interpreter
+    // enforces (64 concurrently active user calls; the 65th throws). Call
+    // depth is fully static in GLSL ES (no recursion), so: if every path
+    // stays within the budget, the interpreter never throws and inlining
+    // is invisible; otherwise (deeper, or malformed recursive input)
+    // disable inlining entirely so the runtime kCall path reproduces the
+    // oracle's behaviour exactly.
+    int depth = cs_.main != nullptr && cs_.main->body != nullptr
+                    ? FnCallDepth(cs_.main)
+                    : 0;
+    for (const VarDecl* g : cs_.globals) {
+      if (g->init != nullptr) depth = std::max(depth, ExprCallDepth(*g->init));
+    }
+    inline_enabled_ = depth <= kMaxStaticCallDepth;
 
     // Chunk 1: construction-time initialization of every global with an
     // initializer (slot order), mirroring ShaderExec::InitGlobals.
@@ -395,6 +411,20 @@ class Lowerer {
       }
       case StmtKind::kReturn: {
         const auto& rs = static_cast<const ReturnStmt&>(s);
+        if (!inline_stack_.empty()) {
+          // Inlined body: `return` copies into the function's return
+          // register and jumps to the end of this inline instance. (Read
+          // ret_reg by value and re-fetch back() after LowerExpr — nested
+          // inlining inside the return expression may grow the stack.)
+          const std::uint32_t ret_reg = inline_stack_.back().ret_reg;
+          if (rs.value) {
+            const std::uint32_t v = LowerExpr(*rs.value);
+            if (ret_reg != kOperandNone) EmitCopy(ret_reg, v);
+          }
+          inline_stack_.back().end_fixups.push_back(
+              Emit(MakeInst(VmOp::kJump)));
+          return;
+        }
         if (rs.value) {
           const std::uint32_t v = LowerExpr(*rs.value);
           const std::uint32_t ret_reg =
@@ -420,6 +450,9 @@ class Lowerer {
         // it behaves as an early return — and the VM matches that.
         if (current_fn_ == cs_.main) {
           Emit(MakeInst(VmOp::kDiscard));
+        } else if (!inline_stack_.empty()) {
+          inline_stack_.back().end_fixups.push_back(
+              Emit(MakeInst(VmOp::kJump)));
         } else {
           Emit(MakeInst(VmOp::kRet));
         }
@@ -793,9 +826,43 @@ class Lowerer {
         }
       }
     }
-    VmInst c = MakeInst(VmOp::kCall);
-    c.aux = fn_idx;
-    Emit(c);
+    // Either inline the body here or emit a call. Inlining removes the
+    // call/return dispatch and is exactly equivalent: the same parameter
+    // and local registers are reused (lifetimes cannot overlap — GLSL ES
+    // forbids recursion, and the guards below fall back to kCall for
+    // malformed recursive input or runaway code growth), `return` becomes a
+    // jump to the end of the instance, and none of the removed ops touch
+    // the AluModel, so results AND op counts are bit-identical to the
+    // called form (and to the tree-walking oracle).
+    constexpr std::size_t kInlineCodeBudget = 1 << 16;
+    bool in_stack = false;
+    for (const InlineCtx& ic : inline_stack_) in_stack |= ic.fn == def;
+    if (inline_enabled_ && !in_stack && def != cs_.main &&
+        prog_->code.size() < kInlineCodeBudget) {
+      const std::uint32_t ret_reg = prog_->functions[fn_idx].ret_reg;
+      if (ret_reg != kOperandNone) {
+        // Fell-off-the-end semantics, as at the top of LowerFunction.
+        VmInst z = MakeInst(VmOp::kZero);
+        z.dst = ret_reg;
+        Emit(z);
+      }
+      const FunctionDecl* const saved_fn = current_fn_;
+      current_fn_ = def;
+      inline_stack_.push_back({def, ret_reg, {}});
+      // The callee's breaks/continues must not bind to the caller's loops.
+      std::vector<LoopCtx> saved_loops;
+      saved_loops.swap(loops_);
+      LowerStmt(*def->body);
+      const InlineCtx done = std::move(inline_stack_.back());
+      inline_stack_.pop_back();
+      for (const std::uint32_t fx : done.end_fixups) Patch(fx, Pc());
+      loops_.swap(saved_loops);
+      current_fn_ = saved_fn;
+    } else {
+      VmInst c = MakeInst(VmOp::kCall);
+      c.aux = fn_idx;
+      Emit(c);
+    }
     // Phase 3 — copy-out in argument order.
     for (std::size_t i = 0; i < call.args.size(); ++i) {
       if (plan[i].dir == ParamDir::kIn) continue;
@@ -811,6 +878,136 @@ class Lowerer {
     const std::uint32_t dst = NewReg(def->return_type);
     EmitCopy(dst, ret);
     return dst;
+  }
+
+  // --- static call-depth scan (gates inlining; see Lower()) ---------------
+
+  // Mirrors vm.cc's kMaxCallDepth / the interpreter's frame budget.
+  static constexpr int kMaxStaticCallDepth = 64;
+
+  int FnCallDepth(const FunctionDecl* def) {
+    const auto memo = fn_depth_.find(def);
+    if (memo != fn_depth_.end()) return memo->second;
+    for (const FunctionDecl* f : depth_stack_) {
+      if (f == def) return kMaxStaticCallDepth + 1;  // recursion (malformed)
+    }
+    if (def->body == nullptr) return 0;
+    depth_stack_.push_back(def);
+    const int d = StmtCallDepth(*def->body);
+    depth_stack_.pop_back();
+    fn_depth_[def] = d;
+    return d;
+  }
+
+  int StmtCallDepth(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        int d = 0;
+        for (const StmtPtr& c : static_cast<const BlockStmt&>(s).stmts) {
+          d = std::max(d, StmtCallDepth(*c));
+        }
+        return d;
+      }
+      case StmtKind::kExpr: {
+        const auto& es = static_cast<const ExprStmt&>(s);
+        return es.expr ? ExprCallDepth(*es.expr) : 0;
+      }
+      case StmtKind::kDecl: {
+        int d = 0;
+        for (const auto& vd : static_cast<const DeclStmt&>(s).decls) {
+          if (vd->init) d = std::max(d, ExprCallDepth(*vd->init));
+        }
+        return d;
+      }
+      case StmtKind::kIf: {
+        const auto& is = static_cast<const IfStmt&>(s);
+        int d = std::max(ExprCallDepth(*is.cond),
+                         StmtCallDepth(*is.then_stmt));
+        if (is.else_stmt) d = std::max(d, StmtCallDepth(*is.else_stmt));
+        return d;
+      }
+      case StmtKind::kFor: {
+        const auto& fs = static_cast<const ForStmt&>(s);
+        int d = StmtCallDepth(*fs.body);
+        if (fs.init) d = std::max(d, StmtCallDepth(*fs.init));
+        if (fs.cond) d = std::max(d, ExprCallDepth(*fs.cond));
+        if (fs.step) d = std::max(d, ExprCallDepth(*fs.step));
+        return d;
+      }
+      case StmtKind::kWhile: {
+        const auto& ws = static_cast<const WhileStmt&>(s);
+        return std::max(ExprCallDepth(*ws.cond), StmtCallDepth(*ws.body));
+      }
+      case StmtKind::kDoWhile: {
+        const auto& ds = static_cast<const DoWhileStmt&>(s);
+        return std::max(ExprCallDepth(*ds.cond), StmtCallDepth(*ds.body));
+      }
+      case StmtKind::kReturn: {
+        const auto& rs = static_cast<const ReturnStmt&>(s);
+        return rs.value ? ExprCallDepth(*rs.value) : 0;
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+      case StmtKind::kDiscard:
+        return 0;
+    }
+    return 0;
+  }
+
+  int ExprCallDepth(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kBoolLit:
+      case ExprKind::kVarRef:
+        return 0;
+      case ExprKind::kCall: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        int d = 0;
+        for (const auto& a : c.args) d = std::max(d, ExprCallDepth(*a));
+        if (c.fn != nullptr) {
+          const FunctionDecl* def = ResolveDef(*c.fn);
+          // An undefined callee traps without a frame; count it as one
+          // frame anyway — overestimating can only disable inlining.
+          const int callee = def != nullptr ? FnCallDepth(def) : 0;
+          d = std::max(d, 1 + callee);
+        }
+        return d;
+      }
+      case ExprKind::kCtor: {
+        int d = 0;
+        for (const auto& a : static_cast<const CtorExpr&>(e).args) {
+          d = std::max(d, ExprCallDepth(*a));
+        }
+        return d;
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        return std::max(ExprCallDepth(*b.lhs), ExprCallDepth(*b.rhs));
+      }
+      case ExprKind::kUnary:
+        return ExprCallDepth(*static_cast<const UnaryExpr&>(e).operand);
+      case ExprKind::kAssign: {
+        const auto& a = static_cast<const AssignExpr&>(e);
+        return std::max(ExprCallDepth(*a.lhs), ExprCallDepth(*a.rhs));
+      }
+      case ExprKind::kTernary: {
+        const auto& t = static_cast<const TernaryExpr&>(e);
+        return std::max({ExprCallDepth(*t.cond), ExprCallDepth(*t.then_expr),
+                         ExprCallDepth(*t.else_expr)});
+      }
+      case ExprKind::kIndex: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        return std::max(ExprCallDepth(*ix.base), ExprCallDepth(*ix.index));
+      }
+      case ExprKind::kSwizzle:
+        return ExprCallDepth(*static_cast<const SwizzleExpr&>(e).base);
+      case ExprKind::kComma: {
+        const auto& c = static_cast<const CommaExpr&>(e);
+        return std::max(ExprCallDepth(*c.lhs), ExprCallDepth(*c.rhs));
+      }
+    }
+    return 0;
   }
 
   // --- l-values ----------------------------------------------------------
@@ -868,6 +1065,17 @@ class Lowerer {
   std::unordered_map<const VarDecl*, std::uint32_t> var_regs_;
   std::vector<LoopCtx> loops_;
   const FunctionDecl* current_fn_ = nullptr;
+  // Stack of user functions currently being lowered inline at a call site
+  // (innermost last). Non-empty changes how `return`/`discard` lower.
+  struct InlineCtx {
+    const FunctionDecl* fn = nullptr;
+    std::uint32_t ret_reg = kOperandNone;
+    std::vector<std::uint32_t> end_fixups;  // jumps to the instance end
+  };
+  std::vector<InlineCtx> inline_stack_;
+  bool inline_enabled_ = false;
+  std::unordered_map<const FunctionDecl*, int> fn_depth_;
+  std::vector<const FunctionDecl*> depth_stack_;
 };
 
 }  // namespace

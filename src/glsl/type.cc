@@ -4,114 +4,6 @@
 
 namespace mgpu::glsl {
 
-int ComponentCount(BaseType t) {
-  switch (t) {
-    case BaseType::kVoid:
-      return 0;
-    case BaseType::kBool:
-    case BaseType::kInt:
-    case BaseType::kFloat:
-    case BaseType::kSampler2D:
-    case BaseType::kSamplerCube:
-      return 1;
-    case BaseType::kBVec2:
-    case BaseType::kIVec2:
-    case BaseType::kVec2:
-      return 2;
-    case BaseType::kBVec3:
-    case BaseType::kIVec3:
-    case BaseType::kVec3:
-      return 3;
-    case BaseType::kBVec4:
-    case BaseType::kIVec4:
-    case BaseType::kVec4:
-    case BaseType::kMat2:
-      return 4;
-    case BaseType::kMat3:
-      return 9;
-    case BaseType::kMat4:
-      return 16;
-  }
-  return 0;
-}
-
-BaseType ScalarOf(BaseType t) {
-  switch (t) {
-    case BaseType::kBool:
-    case BaseType::kBVec2:
-    case BaseType::kBVec3:
-    case BaseType::kBVec4:
-      return BaseType::kBool;
-    case BaseType::kInt:
-    case BaseType::kIVec2:
-    case BaseType::kIVec3:
-    case BaseType::kIVec4:
-      return BaseType::kInt;
-    case BaseType::kFloat:
-    case BaseType::kVec2:
-    case BaseType::kVec3:
-    case BaseType::kVec4:
-    case BaseType::kMat2:
-    case BaseType::kMat3:
-    case BaseType::kMat4:
-      return BaseType::kFloat;
-    default:
-      return t;
-  }
-}
-
-bool IsScalar(BaseType t) {
-  return t == BaseType::kBool || t == BaseType::kInt || t == BaseType::kFloat;
-}
-
-bool IsVector(BaseType t) {
-  switch (t) {
-    case BaseType::kBVec2:
-    case BaseType::kBVec3:
-    case BaseType::kBVec4:
-    case BaseType::kIVec2:
-    case BaseType::kIVec3:
-    case BaseType::kIVec4:
-    case BaseType::kVec2:
-    case BaseType::kVec3:
-    case BaseType::kVec4:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool IsMatrix(BaseType t) {
-  return t == BaseType::kMat2 || t == BaseType::kMat3 || t == BaseType::kMat4;
-}
-
-bool IsSampler(BaseType t) {
-  return t == BaseType::kSampler2D || t == BaseType::kSamplerCube;
-}
-
-bool IsNumeric(BaseType t) {
-  if (t == BaseType::kVoid || IsSampler(t)) return false;
-  return ScalarOf(t) != BaseType::kBool;
-}
-
-bool IsFloatFamily(BaseType t) {
-  return !IsSampler(t) && t != BaseType::kVoid &&
-         ScalarOf(t) == BaseType::kFloat;
-}
-
-int RowCount(BaseType t) {
-  if (IsMatrix(t)) {
-    return t == BaseType::kMat2 ? 2 : (t == BaseType::kMat3 ? 3 : 4);
-  }
-  if (IsVector(t)) return ComponentCount(t);
-  return 1;
-}
-
-int ColumnCount(BaseType t) {
-  if (!IsMatrix(t)) return 1;
-  return t == BaseType::kMat2 ? 2 : (t == BaseType::kMat3 ? 3 : 4);
-}
-
 BaseType VectorOf(BaseType scalar, int n) {
   if (n == 1) return scalar;
   switch (scalar) {

@@ -34,21 +34,73 @@ enum class BaseType : unsigned char {
 
 enum class Precision : unsigned char { kNone, kLow, kMedium, kHigh };
 
+// The classification predicates below sit on the shader-engine hot path
+// (consulted once or more per VM instruction), so they are inline constexpr
+// table lookups / range checks over the contiguous BaseType enum.
+namespace type_detail {
+inline constexpr int kComponentCounts[] = {
+    0,  // kVoid
+    1, 1, 1,     // kBool, kInt, kFloat
+    2, 3, 4,     // kBVec2..kBVec4
+    2, 3, 4,     // kIVec2..kIVec4
+    2, 3, 4,     // kVec2..kVec4
+    4, 9, 16,    // kMat2..kMat4
+    1, 1,        // kSampler2D, kSamplerCube
+};
+inline constexpr BaseType kScalarOf[] = {
+    BaseType::kVoid,
+    BaseType::kBool, BaseType::kInt, BaseType::kFloat,
+    BaseType::kBool, BaseType::kBool, BaseType::kBool,
+    BaseType::kInt, BaseType::kInt, BaseType::kInt,
+    BaseType::kFloat, BaseType::kFloat, BaseType::kFloat,
+    BaseType::kFloat, BaseType::kFloat, BaseType::kFloat,
+    BaseType::kSampler2D, BaseType::kSamplerCube,
+};
+}  // namespace type_detail
+
 // Scalar component count of a base type (mat3 -> 9). Samplers count as 1.
-[[nodiscard]] int ComponentCount(BaseType t);
+[[nodiscard]] constexpr int ComponentCount(BaseType t) {
+  return type_detail::kComponentCounts[static_cast<int>(t)];
+}
 // The scalar category: Float for vec*/mat*, Int for ivec*, Bool for bvec*.
-[[nodiscard]] BaseType ScalarOf(BaseType t);
-[[nodiscard]] bool IsScalar(BaseType t);
-[[nodiscard]] bool IsVector(BaseType t);
-[[nodiscard]] bool IsMatrix(BaseType t);
-[[nodiscard]] bool IsSampler(BaseType t);
-[[nodiscard]] bool IsNumeric(BaseType t);  // int/float scalar or vector/matrix
-[[nodiscard]] bool IsFloatFamily(BaseType t);
+[[nodiscard]] constexpr BaseType ScalarOf(BaseType t) {
+  return type_detail::kScalarOf[static_cast<int>(t)];
+}
+[[nodiscard]] constexpr bool IsScalar(BaseType t) {
+  return t == BaseType::kBool || t == BaseType::kInt || t == BaseType::kFloat;
+}
+[[nodiscard]] constexpr bool IsVector(BaseType t) {
+  return t >= BaseType::kBVec2 && t <= BaseType::kVec4;
+}
+[[nodiscard]] constexpr bool IsMatrix(BaseType t) {
+  return t >= BaseType::kMat2 && t <= BaseType::kMat4;
+}
+[[nodiscard]] constexpr bool IsSampler(BaseType t) {
+  return t == BaseType::kSampler2D || t == BaseType::kSamplerCube;
+}
+// int/float scalar or vector/matrix
+[[nodiscard]] constexpr bool IsNumeric(BaseType t) {
+  if (t == BaseType::kVoid || IsSampler(t)) return false;
+  return ScalarOf(t) != BaseType::kBool;
+}
+[[nodiscard]] constexpr bool IsFloatFamily(BaseType t) {
+  return !IsSampler(t) && t != BaseType::kVoid &&
+         ScalarOf(t) == BaseType::kFloat;
+}
 // Rows of a vector (vec3 -> 3) or of a matrix column (mat3 -> 3); 1 for
 // scalars.
-[[nodiscard]] int RowCount(BaseType t);
+[[nodiscard]] constexpr int RowCount(BaseType t) {
+  if (IsMatrix(t)) {
+    return t == BaseType::kMat2 ? 2 : (t == BaseType::kMat3 ? 3 : 4);
+  }
+  if (IsVector(t)) return ComponentCount(t);
+  return 1;
+}
 // Columns of a matrix (mat3 -> 3); 1 otherwise.
-[[nodiscard]] int ColumnCount(BaseType t);
+[[nodiscard]] constexpr int ColumnCount(BaseType t) {
+  if (!IsMatrix(t)) return 1;
+  return t == BaseType::kMat2 ? 2 : (t == BaseType::kMat3 ? 3 : 4);
+}
 // Builds the vector (or scalar, when n == 1) type with the given scalar kind.
 [[nodiscard]] BaseType VectorOf(BaseType scalar, int n);
 // The type of a matrix column: mat3 -> vec3.

@@ -30,6 +30,14 @@ VmExec::VmExec(std::shared_ptr<const VmProgram> program, AluModel& alu)
   alu_.SetCounts(saved);
 }
 
+VmExec::VmExec(const VmExec& base, AluModel& alu)
+    : prog_(base.prog_), alu_(alu), globals_(base.globals_),
+      regs_(base.regs_) {
+  // Refs are rebuilt before use by every invocation; fresh ones avoid
+  // aliasing the base engine's storage.
+  refs_.resize(prog_->ref_slot_count);
+}
+
 bool VmExec::Run() {
   loop_steps_ = 0;
   return Execute(prog_->run_entry);
@@ -38,6 +46,27 @@ bool VmExec::Run() {
 bool VmExec::Execute(std::uint32_t pc) {
   const VmInst* const code = prog_->code.data();
   const std::uint32_t* const arg_ops = prog_->arg_ops.data();
+  // Local copies of the storage base pointers: none of these vectors are
+  // resized during execution, and keeping them in locals lets the compiler
+  // hold them in registers across the opaque Eval* calls (the member-based
+  // At()/Read() would be reloaded after every call).
+  Value* const regs = regs_.data();
+  Value* const globals = globals_.data();
+  const Value* const consts = prog_->consts.data();
+  const auto At = [regs, globals](std::uint32_t operand) -> Value& {
+    const std::uint32_t idx = operand & kOperandIndexMask;
+    return (operand & ~kOperandIndexMask) == kSpaceReg ? regs[idx]
+                                                       : globals[idx];
+  };
+  const auto Read = [regs, globals,
+                     consts](std::uint32_t operand) -> const Value& {
+    const std::uint32_t idx = operand & kOperandIndexMask;
+    switch (operand & ~kOperandIndexMask) {
+      case kSpaceReg: return regs[idx];
+      case kSpaceGlobal: return globals[idx];
+      default: return consts[idx];
+    }
+  };
   // One extra slot: the run chunk's call into main occupies the stack but
   // does not count against the interpreter's user-call depth limit.
   std::array<std::uint32_t, kMaxCallDepth + 1> ret_stack;
@@ -180,7 +209,7 @@ bool VmExec::Execute(std::uint32_t pc) {
         break;
       }
       case VmOp::kReadRef:
-        At(in.dst) = ReadRef(refs_[in.a]);
+        ReadRefInto(refs_[in.a], At(in.dst));
         break;
       case VmOp::kWriteRef:
         WriteRef(refs_[in.dst], Read(in.a));

@@ -28,6 +28,14 @@ class VmExec final : public ShaderEngine {
   // work at its own construction, so per-Run counts stay comparable).
   VmExec(std::shared_ptr<const VmProgram> program, AluModel& alu);
 
+  // Worker clone for the tiled fragment pipeline: shares the immutable
+  // program, copies the primed globals (constant initializers + uniforms
+  // already mirrored into `base`) and routes math through `alu` — typically
+  // a per-worker Fork() of the context's model, so op counts shard cleanly.
+  // The constant-initializer chunk is NOT re-run (its results arrive via the
+  // copied globals), so no ops are charged here.
+  VmExec(const VmExec& base, AluModel& alu);
+
   bool Run() override;
 
   [[nodiscard]] int GlobalSlot(const std::string& name) const override {

@@ -15,13 +15,24 @@ namespace mgpu::vc4 {
 
 class Vc4Alu final : public glsl::AluModel {
  public:
-  explicit Vc4Alu(const GpuProfile& profile) : profile_(profile) {}
+  explicit Vc4Alu(const GpuProfile& profile) : profile_(profile) {
+    // Round() is the identity exactly when the profile keeps full fp32
+    // mantissas and does not flush denormals (e.g. the IeeeExact profile).
+    SetRoundIdentity(!profile_.flush_denormals &&
+                     profile_.alu_mantissa_bits >= 23);
+  }
 
   float Exp2(float x) override;
   float Log2(float x) override;
   float Recip(float x) override;
   float RecipSqrt(float x) override;
   float Round(float x) override;
+
+  // Precision behaviour is pure (a deterministic function of the inputs and
+  // the profile), so a fork with fresh counters is exactly equivalent.
+  [[nodiscard]] std::unique_ptr<glsl::AluModel> Fork() const override {
+    return std::make_unique<Vc4Alu>(profile_);
+  }
 
   [[nodiscard]] const GpuProfile& profile() const { return profile_; }
 

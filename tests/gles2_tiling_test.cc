@@ -1,0 +1,367 @@
+// Tiled-pipeline invariants. The two-phase rasterizer (tile binning +
+// worker-pool shading) must be invisible: primitives spanning tile
+// boundaries shade exactly once per pixel, and an N-thread draw is
+// byte-identical to the 1-thread reference — framebuffer bytes AND
+// ALU/SFU/TMU operation counts — because tiles partition the framebuffer
+// and per-worker counter shards merge by summation.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gles2/context.h"
+#include "gles2/tiler.h"
+#include "gles2_test_util.h"
+#include "glsl/alu.h"
+#include "gtest/gtest.h"
+#include "vc4/alu.h"
+#include "vc4/profiles.h"
+
+namespace mgpu::gles2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TileBinner unit tests
+// ---------------------------------------------------------------------------
+
+TEST(TileBinnerTest, PartialEdgeTilesAreClampedToTarget) {
+  const TileBinner b(161, 131);  // 3x3 grid, right/top tiles partial
+  ASSERT_EQ(b.tiles_x(), 3);
+  ASSERT_EQ(b.tiles_y(), 3);
+  const TileBinner::Tile& last = b.tiles()[8];
+  EXPECT_EQ(last.rect.x0, 128);
+  EXPECT_EQ(last.rect.y0, 128);
+  EXPECT_EQ(last.rect.x1, 161);
+  EXPECT_EQ(last.rect.y1, 131);
+}
+
+TEST(TileBinnerTest, SpanningPrimitiveLandsInEveryTouchedBin) {
+  TileBinner b(200, 200);  // 4x4 grid
+  b.Bin(7, PixelRect{30, 30, 150, 90});  // spans tiles x 0..2, y 0..1
+  const auto work = b.NonEmptyTiles();
+  ASSERT_EQ(work.size(), 6u);
+  for (const std::uint32_t t : work) {
+    ASSERT_EQ(b.tiles()[t].prims.size(), 1u);
+    EXPECT_EQ(b.tiles()[t].prims[0], 7u);
+  }
+  // Row-major: tiles (0,0) (1,0) (2,0) (0,1) (1,1) (2,1).
+  EXPECT_EQ(work, (std::vector<std::uint32_t>{0, 1, 2, 4, 5, 6}));
+}
+
+TEST(TileBinnerTest, SubmissionOrderIsPreservedPerBin) {
+  TileBinner b(64, 64);
+  b.Bin(3, PixelRect{0, 0, 10, 10});
+  b.Bin(1, PixelRect{0, 0, 64, 64});
+  b.Bin(2, PixelRect{5, 5, 6, 6});
+  EXPECT_EQ(b.tiles()[0].prims, (std::vector<std::uint32_t>{3, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once coverage across tile boundaries (end-to-end)
+// ---------------------------------------------------------------------------
+
+constexpr int kW = 161;  // 3x3 tiles with partial right/top tiles
+constexpr int kH = 131;
+
+constexpr char kOneFs[] = R"(
+precision highp float;
+void main() { gl_FragColor = vec4(1.0 / 255.0); }
+)";
+
+void ExpectCoverageCounts(Context& ctx, int max_expected,
+                          const char* what) {
+  const std::vector<std::uint8_t> px = testutil::ReadRgba(ctx, kW, kH);
+  int covered = 0;
+  int bad = 0;
+  for (std::size_t i = 0; i < px.size(); i += 4) {
+    covered += px[i] != 0;
+    bad += px[i] > max_expected;
+  }
+  EXPECT_GT(covered, 0) << what;
+  EXPECT_EQ(bad, 0) << what << ": some pixel shaded more than "
+                    << max_expected << " time(s) (tile seam double-shade)";
+}
+
+TEST(TilingCoverageTest, QuadSpanningAllTilesShadesOncePerPixel) {
+  ContextConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  Context ctx(cfg);
+  const GLuint prog =
+      testutil::BuildProgramOrDie(ctx, testutil::kPassthroughVs, kOneFs);
+  ctx.Enable(GL_BLEND);
+  ctx.BlendFunc(GL_ONE, GL_ONE);  // framebuffer counts shade events
+  ctx.ClearColor(0, 0, 0, 0);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+  testutil::DrawFullscreenQuad(ctx, prog);
+  ASSERT_EQ(ctx.GetError(), static_cast<GLenum>(GL_NO_ERROR));
+  const std::vector<std::uint8_t> px = testutil::ReadRgba(ctx, kW, kH);
+  for (std::size_t i = 0; i < px.size(); i += 4) {
+    ASSERT_EQ(px[i], 1) << "pixel " << (i / 4) % kW << "," << (i / 4) / kW
+                        << " shaded " << int{px[i]} << " times";
+  }
+}
+
+TEST(TilingCoverageTest, SkewedTriangleAcrossTileSeams) {
+  ContextConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  Context ctx(cfg);
+  const GLuint prog =
+      testutil::BuildProgramOrDie(ctx, testutil::kPassthroughVs, kOneFs);
+  ctx.UseProgram(prog);
+  ctx.Enable(GL_BLEND);
+  ctx.BlendFunc(GL_ONE, GL_ONE);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+  // A thin, skewed triangle crossing both tile rows and all tile columns.
+  const float tri[6] = {-0.95f, -0.9f, 0.98f, -0.2f, -0.4f, 0.95f};
+  const GLint loc = ctx.GetAttribLocation(prog, "a_pos");
+  ASSERT_GE(loc, 0);
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+  ctx.VertexAttribPointer(static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE, 0,
+                          tri);
+  ctx.DrawArrays(GL_TRIANGLES, 0, 3);
+  ASSERT_EQ(ctx.GetError(), static_cast<GLenum>(GL_NO_ERROR));
+  ExpectCoverageCounts(ctx, 1, "skewed triangle");
+}
+
+TEST(TilingCoverageTest, LineCrossingTilesEmitsEachPixelOnce) {
+  ContextConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  Context ctx(cfg);
+  const GLuint prog =
+      testutil::BuildProgramOrDie(ctx, testutil::kPassthroughVs, kOneFs);
+  ctx.UseProgram(prog);
+  ctx.Enable(GL_BLEND);
+  ctx.BlendFunc(GL_ONE, GL_ONE);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+  const float seg[4] = {-0.97f, -0.93f, 0.91f, 0.88f};
+  const GLint loc = ctx.GetAttribLocation(prog, "a_pos");
+  ASSERT_GE(loc, 0);
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+  ctx.VertexAttribPointer(static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE, 0,
+                          seg);
+  ctx.DrawArrays(GL_LINES, 0, 2);
+  ASSERT_EQ(ctx.GetError(), static_cast<GLenum>(GL_NO_ERROR));
+  ExpectCoverageCounts(ctx, 1, "diagonal line");
+}
+
+// ---------------------------------------------------------------------------
+// N-thread vs 1-thread differential over a draw-scenario corpus
+// ---------------------------------------------------------------------------
+
+struct Scenario {
+  const char* name;
+  void (*run)(Context& ctx);
+};
+
+void ScenarioQuadMath(Context& ctx) {
+  const GLuint prog = testutil::BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      R"(
+precision highp float;
+varying vec2 v_uv;
+uniform float u_gain;
+void main() {
+  float w = fract(v_uv.x * 7.0 + sin(v_uv.y * 13.0));
+  float p = pow(v_uv.x + 0.5, 1.7) + exp(-v_uv.y);
+  gl_FragColor = vec4(w * u_gain, fract(p), v_uv.y, 1.0);
+}
+)");
+  ctx.UseProgram(prog);
+  ctx.Uniform1f(ctx.GetUniformLocation(prog, "u_gain"), 0.8f);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+  testutil::DrawFullscreenQuad(ctx, prog);
+}
+
+void ScenarioTextured(Context& ctx) {
+  // NPOT texture, repeat-wrapped scaled UVs: exercises both the sampler
+  // and the per-tile TMU-cache model (misses must sum identically).
+  GLuint tex = 0;
+  ctx.GenTextures(1, &tex);
+  ctx.BindTexture(GL_TEXTURE_2D, tex);
+  std::vector<std::uint8_t> img(37 * 29 * 4);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<std::uint8_t>((i * 37 + 11) & 0xff);
+  }
+  ctx.TexImage2D(GL_TEXTURE_2D, 0, GL_RGBA, 37, 29, 0, GL_RGBA,
+                 GL_UNSIGNED_BYTE, img.data());
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MIN_FILTER, GL_NEAREST);
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MAG_FILTER, GL_NEAREST);
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_WRAP_S, GL_CLAMP_TO_EDGE);
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_WRAP_T, GL_CLAMP_TO_EDGE);
+  const GLuint prog = testutil::BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      R"(
+precision highp float;
+varying vec2 v_uv;
+uniform sampler2D u_tex;
+void main() { gl_FragColor = texture2D(u_tex, v_uv * 0.9 + 0.05); }
+)");
+  ctx.UseProgram(prog);
+  ctx.Uniform1i(ctx.GetUniformLocation(prog, "u_tex"), 0);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+  testutil::DrawFullscreenQuad(ctx, prog);
+}
+
+void ScenarioDepthBlend(Context& ctx) {
+  const GLuint prog = testutil::BuildProgramOrDie(
+      ctx,
+      R"(
+attribute vec3 a_xyz;
+attribute vec4 a_rgba;
+varying vec4 v_rgba;
+void main() { v_rgba = a_rgba; gl_Position = vec4(a_xyz, 1.0); }
+)",
+      R"(
+precision highp float;
+varying vec4 v_rgba;
+void main() { gl_FragColor = v_rgba; }
+)");
+  ctx.UseProgram(prog);
+  ctx.Enable(GL_DEPTH_TEST);
+  ctx.Enable(GL_BLEND);
+  ctx.BlendFunc(GL_SRC_ALPHA, GL_ONE_MINUS_SRC_ALPHA);
+  ctx.Clear(GL_COLOR_BUFFER_BIT | GL_DEPTH_BUFFER_BIT);
+  // Two overlapping triangles at different depths; submission order matters
+  // in the overlap, so this catches any intra-tile reordering.
+  const float xyz[] = {
+      -0.9f, -0.9f, 0.2f, 0.9f, -0.9f, 0.2f, 0.0f, 0.9f, 0.2f,
+      -0.7f, -0.7f, 0.6f, 0.9f, 0.6f,  0.6f, -0.2f, 0.8f, 0.6f,
+  };
+  const float rgba[] = {
+      1, 0, 0, 0.8f, 1, 0, 0, 0.8f, 1, 0, 0, 0.8f,
+      0, 0, 1, 0.5f, 0, 0, 1, 0.5f, 0, 0, 1, 0.5f,
+  };
+  const GLint lx = ctx.GetAttribLocation(prog, "a_xyz");
+  const GLint lc = ctx.GetAttribLocation(prog, "a_rgba");
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(lx));
+  ctx.VertexAttribPointer(static_cast<GLuint>(lx), 3, GL_FLOAT, GL_FALSE, 0,
+                          xyz);
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(lc));
+  ctx.VertexAttribPointer(static_cast<GLuint>(lc), 4, GL_FLOAT, GL_FALSE, 0,
+                          rgba);
+  ctx.DrawArrays(GL_TRIANGLES, 0, 6);
+}
+
+void ScenarioDiscard(Context& ctx) {
+  const GLuint prog = testutil::BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      R"(
+precision highp float;
+varying vec2 v_uv;
+void main() {
+  if (mod(floor(v_uv.x * 23.0) + floor(v_uv.y * 17.0), 2.0) < 0.5) discard;
+  gl_FragColor = vec4(v_uv, 0.5, 1.0);
+}
+)");
+  ctx.UseProgram(prog);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+  testutil::DrawFullscreenQuad(ctx, prog);
+}
+
+void ScenarioPointsAndLines(Context& ctx) {
+  const GLuint prog = testutil::BuildProgramOrDie(
+      ctx,
+      R"(
+attribute vec2 a_pos;
+varying vec2 v_uv;
+void main() {
+  v_uv = a_pos * 0.5 + 0.5;
+  gl_Position = vec4(a_pos, 0.0, 1.0);
+  gl_PointSize = 9.0;
+}
+)",
+      R"(
+precision highp float;
+varying vec2 v_uv;
+void main() { gl_FragColor = vec4(v_uv, gl_PointCoord.x, 1.0); }
+)");
+  ctx.UseProgram(prog);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+  // Points near tile corners (9-px sprites straddle seams) + a line loop.
+  const float pts[] = {-0.8f, -0.8f, -0.21f, -0.02f, 0.02f, 0.02f,
+                       0.6f,  0.7f,  0.99f,  0.99f,  -0.99f, 0.99f};
+  const GLint loc = ctx.GetAttribLocation(prog, "a_pos");
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+  ctx.VertexAttribPointer(static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE, 0,
+                          pts);
+  ctx.DrawArrays(GL_POINTS, 0, 6);
+  ctx.DrawArrays(GL_LINE_LOOP, 0, 6);
+}
+
+constexpr Scenario kScenarios[] = {
+    {"quad_math", ScenarioQuadMath},
+    {"textured", ScenarioTextured},
+    {"depth_blend", ScenarioDepthBlend},
+    {"discard", ScenarioDiscard},
+    {"points_and_lines", ScenarioPointsAndLines},
+};
+
+struct RunResult {
+  std::vector<std::uint8_t> px;
+  glsl::OpCounts counts;
+};
+
+RunResult RunScenario(const Scenario& sc, int threads) {
+  // The VC4 ALU model exercises Fork() of the precision-perturbing model,
+  // not just the exact one.
+  vc4::Vc4Alu alu(vc4::VideoCoreIV());
+  ContextConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.shader_threads = threads;
+  Context ctx(cfg, &alu);
+  alu.ResetCounts();
+  sc.run(ctx);
+  EXPECT_EQ(ctx.GetError(), static_cast<GLenum>(GL_NO_ERROR))
+      << sc.name << " threads=" << threads
+      << " draw error: " << ctx.last_draw_error();
+  RunResult r;
+  r.counts = alu.counts();
+  r.px = testutil::ReadRgba(ctx, kW, kH);
+  return r;
+}
+
+TEST(ThreadDifferentialTest, NThreadMatchesSerialReferenceExactly) {
+  for (const Scenario& sc : kScenarios) {
+    const RunResult ref = RunScenario(sc, 1);
+    for (const int threads : {2, 4, 0 /* hardware_concurrency */}) {
+      const RunResult got = RunScenario(sc, threads);
+      EXPECT_EQ(got.px, ref.px)
+          << sc.name << ": framebuffer differs at threads=" << threads;
+      EXPECT_EQ(got.counts.alu, ref.counts.alu) << sc.name << " t=" << threads;
+      EXPECT_EQ(got.counts.sfu, ref.counts.sfu) << sc.name << " t=" << threads;
+      EXPECT_EQ(got.counts.sfu_trans, ref.counts.sfu_trans)
+          << sc.name << " t=" << threads;
+      EXPECT_EQ(got.counts.tmu, ref.counts.tmu) << sc.name << " t=" << threads;
+      EXPECT_EQ(got.counts.tmu_miss, ref.counts.tmu_miss)
+          << sc.name << " t=" << threads;
+    }
+    // Work was actually performed.
+    EXPECT_GT(ref.counts.alu, 0u) << sc.name;
+  }
+}
+
+// The tree-walking oracle cannot be cloned per worker; a multithreaded
+// request must fall back to the serial path and still match the VM.
+TEST(ThreadDifferentialTest, TreeWalkOracleMatchesParallelVm) {
+  const Scenario& sc = kScenarios[0];
+  const RunResult vm = RunScenario(sc, 4);
+  vc4::Vc4Alu alu(vc4::VideoCoreIV());
+  ContextConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.shader_threads = 4;
+  cfg.exec_engine = ExecEngine::kTreeWalk;
+  Context ctx(cfg, &alu);
+  alu.ResetCounts();
+  sc.run(ctx);
+  const std::vector<std::uint8_t> px = testutil::ReadRgba(ctx, kW, kH);
+  EXPECT_EQ(px, vm.px);
+  EXPECT_EQ(alu.counts().alu, vm.counts.alu);
+  EXPECT_EQ(alu.counts().tmu_miss, vm.counts.tmu_miss);
+}
+
+}  // namespace
+}  // namespace mgpu::gles2
