@@ -10,8 +10,14 @@
 // hardware_concurrency shading workers), and emits
 // BENCH_fig1_pipeline.json and BENCH_threads_scaling.json for the perf
 // trajectory.
+// Usage: bench_fig1_pipeline [--quick]
+//   --quick: CI smoke size — truncated sweep and a 1/2-thread-only scaling
+//   pass. Metric names match the full run, but values are size-dependent:
+//   gate a run only against a baseline recorded at the same size (CI and
+//   ci/bench_baseline.json both use --quick).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -41,16 +47,21 @@ struct SweepResult {
 // shading, readback, validation — identically for both engines (console
 // output happens outside), so the reported speedup is end-to-end wall
 // clock, a conservative lower bound on the pure shader-execution speedup.
-SweepResult RunSweep(gles2::ExecEngine engine, int shader_threads = 1) {
+SweepResult RunSweep(gles2::ExecEngine engine, int shader_threads = 1,
+                     bool quick = false) {
   compute::DeviceOptions o;
   o.profile = vc4::IeeeExact();
   o.exec_engine = engine;
   o.shader_threads = shader_threads;
   compute::Device d(o);
 
+  static const std::vector<int> kFullSizes = {1,     2,     16,    100,
+                                              4096,  10000, 65536, 250000};
+  static const std::vector<int> kQuickSizes = {1, 2, 16, 100, 4096, 10000, 65536};
+
   SweepResult result;
   const auto t0 = std::chrono::steady_clock::now();
-  for (const int n : {1, 2, 16, 100, 4096, 10000, 65536, 250000}) {
+  for (const int n : quick ? kQuickSizes : kFullSizes) {
     compute::PackedBuffer out(d, compute::ElemType::kI32,
                               static_cast<std::size_t>(n));
     compute::Kernel k(d, {.name = "self_index",
@@ -84,11 +95,32 @@ SweepResult RunSweep(gles2::ExecEngine engine, int shader_threads = 1) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== Paper Fig. 1: one fragment per output element ===\n\n");
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  std::printf("=== Paper Fig. 1: one fragment per output element%s ===\n\n",
+              quick ? " (quick)" : "");
 
-  const SweepResult vm = RunSweep(gles2::ExecEngine::kBytecodeVm);
-  const SweepResult tree = RunSweep(gles2::ExecEngine::kTreeWalk);
+  // In quick (CI-gated) mode the sweeps are short enough that scheduler
+  // noise dwarfs the gate thresholds; take the min of 3 runs. The full run
+  // keeps single-pass timings, comparable with the recorded history.
+  const int reps = quick ? 3 : 1;
+  auto best_sweep = [&](gles2::ExecEngine engine, int threads) {
+    SweepResult best = RunSweep(engine, threads, quick);
+    bool all_ok = best.ok;
+    for (int r = 1; r < reps; ++r) {
+      SweepResult again = RunSweep(engine, threads, quick);
+      all_ok = all_ok && again.ok;
+      if (again.seconds < best.seconds) best = again;
+    }
+    best.ok = all_ok;
+    return best;
+  };
+
+  const SweepResult vm = best_sweep(gles2::ExecEngine::kBytecodeVm, 1);
+  const SweepResult tree = best_sweep(gles2::ExecEngine::kTreeWalk, 1);
 
   std::printf("%10s %10s %12s %14s\n", "elements", "fragments", "1:1?",
               "addressing");
@@ -134,12 +166,16 @@ int main() {
   scaling.Add("pr1_vm_baseline", kPr1VmBaseline, "s");
   bool scaling_ok = true;
   double t1 = 0.0;
-  std::vector<int> thread_counts{1, 2, 4};
-  // hw may be 0 (unknown, per the standard) — only a real count beyond the
-  // fixed sweep adds a datapoint.
-  if (hw > 4) thread_counts.push_back(hw);
+  std::vector<int> thread_counts{1, 2};
+  if (!quick) {
+    thread_counts.push_back(4);
+    // hw may be 0 (unknown, per the standard) — only a real count beyond
+    // the fixed sweep adds a datapoint.
+    if (hw > 4) thread_counts.push_back(hw);
+  }
   for (const int threads : thread_counts) {
-    const SweepResult r = RunSweep(gles2::ExecEngine::kBytecodeVm, threads);
+    const SweepResult r =
+        RunSweep(gles2::ExecEngine::kBytecodeVm, threads, quick);
     scaling_ok = scaling_ok && r.ok;
     if (threads == 1) t1 = r.seconds;
     std::printf("  %2d thread(s): %8.3f s  (%.2fx vs 1-thread, %.2fx vs "

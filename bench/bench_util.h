@@ -41,8 +41,11 @@ class JsonBenchWriter {
     std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"metrics\": [\n",
                  benchmark_.c_str());
     for (std::size_t i = 0; i < rows_.size(); ++i) {
+      // %.17g round-trips any double exactly — the CI gate compares
+      // deterministic metrics (op counts, 32-bit framebuffer hashes)
+      // bit-exactly, so the serialization must not round them.
       std::fprintf(f,
-                   "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %.9g}%s\n",
+                   "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %.17g}%s\n",
                    rows_[i].name.c_str(), rows_[i].unit.c_str(),
                    rows_[i].value, i + 1 < rows_.size() ? "," : "");
     }

@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(int threads) {
   const int n = std::max(1, threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
+    workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
@@ -25,7 +25,20 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::WorkerLoop(int index) {
+// Claims the next task of job `epoch`. Returns false when the job's tasks
+// are exhausted or a newer job owns the counter (a worker woken late by a
+// leftover notify must not steal the new job's tasks while still holding
+// the old job's body pointer). The lock is per *task claim*, not per work
+// item — callers distribute fine-grained work through their own atomic
+// inside the body — so contention is bounded by the task count.
+bool ThreadPool::Claim(std::uint64_t epoch, int* task) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (epoch_ != epoch || next_task_ >= n_tasks_) return false;
+  *task = next_task_++;
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* body = nullptr;
@@ -36,25 +49,46 @@ void ThreadPool::WorkerLoop(int index) {
       seen = epoch_;
       body = body_;
     }
-    (*body)(index);
-    {
+    // Job completion is tracked by completed-task count, not by which
+    // workers participated, so over-waking (stale notifies, spurious
+    // wakeups) and under-waking (a woken worker draining several tasks
+    // before another wakes) are both harmless.
+    int completed = 0;
+    for (int task = 0; Claim(seen, &task);) {
+      (*body)(task);
+      ++completed;
+    }
+    if (completed > 0) {
       const std::lock_guard<std::mutex> lk(mu_);
-      if (--running_ == 0) done_cv_.notify_all();
+      pending_ -= completed;
+      if (pending_ == 0) done_cv_.notify_all();
     }
   }
 }
 
-void ThreadPool::RunOnAll(const std::function<void(int)>& body) {
+void ThreadPool::RunOn(int n_tasks, const std::function<void(int)>& body) {
+  if (n_tasks <= 0) return;
   {
     const std::lock_guard<std::mutex> lk(mu_);
     body_ = &body;
-    running_ = size();
+    n_tasks_ = n_tasks;
+    pending_ = n_tasks;
+    next_task_ = 0;
     ++epoch_;
   }
-  start_cv_.notify_all();
+  // Partial dispatch: wake exactly as many workers as there are tasks.
+  // Workers not yet back on the condition variable from the previous job
+  // re-check the epoch before parking, so a notify that lands on no waiter
+  // is never lost — at least min(n_tasks, size()) workers end up claiming.
+  const int wake = std::min(n_tasks, size());
+  if (wake >= size()) {
+    start_cv_.notify_all();
+  } else {
+    for (int i = 0; i < wake; ++i) start_cv_.notify_one();
+  }
   {
     std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] { return running_ == 0; });
+    done_cv_.wait(lk, [&] { return pending_ == 0; });
     body_ = nullptr;
   }
 }

@@ -3,7 +3,9 @@
 // do) but deliberately generic so other layers (e.g. compute readback /
 // packing) can reuse it. Workers are created once and parked on a condition
 // variable between jobs, so per-draw dispatch cost is a wake + a join, not
-// thread creation.
+// thread creation — and a job with fewer tasks than workers wakes only as
+// many workers as it has tasks (partial dispatch), so a draw covering two
+// tiles does not pay for waking a 16-thread pool.
 #ifndef MGPU_COMMON_THREADPOOL_H_
 #define MGPU_COMMON_THREADPOOL_H_
 
@@ -23,7 +25,7 @@ namespace mgpu::common {
 class ThreadPool {
  public:
   // Spawns `threads` workers (clamped to at least 1). Workers idle until
-  // RunOnAll / ParallelFor is called.
+  // RunOn / RunOnAll is called.
   explicit ThreadPool(int threads);
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -31,22 +33,33 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
-  // Runs body(worker_index) once on every worker concurrently and returns
-  // when all have finished. `body` must not throw (catch inside). Callers
-  // that want work distribution pull items from their own shared atomic
-  // counter inside `body` (see gles2::Context::DrawGeneric).
-  void RunOnAll(const std::function<void(int worker)>& body);
+  // Runs body(task) exactly once for each task in [0, n_tasks), concurrently
+  // on the pool's workers, and returns when all tasks have finished. Only
+  // min(n_tasks, size()) workers are woken; the rest stay parked. Tasks are
+  // claimed from a shared counter, so two tasks may execute sequentially on
+  // the same worker thread when a woken worker outruns a still-waking one —
+  // callers get distinct task indices, not distinct OS threads. `body` must
+  // not throw (catch inside). Callers that want finer-grained work
+  // distribution pull items from their own shared atomic counter inside
+  // `body` (see gles2::Context::DrawGeneric).
+  void RunOn(int n_tasks, const std::function<void(int task)>& body);
+
+  // Runs body(task) once per worker-sized task set: RunOn(size(), body).
+  void RunOnAll(const std::function<void(int)>& body) { RunOn(size(), body); }
 
  private:
-  void WorkerLoop(int index);
+  void WorkerLoop();
+  bool Claim(std::uint64_t epoch, int* task);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
   const std::function<void(int)>* body_ = nullptr;  // valid while a job runs
-  std::uint64_t epoch_ = 0;  // bumped per job; workers run once per epoch
-  int running_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped per job; workers join once per epoch
+  int n_tasks_ = 0;          // task count of the current job
+  int next_task_ = 0;        // next unclaimed task of the current job
+  int pending_ = 0;          // tasks not yet completed in the current job
   bool stop_ = false;
 };
 

@@ -16,6 +16,26 @@ namespace mgpu::gles2 {
 using glsl::BaseType;
 using glsl::Value;
 
+ShadeStateCache::Entry* ShadeStateCache::Find(GLuint program, int threads) {
+  const auto it = entries_.find({program, threads});
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+ShadeStateCache::Entry& ShadeStateCache::Insert(GLuint program, int threads) {
+  return entries_[{program, threads}];
+}
+
+void ShadeStateCache::InvalidateProgram(GLuint program) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = it->first.first == program ? entries_.erase(it) : std::next(it);
+  }
+}
+
 Context::Context(const ContextConfig& config, glsl::AluModel* alu)
     : config_(config), alu_(alu != nullptr ? alu : &default_alu_) {
   attribs_.resize(static_cast<std::size_t>(config_.limits.max_vertex_attribs));
@@ -351,6 +371,9 @@ void Context::LinkProgram(GLuint program) {
     SetError(GL_INVALID_VALUE);
     return;
   }
+  // Cached worker clones pin the program's old bytecode and globals; a
+  // relink (successful or not) makes them stale.
+  shade_cache_.InvalidateProgram(program);
   gles2::LinkProgram(*p, shaders_, *alu_, config_.limits);
 }
 
@@ -404,6 +427,7 @@ void Context::UseProgram(GLuint program) {
 
 void Context::DeleteProgram(GLuint program) {
   if (current_program_ == program) current_program_ = 0;
+  shade_cache_.InvalidateProgram(program);
   programs_.erase(program);
 }
 
@@ -1323,7 +1347,13 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   const bool use_vm = config_.exec_engine == ExecEngine::kBytecodeVm;
 
   // --- vertex stage ---
-  std::vector<RasterVertex> verts(static_cast<std::size_t>(count));
+  // Post-transform vertices live in context-owned scratch: resize keeps the
+  // outer capacity and surviving elements' varying-vector capacity, so a
+  // steady-state draw loop allocates nothing here. Fields a program leaves
+  // unwritten are reset below to the RasterVertex defaults a fresh vector
+  // would have carried.
+  std::vector<RasterVertex>& verts = scratch_verts_;
+  verts.resize(static_cast<std::size_t>(count));
   glsl::ShaderEngine& vexec =
       use_vm ? static_cast<glsl::ShaderEngine&>(*prog->vvm) : *prog->vexec;
   try {
@@ -1344,6 +1374,8 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
       }
       vexec.Run();
       RasterVertex& out = verts[static_cast<std::size_t>(i)];
+      out.clip = {0.0f, 0.0f, 0.0f, 1.0f};
+      out.point_size = 1.0f;
       if (prog->vs_position_slot >= 0) {
         const Value& pos = vexec.GlobalAt(prog->vs_position_slot);
         out.clip = {pos.F(0), pos.F(1), pos.F(2), pos.F(3)};
@@ -1380,7 +1412,8 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   rs.cull_face = cull_face_;
   rs.front_face = front_face_;
 
-  std::vector<TilePrim> prims;
+  std::vector<TilePrim>& prims = scratch_prims_;
+  prims.clear();
   auto tri = [&](GLsizei a, GLsizei b, GLsizei c) {
     prims.push_back({TilePrim::Kind::kTriangle, static_cast<std::uint32_t>(a),
                      static_cast<std::uint32_t>(b),
@@ -1424,7 +1457,7 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
       break;
   }
 
-  TileBinner binner(rt.width, rt.height);
+  binner_.BeginDraw(rt.width, rt.height);
   for (std::size_t pi = 0; pi < prims.size(); ++pi) {
     const TilePrim& p = prims[pi];
     PixelRect r;
@@ -1441,28 +1474,30 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
         // quadratically many untouched tiles for diagonals).
         LineTouchedTiles(verts[p.v0], verts[p.v1], rs, kTileSize,
                          [&](int tx, int ty) {
-                           binner.BinTile(static_cast<std::uint32_t>(pi), tx,
-                                          ty);
+                           binner_.BinTile(static_cast<std::uint32_t>(pi), tx,
+                                           ty);
                          });
         break;
     }
-    if (live) binner.Bin(static_cast<std::uint32_t>(pi), r);
+    if (live) binner_.Bin(static_cast<std::uint32_t>(pi), r);
   }
-  const std::vector<std::uint32_t> work = binner.NonEmptyTiles();
+  binner_.NonEmptyTiles(&scratch_work_);
+  const std::vector<std::uint32_t>& work = scratch_work_;
   if (work.empty()) return;
 
   // Phase 2 shading: each worker owns a private engine, ALU-counter shard
   // and TMU-cache model; tiles partition the framebuffer, so pixel writes
   // are lock-free and results are byte-identical for any worker count
-  // (counter shards merge by summation at join).
+  // (counter shards merge by summation at join). A ShadeSlot is a per-draw
+  // *view*: the state it points at lives either on the program (serial
+  // path) or in the shade-state cache (parallel path), never on this stack
+  // frame.
   struct ShadeSlot {
     glsl::ShaderEngine* engine = nullptr;
     glsl::AluModel* alu = nullptr;
     TmuCacheModel* cache = nullptr;
     std::string error;
-    std::unique_ptr<glsl::VmExec> owned_engine;
-    std::unique_ptr<glsl::AluModel> owned_alu;
-    std::unique_ptr<TmuCacheModel> owned_cache;
+    bool cached = false;  // texture fn already installed at cache build
   };
 
   // <= 0 selects one worker per hardware thread; a hard cap keeps a bogus
@@ -1477,18 +1512,56 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   std::vector<ShadeSlot> slots;
   if (workers > 1 && use_vm) {
     // Parallel shading needs per-worker engine clones (bytecode VM only)
-    // and per-worker counter shards (forkable AluModel only).
-    std::unique_ptr<glsl::AluModel> first = alu_->Fork();
-    if (first != nullptr) {
+    // and per-worker counter shards (forkable AluModel only). Both are
+    // expensive to build, so they are cached on the context keyed by
+    // (program, configured thread count) and only *refreshed* per draw:
+    // globals re-synced from the program's engine (fresh uniforms), counter
+    // shards zeroed. Entries grow lazily to the largest `workers` any draw
+    // has needed (never past `threads`), so a 2-tile first draw on a big
+    // pool builds 2 slots, not `threads` — and a freshly built slot is
+    // already current (the clone copies today's globals), so only
+    // pre-existing slots pay the re-sync.
+    auto build_worker = [&](std::unique_ptr<glsl::AluModel> shard) {
+      ShadeStateCache::WorkerState w;
+      w.alu = std::move(shard);
+      w.engine = std::make_unique<glsl::VmExec>(*prog->fvm, *w.alu);
+      w.tmu = std::make_unique<TmuCacheModel>();
+      w.engine->SetTextureFn(MakeTextureFn(w.tmu.get(), w.alu.get()));
+      return w;
+    };
+    ShadeStateCache::Entry* entry =
+        shade_cache_.Find(current_program_, threads);
+    if (entry != nullptr) {
+      const int have = std::min(workers, static_cast<int>(entry->workers.size()));
+      for (int i = 0; i < have; ++i) {
+        ShadeStateCache::WorkerState& w =
+            entry->workers[static_cast<std::size_t>(i)];
+        w.engine->SyncGlobalsFrom(*prog->fvm);
+        w.alu->ResetCounts();
+      }
+    } else {
+      // A miss is only usable when the ALU model forks; probe with the
+      // first shard so non-forkable models never create an entry.
+      std::unique_ptr<glsl::AluModel> first = alu_->Fork();
+      if (first != nullptr) {
+        entry = &shade_cache_.Insert(current_program_, threads);
+        entry->workers.reserve(static_cast<std::size_t>(workers));
+        entry->workers.push_back(build_worker(std::move(first)));
+      }
+    }
+    if (entry != nullptr) {
+      while (static_cast<int>(entry->workers.size()) < workers) {
+        entry->workers.push_back(build_worker(alu_->Fork()));
+      }
       slots.reserve(static_cast<std::size_t>(workers));
       for (int i = 0; i < workers; ++i) {
+        const ShadeStateCache::WorkerState& w =
+            entry->workers[static_cast<std::size_t>(i)];
         ShadeSlot s;
-        s.owned_alu = i == 0 ? std::move(first) : alu_->Fork();
-        s.alu = s.owned_alu.get();
-        s.owned_engine = std::make_unique<glsl::VmExec>(*prog->fvm, *s.alu);
-        s.engine = s.owned_engine.get();
-        s.owned_cache = std::make_unique<TmuCacheModel>();
-        s.cache = s.owned_cache.get();
+        s.engine = w.engine.get();
+        s.alu = w.alu.get();
+        s.cache = w.tmu.get();
+        s.cached = true;
         slots.push_back(std::move(s));
       }
     }
@@ -1510,7 +1583,9 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   std::vector<FragmentSink> sinks;
   sinks.reserve(slots.size());
   for (ShadeSlot& slot : slots) {
-    slot.engine->SetTextureFn(MakeTextureFn(slot.cache, slot.alu));
+    if (!slot.cached) {
+      slot.engine->SetTextureFn(MakeTextureFn(slot.cache, slot.alu));
+    }
     // Cache the engine's per-fragment input/output slots once per draw:
     // global storage is stable across Run() calls, and resolving through
     // the virtual GlobalAt per fragment is measurable on tiny kernels.
@@ -1578,8 +1653,7 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   auto shade_tile = [&](std::uint32_t tile_index, int slot_index) {
     ShadeSlot& slot = slots[static_cast<std::size_t>(slot_index)];
     const FragmentSink& sink = sinks[static_cast<std::size_t>(slot_index)];
-    const TileBinner::Tile& tile =
-        binner.tiles()[static_cast<std::size_t>(tile_index)];
+    const TileBinner::Tile& tile = binner_.tile(tile_index);
     slot.cache->Reset();
     RasterState tile_rs = rs;
     tile_rs.clip_x0 = tile.rect.x0;
@@ -1608,16 +1682,15 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   } else {
     // The pool is sized by the configured thread count, not by this draw's
     // slot count, so alternating draws with different tile counts reuse the
-    // parked workers instead of respawning threads every draw. Workers
-    // beyond the slot count simply sit this draw out.
+    // parked workers instead of respawning threads every draw. Partial
+    // dispatch: only one pool task per shading slot is issued, so a draw
+    // covering two tiles wakes two workers, not the whole pool.
     if (pool_ == nullptr || pool_->size() != threads) {
       pool_ = std::make_unique<common::ThreadPool>(threads);
     }
-    const int slot_count = static_cast<int>(slots.size());
     const int tile_count = static_cast<int>(work.size());
     std::atomic<int> next_tile{0};
-    pool_->RunOnAll([&](int worker) {
-      if (worker >= slot_count) return;  // no slot: sit this draw out
+    pool_->RunOn(static_cast<int>(slots.size()), [&](int slot_index) {
       // An exception escaping a pool worker would std::terminate; record it
       // like a shader runtime error instead (the serial path, running on
       // the caller's thread, still propagates normally).
@@ -1625,10 +1698,10 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
         for (int item = next_tile.fetch_add(1, std::memory_order_relaxed);
              item < tile_count;
              item = next_tile.fetch_add(1, std::memory_order_relaxed)) {
-          shade_tile(work[static_cast<std::size_t>(item)], worker);
+          shade_tile(work[static_cast<std::size_t>(item)], slot_index);
         }
       } catch (const std::exception& e) {
-        slots[static_cast<std::size_t>(worker)].error = e.what();
+        slots[static_cast<std::size_t>(slot_index)].error = e.what();
         failed.store(true, std::memory_order_relaxed);
       }
     });

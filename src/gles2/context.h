@@ -18,6 +18,7 @@
 #include "gles2/enums.h"
 #include "gles2/objects.h"
 #include "gles2/texture.h"
+#include "gles2/tiler.h"
 #include "glsl/alu.h"
 #include "glsl/shader.h"
 
@@ -97,6 +98,50 @@ struct TmuCacheModel {
     rr[set] = static_cast<std::uint8_t>((victim + 1) % kWays);
     return true;
   }
+};
+
+// Caches the per-worker shading state of the tiled fragment pipeline so a
+// draw's setup cost is amortized across draws instead of paid per draw.
+// Building a worker slot is expensive — a VmExec clone (full global-store
+// copy with allocation), an AluModel fork, a TMU-cache model — and none of
+// it depends on anything but the program and the worker count. Entries are
+// keyed by (program id, configured thread count); per draw only the
+// uniforms/globals are re-synced into the used slots and the counter shards
+// reset, which allocates nothing. Invalidation: relinking or deleting a
+// program drops its entries (the cached clones pin the old bytecode);
+// switching ExecEngine or shader_threads drops everything. Size is bounded
+// by the number of live programs times the worker counts a draw actually
+// used — per-entry slot lists grow lazily to the largest draw seen, and an
+// application churning programs reclaims entries through DeleteProgram.
+class ShadeStateCache {
+ public:
+  // One shading worker's private state: engine clone, ALU counter shard,
+  // TMU-cache model. Pointees are stable for the life of the entry (the
+  // engine's texture callback captures the shard and cache by address).
+  struct WorkerState {
+    std::unique_ptr<glsl::VmExec> engine;
+    std::unique_ptr<glsl::AluModel> alu;
+    std::unique_ptr<TmuCacheModel> tmu;
+  };
+  struct Entry {
+    std::vector<WorkerState> workers;
+  };
+
+  // Returns the entry for (program, threads), or nullptr on a miss. Hit /
+  // miss tallies feed the cache-behaviour tests.
+  [[nodiscard]] Entry* Find(GLuint program, int threads);
+  Entry& Insert(GLuint program, int threads);
+  void InvalidateProgram(GLuint program);
+  void Clear() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::map<std::pair<GLuint, int>, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 class Context {
@@ -221,13 +266,26 @@ class Context {
   [[nodiscard]] glsl::AluModel& alu() { return *alu_; }
   [[nodiscard]] const ContextConfig& config() const { return config_; }
   // Execution-engine switch (applies to subsequent draws; programs carry
-  // both engines, compiled at link time).
+  // both engines, compiled at link time). Drops all cached shading state:
+  // cached worker slots embed engine-specific clones.
   [[nodiscard]] ExecEngine exec_engine() const { return config_.exec_engine; }
-  void SetExecEngine(ExecEngine engine) { config_.exec_engine = engine; }
+  void SetExecEngine(ExecEngine engine) {
+    config_.exec_engine = engine;
+    shade_cache_.Clear();
+  }
   // Fragment-shading worker count (applies to subsequent draws; see
-  // ContextConfig::shader_threads for the semantics).
+  // ContextConfig::shader_threads for the semantics). Drops all cached
+  // shading state: entries are sized to the configured count.
   [[nodiscard]] int shader_threads() const { return config_.shader_threads; }
-  void SetShaderThreads(int n) { config_.shader_threads = n; }
+  void SetShaderThreads(int n) {
+    config_.shader_threads = n;
+    shade_cache_.Clear();
+  }
+  // Cache of per-worker shading state, exposed for the cache-behaviour and
+  // invalidation tests.
+  [[nodiscard]] const ShadeStateCache& shade_state_cache() const {
+    return shade_cache_;
+  }
   // Last shader runtime failure during a draw ("" when none): loop budget
   // exceeded etc.; a real GPU would hang or reset.
   [[nodiscard]] const std::string& last_draw_error() const {
@@ -300,6 +358,16 @@ class Context {
   // draw-local) so the texture callback installed on the long-lived
   // program engines never refers into a finished draw's stack frame.
   TmuCacheModel serial_tmu_cache_;
+  // Cached per-worker shading state (parallel VM draws); see ShadeStateCache.
+  ShadeStateCache shade_cache_;
+  // Draw-loop scratch, context-owned so steady-state draws recycle the
+  // allocations: the sparse tile binner, the post-transform vertex array
+  // (inner varying vectors keep their capacity too), the assembled
+  // primitive list, and the non-empty-tile work list.
+  TileBinner binner_;
+  std::vector<RasterVertex> scratch_verts_;
+  std::vector<TilePrim> scratch_prims_;
+  std::vector<std::uint32_t> scratch_work_;
 
   GLuint current_program_ = 0;
   GLuint array_buffer_ = 0;

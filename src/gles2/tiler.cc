@@ -1,52 +1,129 @@
 #include "gles2/tiler.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace mgpu::gles2 {
 
-TileBinner::TileBinner(int target_w, int target_h) {
+namespace {
+
+// Fibonacci hashing spreads consecutive row-major tile indices (the common
+// case: a bounding box walks them in order) across the table.
+inline std::size_t HashTile(std::uint32_t tile_index, std::size_t mask) {
+  return static_cast<std::size_t>(
+             (static_cast<std::uint64_t>(tile_index) * 0x9E3779B97F4A7C15ull) >>
+             32) &
+         mask;
+}
+
+}  // namespace
+
+void TileBinner::BeginDraw(int target_w, int target_h) {
+  target_w_ = target_w;
+  target_h_ = target_h;
   tiles_x_ = std::max(0, (target_w + kTileSize - 1) / kTileSize);
   tiles_y_ = std::max(0, (target_h + kTileSize - 1) / kTileSize);
-  tiles_.resize(static_cast<std::size_t>(tiles_x_) * tiles_y_);
-  for (int ty = 0; ty < tiles_y_; ++ty) {
-    for (int tx = 0; tx < tiles_x_; ++tx) {
-      Tile& t = tiles_[static_cast<std::size_t>(ty) * tiles_x_ + tx];
+  used_ = 0;
+  // Invalidate every table entry by moving to a fresh stamp; the slots and
+  // the table keep their storage (slot prims are cleared on reuse in
+  // SlotFor, which preserves their capacity too).
+  ++stamp_;
+}
+
+TileBinner::Tile& TileBinner::SlotFor(int tx, int ty) {
+  const std::uint32_t tile_index =
+      static_cast<std::uint32_t>(ty) * static_cast<std::uint32_t>(tiles_x_) +
+      static_cast<std::uint32_t>(tx);
+  // Grow at 50% load so probe chains stay short. Doubling on a high-water
+  // mark means a steady-state draw loop stops growing after its first lap.
+  if (table_.empty() || (used_ + 1) * 2 > table_.size()) {
+    Rehash(std::max<std::size_t>(16, (used_ + 1) * 4));
+  }
+  const std::size_t mask = table_.size() - 1;
+  std::size_t at = HashTile(tile_index, mask);
+  for (;;) {
+    TableEntry& e = table_[at];
+    if (e.stamp != stamp_) {
+      // Free (or stale from an earlier draw): claim it and a slot.
+      e.tile_index = tile_index;
+      e.stamp = stamp_;
+      e.slot = static_cast<std::uint32_t>(used_);
+      if (used_ == slots_.size()) {
+        slots_.emplace_back();
+      }
+      Tile& t = slots_[used_++];
+      t.prims.clear();  // keeps capacity from previous draws
       t.rect.x0 = tx * kTileSize;
       t.rect.y0 = ty * kTileSize;
-      t.rect.x1 = std::min(t.rect.x0 + kTileSize, target_w);
-      t.rect.y1 = std::min(t.rect.y0 + kTileSize, target_h);
+      t.rect.x1 = std::min(t.rect.x0 + kTileSize, target_w_);
+      t.rect.y1 = std::min(t.rect.y0 + kTileSize, target_h_);
+      return t;
     }
+    if (e.tile_index == tile_index) return slots_[e.slot];
+    at = (at + 1) & mask;
+  }
+}
+
+void TileBinner::Rehash(std::size_t min_entries) {
+  std::size_t n = 16;
+  while (n < min_entries) n *= 2;
+  std::vector<TableEntry> old = std::move(table_);
+  table_.assign(n, TableEntry{});
+  const std::size_t mask = n - 1;
+  for (const TableEntry& e : old) {
+    if (e.stamp != stamp_) continue;
+    std::size_t at = HashTile(e.tile_index, mask);
+    while (table_[at].stamp == stamp_) at = (at + 1) & mask;
+    table_[at] = e;
   }
 }
 
 void TileBinner::Bin(std::uint32_t prim_index, const PixelRect& bounds) {
-  if (bounds.Empty() || tiles_.empty()) return;
+  if (bounds.Empty() || tiles_x_ <= 0 || tiles_y_ <= 0) return;
   const int tx0 = std::clamp(bounds.x0 / kTileSize, 0, tiles_x_ - 1);
   const int ty0 = std::clamp(bounds.y0 / kTileSize, 0, tiles_y_ - 1);
   const int tx1 = std::clamp((bounds.x1 - 1) / kTileSize, 0, tiles_x_ - 1);
   const int ty1 = std::clamp((bounds.y1 - 1) / kTileSize, 0, tiles_y_ - 1);
   for (int ty = ty0; ty <= ty1; ++ty) {
     for (int tx = tx0; tx <= tx1; ++tx) {
-      tiles_[static_cast<std::size_t>(ty) * tiles_x_ + tx].prims.push_back(
-          prim_index);
+      SlotFor(tx, ty).prims.push_back(prim_index);
     }
   }
 }
 
 void TileBinner::BinTile(std::uint32_t prim_index, int tx, int ty) {
   if (tx < 0 || ty < 0 || tx >= tiles_x_ || ty >= tiles_y_) return;
-  tiles_[static_cast<std::size_t>(ty) * tiles_x_ + tx].prims.push_back(
-      prim_index);
+  SlotFor(tx, ty).prims.push_back(prim_index);
 }
 
-std::vector<std::uint32_t> TileBinner::NonEmptyTiles() const {
-  std::vector<std::uint32_t> out;
-  for (std::size_t i = 0; i < tiles_.size(); ++i) {
-    if (!tiles_[i].prims.empty()) {
-      out.push_back(static_cast<std::uint32_t>(i));
+const TileBinner::Tile& TileBinner::tile(std::uint32_t index) const {
+  if (!table_.empty()) {
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t at = HashTile(index, mask);
+         table_[at].stamp == stamp_; at = (at + 1) & mask) {
+      if (table_[at].tile_index == index) return slots_[table_[at].slot];
     }
   }
-  return out;
+  // Contract violation (an index not binned this draw): an empty tile is
+  // the harmless answer — its rect rasterizes nothing.
+  assert(false && "tile() requires an index binned this draw");
+  static const Tile kEmpty{};
+  return kEmpty;
+}
+
+void TileBinner::NonEmptyTiles(std::vector<std::uint32_t>* out) const {
+  out->clear();
+  out->reserve(used_);
+  // Recover each used slot's row-major index from its rect (cheaper than
+  // storing it twice) and sort ascending to reproduce the dense grid walk.
+  for (std::size_t i = 0; i < used_; ++i) {
+    const Tile& t = slots_[i];
+    out->push_back(
+        static_cast<std::uint32_t>(t.rect.y0 / kTileSize) *
+            static_cast<std::uint32_t>(tiles_x_) +
+        static_cast<std::uint32_t>(t.rect.x0 / kTileSize));
+  }
+  std::sort(out->begin(), out->end());
 }
 
 }  // namespace mgpu::gles2

@@ -38,6 +38,26 @@ VmExec::VmExec(const VmExec& base, AluModel& alu)
   refs_.resize(prog_->ref_slot_count);
 }
 
+void VmExec::SyncGlobalsFrom(const VmExec& base) {
+  if (prog_.get() != base.prog_.get() ||
+      globals_.size() != base.globals_.size()) {
+    // Layout mismatch: fall back to a full re-clone of the global store
+    // (never hit through the shade-state cache, which is invalidated on
+    // relink; kept so direct callers cannot corrupt the register file).
+    prog_ = base.prog_;
+    globals_ = base.globals_;
+    regs_ = base.regs_;
+    refs_.resize(prog_->ref_slot_count);
+    return;
+  }
+  // Element-wise copy-assign: Value reuses its existing cell storage when
+  // the layout matches, so this is a flat copy with no allocation — the
+  // cheap per-draw path the shade-state cache relies on.
+  for (std::size_t i = 0; i < globals_.size(); ++i) {
+    globals_[i] = base.globals_[i];
+  }
+}
+
 bool VmExec::Run() {
   loop_steps_ = 0;
   return Execute(prog_->run_entry);

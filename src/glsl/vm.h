@@ -36,6 +36,14 @@ class VmExec final : public ShaderEngine {
   // copied globals), so no ops are charged here.
   VmExec(const VmExec& base, AluModel& alu);
 
+  // Cheap per-draw refresh for a cached worker clone: re-copies `base`'s
+  // globals (fresh uniforms plus whatever shader code mutated since the
+  // clone was made) without reallocating — each Value's storage is reused,
+  // so a draw loop that recycles clones performs no allocation here. After
+  // the call the clone's observable state is exactly that of a clone
+  // constructed from `base` now. `base` must share this clone's program.
+  void SyncGlobalsFrom(const VmExec& base);
+
   bool Run() override;
 
   [[nodiscard]] int GlobalSlot(const std::string& name) const override {

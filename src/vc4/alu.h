@@ -29,7 +29,10 @@ class Vc4Alu final : public glsl::AluModel {
   float Round(float x) override;
 
   // Precision behaviour is pure (a deterministic function of the inputs and
-  // the profile), so a fork with fresh counters is exactly equivalent.
+  // the profile), so a fork with fresh counters is exactly equivalent — and
+  // a cached fork re-armed with ResetCounts() is equivalent to a fresh one,
+  // which is what lets the gles2 shade-state cache reuse shards across
+  // draws instead of re-forking (see AluModel::Fork's reuse contract).
   [[nodiscard]] std::unique_ptr<glsl::AluModel> Fork() const override {
     return std::make_unique<Vc4Alu>(profile_);
   }

@@ -1,0 +1,320 @@
+// Shade-state-cache invariants. The cache (gles2::ShadeStateCache) keeps
+// per-worker VmExec clones, forked ALU counter shards and TMU-cache models
+// alive across draws, refreshing only uniforms/globals per draw — and it
+// must be *invisible*: a warm-cache draw stream produces the same
+// framebuffer bytes and the same ALU/SFU/TMU operation counts as cold-state
+// draws and as the serial reference path. Relinking a program, switching
+// the execution engine, and changing the worker count mid-stream must all
+// drop stale entries without perturbing results.
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gles2/context.h"
+#include "gles2_test_util.h"
+#include "glsl/alu.h"
+#include "gtest/gtest.h"
+#include "vc4/alu.h"
+#include "vc4/profiles.h"
+
+namespace mgpu::gles2 {
+namespace {
+
+constexpr int kW = 256;  // 4x4 tile grid
+constexpr int kH = 256;
+
+constexpr char kVs[] = R"(
+attribute vec2 a_pos;
+uniform vec2 u_offset;
+uniform float u_scale;
+varying vec2 v_uv;
+void main() {
+  v_uv = a_pos * 4.0 + 0.5;
+  gl_Position = vec4(a_pos * u_scale + u_offset, 0.0, 1.0);
+}
+)";
+
+constexpr char kTexturedFs[] = R"(
+precision highp float;
+varying vec2 v_uv;
+uniform sampler2D u_tex;
+uniform vec4 u_tint;
+void main() {
+  gl_FragColor = texture2D(u_tex, v_uv) * u_tint;
+}
+)";
+
+constexpr char kPlainFs[] = R"(
+precision highp float;
+varying vec2 v_uv;
+uniform vec4 u_tint;
+void main() {
+  gl_FragColor = vec4(v_uv.x * u_tint.x, v_uv.y * u_tint.y, u_tint.z, 1.0);
+}
+)";
+
+constexpr std::array<float, 6> kTri = {0.0f, 0.0f, 1.0f, 0.0f, 0.0f, 1.0f};
+
+struct DrawSpec {
+  float scale;  // triangle size: 0.05 ~ one tile, 1.8 ~ every tile
+  float ox, oy;
+  std::array<float, 4> tint;
+};
+
+// A mix of tiny draws (single tile: the cache-free serial fast path) and
+// spanning draws (parallel shading; every slot used, including slots left
+// stale by smaller draws before them). Four draws span several tiles, so a
+// warm 2+-thread context sees exactly 1 cache miss and 3 hits.
+constexpr std::size_t kSpanningDraws = 4;
+const std::vector<DrawSpec>& Corpus() {
+  static const std::vector<DrawSpec> specs = {
+      {0.05f, -0.9f, -0.9f, {1.0f, 0.2f, 0.1f, 1.0f}},
+      {0.05f, 0.4f, 0.3f, {0.3f, 0.9f, 0.5f, 1.0f}},
+      {1.8f, -0.9f, -0.9f, {0.2f, 0.4f, 0.8f, 0.5f}},
+      {0.08f, -0.2f, 0.7f, {0.9f, 0.9f, 0.1f, 1.0f}},
+      {1.2f, -0.5f, -0.6f, {0.1f, 0.7f, 0.6f, 0.8f}},
+      {0.9f, -0.2f, -0.9f, {0.8f, 0.3f, 0.2f, 0.7f}},
+      {0.05f, 0.8f, -0.8f, {0.6f, 0.1f, 0.9f, 1.0f}},
+      {1.5f, -0.7f, -0.4f, {0.4f, 0.6f, 0.3f, 0.9f}},
+  };
+  return specs;
+}
+
+struct RunResult {
+  std::vector<std::uint8_t> fb;
+  glsl::OpCounts counts;
+};
+
+void ExpectSameCounts(const glsl::OpCounts& a, const glsl::OpCounts& b,
+                      const char* what) {
+  EXPECT_EQ(a.alu, b.alu) << what;
+  EXPECT_EQ(a.sfu, b.sfu) << what;
+  EXPECT_EQ(a.sfu_trans, b.sfu_trans) << what;
+  EXPECT_EQ(a.tmu, b.tmu) << what;
+  EXPECT_EQ(a.tmu_miss, b.tmu_miss) << what;
+}
+
+class StormRig {
+ public:
+  // `threads`: initial shader thread count. `textured`: sample a texture in
+  // the fragment shader so TMU / TMU-miss counts are exercised too.
+  StormRig(int threads, bool textured, glsl::AluModel* alu = nullptr)
+      : ctx_(MakeConfig(threads), alu) {
+    program_ = testutil::BuildProgramOrDie(
+        ctx_, kVs, textured ? kTexturedFs : kPlainFs);
+    ctx_.UseProgram(program_);
+    if (textured) {
+      GLuint tex = 0;
+      ctx_.GenTextures(1, &tex);
+      ctx_.ActiveTexture(GL_TEXTURE0);
+      ctx_.BindTexture(GL_TEXTURE_2D, tex);
+      std::vector<std::uint8_t> texels;
+      for (int i = 0; i < 16 * 16; ++i) {
+        texels.push_back(static_cast<std::uint8_t>(i * 7));
+        texels.push_back(static_cast<std::uint8_t>(255 - i));
+        texels.push_back(static_cast<std::uint8_t>(i * 3));
+        texels.push_back(255);
+      }
+      ctx_.TexImage2D(GL_TEXTURE_2D, 0, GL_RGBA, 16, 16, 0, GL_RGBA,
+                      GL_UNSIGNED_BYTE, texels.data());
+      ctx_.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MIN_FILTER, GL_NEAREST);
+      ctx_.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MAG_FILTER, GL_NEAREST);
+      ctx_.Uniform1i(ctx_.GetUniformLocation(program_, "u_tex"), 0);
+    }
+    const GLint a_pos = ctx_.GetAttribLocation(program_, "a_pos");
+    ctx_.EnableVertexAttribArray(static_cast<GLuint>(a_pos));
+    ctx_.VertexAttribPointer(static_cast<GLuint>(a_pos), 2, GL_FLOAT,
+                             GL_FALSE, 0, kTri.data());
+    ctx_.ClearColor(0.0f, 0.0f, 0.0f, 1.0f);
+    ctx_.Clear(GL_COLOR_BUFFER_BIT);
+  }
+
+  void Draw(const DrawSpec& d) {
+    ctx_.Uniform2f(ctx_.GetUniformLocation(program_, "u_offset"), d.ox, d.oy);
+    ctx_.Uniform1f(ctx_.GetUniformLocation(program_, "u_scale"), d.scale);
+    ctx_.Uniform4f(ctx_.GetUniformLocation(program_, "u_tint"), d.tint[0],
+                   d.tint[1], d.tint[2], d.tint[3]);
+    ctx_.DrawArrays(GL_TRIANGLES, 0, 3);
+    ASSERT_EQ(ctx_.GetError(), static_cast<GLenum>(GL_NO_ERROR));
+  }
+
+  [[nodiscard]] RunResult Finish() {
+    RunResult r;
+    r.fb = testutil::ReadRgba(ctx_, kW, kH);
+    r.counts = ctx_.alu().counts();
+    return r;
+  }
+
+  [[nodiscard]] Context& ctx() { return ctx_; }
+  [[nodiscard]] GLuint program() const { return program_; }
+
+ private:
+  static ContextConfig MakeConfig(int threads) {
+    ContextConfig cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.shader_threads = threads;
+    return cfg;
+  }
+
+  Context ctx_;
+  GLuint program_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Differential corpus: warm cache == cold state == serial reference
+// ---------------------------------------------------------------------------
+
+TEST(ShadeStateCacheTest, WarmDrawsAreByteAndCountIdenticalToColdDraws) {
+  StormRig warm(/*threads=*/2, /*textured=*/true);
+  StormRig cold(/*threads=*/2, /*textured=*/true);
+  StormRig serial(/*threads=*/1, /*textured=*/true);
+  for (const DrawSpec& d : Corpus()) {
+    warm.Draw(d);
+    // Forcing the knob before every draw clears the cache: every cold draw
+    // rebuilds its worker state from scratch, the pre-cache behaviour.
+    cold.ctx().SetShaderThreads(2);
+    cold.Draw(d);
+    serial.Draw(d);
+  }
+  // The warm context really did reuse state: one entry, hit on every
+  // *multi-tile* draw after the first (single-tile draws take the serial
+  // fast path and never consult the cache). The cold context never hit.
+  EXPECT_EQ(warm.ctx().shade_state_cache().entry_count(), 1u);
+  EXPECT_EQ(warm.ctx().shade_state_cache().hits(), kSpanningDraws - 1);
+  EXPECT_EQ(warm.ctx().shade_state_cache().misses(), 1u);
+  EXPECT_EQ(cold.ctx().shade_state_cache().hits(), 0u);
+  EXPECT_EQ(cold.ctx().shade_state_cache().misses(), kSpanningDraws);
+
+  const RunResult w = warm.Finish();
+  const RunResult c = cold.Finish();
+  const RunResult s = serial.Finish();
+  EXPECT_EQ(w.fb, c.fb) << "warm vs cold framebuffer";
+  EXPECT_EQ(w.fb, s.fb) << "warm vs serial framebuffer";
+  ExpectSameCounts(w.counts, c.counts, "warm vs cold counts");
+  ExpectSameCounts(w.counts, s.counts, "warm vs serial counts");
+}
+
+TEST(ShadeStateCacheTest, WarmDrawsMatchSerialUnderVc4Alu) {
+  vc4::Vc4Alu warm_alu(vc4::VideoCoreIV());
+  vc4::Vc4Alu serial_alu(vc4::VideoCoreIV());
+  StormRig warm(/*threads=*/3, /*textured=*/true, &warm_alu);
+  StormRig serial(/*threads=*/1, /*textured=*/true, &serial_alu);
+  for (const DrawSpec& d : Corpus()) {
+    warm.Draw(d);
+    serial.Draw(d);
+  }
+  const RunResult w = warm.Finish();
+  const RunResult s = serial.Finish();
+  EXPECT_EQ(w.fb, s.fb);
+  ExpectSameCounts(w.counts, s.counts, "vc4 warm vs serial");
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation: relink, engine switch, thread-count switch
+// ---------------------------------------------------------------------------
+
+TEST(ShadeStateCacheTest, RelinkDropsStaleEntriesAndUsesNewBytecode) {
+  StormRig warm(/*threads=*/2, /*textured=*/false);
+  StormRig serial(/*threads=*/1, /*textured=*/false);
+  for (const DrawSpec& d : Corpus()) {
+    warm.Draw(d);
+    serial.Draw(d);
+  }
+  ASSERT_EQ(warm.ctx().shade_state_cache().entry_count(), 1u);
+
+  // Relink both programs with a different fragment shader. The cached
+  // clones pin the old bytecode; the entry must be gone...
+  auto relink = [](StormRig& rig) {
+    Context& ctx = rig.ctx();
+    const GLuint fs = testutil::CompileShaderOrDie(
+        ctx, GL_FRAGMENT_SHADER,
+        "precision highp float;\n"
+        "varying vec2 v_uv;\n"
+        "uniform vec4 u_tint;\n"
+        "void main() { gl_FragColor = vec4(u_tint.y, v_uv.x * 0.5, "
+        "u_tint.x, 1.0); }\n");
+    ctx.AttachShader(rig.program(), fs);
+    ctx.LinkProgram(rig.program());
+    GLint ok = GL_FALSE;
+    ctx.GetProgramiv(rig.program(), GL_LINK_STATUS, &ok);
+    ASSERT_EQ(ok, GL_TRUE);
+    ctx.UseProgram(rig.program());
+    const GLint a_pos = ctx.GetAttribLocation(rig.program(), "a_pos");
+    ctx.EnableVertexAttribArray(static_cast<GLuint>(a_pos));
+    ctx.VertexAttribPointer(static_cast<GLuint>(a_pos), 2, GL_FLOAT,
+                            GL_FALSE, 0, kTri.data());
+  };
+  relink(warm);
+  relink(serial);
+  EXPECT_EQ(warm.ctx().shade_state_cache().entry_count(), 0u);
+
+  // ...and post-relink draws must match the serial reference bit-for-bit
+  // (stale clones would still run the old shader).
+  for (const DrawSpec& d : Corpus()) {
+    warm.Draw(d);
+    serial.Draw(d);
+  }
+  const RunResult w = warm.Finish();
+  const RunResult s = serial.Finish();
+  EXPECT_EQ(w.fb, s.fb);
+  ExpectSameCounts(w.counts, s.counts, "post-relink warm vs serial");
+}
+
+TEST(ShadeStateCacheTest, DeleteProgramDropsItsEntries) {
+  StormRig warm(/*threads=*/2, /*textured=*/false);
+  warm.Draw(Corpus()[2]);  // a spanning draw, so an entry is built
+  ASSERT_EQ(warm.ctx().shade_state_cache().entry_count(), 1u);
+  warm.ctx().DeleteProgram(warm.program());
+  EXPECT_EQ(warm.ctx().shade_state_cache().entry_count(), 0u);
+}
+
+TEST(ShadeStateCacheTest, SwitchingExecEngineDropsCacheAndStaysIdentical) {
+  StormRig warm(/*threads=*/2, /*textured=*/true);
+  StormRig serial(/*threads=*/1, /*textured=*/true);
+  int i = 0;
+  for (const DrawSpec& d : Corpus()) {
+    // Hop engines mid-stream: VM -> tree-walk -> VM. Cached VM clones must
+    // not survive the hop (they are engine-specific state).
+    if (i == 2) {
+      warm.ctx().SetExecEngine(ExecEngine::kTreeWalk);
+      EXPECT_EQ(warm.ctx().shade_state_cache().entry_count(), 0u);
+    }
+    if (i == 4) warm.ctx().SetExecEngine(ExecEngine::kBytecodeVm);
+    warm.Draw(d);
+    serial.Draw(d);
+    ++i;
+  }
+  const RunResult w = warm.Finish();
+  const RunResult s = serial.Finish();
+  EXPECT_EQ(w.fb, s.fb);
+  ExpectSameCounts(w.counts, s.counts, "engine-hop warm vs serial");
+}
+
+TEST(ShadeStateCacheTest, ChangingShaderThreadsMidStreamStaysIdentical) {
+  StormRig warm(/*threads=*/2, /*textured=*/true);
+  StormRig serial(/*threads=*/1, /*textured=*/true);
+  // One knob setting per corpus draw.
+  const std::array<int, 8> threads_at = {2, 2, 4, 4, 1, 3, 3, 2};
+  ASSERT_EQ(threads_at.size(), Corpus().size());
+  int i = 0;
+  for (const DrawSpec& d : Corpus()) {
+    if (i > 0 && threads_at[static_cast<std::size_t>(i)] !=
+                     threads_at[static_cast<std::size_t>(i - 1)]) {
+      warm.ctx().SetShaderThreads(threads_at[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(warm.ctx().shade_state_cache().entry_count(), 0u)
+          << "thread-count change must drop all entries";
+    }
+    warm.Draw(d);
+    serial.Draw(d);
+    ++i;
+  }
+  const RunResult w = warm.Finish();
+  const RunResult s = serial.Finish();
+  EXPECT_EQ(w.fb, s.fb);
+  ExpectSameCounts(w.counts, s.counts, "thread-hop warm vs serial");
+}
+
+}  // namespace
+}  // namespace mgpu::gles2

@@ -24,10 +24,11 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(TileBinnerTest, PartialEdgeTilesAreClampedToTarget) {
-  const TileBinner b(161, 131);  // 3x3 grid, right/top tiles partial
+  TileBinner b(161, 131);  // 3x3 grid, right/top tiles partial
   ASSERT_EQ(b.tiles_x(), 3);
   ASSERT_EQ(b.tiles_y(), 3);
-  const TileBinner::Tile& last = b.tiles()[8];
+  b.BinTile(0, 2, 2);
+  const TileBinner::Tile& last = b.tile(8);
   EXPECT_EQ(last.rect.x0, 128);
   EXPECT_EQ(last.rect.y0, 128);
   EXPECT_EQ(last.rect.x1, 161);
@@ -40,8 +41,8 @@ TEST(TileBinnerTest, SpanningPrimitiveLandsInEveryTouchedBin) {
   const auto work = b.NonEmptyTiles();
   ASSERT_EQ(work.size(), 6u);
   for (const std::uint32_t t : work) {
-    ASSERT_EQ(b.tiles()[t].prims.size(), 1u);
-    EXPECT_EQ(b.tiles()[t].prims[0], 7u);
+    ASSERT_EQ(b.tile(t).prims.size(), 1u);
+    EXPECT_EQ(b.tile(t).prims[0], 7u);
   }
   // Row-major: tiles (0,0) (1,0) (2,0) (0,1) (1,1) (2,1).
   EXPECT_EQ(work, (std::vector<std::uint32_t>{0, 1, 2, 4, 5, 6}));
@@ -52,7 +53,53 @@ TEST(TileBinnerTest, SubmissionOrderIsPreservedPerBin) {
   b.Bin(3, PixelRect{0, 0, 10, 10});
   b.Bin(1, PixelRect{0, 0, 64, 64});
   b.Bin(2, PixelRect{5, 5, 6, 6});
-  EXPECT_EQ(b.tiles()[0].prims, (std::vector<std::uint32_t>{3, 1, 2}));
+  EXPECT_EQ(b.tile(0).prims, (std::vector<std::uint32_t>{3, 1, 2}));
+}
+
+TEST(TileBinnerTest, SparseStorageScalesWithTouchedTilesNotGridSize) {
+  // A huge target: the dense grid would be ~2.4M tiles. A tiny draw must
+  // only materialize the bins it touches.
+  TileBinner b(100'000, 100'000);
+  ASSERT_EQ(b.tiles_x(), 1563);
+  b.Bin(0, PixelRect{70'000, 70'000, 70'010, 70'010});
+  b.BinTile(1, 0, 0);
+  EXPECT_EQ(b.NonEmptyTiles().size(), 2u);
+  EXPECT_LE(b.slot_capacity(), 4u);
+  EXPECT_LE(b.table_capacity(), 64u);
+}
+
+TEST(TileBinnerTest, BeginDrawDropsOldBinsAndResizesGrid) {
+  TileBinner b(200, 200);
+  b.Bin(1, PixelRect{0, 0, 200, 200});
+  ASSERT_EQ(b.NonEmptyTiles().size(), 16u);
+  b.BeginDraw(65, 65);  // 2x2 grid now
+  EXPECT_EQ(b.tiles_x(), 2);
+  EXPECT_TRUE(b.NonEmptyTiles().empty());
+  b.Bin(2, PixelRect{0, 0, 65, 65});
+  const auto work = b.NonEmptyTiles();
+  EXPECT_EQ(work, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  for (const std::uint32_t t : work) {
+    EXPECT_EQ(b.tile(t).prims, (std::vector<std::uint32_t>{2}));
+  }
+}
+
+TEST(TileBinnerTest, SteadyStateDrawLoopDoesNotGrowTheHeap) {
+  TileBinner b;
+  // Warm-up lap establishes the high-water mark...
+  b.BeginDraw(1000, 1000);
+  b.Bin(0, PixelRect{100, 100, 400, 400});
+  const std::size_t slots = b.slot_capacity();
+  const std::size_t table = b.table_capacity();
+  ASSERT_GT(slots, 0u);
+  // ...after which identical draws must not allocate: same slot count, same
+  // table, and per-bin prims capacity recycled (asserted via capacity()).
+  for (int draw = 0; draw < 100; ++draw) {
+    b.BeginDraw(1000, 1000);
+    b.Bin(0, PixelRect{100, 100, 400, 400});
+    b.Bin(1, PixelRect{150, 150, 300, 300});
+  }
+  EXPECT_EQ(b.slot_capacity(), slots);
+  EXPECT_EQ(b.table_capacity(), table);
 }
 
 // ---------------------------------------------------------------------------

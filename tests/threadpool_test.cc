@@ -1,0 +1,84 @@
+// ThreadPool semantics: RunOn(n) must execute each task in [0, n) exactly
+// once regardless of how n relates to the worker count, across back-to-back
+// jobs of varying sizes (the draw-storm shape: a few tiles per draw on a
+// pool sized for many). The stress tests double as TSan fodder for the
+// partial-dispatch wake path, where stale notifies and late-waking workers
+// are routine rather than exceptional.
+#include <atomic>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "gtest/gtest.h"
+
+namespace mgpu::common {
+namespace {
+
+TEST(ThreadPoolTest, RunOnExecutesEachTaskExactlyOnce) {
+  ThreadPool pool(4);
+  for (int n : {1, 2, 3, 4, 7, 16}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    for (auto& h : hits) h.store(0);
+    pool.RunOn(n, [&](int task) {
+      ASSERT_GE(task, 0);
+      ASSERT_LT(task, n);
+      hits[static_cast<std::size_t>(task)].fetch_add(1);
+    });
+    for (int t = 0; t < n; ++t) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(t)].load(), 1)
+          << "task " << t << " of " << n;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunOnAllCoversEveryWorkerIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  pool.RunOnAll([&](int task) {
+    hits[static_cast<std::size_t>(task)].fetch_add(1);
+  });
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(t)].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroOrNegativeTasksIsANoop) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.RunOn(0, [&](int) { ran.fetch_add(1); });
+  pool.RunOn(-3, [&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+}
+
+// Back-to-back jobs whose task counts hop around the worker count: the
+// partial-dispatch path must neither lose a task (deadlock) nor let a
+// late-waking worker from job k steal a task of job k+1.
+TEST(ThreadPoolTest, AlternatingJobSizesStress) {
+  ThreadPool pool(4);
+  std::atomic<long long> total{0};
+  long long expected = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const int n = 1 + round % 7;  // 1..7 tasks on 4 workers
+    expected += n;
+    pool.RunOn(n, [&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+// A task body that takes long enough for every permutation of worker
+// wake-up order: distinct tasks must still be claimed exactly once.
+TEST(ThreadPoolTest, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  pool.RunOn(kTasks, [&](int task) {
+    hits[static_cast<std::size_t>(task)].fetch_add(1);
+  });
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(t)].load(), 1) << "task " << t;
+  }
+}
+
+}  // namespace
+}  // namespace mgpu::common
