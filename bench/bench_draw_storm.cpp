@@ -93,12 +93,14 @@ GLuint BuildProgram(gles2::Context& ctx) {
 // Runs the storm: `draws` tiny triangles at deterministic pseudo-random
 // positions, one GL draw call each. Timed region = the draw loop only (the
 // per-draw setup tax under test), not context/program setup or readback.
-StormResult RunStorm(int draws, int shader_threads) {
+StormResult RunStorm(int draws, int shader_threads,
+                     gles2::ExecEngine engine = gles2::ExecEngine::kBatchedVm) {
   gles2::ContextConfig cfg;
   cfg.width = kTargetSize;
   cfg.height = kTargetSize;
   cfg.has_depth = false;
   cfg.shader_threads = shader_threads;
+  cfg.exec_engine = engine;
   gles2::Context ctx(cfg);
 
   const GLuint prog = BuildProgram(ctx);
@@ -158,10 +160,11 @@ int main(int argc, char** argv) {
   // CI gate's thresholds, and the min is the standard de-noiser. The
   // deterministic metrics are identical across runs by construction.
   constexpr int kReps = 3;
-  auto best_of = [&](int threads) {
-    StormResult best = RunStorm(draws, threads);
+  auto best_of = [&](int threads, gles2::ExecEngine engine =
+                                      gles2::ExecEngine::kBatchedVm) {
+    StormResult best = RunStorm(draws, threads, engine);
     for (int r = 1; r < kReps; ++r) {
-      const StormResult again = RunStorm(draws, threads);
+      const StormResult again = RunStorm(draws, threads, engine);
       if (again.seconds < best.seconds) best = again;
     }
     return best;
@@ -175,8 +178,18 @@ int main(int argc, char** argv) {
   std::printf("  pooled (2 threads):  %8.3f s  (%8.0f draws/s, best of %d)\n",
               pooled.seconds, draws / pooled.seconds, kReps);
 
-  // Determinism invariant: the worker pool (and any per-draw state caching
-  // behind it) must be invisible — same framebuffer bytes, same op counts.
+  // Same storm on the scalar VM: the per-draw dispatch tax the lane-batched
+  // engine amortizes, measured on identical hardware in the same process.
+  const StormResult scalar =
+      best_of(/*shader_threads=*/1, gles2::ExecEngine::kBytecodeVm);
+  std::printf("  scalar VM (1 thread):%8.3f s  (%8.0f draws/s, batched "
+              "speedup %.2fx)\n",
+              scalar.seconds, draws / scalar.seconds,
+              scalar.seconds / serial.seconds);
+
+  // Determinism invariants: the worker pool (and any per-draw state caching
+  // behind it) must be invisible — same framebuffer bytes, same op counts —
+  // and the batched engine must be byte-identical to the scalar VM.
   const bool identical = serial.fb_hash == pooled.fb_hash &&
                          serial.alu_ops == pooled.alu_ops;
   std::printf("  serial vs pooled:    %s (hash %08x vs %08x, alu %llu vs "
@@ -184,19 +197,31 @@ int main(int argc, char** argv) {
               identical ? "identical" : "MISMATCH", serial.fb_hash,
               pooled.fb_hash, static_cast<unsigned long long>(serial.alu_ops),
               static_cast<unsigned long long>(pooled.alu_ops));
+  const bool batched_identical = serial.fb_hash == scalar.fb_hash &&
+                                 serial.alu_ops == scalar.alu_ops;
+  std::printf("  batched vs scalar:   %s (hash %08x vs %08x, alu %llu vs "
+              "%llu)\n",
+              batched_identical ? "identical" : "MISMATCH", serial.fb_hash,
+              scalar.fb_hash, static_cast<unsigned long long>(serial.alu_ops),
+              static_cast<unsigned long long>(scalar.alu_ops));
 
-  const bool ok = identical && serial.draw_ok && pooled.draw_ok;
+  const bool ok = identical && batched_identical && serial.draw_ok &&
+                  pooled.draw_ok && scalar.draw_ok;
 
   bench::JsonBenchWriter json("draw_storm");
   json.Add("draws", draws, "count");
   json.Add("serial_storm", serial.seconds, "s");
   json.Add("serial_draws_per_sec", draws / serial.seconds, "/s");
   json.Add("pooled_storm", pooled.seconds, "s");
+  json.Add("scalar_vm_storm", scalar.seconds, "s");
+  json.Add("batched_speedup", scalar.seconds / serial.seconds, "x");
   json.Add("alu_ops_per_draw",
            static_cast<double>(serial.alu_ops) / draws, "ops");
   json.Add("fb_hash", serial.fb_hash, "hash");
   json.Add("serial_pooled_identical", identical ? 1.0 : 0.0, "bool");
-  json.Add("draw_errors_ok", serial.draw_ok && pooled.draw_ok ? 1.0 : 0.0,
+  json.Add("batched_scalar_identical", batched_identical ? 1.0 : 0.0, "bool");
+  json.Add("draw_errors_ok",
+           serial.draw_ok && pooled.draw_ok && scalar.draw_ok ? 1.0 : 0.0,
            "bool");
   if (!json.Write()) {
     std::fprintf(stderr, "warning: could not write BENCH_draw_storm.json\n");

@@ -119,6 +119,7 @@ int main(int argc, char** argv) {
     return best;
   };
 
+  const SweepResult batched = best_sweep(gles2::ExecEngine::kBatchedVm, 1);
   const SweepResult vm = best_sweep(gles2::ExecEngine::kBytecodeVm, 1);
   const SweepResult tree = best_sweep(gles2::ExecEngine::kTreeWalk, 1);
 
@@ -139,17 +140,25 @@ int main(int argc, char** argv) {
               "III-7)\n");
 
   std::printf("\nexecution engines (same sweep, wall clock):\n");
-  std::printf("  bytecode VM (default): %8.3f s  [coverage %s]\n", vm.seconds,
+  std::printf("  batched VM (default):  %8.3f s  [coverage %s]\n",
+              batched.seconds, batched.ok ? "ok" : "FAILURE");
+  std::printf("  scalar bytecode VM:    %8.3f s  [coverage %s]\n", vm.seconds,
               vm.ok ? "ok" : "FAILURE");
   std::printf("  tree-walking oracle:   %8.3f s  [coverage %s]\n",
               tree.seconds, tree.ok ? "ok" : "FAILURE");
-  std::printf("  VM speedup: %.2fx\n", tree.seconds / vm.seconds);
+  std::printf("  scalar VM speedup vs oracle:   %.2fx\n",
+              tree.seconds / vm.seconds);
+  std::printf("  batched speedup vs scalar VM:  %.2fx\n",
+              vm.seconds / batched.seconds);
 
   bench::JsonBenchWriter json("fig1_pipeline");
   json.Add("vm_sweep", vm.seconds, "s");
   json.Add("tree_sweep", tree.seconds, "s");
+  json.Add("batched_sweep", batched.seconds, "s");
   json.Add("vm_speedup", tree.seconds / vm.seconds, "x");
-  json.Add("coverage_ok", vm.ok && tree.ok ? 1.0 : 0.0, "bool");
+  json.Add("batched_speedup_vs_scalar", vm.seconds / batched.seconds, "x");
+  json.Add("coverage_ok",
+           batched.ok && vm.ok && tree.ok ? 1.0 : 0.0, "bool");
   if (!json.Write()) {
     std::fprintf(stderr, "warning: could not write BENCH_fig1_pipeline.json\n");
   }
@@ -160,7 +169,8 @@ int main(int argc, char** argv) {
   // change. PR 1's recorded single-thread VM baseline was 0.248 s.
   constexpr double kPr1VmBaseline = 0.248;
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  std::printf("\ntiled shading worker scaling (same sweep, VM engine):\n");
+  std::printf(
+      "\ntiled shading worker scaling (same sweep, batched VM engine):\n");
   bench::JsonBenchWriter scaling("threads_scaling");
   scaling.Add("hardware_concurrency", hw, "threads");
   scaling.Add("pr1_vm_baseline", kPr1VmBaseline, "s");
@@ -175,7 +185,7 @@ int main(int argc, char** argv) {
   }
   for (const int threads : thread_counts) {
     const SweepResult r =
-        RunSweep(gles2::ExecEngine::kBytecodeVm, threads, quick);
+        RunSweep(gles2::ExecEngine::kBatchedVm, threads, quick);
     scaling_ok = scaling_ok && r.ok;
     if (threads == 1) t1 = r.seconds;
     std::printf("  %2d thread(s): %8.3f s  (%.2fx vs 1-thread, %.2fx vs "
@@ -196,7 +206,7 @@ int main(int argc, char** argv) {
                  "warning: could not write BENCH_threads_scaling.json\n");
   }
 
-  const bool all_ok = vm.ok && tree.ok && scaling_ok;
+  const bool all_ok = batched.ok && vm.ok && tree.ok && scaling_ok;
   std::printf("\nresult: %s\n", all_ok ? "every size maps 1:1" : "FAILURE");
   return all_ok ? 0 : 1;
 }

@@ -19,9 +19,15 @@ struct DeviceOptions {
   vc4::GpuProfile profile = vc4::VideoCoreIV();
   gles2::FbQuantization quantization =
       gles2::FbQuantization::kRoundNearest;
-  // Shader execution engine for every kernel dispatch: the bytecode VM
-  // (default, fast) or the tree-walking interpreter (reference oracle).
-  gles2::ExecEngine exec_engine = gles2::ExecEngine::kBytecodeVm;
+  // Shader execution engine for every kernel dispatch. The default is the
+  // lane-batched VM: each kernel dispatch gathers covered fragments into
+  // 16-lane SoA batches and executes the lowered bytecode once per
+  // instruction over all lanes, the way a VC4 QPU runs pixel groups through
+  // one instruction stream. kBytecodeVm selects the scalar VM (one
+  // dispatch-loop pass per fragment) and kTreeWalk the tree-walking
+  // interpreter; all three produce identical output bytes and ALU/SFU/TMU
+  // op counts, so either oracle can differentially check the batched path.
+  gles2::ExecEngine exec_engine = gles2::ExecEngine::kBatchedVm;
   // Fragment-shading workers for the tiled rasterizer: 0 = one per hardware
   // thread (default), 1 = serial reference path. Results (output bytes and
   // ALU/SFU/TMU op counts) are identical for every value; see

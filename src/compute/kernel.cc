@@ -147,7 +147,12 @@ void Kernel::Run(PackedBuffer& out, std::span<PackedBuffer* const> inputs) {
                static_cast<float>(out.tex_width()),
                static_cast<float>(out.tex_height()));
 
-  // Challenge 2: the screen-covering quad as two triangles.
+  // Challenge 2: the screen-covering quad as two triangles. The draw is
+  // the kernel loop: under the default batched engine the rasterizer packs
+  // the quad's fragments into 16-lane SoA batches and each batch makes one
+  // pass through the kernel's instruction stream (VmExec::RunBatch), so
+  // per-element interpreter overhead is amortized across lanes exactly as
+  // QPU lockstep amortizes instruction issue across pixels.
   gl.EnableVertexAttribArray(static_cast<GLuint>(pos_attrib_));
   gl.VertexAttribPointer(static_cast<GLuint>(pos_attrib_), 2,
                          gles2::GL_FLOAT, gles2::GL_FALSE, 0,

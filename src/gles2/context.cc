@@ -16,6 +16,17 @@ namespace mgpu::gles2 {
 using glsl::BaseType;
 using glsl::Value;
 
+// The raster layer's batch width and the VM's lane count must agree: the
+// flush path hands a FragmentBatch's lanes straight to VmExec::RunBatch.
+static_assert(kFragBatchWidth == glsl::kVmLanes,
+              "fragment batch width must match the VM lane width");
+
+ShadeStateCache::WorkerState::~WorkerState() {
+  if (engine_owned == nullptr && engine != nullptr) {
+    engine->SetTextureFn(glsl::TextureFn{});
+  }
+}
+
 ShadeStateCache::Entry* ShadeStateCache::Find(GLuint program, int threads) {
   const auto it = entries_.find({program, threads});
   if (it == entries_.end()) {
@@ -23,11 +34,29 @@ ShadeStateCache::Entry* ShadeStateCache::Find(GLuint program, int threads) {
     return nullptr;
   }
   ++hits_;
+  it->second.last_use = ++use_tick_;
   return &it->second;
 }
 
 ShadeStateCache::Entry& ShadeStateCache::Insert(GLuint program, int threads) {
-  return entries_[{program, threads}];
+  Entry& e = entries_[{program, threads}];
+  e.last_use = ++use_tick_;
+  if (entries_.size() > capacity_) {
+    // Evict the least-recently-drawn entry (never the one just touched).
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (&it->second == &e) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim != entries_.end()) {
+      entries_.erase(victim);
+      ++evictions_;
+    }
+  }
+  return e;
 }
 
 void ShadeStateCache::InvalidateProgram(GLuint program) {
@@ -38,6 +67,8 @@ void ShadeStateCache::InvalidateProgram(GLuint program) {
 
 Context::Context(const ContextConfig& config, glsl::AluModel* alu)
     : config_(config), alu_(alu != nullptr ? alu : &default_alu_) {
+  shade_cache_.SetCapacity(
+      static_cast<std::size_t>(std::max(config_.shade_cache_capacity, 1)));
   attribs_.resize(static_cast<std::size_t>(config_.limits.max_vertex_attribs));
   fb_color_.assign(
       static_cast<std::size_t>(config_.width) * config_.height * 4, 0);
@@ -1342,9 +1373,13 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   }
   if (count == 0) return;
 
-  // --- engine selection: the bytecode VM is the production path; the
-  // tree-walking interpreter is the switchable reference oracle. ---
-  const bool use_vm = config_.exec_engine == ExecEngine::kBytecodeVm;
+  // --- engine selection: the lane-batched VM is the production path; the
+  // scalar VM and the tree-walking interpreter are switchable reference
+  // oracles. The vertex stage always runs scalar (vertex counts are tiny);
+  // batching applies to the fragment stage. ---
+  const bool use_tree = config_.exec_engine == ExecEngine::kTreeWalk;
+  const bool use_vm = !use_tree;
+  const bool use_batch = config_.exec_engine == ExecEngine::kBatchedVm;
 
   // --- vertex stage ---
   // Post-transform vertices live in context-owned scratch: resize keeps the
@@ -1488,17 +1523,10 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   // Phase 2 shading: each worker owns a private engine, ALU-counter shard
   // and TMU-cache model; tiles partition the framebuffer, so pixel writes
   // are lock-free and results are byte-identical for any worker count
-  // (counter shards merge by summation at join). A ShadeSlot is a per-draw
-  // *view*: the state it points at lives either on the program (serial
-  // path) or in the shade-state cache (parallel path), never on this stack
-  // frame.
-  struct ShadeSlot {
-    glsl::ShaderEngine* engine = nullptr;
-    glsl::AluModel* alu = nullptr;
-    TmuCacheModel* cache = nullptr;
-    std::string error;
-    bool cached = false;  // texture fn already installed at cache build
-  };
+  // (counter shards merge by summation at join). All per-draw plumbing —
+  // sinks/flushes, slot pointers, texture callbacks, batch scratch — is
+  // cached in ShadeStateCache worker slots and merely *refreshed* here, so
+  // a steady-state draw allocates nothing.
 
   // <= 0 selects one worker per hardware thread; a hard cap keeps a bogus
   // huge knob value from spawning thousands of OS threads (or throwing
@@ -1509,34 +1537,36 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   threads = std::min(threads, kMaxShaderThreads);
   const int workers = std::min(threads, static_cast<int>(work.size()));
 
-  std::vector<ShadeSlot> slots;
+  ShadeStateCache::Entry* entry = nullptr;
+  int slot_count = 1;
   if (workers > 1 && use_vm) {
     // Parallel shading needs per-worker engine clones (bytecode VM only)
-    // and per-worker counter shards (forkable AluModel only). Both are
-    // expensive to build, so they are cached on the context keyed by
-    // (program, configured thread count) and only *refreshed* per draw:
-    // globals re-synced from the program's engine (fresh uniforms), counter
-    // shards zeroed. Entries grow lazily to the largest `workers` any draw
-    // has needed (never past `threads`), so a 2-tile first draw on a big
-    // pool builds 2 slots, not `threads` — and a freshly built slot is
-    // already current (the clone copies today's globals), so only
-    // pre-existing slots pay the re-sync.
+    // and per-worker counter shards (forkable AluModel only). Entries grow
+    // lazily to the largest `workers` any draw has needed (never past
+    // `threads`), so a 2-tile first draw on a big pool builds 2 slots, not
+    // `threads` — and a freshly built slot is already current (the clone
+    // copies today's globals), so only pre-existing slots pay the re-sync.
     auto build_worker = [&](std::unique_ptr<glsl::AluModel> shard) {
-      ShadeStateCache::WorkerState w;
-      w.alu = std::move(shard);
-      w.engine = std::make_unique<glsl::VmExec>(*prog->fvm, *w.alu);
-      w.tmu = std::make_unique<TmuCacheModel>();
-      w.engine->SetTextureFn(MakeTextureFn(w.tmu.get(), w.alu.get()));
+      auto w = std::make_unique<ShadeStateCache::WorkerState>();
+      w->alu_owned = std::move(shard);
+      w->engine_owned =
+          std::make_unique<glsl::VmExec>(*prog->fvm, *w->alu_owned);
+      w->tmu_owned = std::make_unique<TmuCacheModel>();
+      w->engine = w->engine_owned.get();
+      w->vm = w->engine_owned.get();
+      w->alu = w->alu_owned.get();
+      w->tmu = w->tmu_owned.get();
+      BuildWorkerPlumbing(*w, prog);
       return w;
     };
-    ShadeStateCache::Entry* entry =
-        shade_cache_.Find(current_program_, threads);
+    entry = shade_cache_.Find(current_program_, threads);
     if (entry != nullptr) {
-      const int have = std::min(workers, static_cast<int>(entry->workers.size()));
+      const int have =
+          std::min(workers, static_cast<int>(entry->workers.size()));
       for (int i = 0; i < have; ++i) {
         ShadeStateCache::WorkerState& w =
-            entry->workers[static_cast<std::size_t>(i)];
-        w.engine->SyncGlobalsFrom(*prog->fvm);
+            *entry->workers[static_cast<std::size_t>(i)];
+        w.vm->SyncGlobalsFrom(*prog->fvm);
         w.alu->ResetCounts();
       }
     } else {
@@ -1553,43 +1583,153 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
       while (static_cast<int>(entry->workers.size()) < workers) {
         entry->workers.push_back(build_worker(alu_->Fork()));
       }
-      slots.reserve(static_cast<std::size_t>(workers));
-      for (int i = 0; i < workers; ++i) {
-        const ShadeStateCache::WorkerState& w =
-            entry->workers[static_cast<std::size_t>(i)];
-        ShadeSlot s;
-        s.engine = w.engine.get();
-        s.alu = w.alu.get();
-        s.cache = w.tmu.get();
-        s.cached = true;
-        slots.push_back(std::move(s));
-      }
+      slot_count = workers;
     }
   }
-  if (slots.empty()) {
-    // Serial reference path: the program's own engine on the calling
-    // thread, counting straight into the context's ALU model. The cache is
-    // the context-owned one so the TextureFn installed on the long-lived
-    // program engine never points at this draw's stack frame.
-    ShadeSlot s;
-    s.engine = use_vm ? static_cast<glsl::ShaderEngine*>(prog->fvm.get())
+  if (entry == nullptr) {
+    // Serial path (single tile, threads == 1, the tree oracle, or a
+    // non-forkable ALU model): one cached slot that borrows the program's
+    // own engine, the context's ALU model (counts land there directly, no
+    // merge) and the context-owned serial TMU cache.
+    slot_count = 1;
+    entry = shade_cache_.Find(current_program_, 1);
+    if (entry == nullptr) {
+      entry = &shade_cache_.Insert(current_program_, 1);
+      auto w = std::make_unique<ShadeStateCache::WorkerState>();
+      w->engine = use_vm
+                      ? static_cast<glsl::ShaderEngine*>(prog->fvm.get())
                       : prog->fexec.get();
-    s.alu = alu_;
-    s.cache = &serial_tmu_cache_;
-    slots.push_back(std::move(s));
+      w->vm = use_vm ? prog->fvm.get() : nullptr;
+      w->alu = alu_;
+      w->tmu = &serial_tmu_cache_;
+      BuildWorkerPlumbing(*w, prog);
+      entry->workers.push_back(std::move(w));
+    }
   }
 
-  std::atomic<bool> failed{false};
-  std::vector<FragmentSink> sinks;
-  sinks.reserve(slots.size());
-  for (ShadeSlot& slot : slots) {
-    if (!slot.cached) {
-      slot.engine->SetTextureFn(MakeTextureFn(slot.cache, slot.alu));
+  // Per-draw refresh of the state the cached closures reach through stable
+  // addresses: the resolved render target, the failure latch, and each used
+  // slot's error/batch scratch (stale only if a previous draw failed).
+  draw_rt_ = rt;
+  draw_failed_.store(false, std::memory_order_relaxed);
+  for (int i = 0; i < slot_count; ++i) {
+    ShadeStateCache::WorkerState& w =
+        *entry->workers[static_cast<std::size_t>(i)];
+    w.error.clear();
+    w.batch.count = 0;
+  }
+
+  const int vc = prog->varying_cells;
+  auto shade_tile = [&](std::uint32_t tile_index, int slot_index) {
+    ShadeStateCache::WorkerState& w =
+        *entry->workers[static_cast<std::size_t>(slot_index)];
+    const TileBinner::Tile& tile = binner_.tile(tile_index);
+    w.tmu->Reset();
+    RasterState tile_rs = rs;
+    tile_rs.clip_x0 = tile.rect.x0;
+    tile_rs.clip_y0 = tile.rect.y0;
+    tile_rs.clip_x1 = tile.rect.x1;
+    tile_rs.clip_y1 = tile.rect.y1;
+    for (const std::uint32_t pi : tile.prims) {
+      const TilePrim& p = prims[pi];
+      if (use_batch) {
+        switch (p.kind) {
+          case TilePrim::Kind::kTriangle:
+            RasterizeTriangle(verts[p.v0], verts[p.v1], verts[p.v2], vc,
+                              tile_rs, w.batch, w.flush);
+            break;
+          case TilePrim::Kind::kPoint:
+            RasterizePoint(verts[p.v0], vc, tile_rs, w.batch, w.flush);
+            break;
+          case TilePrim::Kind::kLine:
+            RasterizeLine(verts[p.v0], verts[p.v1], vc, tile_rs, w.batch,
+                          w.flush);
+            break;
+        }
+      } else {
+        switch (p.kind) {
+          case TilePrim::Kind::kTriangle:
+            RasterizeTriangle(verts[p.v0], verts[p.v1], verts[p.v2], vc,
+                              tile_rs, w.sink);
+            break;
+          case TilePrim::Kind::kPoint:
+            RasterizePoint(verts[p.v0], vc, tile_rs, w.sink);
+            break;
+          case TilePrim::Kind::kLine:
+            RasterizeLine(verts[p.v0], verts[p.v1], vc, tile_rs, w.sink);
+            break;
+        }
+      }
     }
-    // Cache the engine's per-fragment input/output slots once per draw:
-    // global storage is stable across Run() calls, and resolving through
-    // the virtual GlobalAt per fragment is measurable on tiny kernels.
-    glsl::ShaderEngine& eng = *slot.engine;
+    // Shade the batch tail before leaving the tile: the next tile resets
+    // the TMU-cache model, and deferred TMU replay must land in this
+    // tile's cache session.
+    if (use_batch) w.flush();
+  };
+
+  if (slot_count == 1) {
+    for (const std::uint32_t t : work) shade_tile(t, 0);
+  } else {
+    // The pool is sized by the configured thread count, not by this draw's
+    // slot count, so alternating draws with different tile counts reuse the
+    // parked workers instead of respawning threads every draw. Partial
+    // dispatch: only one pool task per shading slot is issued, so a draw
+    // covering two tiles wakes two workers, not the whole pool.
+    if (pool_ == nullptr || pool_->size() != threads) {
+      pool_ = std::make_unique<common::ThreadPool>(threads);
+    }
+    const int tile_count = static_cast<int>(work.size());
+    std::atomic<int> next_tile{0};
+    pool_->RunOn(slot_count, [&](int slot_index) {
+      // An exception escaping a pool worker would std::terminate; record it
+      // like a shader runtime error instead (the serial path, running on
+      // the caller's thread, still propagates normally).
+      try {
+        for (int item = next_tile.fetch_add(1, std::memory_order_relaxed);
+             item < tile_count;
+             item = next_tile.fetch_add(1, std::memory_order_relaxed)) {
+          shade_tile(work[static_cast<std::size_t>(item)], slot_index);
+        }
+      } catch (const std::exception& e) {
+        entry->workers[static_cast<std::size_t>(slot_index)]->error =
+            e.what();
+        draw_failed_.store(true, std::memory_order_relaxed);
+      }
+    });
+    for (int i = 0; i < slot_count; ++i) {
+      alu_->AddCounts(
+          entry->workers[static_cast<std::size_t>(i)]->alu->counts());
+    }
+  }
+
+  if (draw_failed_.load(std::memory_order_relaxed)) {
+    for (int i = 0; i < slot_count; ++i) {
+      const ShadeStateCache::WorkerState& w =
+          *entry->workers[static_cast<std::size_t>(i)];
+      if (!w.error.empty()) {
+        last_draw_error_ = w.error;
+        break;
+      }
+    }
+    SetError(GL_INVALID_OPERATION);
+  }
+}
+
+void Context::BuildWorkerPlumbing(ShadeStateCache::WorkerState& w,
+                                  ProgramObject* prog) {
+  const bool use_batch =
+      config_.exec_engine == ExecEngine::kBatchedVm && w.vm != nullptr;
+  ShadeStateCache::WorkerState* const wp = &w;
+  const int color_slot = prog->uses_frag_data ? prog->fs_frag_data_slot
+                                              : prog->fs_frag_color_slot;
+
+  if (!use_batch) {
+    // Scalar engines: one Run() per fragment through a cached sink.
+    // Resolving the engine's per-fragment input/output slots through the
+    // virtual GlobalAt per fragment is measurable on tiny kernels; global
+    // storage is stable for the life of the entry, so resolve them once.
+    w.engine->SetTextureFn(MakeTextureFn(w.tmu, w.alu));
+    glsl::ShaderEngine& eng = *w.engine;
     Value* const fc_v = prog->fs_frag_coord_slot >= 0
                             ? &eng.GlobalAt(prog->fs_frag_coord_slot)
                             : nullptr;
@@ -1599,8 +1739,6 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
     Value* const pc_v = prog->fs_point_coord_slot >= 0
                             ? &eng.GlobalAt(prog->fs_point_coord_slot)
                             : nullptr;
-    const int color_slot = prog->uses_frag_data ? prog->fs_frag_data_slot
-                                                : prog->fs_frag_color_slot;
     const Value* const color_v =
         color_slot >= 0 ? &eng.GlobalAt(color_slot) : nullptr;
     struct VaryingDst {
@@ -1614,11 +1752,12 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
       varying_dsts.push_back(
           {&eng.GlobalAt(link.fs_slot), link.cells, link.offset});
     }
-    sinks.push_back([this, &rt, &failed, &slot, fc_v, ff_v, pc_v, color_v,
-                     varying_dsts = std::move(varying_dsts)](
-                        int x, int y, float depth, const float* vars,
-                        bool front, float ps, float pt) {
-      if (failed.load(std::memory_order_relaxed)) return;
+    w.flush = nullptr;
+    w.sink = [this, wp, fc_v, ff_v, pc_v, color_v,
+              varying_dsts = std::move(varying_dsts)](
+                 int x, int y, float depth, const float* vars, bool front,
+                 float ps, float pt) {
+      if (draw_failed_.load(std::memory_order_relaxed)) return;
       try {
         if (fc_v != nullptr) {
           fc_v->SetF(0, static_cast<float>(x) + 0.5f);
@@ -1636,87 +1775,124 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
             vd.value->SetF(c, vars[vd.offset + c]);
           }
         }
-        if (!slot.engine->Run()) return;  // discarded
+        if (!wp->engine->Run()) return;  // discarded
         std::array<float, 4> color{0.0f, 0.0f, 0.0f, 0.0f};
         if (color_v != nullptr) {
-          color = {color_v->F(0), color_v->F(1), color_v->F(2), color_v->F(3)};
+          color = {color_v->F(0), color_v->F(1), color_v->F(2),
+                   color_v->F(3)};
         }
-        WritePixel(rt, x, y, depth, color, /*depth_valid=*/true);
+        WritePixel(draw_rt_, x, y, depth, color, /*depth_valid=*/true);
       } catch (const glsl::ShaderRuntimeError& e) {
-        slot.error = e.what();
-        failed.store(true, std::memory_order_relaxed);
+        wp->error = e.what();
+        draw_failed_.store(true, std::memory_order_relaxed);
       }
-    });
+    };
+    return;
   }
 
-  const int vc = prog->varying_cells;
-  auto shade_tile = [&](std::uint32_t tile_index, int slot_index) {
-    ShadeSlot& slot = slots[static_cast<std::size_t>(slot_index)];
-    const FragmentSink& sink = sinks[static_cast<std::size_t>(slot_index)];
-    const TileBinner::Tile& tile = binner_.tile(tile_index);
-    slot.cache->Reset();
-    RasterState tile_rs = rs;
-    tile_rs.clip_x0 = tile.rect.x0;
-    tile_rs.clip_y0 = tile.rect.y0;
-    tile_rs.clip_x1 = tile.rect.x1;
-    tile_rs.clip_y1 = tile.rect.y1;
-    for (const std::uint32_t pi : tile.prims) {
-      const TilePrim& p = prims[pi];
-      switch (p.kind) {
-        case TilePrim::Kind::kTriangle:
-          RasterizeTriangle(verts[p.v0], verts[p.v1], verts[p.v2], vc,
-                            tile_rs, sink);
-          break;
-        case TilePrim::Kind::kPoint:
-          RasterizePoint(verts[p.v0], vc, tile_rs, sink);
-          break;
-        case TilePrim::Kind::kLine:
-          RasterizeLine(verts[p.v0], verts[p.v1], vc, tile_rs, sink);
-          break;
+  // Batched engine: the rasterizer appends covered fragments into the
+  // worker's SoA batch; the flush scatters the planes into the VM's
+  // per-lane globals, runs the whole batch through one instruction-stream
+  // pass, replays the deferred TMU accesses in lane order (reproducing the
+  // scalar engine's fragment-sequential texture-cache order), and drains
+  // surviving lanes to the framebuffer in emission order.
+  w.engine->SetTextureFn(MakeBatchTextureFn(wp));
+  glsl::VmExec& vm = *w.vm;
+  constexpr int kW = kFragBatchWidth;
+  const auto lane_ptrs = [&vm](int slot) {
+    std::array<Value*, kW> p{};
+    if (slot >= 0) {
+      for (int l = 0; l < kW; ++l) p[static_cast<std::size_t>(l)] =
+          &vm.LaneGlobalAt(slot, l);
+    }
+    return p;
+  };
+  const std::array<Value*, kW> fc = lane_ptrs(prog->fs_frag_coord_slot);
+  const std::array<Value*, kW> ff = lane_ptrs(prog->fs_front_facing_slot);
+  const std::array<Value*, kW> pc = lane_ptrs(prog->fs_point_coord_slot);
+  const std::array<Value*, kW> col = lane_ptrs(color_slot);
+  struct LaneVaryingDst {
+    std::array<Value*, kW> value;
+    int cells;
+    int offset;
+  };
+  std::vector<LaneVaryingDst> varying_dsts;
+  varying_dsts.reserve(prog->varyings.size());
+  for (const VaryingLink& link : prog->varyings) {
+    LaneVaryingDst d;
+    d.value = lane_ptrs(link.fs_slot);
+    d.cells = link.cells;
+    d.offset = link.offset;
+    varying_dsts.push_back(d);
+  }
+  w.sink = nullptr;
+  w.flush = [this, wp, fc, ff, pc, col,
+             varying_dsts = std::move(varying_dsts)]() {
+    FragmentBatch& b = wp->batch;
+    const int n = b.count;
+    b.count = 0;
+    if (n == 0) return;
+    const auto drop_tmu_log = [wp, n] {
+      for (int l = 0; l < n; ++l) {
+        wp->tmu_log[static_cast<std::size_t>(l)].clear();
       }
+    };
+    if (draw_failed_.load(std::memory_order_relaxed)) {
+      drop_tmu_log();
+      return;
+    }
+    try {
+      for (int l = 0; l < n; ++l) {
+        const std::size_t li = static_cast<std::size_t>(l);
+        if (fc[0] != nullptr) {
+          Value* const v = fc[li];
+          v->SetF(0, static_cast<float>(b.x[li]) + 0.5f);
+          v->SetF(1, static_cast<float>(b.y[li]) + 0.5f);
+          v->SetF(2, b.depth[li]);
+          v->SetF(3, 1.0f);
+        }
+        if (ff[0] != nullptr) ff[li]->SetB(0, b.front[li] != 0);
+        if (pc[0] != nullptr) {
+          pc[li]->SetF(0, b.point_s[li]);
+          pc[li]->SetF(1, b.point_t[li]);
+        }
+        for (const LaneVaryingDst& vd : varying_dsts) {
+          Value* const v = vd.value[li];
+          for (int c = 0; c < vd.cells; ++c) {
+            v->SetF(c, b.varyings[static_cast<std::size_t>(vd.offset + c) *
+                                      kFragBatchWidth +
+                                  li]);
+          }
+        }
+      }
+      const std::uint32_t kept = wp->vm->RunBatch(n);
+      // Deferred TMU accounting: lane order == the order the scalar engine
+      // would have run these fragments, so modeled miss counts match.
+      for (int l = 0; l < n; ++l) {
+        std::vector<std::uint64_t>& log =
+            wp->tmu_log[static_cast<std::size_t>(l)];
+        for (const std::uint64_t line : log) {
+          if (wp->tmu->Access(line)) wp->alu->CountTmuMiss(1);
+        }
+        log.clear();
+      }
+      for (int l = 0; l < n; ++l) {
+        if (((kept >> static_cast<unsigned>(l)) & 1u) == 0) continue;
+        const std::size_t li = static_cast<std::size_t>(l);
+        std::array<float, 4> color{0.0f, 0.0f, 0.0f, 0.0f};
+        if (col[0] != nullptr) {
+          const Value& cv = *col[li];
+          color = {cv.F(0), cv.F(1), cv.F(2), cv.F(3)};
+        }
+        WritePixel(draw_rt_, b.x[li], b.y[li], b.depth[li], color,
+                   /*depth_valid=*/true);
+      }
+    } catch (const glsl::ShaderRuntimeError& e) {
+      wp->error = e.what();
+      draw_failed_.store(true, std::memory_order_relaxed);
+      drop_tmu_log();
     }
   };
-
-  if (slots.size() == 1) {
-    for (const std::uint32_t t : work) shade_tile(t, 0);
-  } else {
-    // The pool is sized by the configured thread count, not by this draw's
-    // slot count, so alternating draws with different tile counts reuse the
-    // parked workers instead of respawning threads every draw. Partial
-    // dispatch: only one pool task per shading slot is issued, so a draw
-    // covering two tiles wakes two workers, not the whole pool.
-    if (pool_ == nullptr || pool_->size() != threads) {
-      pool_ = std::make_unique<common::ThreadPool>(threads);
-    }
-    const int tile_count = static_cast<int>(work.size());
-    std::atomic<int> next_tile{0};
-    pool_->RunOn(static_cast<int>(slots.size()), [&](int slot_index) {
-      // An exception escaping a pool worker would std::terminate; record it
-      // like a shader runtime error instead (the serial path, running on
-      // the caller's thread, still propagates normally).
-      try {
-        for (int item = next_tile.fetch_add(1, std::memory_order_relaxed);
-             item < tile_count;
-             item = next_tile.fetch_add(1, std::memory_order_relaxed)) {
-          shade_tile(work[static_cast<std::size_t>(item)], slot_index);
-        }
-      } catch (const std::exception& e) {
-        slots[static_cast<std::size_t>(slot_index)].error = e.what();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    });
-    for (const ShadeSlot& slot : slots) alu_->AddCounts(slot.alu->counts());
-  }
-
-  if (failed.load(std::memory_order_relaxed)) {
-    for (const ShadeSlot& slot : slots) {
-      if (!slot.error.empty()) {
-        last_draw_error_ = slot.error;
-        break;
-      }
-    }
-    SetError(GL_INVALID_OPERATION);
-  }
 }
 
 glsl::TextureFn Context::MakeTextureFn(TmuCacheModel* cache,
@@ -1735,6 +1911,33 @@ glsl::TextureFn Context::MakeTextureFn(TmuCacheModel* cache,
       const std::uint64_t line = (static_cast<std::uint64_t>(tex_id) << 40) |
                                  static_cast<std::uint64_t>(texel >> 3);
       if (cache->Access(line)) alu->CountTmuMiss(1);
+    }
+    return tex->Sample(s, t, lod);
+  };
+}
+
+glsl::TextureFn Context::MakeBatchTextureFn(
+    ShadeStateCache::WorkerState* w) {
+  // The batched executor interleaves lanes within each instruction, so
+  // touching the cache model here would see an instruction-major access
+  // order; the scalar engine's order is fragment-major. Sampling is
+  // order-independent (contents are immutable during a draw) and happens
+  // immediately; the cache-line touch is logged per lane and replayed in
+  // lane order by the flush.
+  const int* const lane = w->vm->CurrentLanePtr();
+  return [this, w, lane](int unit, float s, float t,
+                         float lod) -> std::array<float, 4> {
+    if (unit < 0 || unit >= static_cast<int>(units_.size())) {
+      return {0.0f, 0.0f, 0.0f, 1.0f};
+    }
+    const GLuint tex_id = units_[static_cast<std::size_t>(unit)].bound_2d;
+    Texture* tex = GetTextureObject(tex_id);
+    if (tex == nullptr) return {0.0f, 0.0f, 0.0f, 1.0f};
+    const long long texel = tex->NearestTexelIndex(s, t);
+    if (texel >= 0) {
+      const std::uint64_t line = (static_cast<std::uint64_t>(tex_id) << 40) |
+                                 static_cast<std::uint64_t>(texel >> 3);
+      w->tmu_log[static_cast<std::size_t>(*lane)].push_back(line);
     }
     return tex->Sample(s, t, lod);
   };

@@ -8,6 +8,7 @@
 #define MGPU_GLES2_CONTEXT_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -34,11 +35,20 @@ namespace mgpu::gles2 {
 // under either (see bench_ablation_readback and the packing tests).
 enum class FbQuantization { kRoundNearest, kFloorPaper };
 
-// Which shader execution engine draws run on. The bytecode VM is the
-// production path (shaders are lowered once at link time and executed as a
-// flat instruction stream); the tree-walking interpreter is kept as a
-// byte-identical reference oracle, selectable for differential testing.
-enum class ExecEngine { kBytecodeVm, kTreeWalk };
+// Which shader execution engine draws run on. Three engines, all
+// byte-identical in framebuffer output and ALU/SFU/TMU op counts:
+//   kBatchedVm  — the production path: fragments are gathered into
+//                 kFragBatchWidth-lane SoA batches and the lowered bytecode
+//                 executes once per instruction over all lanes
+//                 (VmExec::RunBatch), amortizing dispatch and operand
+//                 resolution across the batch the way a VC4 QPU runs 16
+//                 pixels through one instruction stream.
+//   kBytecodeVm — the scalar VM: the same bytecode dispatched once per
+//                 fragment. Kept as the first-tier differential oracle for
+//                 the batched engine.
+//   kTreeWalk   — the tree-walking interpreter, the original reference
+//                 oracle, executing the annotated AST directly.
+enum class ExecEngine { kBatchedVm, kBytecodeVm, kTreeWalk };
 
 struct ContextConfig {
   int width = 64;
@@ -46,8 +56,12 @@ struct ContextConfig {
   bool has_depth = true;
   glsl::Limits limits;
   FbQuantization quantization = FbQuantization::kRoundNearest;
-  ExecEngine exec_engine = ExecEngine::kBytecodeVm;
+  ExecEngine exec_engine = ExecEngine::kBatchedVm;
   int max_texture_size = 4096;
+  // Entry cap of the per-worker shading-state cache (see ShadeStateCache):
+  // least-recently-drawn entries are evicted beyond this, so a workload
+  // cycling hundreds of linked programs cannot grow the cache unboundedly.
+  int shade_cache_capacity = 64;
   // Fragment-shading worker count for the tiled pipeline: <= 0 = one
   // worker per hardware thread (default), 1 = serial reference path
   // (shades on the calling thread with the program's own engine), N > 1 =
@@ -103,28 +117,65 @@ struct TmuCacheModel {
 // Caches the per-worker shading state of the tiled fragment pipeline so a
 // draw's setup cost is amortized across draws instead of paid per draw.
 // Building a worker slot is expensive — a VmExec clone (full global-store
-// copy with allocation), an AluModel fork, a TMU-cache model — and none of
-// it depends on anything but the program and the worker count. Entries are
-// keyed by (program id, configured thread count); per draw only the
-// uniforms/globals are re-synced into the used slots and the counter shards
-// reset, which allocates nothing. Invalidation: relinking or deleting a
-// program drops its entries (the cached clones pin the old bytecode);
-// switching ExecEngine or shader_threads drops everything. Size is bounded
-// by the number of live programs times the worker counts a draw actually
-// used — per-entry slot lists grow lazily to the largest draw seen, and an
-// application churning programs reclaims entries through DeleteProgram.
+// copy with allocation), an AluModel fork, a TMU-cache model, plus the
+// per-draw plumbing that used to be rebuilt on every draw and now lives
+// here: the FragmentSink / batch-flush closures, the cached gl_* slot
+// pointers, the varying scatter tables, the lane-batch scratch and the
+// deferred TMU access log, and the engine's installed texture callback.
+// None of it depends on anything but the program, the engine flavor and
+// the worker count, so steady-state draws allocate nothing at all.
+//
+// Entries are keyed by (program id, configured thread count); the serial
+// path (1 effective worker) caches under thread count 1 with a slot that
+// *borrows* the program's own engine, the context ALU model and the
+// context-owned serial TMU cache instead of owning clones. Per draw only
+// the uniforms/globals are re-synced into used parallel slots and the
+// counter shards reset. Invalidation: relinking or deleting a program
+// drops its entries (the cached clones pin the old bytecode); switching
+// ExecEngine or shader_threads drops everything. Entries beyond the
+// configured capacity are evicted least-recently-drawn first, so holding
+// hundreds of linked programs cannot grow the cache unboundedly.
 class ShadeStateCache {
  public:
-  // One shading worker's private state: engine clone, ALU counter shard,
-  // TMU-cache model. Pointees are stable for the life of the entry (the
-  // engine's texture callback captures the shard and cache by address).
+  // One shading worker's private state and cached draw plumbing. Pointees
+  // are stable for the life of the entry (the closures and the engine's
+  // texture callback capture them by address), so WorkerStates are held by
+  // unique_ptr — lazy slot growth must not move them.
   struct WorkerState {
-    std::unique_ptr<glsl::VmExec> engine;
-    std::unique_ptr<glsl::AluModel> alu;
-    std::unique_ptr<TmuCacheModel> tmu;
+    // Owned state — parallel worker slots only. The serial slot borrows
+    // the program's engine, the context's ALU model and serial TMU cache.
+    std::unique_ptr<glsl::VmExec> engine_owned;
+    std::unique_ptr<glsl::AluModel> alu_owned;
+    std::unique_ptr<TmuCacheModel> tmu_owned;
+    // Views the draw loop uses (into the owned state or the borrowed one).
+    glsl::ShaderEngine* engine = nullptr;
+    glsl::VmExec* vm = nullptr;  // non-null when `engine` is a bytecode VM
+    glsl::AluModel* alu = nullptr;
+    TmuCacheModel* tmu = nullptr;
+
+    // Cached draw plumbing. `sink` shades one fragment per call (scalar
+    // engines); `flush` shades and drains `batch` (batched engine).
+    FragmentSink sink;
+    BatchFlushFn flush;
+    FragmentBatch batch;
+    // Deferred TMU accounting for the batched engine: texture-cache lines
+    // touched by each lane, replayed in lane order after the batch so the
+    // modeled miss count reproduces the scalar engine's fragment-
+    // sequential access order exactly.
+    std::array<std::vector<std::uint64_t>, kFragBatchWidth> tmu_log;
+    std::string error;  // first shader runtime error this draw, if any
+
+    // Uninstalls the texture callback from a *borrowed* engine: the serial
+    // slot installs a callback capturing this WorkerState on the program's
+    // long-lived engine, and LRU eviction or a cache clear must not leave
+    // that engine holding a reference to freed state. (Owned engines die
+    // with the slot; invalidation always runs before the program itself is
+    // destroyed, so the borrowed engine is still alive here.)
+    ~WorkerState();
   };
   struct Entry {
-    std::vector<WorkerState> workers;
+    std::vector<std::unique_ptr<WorkerState>> workers;
+    std::uint64_t last_use = 0;
   };
 
   // Returns the entry for (program, threads), or nullptr on a miss. Hit /
@@ -134,14 +185,23 @@ class ShadeStateCache {
   void InvalidateProgram(GLuint program);
   void Clear() { entries_.clear(); }
 
+  // LRU capacity: inserting beyond it evicts the least-recently-used
+  // entry. At least 1.
+  void SetCapacity(std::size_t cap) { capacity_ = cap < 1 ? 1 : cap; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
   [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
  private:
   std::map<std::pair<GLuint, int>, Entry> entries_;
+  std::size_t capacity_ = 64;
+  std::uint64_t use_tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 class Context {
@@ -336,6 +396,18 @@ class Context {
   // are immutable during a draw, each worker owns its cache and counters).
   [[nodiscard]] glsl::TextureFn MakeTextureFn(TmuCacheModel* cache,
                                               glsl::AluModel* alu);
+  // Lane-aware variant for the batched engine: sampling happens
+  // immediately (contents are immutable during a draw), but the touched
+  // cache line is logged to the executing lane's entry of w->tmu_log; the
+  // flush replays the logs in lane order so miss counts match the scalar
+  // engine's fragment-sequential access order byte for byte.
+  [[nodiscard]] glsl::TextureFn MakeBatchTextureFn(
+      ShadeStateCache::WorkerState* w);
+  // Builds a worker slot's cached draw plumbing — texture callback,
+  // fragment sink (scalar engines) or batch flush (batched engine), with
+  // the program's gl_* slot and varying destinations resolved once.
+  void BuildWorkerPlumbing(ShadeStateCache::WorkerState& w,
+                           ProgramObject* prog);
 
   ContextConfig config_;
   glsl::ExactAlu default_alu_;
@@ -358,8 +430,13 @@ class Context {
   // draw-local) so the texture callback installed on the long-lived
   // program engines never refers into a finished draw's stack frame.
   TmuCacheModel serial_tmu_cache_;
-  // Cached per-worker shading state (parallel VM draws); see ShadeStateCache.
+  // Cached per-worker shading state (serial and parallel draws); see
+  // ShadeStateCache.
   ShadeStateCache shade_cache_;
+  // Per-draw state the cached sink/flush closures reach through stable
+  // addresses: the resolved render target and the first-failure latch.
+  RenderTarget draw_rt_;
+  std::atomic<bool> draw_failed_{false};
   // Draw-loop scratch, context-owned so steady-state draws recycle the
   // allocations: the sparse tile binner, the post-transform vertex array
   // (inner varying vectors keep their capacity too), the assembled

@@ -6,6 +6,7 @@
 #define MGPU_GLES2_RASTER_H_
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <vector>
@@ -57,6 +58,37 @@ using FragmentSink = std::function<void(
     int x, int y, float depth, const float* varyings, bool front_facing,
     float point_s, float point_t)>;
 
+// Upper bound on flattened varying cells a draw interpolates (8 varying
+// vec4s); shared by the scalar scratch buffers and the batch planes.
+inline constexpr int kMaxVaryingCells = 64;
+
+// Lane width of a fragment batch — one batched shader dispatch covers up to
+// this many covered fragments. Must equal glsl::kVmLanes (the raster layer
+// stays glsl-free; gles2::Context static_asserts the match).
+inline constexpr int kFragBatchWidth = 16;
+
+// A fixed-width batch of covered fragments in SoA ("structure of planes")
+// layout: per-fragment scalars in parallel arrays, interpolated varyings as
+// cell-major planes so the batched VM reads each varying cell's lanes
+// contiguously. The batch rasterizer appends fragments in emission order
+// (which is what makes batched depth/blend results byte-identical to the
+// scalar path: writes drain in append order) and calls the flush callback
+// when the batch fills; the tile loop flushes the tail.
+struct FragmentBatch {
+  int count = 0;
+  std::array<std::int32_t, kFragBatchWidth> x;
+  std::array<std::int32_t, kFragBatchWidth> y;
+  std::array<float, kFragBatchWidth> depth;
+  std::array<std::uint8_t, kFragBatchWidth> front;
+  std::array<float, kFragBatchWidth> point_s;
+  std::array<float, kFragBatchWidth> point_t;
+  // Varying cell k of lane l lives at [k * kFragBatchWidth + l].
+  std::array<float, kMaxVaryingCells * kFragBatchWidth> varyings;
+};
+
+// Shades and drains a full batch (must leave batch.count == 0).
+using BatchFlushFn = std::function<void()>;
+
 void RasterizeTriangle(const RasterVertex& v0, const RasterVertex& v1,
                        const RasterVertex& v2, int varying_cells,
                        const RasterState& state, const FragmentSink& sink);
@@ -67,6 +99,25 @@ void RasterizePoint(const RasterVertex& v, int varying_cells,
 void RasterizeLine(const RasterVertex& v0, const RasterVertex& v1,
                    int varying_cells, const RasterState& state,
                    const FragmentSink& sink);
+
+// Batch-accumulating variants for the lane-batched shading path: identical
+// coverage, interpolation and emission order to the per-fragment overloads
+// (same templated pixel loops), but covered fragments are appended straight
+// into `batch`'s SoA planes — no per-fragment std::function call — and
+// `flush` fires whenever the batch fills. Callers flush the tail themselves
+// (the tile loop does it per tile, before the TMU-cache model resets).
+void RasterizeTriangle(const RasterVertex& v0, const RasterVertex& v1,
+                       const RasterVertex& v2, int varying_cells,
+                       const RasterState& state, FragmentBatch& batch,
+                       const BatchFlushFn& flush);
+
+void RasterizePoint(const RasterVertex& v, int varying_cells,
+                    const RasterState& state, FragmentBatch& batch,
+                    const BatchFlushFn& flush);
+
+void RasterizeLine(const RasterVertex& v0, const RasterVertex& v1,
+                   int varying_cells, const RasterState& state,
+                   FragmentBatch& batch, const BatchFlushFn& flush);
 
 // Conservative window-space pixel bounds of a primitive, clamped to the
 // render target — what the tile binner uses to assign primitives to tile

@@ -3,10 +3,13 @@
 // to 64x64 tile lists, then the QPUs shade tiles independently. This module
 // reproduces that structure in the simulator: post-clip primitives are
 // binned by their window-space bounds, and the draw loop (gles2::Context)
-// shades the non-empty tiles — serially or on a worker pool. Because tiles
-// partition the framebuffer and each bin preserves primitive submission
-// order, the shaded result is byte-identical for any tile execution order
-// and any worker count.
+// shades the non-empty tiles — serially or on a worker pool, with each
+// tile's covered fragments gathered into fixed-width SoA lane batches and
+// dispatched through VmExec::RunBatch under the default batched engine
+// (the batch tail flushes at tile end, inside the tile's TMU-cache
+// session). Because tiles partition the framebuffer and each bin preserves
+// primitive submission order, the shaded result is byte-identical for any
+// tile execution order and any worker count.
 //
 // The binner is *sparse*: storage scales with the tiles a draw actually
 // touches, not with the width x height tile grid of the target. Bins live

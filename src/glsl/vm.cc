@@ -1,6 +1,7 @@
 #include "glsl/vm.h"
 
 #include <array>
+#include <bit>
 #include <cstring>
 
 namespace mgpu::glsl {
@@ -9,6 +10,87 @@ namespace {
 // Same budgets (and messages) as the tree-walking interpreter.
 constexpr std::uint64_t kMaxLoopSteps = 100'000'000;
 constexpr int kMaxCallDepth = 64;
+
+// Lane iteration policies for the batched executors. LaneRange is the
+// lockstep case (all lanes [0, n) active); LaneMask iterates the set bits
+// of a divergence mask.
+struct LaneRange {
+  int n;
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (int l = 0; l < n; ++l) f(l);
+  }
+};
+struct LaneMask {
+  std::uint32_t bits;
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (std::uint32_t m = bits; m != 0; m &= m - 1) {
+      f(std::countr_zero(m));
+    }
+  }
+};
+
+// Resolved batch operand: a base pointer plus a lane stride — 1 for
+// per-lane planes (registers, lane-varying globals), 0 for storage shared
+// by every lane (constants, uniforms and other lane-invariant globals).
+// Keeping resolution out of the lane loop is the point of batching: the
+// scalar engine re-decodes operands once per fragment per instruction.
+struct LaneSrc {
+  const Value* base;
+  int stride;
+  [[nodiscard]] const Value& at(int lane) const { return base[stride * lane]; }
+};
+struct LaneDst {
+  Value* base;
+  int stride;
+  [[nodiscard]] Value& at(int lane) const { return base[stride * lane]; }
+};
+
+// The one place operands resolve to lane views — value ops and branch
+// conditions in both executors go through the same space dispatch, so the
+// encodings cannot drift apart. Built per executor entry from the engine's
+// storage base pointers (none of the vectors resize during execution).
+struct LaneViews {
+  Value* lane_regs;
+  Value* lane_globals;
+  Value* globals;
+  const Value* consts;
+  const std::int32_t* lane_global_index;
+
+  [[nodiscard]] LaneSrc Read(std::uint32_t operand) const {
+    const std::uint32_t idx = operand & kOperandIndexMask;
+    switch (operand & ~kOperandIndexMask) {
+      case kSpaceReg:
+        return {&lane_regs[static_cast<std::size_t>(idx) * kVmLanes], 1};
+      case kSpaceGlobal: {
+        const std::int32_t lg = lane_global_index[idx];
+        return lg >= 0
+                   ? LaneSrc{&lane_globals[static_cast<std::size_t>(lg) *
+                                           kVmLanes],
+                             1}
+                   : LaneSrc{&globals[idx], 0};
+      }
+      default:
+        return {&consts[idx], 0};
+    }
+  }
+  // Destination view. A lane-invariant global destination (possible only
+  // when every lane would store the same value) resolves to stride 0 —
+  // last lane wins, identical to the scalar engine storing it once per
+  // fragment.
+  [[nodiscard]] LaneDst Dst(std::uint32_t operand) const {
+    const std::uint32_t idx = operand & kOperandIndexMask;
+    if ((operand & ~kOperandIndexMask) == kSpaceReg) {
+      return {&lane_regs[static_cast<std::size_t>(idx) * kVmLanes], 1};
+    }
+    const std::int32_t lg = lane_global_index[idx];
+    return lg >= 0 ? LaneDst{&lane_globals[static_cast<std::size_t>(lg) *
+                                           kVmLanes],
+                             1}
+                   : LaneDst{&globals[idx], 0};
+  }
+};
 
 }  // namespace
 
@@ -48,6 +130,11 @@ void VmExec::SyncGlobalsFrom(const VmExec& base) {
     globals_ = base.globals_;
     regs_ = base.regs_;
     refs_.resize(prog_->ref_slot_count);
+    // The per-lane planes were sized and typed for the old program.
+    batch_ready_ = false;
+    lane_regs_.clear();
+    lane_globals_.clear();
+    lane_refs_.clear();
     return;
   }
   // Element-wise copy-assign: Value reuses its existing cell storage when
@@ -245,6 +332,606 @@ bool VmExec::Execute(std::uint32_t pc) {
     }
     ++pc;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched (SoA) execution
+// ---------------------------------------------------------------------------
+
+void VmExec::EnsureBatchState() {
+  if (batch_ready_) return;
+  const std::size_t n_regs = prog_->reg_types.size();
+  lane_regs_.clear();
+  lane_regs_.reserve(n_regs * kVmLanes);
+  for (const Type& t : prog_->reg_types) {
+    for (int l = 0; l < kVmLanes; ++l) lane_regs_.emplace_back(t);
+  }
+  // Per-lane globals start as copies of the shared store, which at this
+  // point holds the const-init results and current uniforms. Globals the
+  // run chunk re-initializes are overwritten per batch anyway; const tables
+  // that user code may write keep their correct initial value per lane.
+  lane_globals_.clear();
+  lane_globals_.reserve(
+      static_cast<std::size_t>(prog_->lane_global_count) * kVmLanes);
+  for (std::size_t g = 0; g < prog_->globals.size(); ++g) {
+    if (prog_->lane_global_index[g] < 0) continue;
+    for (int l = 0; l < kVmLanes; ++l) lane_globals_.push_back(globals_[g]);
+  }
+  lane_refs_.assign(
+      static_cast<std::size_t>(prog_->ref_slot_count) * kVmLanes, LRef{});
+  lane_ret_stack_.assign(
+      static_cast<std::size_t>(kVmLanes) * (kMaxCallDepth + 1), 0);
+  batch_ready_ = true;
+}
+
+Value& VmExec::LaneGlobalAt(int slot, int lane) {
+  EnsureBatchState();
+  const std::int32_t lg =
+      prog_->lane_global_index[static_cast<std::size_t>(slot)];
+  return lg >= 0 ? lane_globals_[static_cast<std::size_t>(lg) * kVmLanes +
+                                 static_cast<std::size_t>(lane)]
+                 : globals_[static_cast<std::size_t>(slot)];
+}
+
+std::uint32_t VmExec::RunBatch(int n) {
+  if (n <= 0) return 0;
+  EnsureBatchState();
+  return prog_->uniform_control_flow ? ExecuteBatchUniform(n)
+                                     : ExecuteBatchDivergent(n);
+}
+
+template <typename Lanes>
+void VmExec::ExecBatchOp(const VmInst& in, const Lanes& lanes) {
+  // Operand resolution, hoisted out of the lane loop.
+  const LaneViews views{lane_regs_.data(), lane_globals_.data(),
+                        globals_.data(), prog_->consts.data(),
+                        prog_->lane_global_index.data()};
+  const auto dst = [&views](std::uint32_t operand) { return views.Dst(operand); };
+  const auto read = [&views](std::uint32_t operand) {
+    return views.Read(operand);
+  };
+  const auto ref_at = [this](std::uint32_t slot, int lane) -> LRef& {
+    return lane_refs_[static_cast<std::size_t>(slot) * kVmLanes +
+                      static_cast<std::size_t>(lane)];
+  };
+
+  switch (in.op) {
+    case VmOp::kCopy: {
+      const LaneDst d = dst(in.dst);
+      const LaneSrc s = read(in.a);
+      const int cells = d.base->count();
+      lanes.ForEach([&](int l) {
+        Cell* dc = d.at(l).data();
+        const Cell* sc = s.at(l).data();
+        if (cells <= 4) {
+          for (int k = 0; k < cells; ++k) dc[k] = sc[k];
+        } else {
+          std::memmove(dc, sc, static_cast<std::size_t>(cells) * sizeof(Cell));
+        }
+      });
+      break;
+    }
+    case VmOp::kZero: {
+      const LaneDst d = dst(in.dst);
+      const int cells = d.base->count();
+      lanes.ForEach([&](int l) {
+        Cell* dc = d.at(l).data();
+        if (cells <= 4) {
+          for (int k = 0; k < cells; ++k) dc[k].i = 0;
+        } else {
+          std::memset(dc, 0, static_cast<std::size_t>(cells) * sizeof(Cell));
+        }
+      });
+      break;
+    }
+    case VmOp::kShuffle: {
+      const LaneDst d = dst(in.dst);
+      const LaneSrc s = read(in.a);
+      lanes.ForEach([&](int l) {
+        Cell* dc = d.at(l).data();
+        const Cell* sc = s.at(l).data();
+        for (int k = 0; k < in.n; ++k) {
+          dc[k] = sc[(in.aux >> (8 * k)) & 0xffu];
+        }
+      });
+      break;
+    }
+    case VmOp::kExtract: {
+      IndexStep step;
+      step.limit = static_cast<int>(in.aux);
+      step.elem_cells = in.n;
+      const LaneDst d = dst(in.dst);
+      const LaneSrc a = read(in.a);
+      const LaneSrc b = read(in.b);
+      lanes.ForEach([&](int l) {
+        EvalExtractInto(a.at(l), step, b.at(l).I(0), d.at(l));
+      });
+      break;
+    }
+    case VmOp::kArith: {
+      const LaneDst d = dst(in.dst);
+      const LaneSrc a = read(in.a);
+      const LaneSrc b = read(in.b);
+      const BinOp op = static_cast<BinOp>(in.u8);
+      // Straight-line SoA inner loops for the scalar-float +-*/ bulk of
+      // lowered kernel code: one dispatch per instruction, then a tight
+      // lane loop through the same AluModel entry points (and therefore
+      // the same counts and rounding) as EvalArithInto's fast path.
+      if (op <= BinOp::kDiv && d.base->count() == 1 &&
+          ScalarOf(a.base->type().base) == BaseType::kFloat) {
+        switch (op) {
+          case BinOp::kAdd:
+            lanes.ForEach([&](int l) {
+              d.at(l).SetF(0, alu_.Add(a.at(l).F(0), b.at(l).F(0)));
+            });
+            break;
+          case BinOp::kSub:
+            lanes.ForEach([&](int l) {
+              d.at(l).SetF(0, alu_.Sub(a.at(l).F(0), b.at(l).F(0)));
+            });
+            break;
+          case BinOp::kMul:
+            lanes.ForEach([&](int l) {
+              d.at(l).SetF(0, alu_.Mul(a.at(l).F(0), b.at(l).F(0)));
+            });
+            break;
+          default:
+            lanes.ForEach([&](int l) {
+              d.at(l).SetF(0, alu_.Div(a.at(l).F(0), b.at(l).F(0)));
+            });
+            break;
+        }
+        break;
+      }
+      lanes.ForEach([&](int l) {
+        EvalArithInto(alu_, op, a.at(l), b.at(l), d.at(l));
+      });
+      break;
+    }
+    case VmOp::kNeg: {
+      const LaneDst d = dst(in.dst);
+      const LaneSrc a = read(in.a);
+      lanes.ForEach([&](int l) { EvalNegInto(alu_, a.at(l), d.at(l)); });
+      break;
+    }
+    case VmOp::kNot: {
+      const LaneDst d = dst(in.dst);
+      const LaneSrc a = read(in.a);
+      lanes.ForEach([&](int l) { EvalNotInto(alu_, a.at(l), d.at(l)); });
+      break;
+    }
+    case VmOp::kXor: {
+      const LaneDst d = dst(in.dst);
+      const LaneSrc a = read(in.a);
+      const LaneSrc b = read(in.b);
+      lanes.ForEach([&](int l) {
+        d.at(l).SetB(0, a.at(l).B(0) != b.at(l).B(0));
+      });
+      break;
+    }
+    case VmOp::kBoolNorm: {
+      const LaneDst d = dst(in.dst);
+      const LaneSrc a = read(in.a);
+      lanes.ForEach([&](int l) { d.at(l).SetB(0, a.at(l).B(0)); });
+      break;
+    }
+    case VmOp::kCtor: {
+      const LaneDst d = dst(in.dst);
+      std::array<LaneSrc, 16> av;
+      for (int i = 0; i < in.n; ++i) {
+        av[static_cast<std::size_t>(i)] =
+            read(prog_->arg_ops[in.aux + static_cast<std::uint32_t>(i)]);
+      }
+      const int cells = d.base->count();
+      lanes.ForEach([&](int l) {
+        std::array<const Value*, 16> ptrs;
+        for (int i = 0; i < in.n; ++i) {
+          ptrs[static_cast<std::size_t>(i)] =
+              &av[static_cast<std::size_t>(i)].at(l);
+        }
+        Value& out = d.at(l);
+        std::memset(out.data(), 0,
+                    static_cast<std::size_t>(cells) * sizeof(Cell));
+        EvalCtorInto(alu_,
+                     std::span<const Value* const>(ptrs.data(), in.n), out);
+      });
+      break;
+    }
+    case VmOp::kBuiltin: {
+      const LaneDst d = dst(in.dst);
+      std::array<LaneSrc, kMaxBuiltinArgs> av;
+      for (int i = 0; i < in.n; ++i) {
+        av[static_cast<std::size_t>(i)] =
+            read(prog_->arg_ops[in.aux + static_cast<std::uint32_t>(i)]);
+      }
+      lanes.ForEach([&](int l) {
+        batch_lane_ = l;  // lane-aware texture callbacks read this
+        std::array<const Value*, kMaxBuiltinArgs> ptrs;
+        for (int i = 0; i < in.n; ++i) {
+          ptrs[static_cast<std::size_t>(i)] =
+              &av[static_cast<std::size_t>(i)].at(l);
+        }
+        EvalBuiltinInto(static_cast<Builtin>(in.u8), in.type,
+                        std::span<const Value* const>(ptrs.data(), in.n),
+                        alu_, texture_, d.at(l));
+      });
+      break;
+    }
+    case VmOp::kRefVar: {
+      const LaneDst v = dst(in.a);
+      lanes.ForEach([&](int l) {
+        ref_at(in.dst, l) = RefWhole(v.at(l), in.type);
+      });
+      break;
+    }
+    case VmOp::kRefIndex: {
+      IndexStep step;
+      step.limit = static_cast<int>(in.aux);
+      step.elem_cells = in.n;
+      step.elem_type = in.type;
+      const LaneSrc b = read(in.b);
+      lanes.ForEach([&](int l) {
+        ref_at(in.dst, l) = RefIndex(ref_at(in.a, l), step, b.at(l).I(0));
+      });
+      break;
+    }
+    case VmOp::kRefSwizzle: {
+      std::array<std::uint8_t, 4> comps{};
+      for (int k = 0; k < in.n; ++k) {
+        comps[static_cast<std::size_t>(k)] =
+            static_cast<std::uint8_t>((in.aux >> (8 * k)) & 0xffu);
+      }
+      lanes.ForEach([&](int l) {
+        ref_at(in.dst, l) =
+            RefSwizzle(ref_at(in.a, l), in.type, comps.data(), in.n);
+      });
+      break;
+    }
+    case VmOp::kReadRef: {
+      const LaneDst d = dst(in.dst);
+      lanes.ForEach([&](int l) { ReadRefInto(ref_at(in.a, l), d.at(l)); });
+      break;
+    }
+    case VmOp::kWriteRef: {
+      const LaneSrc a = read(in.a);
+      lanes.ForEach([&](int l) { WriteRef(ref_at(in.dst, l), a.at(l)); });
+      break;
+    }
+    case VmOp::kIncDec: {
+      const LaneDst d = dst(in.dst);
+      lanes.ForEach([&](int l) {
+        EvalIncDecInto(alu_, ref_at(in.a, l), (in.u8 & 1) != 0,
+                       (in.u8 & 2) != 0, d.at(l));
+      });
+      break;
+    }
+    case VmOp::kIncDecVar: {
+      const LaneDst v = dst(in.a);
+      const LaneDst d = dst(in.dst);
+      lanes.ForEach([&](int l) {
+        EvalIncDecVar(alu_, v.at(l), (in.u8 & 1) != 0, (in.u8 & 2) != 0,
+                      d.at(l));
+      });
+      break;
+    }
+    default:
+      break;  // control-flow ops are handled by the executor loops
+  }
+}
+
+std::uint32_t VmExec::ExecuteBatchUniform(int n) {
+  const VmInst* const code = prog_->code.data();
+  const LaneViews views{lane_regs_.data(), lane_globals_.data(),
+                        globals_.data(), prog_->consts.data(),
+                        prog_->lane_global_index.data()};
+  const std::uint32_t full =
+      n >= 32 ? ~0u : ((1u << static_cast<unsigned>(n)) - 1u);
+  std::array<std::uint32_t, kMaxCallDepth + 1> ret_stack;
+  int sp = 0;
+  // One budget counter stands in for every lane's: with uniform control
+  // flow all lanes take identical trip counts, so the per-fragment budget
+  // trips at exactly the same guard as in a scalar run.
+  loop_steps_ = 0;
+  std::uint32_t pc = prog_->run_entry;
+  const LaneRange lanes{n};
+
+  while (true) {
+    const VmInst& in = code[pc];
+    switch (in.op) {
+      case VmOp::kJump:
+        pc = in.aux;
+        continue;
+      case VmOp::kJumpIfFalse:
+      case VmOp::kJumpIfTrue: {
+        // Uniform-control-flow programs: the analysis guarantees every
+        // active lane holds the same condition value, so lane 0 decides
+        // for the batch.
+        if (views.Read(in.a).at(0).B(0) == (in.op == VmOp::kJumpIfTrue)) {
+          pc = in.aux;
+          continue;
+        }
+        break;
+      }
+      case VmOp::kLoopGuard:
+        if (++loop_steps_ > kMaxLoopSteps) {
+          throw ShaderRuntimeError(
+              "shader exceeded the loop iteration budget (a real GPU would "
+              "hang or be reset here)");
+        }
+        break;
+      case VmOp::kCall:
+        if (sp > kMaxCallDepth) {
+          throw ShaderRuntimeError("shader call depth exceeded");
+        }
+        ret_stack[static_cast<std::size_t>(sp++)] = pc + 1;
+        pc = prog_->functions[in.aux].entry;
+        continue;
+      case VmOp::kRet:
+        if (sp == 0) return full;  // main returned for every lane
+        pc = ret_stack[static_cast<std::size_t>(--sp)];
+        continue;
+      case VmOp::kDiscard:
+        return 0;  // all lanes reached it together
+      case VmOp::kHalt:
+        return full;
+      case VmOp::kTrap:
+        throw ShaderRuntimeError(prog_->messages[in.aux]);
+      default:
+        ExecBatchOp(in, lanes);
+        break;
+    }
+    ++pc;
+  }
+}
+
+std::uint32_t VmExec::ExecuteBatchDivergent(int n) {
+  const VmInst* const code = prog_->code.data();
+  const std::uint32_t full =
+      n >= 32 ? ~0u : ((1u << static_cast<unsigned>(n)) - 1u);
+  constexpr std::size_t kStackStride = kMaxCallDepth + 1;
+  for (int l = 0; l < n; ++l) {
+    lane_pc_[static_cast<std::size_t>(l)] = prog_->run_entry;
+    lane_sp_[static_cast<std::size_t>(l)] = 0;
+    lane_steps_[static_cast<std::size_t>(l)] = 0;
+  }
+  std::uint32_t running = full;
+  std::uint32_t kept = full;
+
+  // Hybrid scheduling. Converged phase (the common case, entered at start):
+  // every running lane sits at the same pc, so instructions execute in
+  // lockstep with a single shared pc and none of the per-lane bookkeeping —
+  // branch conditions are still read per lane, and only a branch (or ret)
+  // whose outcome actually differs between lanes ends the phase by spilling
+  // per-lane pcs. Diverged phase: minimum-pc scheduling — each step
+  // executes the one instruction at the smallest pc any running lane waits
+  // on, with exactly the lanes parked there. Structured lowering places a
+  // branch's taken-earlier block before its taken-later block and loop
+  // bodies before their exits, so split lanes re-join at the join point's
+  // pc, where the mask covers every running lane again and the converged
+  // phase resumes. Both sides of a divergent branch thus execute, each
+  // under its own lane mask, and every lane performs exactly its scalar
+  // instruction sequence — per-lane op counts and TMU access order stay
+  // exact.
+  const LaneViews views{lane_regs_.data(), lane_globals_.data(),
+                        globals_.data(), prog_->consts.data(),
+                        prog_->lane_global_index.data()};
+  const auto cond_src = [&views](std::uint32_t operand) {
+    return views.Read(operand);
+  };
+
+  bool converged = true;
+  std::uint32_t pc = prog_->run_entry;
+  while (running != 0) {
+    if (!converged) {
+      // Diverged: find the minimum pc and its lane group; if the group is
+      // every running lane, the batch has reconverged.
+      pc = ~0u;
+      for (std::uint32_t m = running; m != 0; m &= m - 1) {
+        const int l = std::countr_zero(m);
+        pc = std::min(pc, lane_pc_[static_cast<std::size_t>(l)]);
+      }
+      std::uint32_t mask = 0;
+      for (std::uint32_t m = running; m != 0; m &= m - 1) {
+        const int l = std::countr_zero(m);
+        if (lane_pc_[static_cast<std::size_t>(l)] == pc) {
+          mask |= 1u << static_cast<unsigned>(l);
+        }
+      }
+      if (mask == running) {
+        converged = true;
+      } else {
+        const VmInst& in = code[pc];
+        switch (in.op) {
+          case VmOp::kJump:
+            LaneMask{mask}.ForEach([&](int l) {
+              lane_pc_[static_cast<std::size_t>(l)] = in.aux;
+            });
+            continue;
+          case VmOp::kJumpIfFalse:
+          case VmOp::kJumpIfTrue: {
+            const LaneSrc cond = cond_src(in.a);
+            const bool jump_on = in.op == VmOp::kJumpIfTrue;
+            LaneMask{mask}.ForEach([&](int l) {
+              lane_pc_[static_cast<std::size_t>(l)] =
+                  cond.at(l).B(0) == jump_on ? in.aux : pc + 1;
+            });
+            continue;
+          }
+          case VmOp::kLoopGuard: {
+            bool over = false;
+            LaneMask{mask}.ForEach([&](int l) {
+              over |=
+                  ++lane_steps_[static_cast<std::size_t>(l)] > kMaxLoopSteps;
+            });
+            if (over) {
+              throw ShaderRuntimeError(
+                  "shader exceeded the loop iteration budget (a real GPU "
+                  "would hang or be reset here)");
+            }
+            break;
+          }
+          case VmOp::kCall: {
+            bool deep = false;
+            LaneMask{mask}.ForEach([&](int l) {
+              const std::size_t li = static_cast<std::size_t>(l);
+              if (lane_sp_[li] > kMaxCallDepth) {
+                deep = true;
+                return;
+              }
+              lane_ret_stack_[li * kStackStride +
+                              static_cast<std::size_t>(lane_sp_[li]++)] =
+                  pc + 1;
+              lane_pc_[li] = prog_->functions[in.aux].entry;
+            });
+            if (deep) throw ShaderRuntimeError("shader call depth exceeded");
+            continue;
+          }
+          case VmOp::kRet:
+            LaneMask{mask}.ForEach([&](int l) {
+              const std::size_t li = static_cast<std::size_t>(l);
+              if (lane_sp_[li] == 0) {
+                // main returned: the lane is done (and not discarded).
+                running &= ~(1u << static_cast<unsigned>(l));
+              } else {
+                lane_pc_[li] =
+                    lane_ret_stack_[li * kStackStride +
+                                    static_cast<std::size_t>(--lane_sp_[li])];
+              }
+            });
+            continue;
+          case VmOp::kDiscard:
+            kept &= ~mask;
+            running &= ~mask;
+            continue;
+          case VmOp::kHalt:
+            running &= ~mask;
+            continue;
+          case VmOp::kTrap:
+            throw ShaderRuntimeError(prog_->messages[in.aux]);
+          default:
+            ExecBatchOp(in, LaneMask{mask});
+            break;
+        }
+        LaneMask{mask}.ForEach(
+            [&](int l) { lane_pc_[static_cast<std::size_t>(l)] = pc + 1; });
+        continue;
+      }
+    }
+
+    // Converged: lockstep over `running` with a single shared pc. Per-lane
+    // call stacks stay live (lanes reconverged from different call paths
+    // may hold different return chains), but no per-step scanning happens.
+    const VmInst& in = code[pc];
+    switch (in.op) {
+      case VmOp::kJump:
+        pc = in.aux;
+        continue;
+      case VmOp::kJumpIfFalse:
+      case VmOp::kJumpIfTrue: {
+        const LaneSrc cond = cond_src(in.a);
+        const bool jump_on = in.op == VmOp::kJumpIfTrue;
+        std::uint32_t taken = 0;
+        LaneMask{running}.ForEach([&](int l) {
+          if (cond.at(l).B(0) == jump_on) {
+            taken |= 1u << static_cast<unsigned>(l);
+          }
+        });
+        if (taken == 0) {
+          ++pc;
+        } else if (taken == running) {
+          pc = in.aux;
+        } else {
+          // The batch splits here: spill per-lane pcs and go grouped.
+          LaneMask{running}.ForEach([&](int l) {
+            lane_pc_[static_cast<std::size_t>(l)] =
+                ((taken >> static_cast<unsigned>(l)) & 1u) != 0 ? in.aux
+                                                                : pc + 1;
+          });
+          converged = false;
+        }
+        continue;
+      }
+      case VmOp::kLoopGuard: {
+        bool over = false;
+        LaneMask{running}.ForEach([&](int l) {
+          over |= ++lane_steps_[static_cast<std::size_t>(l)] > kMaxLoopSteps;
+        });
+        if (over) {
+          throw ShaderRuntimeError(
+              "shader exceeded the loop iteration budget (a real GPU would "
+              "hang or be reset here)");
+        }
+        break;
+      }
+      case VmOp::kCall: {
+        bool deep = false;
+        LaneMask{running}.ForEach([&](int l) {
+          const std::size_t li = static_cast<std::size_t>(l);
+          if (lane_sp_[li] > kMaxCallDepth) {
+            deep = true;
+            return;
+          }
+          lane_ret_stack_[li * kStackStride +
+                          static_cast<std::size_t>(lane_sp_[li]++)] = pc + 1;
+        });
+        if (deep) throw ShaderRuntimeError("shader call depth exceeded");
+        pc = prog_->functions[in.aux].entry;
+        continue;
+      }
+      case VmOp::kRet: {
+        // Pop per lane; lanes whose stacks agree keep lockstep, otherwise
+        // (reconvergence joined different call chains) spill and group.
+        std::uint32_t done = 0;
+        std::uint32_t next = ~0u;
+        bool same = true;
+        LaneMask{running}.ForEach([&](int l) {
+          const std::size_t li = static_cast<std::size_t>(l);
+          if (lane_sp_[li] == 0) {
+            done |= 1u << static_cast<unsigned>(l);
+            return;
+          }
+          const std::uint32_t ret =
+              lane_ret_stack_[li * kStackStride +
+                              static_cast<std::size_t>(--lane_sp_[li])];
+          lane_pc_[li] = ret;
+          if (next == ~0u) {
+            next = ret;
+          } else if (ret != next) {
+            same = false;
+          }
+        });
+        running &= ~done;  // main returned for those lanes (not discarded)
+        if (running == 0) continue;  // outer loop exits
+        if (same) {
+          pc = next;
+        } else {
+          converged = false;
+        }
+        continue;
+      }
+      case VmOp::kDiscard:
+        kept &= ~running;
+        running = 0;
+        continue;
+      case VmOp::kHalt:
+        running = 0;
+        continue;
+      case VmOp::kTrap:
+        throw ShaderRuntimeError(prog_->messages[in.aux]);
+      default:
+        // A full lane set iterates as a plain counted loop — cheaper than
+        // walking mask bits, and the common case until a discard punches
+        // holes into `running`.
+        if (running == full) {
+          ExecBatchOp(in, LaneRange{n});
+        } else {
+          ExecBatchOp(in, LaneMask{running});
+        }
+        break;
+    }
+    ++pc;
+  }
+  return kept;
 }
 
 }  // namespace mgpu::glsl

@@ -8,6 +8,7 @@
 #ifndef MGPU_GLSL_VM_H_
 #define MGPU_GLSL_VM_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -46,6 +47,43 @@ class VmExec final : public ShaderEngine {
 
   bool Run() override;
 
+  // --- lane-batched (SoA) execution ---
+  // Executes the run chunk once for lanes [0, n), n <= kVmLanes, looping
+  // lanes *inside* each instruction instead of instructions inside each
+  // invocation: instruction fetch, dispatch and operand resolution are paid
+  // once per instruction per batch, not once per fragment. Uniform-control-
+  // flow programs (see VmProgram::uniform_control_flow) run in lockstep
+  // under one shared pc; divergent programs run under the per-lane-pc
+  // masked executor, which executes both sides of a divergent branch with
+  // the lanes that took each side (reconverging at the minimum pc). Every
+  // lane performs exactly the evalcore operations a scalar Run() would, so
+  // results and AluModel op counts are byte-identical to n scalar runs by
+  // construction — with one caveat: a global that carries state *between*
+  // invocations without being re-initialized per run (a read GLSL leaves
+  // undefined, e.g. an initializer-less accumulator or an unwritten
+  // gl_FragColor) carries per-lane-slot history here versus per-engine
+  // history in a scalar sequence, so such shaders read different garbage.
+  // Returns the bitmask of lanes NOT killed by `discard`. Throws
+  // ShaderRuntimeError exactly where a scalar run would.
+  //
+  // Per-fragment inputs/outputs live in per-lane global planes accessed via
+  // LaneGlobalAt; uniforms and other lane-invariant globals stay in the
+  // scalar store shared by all lanes (so per-draw uniform sync cost is
+  // independent of the lane width).
+  std::uint32_t RunBatch(int n);
+
+  // Per-lane view of global `slot`: the lane's plane entry when the global
+  // is lane-varying, the shared scalar storage otherwise (lane-invariant
+  // globals are never written per lane). Allocates the planes on first use.
+  [[nodiscard]] Value& LaneGlobalAt(int slot, int lane);
+
+  // Address of the lane index the batched executor is currently running.
+  // Lane-aware texture callbacks capture it so deferred TMU-cache
+  // accounting can attribute fetches to lanes; the gles2 context replays
+  // them in lane order after the batch, reproducing the scalar engine's
+  // fragment-sequential cache access order exactly.
+  [[nodiscard]] const int* CurrentLanePtr() const { return &batch_lane_; }
+
   [[nodiscard]] int GlobalSlot(const std::string& name) const override {
     return prog_->GlobalSlot(name);
   }
@@ -62,6 +100,15 @@ class VmExec final : public ShaderEngine {
 
  private:
   bool Execute(std::uint32_t pc);
+
+  void EnsureBatchState();
+  std::uint32_t ExecuteBatchUniform(int n);
+  std::uint32_t ExecuteBatchDivergent(int n);
+  // Executes one non-control-flow instruction for the lanes `Lanes::ForEach`
+  // yields (a contiguous range for the lockstep executor, a bitmask for the
+  // divergent one), with operand resolution hoisted out of the lane loop.
+  template <typename Lanes>
+  void ExecBatchOp(const VmInst& in, const Lanes& lanes);
 
   [[nodiscard]] Value& At(std::uint32_t operand) {
     const std::uint32_t idx = operand & kOperandIndexMask;
@@ -84,6 +131,21 @@ class VmExec final : public ShaderEngine {
   std::vector<Value> regs_;
   std::vector<LRef> refs_;
   std::uint64_t loop_steps_ = 0;
+
+  // --- per-lane batch state, allocated lazily on the first RunBatch ---
+  // SoA planes: register r's lanes are contiguous at [r * kVmLanes, ...),
+  // likewise dense lane-varying global g and ref slot s.
+  bool batch_ready_ = false;
+  std::vector<Value> lane_regs_;
+  std::vector<Value> lane_globals_;
+  std::vector<LRef> lane_refs_;
+  int batch_lane_ = 0;
+  // Divergent-executor control state (members so batches allocate nothing):
+  // per-lane pc / call stack / loop budget.
+  std::array<std::uint32_t, kVmLanes> lane_pc_{};
+  std::array<int, kVmLanes> lane_sp_{};
+  std::array<std::uint64_t, kVmLanes> lane_steps_{};
+  std::vector<std::uint32_t> lane_ret_stack_;
 };
 
 }  // namespace mgpu::glsl

@@ -62,11 +62,14 @@ struct DrawSpec {
   std::array<float, 4> tint;
 };
 
-// A mix of tiny draws (single tile: the cache-free serial fast path) and
-// spanning draws (parallel shading; every slot used, including slots left
-// stale by smaller draws before them). Four draws span several tiles, so a
-// warm 2+-thread context sees exactly 1 cache miss and 3 hits.
+// A mix of tiny draws (single tile: the serial path, cached under thread
+// count 1) and spanning draws (parallel shading; every slot used, including
+// slots left stale by smaller draws before them). Four draws are tiny and
+// four span several tiles, so a warm 2+-thread context builds exactly two
+// entries — one serial, one parallel — and hits on every draw after each
+// entry's first.
 constexpr std::size_t kSpanningDraws = 4;
+constexpr std::size_t kTinyDraws = 4;
 const std::vector<DrawSpec>& Corpus() {
   static const std::vector<DrawSpec> specs = {
       {0.05f, -0.9f, -0.9f, {1.0f, 0.2f, 0.1f, 1.0f}},
@@ -178,14 +181,17 @@ TEST(ShadeStateCacheTest, WarmDrawsAreByteAndCountIdenticalToColdDraws) {
     cold.Draw(d);
     serial.Draw(d);
   }
-  // The warm context really did reuse state: one entry, hit on every
-  // *multi-tile* draw after the first (single-tile draws take the serial
-  // fast path and never consult the cache). The cold context never hit.
-  EXPECT_EQ(warm.ctx().shade_state_cache().entry_count(), 1u);
-  EXPECT_EQ(warm.ctx().shade_state_cache().hits(), kSpanningDraws - 1);
-  EXPECT_EQ(warm.ctx().shade_state_cache().misses(), 1u);
+  // The warm context really did reuse state: one parallel entry plus one
+  // serial entry (single-tile draws cache their plumbing under thread
+  // count 1), a hit on every draw after each entry's first. The cold
+  // context never hit (its cache is cleared before every draw).
+  EXPECT_EQ(warm.ctx().shade_state_cache().entry_count(), 2u);
+  EXPECT_EQ(warm.ctx().shade_state_cache().hits(),
+            (kSpanningDraws - 1) + (kTinyDraws - 1));
+  EXPECT_EQ(warm.ctx().shade_state_cache().misses(), 2u);
   EXPECT_EQ(cold.ctx().shade_state_cache().hits(), 0u);
-  EXPECT_EQ(cold.ctx().shade_state_cache().misses(), kSpanningDraws);
+  EXPECT_EQ(cold.ctx().shade_state_cache().misses(),
+            kSpanningDraws + kTinyDraws);
 
   const RunResult w = warm.Finish();
   const RunResult c = cold.Finish();
@@ -222,10 +228,11 @@ TEST(ShadeStateCacheTest, RelinkDropsStaleEntriesAndUsesNewBytecode) {
     warm.Draw(d);
     serial.Draw(d);
   }
-  ASSERT_EQ(warm.ctx().shade_state_cache().entry_count(), 1u);
+  // One parallel entry + one serial entry (the corpus has both shapes).
+  ASSERT_EQ(warm.ctx().shade_state_cache().entry_count(), 2u);
 
   // Relink both programs with a different fragment shader. The cached
-  // clones pin the old bytecode; the entry must be gone...
+  // clones pin the old bytecode; the entries must be gone...
   auto relink = [](StormRig& rig) {
     Context& ctx = rig.ctx();
     const GLuint fs = testutil::CompileShaderOrDie(
@@ -290,6 +297,82 @@ TEST(ShadeStateCacheTest, SwitchingExecEngineDropsCacheAndStaysIdentical) {
   const RunResult s = serial.Finish();
   EXPECT_EQ(w.fb, s.fb);
   ExpectSameCounts(w.counts, s.counts, "engine-hop warm vs serial");
+}
+
+// ---------------------------------------------------------------------------
+// LRU capacity
+// ---------------------------------------------------------------------------
+
+TEST(ShadeStateCacheTest, DefaultCapacityIsSixtyFour) {
+  ContextConfig cfg;
+  Context ctx(cfg);
+  EXPECT_EQ(ctx.shade_state_cache().capacity(), 64u);
+}
+
+TEST(ShadeStateCacheTest, LruCapEvictsLeastRecentlyDrawnAndStaysCorrect) {
+  // A 2-entry cache under a 4-program round-robin: every program's entry is
+  // evicted before its next draw, so the stream runs at maximum churn — and
+  // must still produce exactly the bytes of an uncapped context.
+  ContextConfig capped_cfg;
+  capped_cfg.width = kW;
+  capped_cfg.height = kH;
+  capped_cfg.shader_threads = 1;
+  capped_cfg.shade_cache_capacity = 2;
+  Context capped(capped_cfg);
+  ContextConfig roomy_cfg = capped_cfg;
+  roomy_cfg.shade_cache_capacity = 64;
+  Context roomy(roomy_cfg);
+
+  constexpr int kPrograms = 4;
+  const auto build = [&](Context& ctx) {
+    std::vector<GLuint> progs;
+    for (int p = 0; p < kPrograms; ++p) {
+      const std::string fs =
+          "precision highp float;\n"
+          "varying vec2 v_uv;\n"
+          "uniform vec4 u_tint;\n"
+          "void main() { gl_FragColor = vec4(v_uv.x * u_tint.x, " +
+          std::to_string(0.1 + 0.2 * p) + ", v_uv.y, 1.0); }\n";
+      progs.push_back(testutil::BuildProgramOrDie(ctx, kVs, fs.c_str()));
+    }
+    return progs;
+  };
+  const std::vector<GLuint> capped_progs = build(capped);
+  const std::vector<GLuint> roomy_progs = build(roomy);
+
+  const auto draw_round_robin = [&](Context& ctx,
+                                    const std::vector<GLuint>& progs) {
+    ctx.ClearColor(0.0f, 0.0f, 0.0f, 1.0f);
+    ctx.Clear(GL_COLOR_BUFFER_BIT);
+    for (int round = 0; round < 3; ++round) {
+      for (int p = 0; p < kPrograms; ++p) {
+        const GLuint prog = progs[static_cast<std::size_t>(p)];
+        ctx.UseProgram(prog);
+        const GLint a_pos = ctx.GetAttribLocation(prog, "a_pos");
+        ctx.EnableVertexAttribArray(static_cast<GLuint>(a_pos));
+        ctx.VertexAttribPointer(static_cast<GLuint>(a_pos), 2, GL_FLOAT,
+                                GL_FALSE, 0, kTri.data());
+        ctx.Uniform2f(ctx.GetUniformLocation(prog, "u_offset"),
+                      -0.9f + 0.4f * p, -0.9f + 0.3f * round);
+        ctx.Uniform1f(ctx.GetUniformLocation(prog, "u_scale"), 0.3f);
+        ctx.Uniform4f(ctx.GetUniformLocation(prog, "u_tint"), 1.0f, 0.5f,
+                      0.25f, 1.0f);
+        ctx.DrawArrays(GL_TRIANGLES, 0, 3);
+        ASSERT_EQ(ctx.GetError(), static_cast<GLenum>(GL_NO_ERROR));
+      }
+    }
+  };
+  draw_round_robin(capped, capped_progs);
+  draw_round_robin(roomy, roomy_progs);
+
+  EXPECT_LE(capped.shade_state_cache().entry_count(), 2u);
+  EXPECT_GT(capped.shade_state_cache().evictions(), 0u);
+  EXPECT_EQ(roomy.shade_state_cache().evictions(), 0u);
+  EXPECT_EQ(roomy.shade_state_cache().entry_count(),
+            static_cast<std::size_t>(kPrograms));
+  EXPECT_EQ(testutil::ReadRgba(capped, kW, kH),
+            testutil::ReadRgba(roomy, kW, kH))
+      << "eviction-churned draws must be byte-identical to the roomy cache";
 }
 
 TEST(ShadeStateCacheTest, ChangingShaderThreadsMidStreamStaysIdentical) {

@@ -390,6 +390,164 @@ TEST(ThreadDifferentialTest, NThreadMatchesSerialReferenceExactly) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Engine differential: batched VM vs scalar VM vs tree-walking oracle
+// ---------------------------------------------------------------------------
+
+RunResult RunScenarioOnEngine(const Scenario& sc, ExecEngine engine,
+                              int threads, bool vc4_alu) {
+  vc4::Vc4Alu vc4(vc4::VideoCoreIV());
+  glsl::ExactAlu exact;
+  glsl::AluModel& alu = vc4_alu ? static_cast<glsl::AluModel&>(vc4) : exact;
+  ContextConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.shader_threads = threads;
+  cfg.exec_engine = engine;
+  Context ctx(cfg, &alu);
+  alu.ResetCounts();
+  sc.run(ctx);
+  EXPECT_EQ(ctx.GetError(), static_cast<GLenum>(GL_NO_ERROR))
+      << sc.name << " engine=" << static_cast<int>(engine)
+      << " draw error: " << ctx.last_draw_error();
+  RunResult r;
+  r.counts = alu.counts();
+  r.px = testutil::ReadRgba(ctx, kW, kH);
+  return r;
+}
+
+void ExpectEngineAgreement(const Scenario& sc, bool vc4_alu) {
+  SCOPED_TRACE(std::string(sc.name) + (vc4_alu ? " vc4" : " exact"));
+  // Scalar VM, serial: the reference.
+  const RunResult ref =
+      RunScenarioOnEngine(sc, ExecEngine::kBytecodeVm, 1, vc4_alu);
+  struct Config {
+    ExecEngine engine;
+    int threads;
+    const char* what;
+  };
+  const Config configs[] = {
+      {ExecEngine::kBatchedVm, 1, "batched serial"},
+      {ExecEngine::kBatchedVm, 3, "batched threaded"},
+      {ExecEngine::kBytecodeVm, 3, "scalar threaded"},
+      {ExecEngine::kTreeWalk, 1, "tree-walk oracle"},
+  };
+  for (const Config& c : configs) {
+    const RunResult got =
+        RunScenarioOnEngine(sc, c.engine, c.threads, vc4_alu);
+    EXPECT_EQ(got.px, ref.px) << c.what << ": framebuffer differs";
+    EXPECT_EQ(got.counts.alu, ref.counts.alu) << c.what;
+    EXPECT_EQ(got.counts.sfu, ref.counts.sfu) << c.what;
+    EXPECT_EQ(got.counts.sfu_trans, ref.counts.sfu_trans) << c.what;
+    EXPECT_EQ(got.counts.tmu, ref.counts.tmu) << c.what;
+    EXPECT_EQ(got.counts.tmu_miss, ref.counts.tmu_miss) << c.what;
+  }
+  EXPECT_GT(ref.counts.alu, 0u);
+}
+
+TEST(EngineDifferentialTest, AllEnginesAgreeOnScenarioCorpusExactAlu) {
+  for (const Scenario& sc : kScenarios) ExpectEngineAgreement(sc, false);
+}
+
+TEST(EngineDifferentialTest, AllEnginesAgreeOnScenarioCorpusVc4Alu) {
+  for (const Scenario& sc : kScenarios) ExpectEngineAgreement(sc, true);
+}
+
+// Divergence-heavy scenario: per-pixel branches, varying loop trip counts,
+// calls inside divergent branches, divergent discard, and texture fetches
+// in one branch side — the masked executor's whole menu in one draw.
+void ScenarioDivergent(Context& ctx) {
+  GLuint tex = 0;
+  ctx.GenTextures(1, &tex);
+  ctx.BindTexture(GL_TEXTURE_2D, tex);
+  std::vector<std::uint8_t> img(16 * 16 * 4);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<std::uint8_t>((i * 13 + 5) & 0xff);
+  }
+  ctx.TexImage2D(GL_TEXTURE_2D, 0, GL_RGBA, 16, 16, 0, GL_RGBA,
+                 GL_UNSIGNED_BYTE, img.data());
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MIN_FILTER, GL_NEAREST);
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MAG_FILTER, GL_NEAREST);
+  const GLuint prog = testutil::BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      R"(
+precision highp float;
+varying vec2 v_uv;
+uniform sampler2D u_tex;
+float weight(float x) {
+  if (x > 0.6) return sin(x * 9.0);
+  return cos(x * 5.0) * 0.5;
+}
+void main() {
+  if (fract(v_uv.x * 13.0 + v_uv.y * 7.0) < 0.15) discard;
+  float acc = 0.0;
+  int n = int(mod(v_uv.x * 37.0, 6.0)) + 1;
+  for (int i = 0; i < 8; ++i) {
+    if (i >= n) break;
+    acc += weight(v_uv.y + float(i) * 0.09);
+  }
+  vec4 t = vec4(0.25);
+  if (v_uv.y > 0.5) t = texture2D(u_tex, v_uv * 3.0);
+  gl_FragColor = vec4(fract(acc), t.xy, 1.0);
+}
+)");
+  ctx.UseProgram(prog);
+  ctx.Uniform1i(ctx.GetUniformLocation(prog, "u_tex"), 0);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+  testutil::DrawFullscreenQuad(ctx, prog);
+}
+
+TEST(EngineDifferentialTest, DivergentControlFlowAgreesAcrossEngines) {
+  const Scenario sc{"divergent", ScenarioDivergent};
+  ExpectEngineAgreement(sc, /*vc4_alu=*/false);
+  ExpectEngineAgreement(sc, /*vc4_alu=*/true);
+}
+
+// Batch-tail coverage: draws of exactly n pixels for every n in
+// [1, kFragBatchWidth + 1] — each ends in a RunBatch tail of size
+// n % width — must match the scalar engine bit for bit, bytes and counts.
+TEST(EngineDifferentialTest, EveryBatchTailSizeMatchesScalar) {
+  for (int n = 1; n <= kFragBatchWidth + 1; ++n) {
+    SCOPED_TRACE("pixels=" + std::to_string(n));
+    auto run = [&](ExecEngine engine) {
+      glsl::ExactAlu alu;
+      ContextConfig cfg;
+      cfg.width = kW;
+      cfg.height = kH;
+      cfg.shader_threads = 1;
+      cfg.exec_engine = engine;
+      Context ctx(cfg, &alu);
+      const GLuint prog = testutil::BuildProgramOrDie(
+          ctx, testutil::kPassthroughVs,
+          R"(
+precision highp float;
+varying vec2 v_uv;
+void main() {
+  float pick = v_uv.x > 0.001 ? sin(v_uv.x * 40.0) : 0.5;
+  gl_FragColor = vec4(fract(pick), v_uv.x, v_uv.y, 1.0);
+}
+)");
+      ctx.UseProgram(prog);
+      ctx.Clear(GL_COLOR_BUFFER_BIT);
+      // Shrink the viewport so the fullscreen quad rasterizes to exactly an
+      // n x 1 pixel strip — the draw's whole fragment stream is one batch
+      // tail of n lanes.
+      ctx.Viewport(3, 5, n, 1);
+      testutil::DrawFullscreenQuad(ctx, prog);
+      EXPECT_EQ(ctx.GetError(), static_cast<GLenum>(GL_NO_ERROR));
+      RunResult r;
+      r.counts = alu.counts();
+      r.px = testutil::ReadRgba(ctx, kW, kH);
+      return r;
+    };
+    const RunResult batched = run(ExecEngine::kBatchedVm);
+    const RunResult scalar = run(ExecEngine::kBytecodeVm);
+    EXPECT_EQ(batched.px, scalar.px);
+    EXPECT_EQ(batched.counts.alu, scalar.counts.alu);
+    EXPECT_EQ(batched.counts.sfu_trans, scalar.counts.sfu_trans);
+  }
+}
+
 // The tree-walking oracle cannot be cloned per worker; a multithreaded
 // request must fall back to the serial path and still match the VM.
 TEST(ThreadDifferentialTest, TreeWalkOracleMatchesParallelVm) {

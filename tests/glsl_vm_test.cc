@@ -6,6 +6,7 @@
 // VM-specific hazards (register clobbering across calls, side effects in
 // argument lists, discard inside helpers).
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -652,6 +653,307 @@ TEST(VmGles2Test, DrawsAreByteIdenticalAcrossEngines) {
   EXPECT_EQ(vm_counts.tmu, tree_counts.tmu);
   EXPECT_EQ(vm_counts.tmu_miss, tree_counts.tmu_miss);
   EXPECT_GT(vm_counts.alu, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched execution: RunBatch vs per-lane scalar Run
+// ---------------------------------------------------------------------------
+//
+// Every shader below reads the varying `v_in`, so lanes carry distinct data;
+// the divergent cases branch/loop/discard/call on it. For each batch size n
+// in [1, kVmLanes] the batched engine must reproduce the scalar engine's
+// per-lane gl_FragColor bits, per-lane discard decisions, and the summed
+// ALU/SFU/TMU counts exactly.
+
+struct BatchCase {
+  const char* label;
+  std::string source;
+  bool expect_uniform_flow = false;  // analysis sanity check
+  bool with_texture = false;
+};
+
+std::vector<BatchCase> BatchCorpus() {
+  std::vector<BatchCase> cases;
+  cases.push_back(
+      {"straight_line_math",
+       R"(precision highp float;
+varying vec4 v_in;
+uniform vec4 u_bias;
+void main() {
+  vec4 a = v_in * 2.0 + u_bias;
+  float s = sin(a.x) + cos(a.y) * sqrt(abs(a.z) + 1.0);
+  gl_FragColor = vec4(fract(s), a.y * 0.25, pow(abs(a.w) + 0.5, 1.3), 1.0);
+})",
+       /*expect_uniform_flow=*/true});
+  cases.push_back(
+      {"uniform_branch_and_loop",
+       R"(precision highp float;
+varying vec4 v_in;
+uniform float u_mode;
+void main() {
+  float acc = v_in.x;
+  // Branch + trip count depend only on the uniform: still lockstep.
+  if (u_mode > 0.5) { acc += 3.0; } else { acc -= 1.0; }
+  for (int i = 0; i < 5; ++i) acc += v_in.y * float(i);
+  gl_FragColor = vec4(acc, v_in.z, 0.0, 1.0);
+})",
+       /*expect_uniform_flow=*/true});
+  cases.push_back(
+      {"divergent_if_else",
+       R"(precision highp float;
+varying vec4 v_in;
+void main() {
+  vec4 c;
+  if (v_in.x > 0.5) {
+    c = vec4(v_in.x * 2.0, sin(v_in.y), 0.25, 1.0);
+  } else {
+    c = vec4(cos(v_in.x), v_in.y * -3.0, 0.75, 1.0);
+  }
+  gl_FragColor = c;
+})"});
+  cases.push_back(
+      {"divergent_loop_trip_counts",
+       R"(precision highp float;
+varying vec4 v_in;
+void main() {
+  float acc = 0.0;
+  // Per-lane trip count: lanes leave the loop at different iterations.
+  int n = int(mod(v_in.x * 16.0, 7.0));
+  for (int i = 0; i < 16; ++i) {
+    if (i >= n) break;
+    acc += sqrt(float(i) + v_in.y);
+  }
+  gl_FragColor = vec4(acc * 0.125, float(n) * 0.1, v_in.z, 1.0);
+})"});
+  cases.push_back(
+      {"divergent_nested_with_calls",
+       R"(precision highp float;
+varying vec4 v_in;
+float helper(float x, out float extra) {
+  extra = x * 0.5;
+  if (x > 0.25) return sin(x);
+  return cos(x) + 1.0;
+}
+void main() {
+  float e = 0.0;
+  float r;
+  if (v_in.x > 0.3) {
+    if (v_in.y > 0.6) { r = helper(v_in.x, e); }
+    else { r = helper(v_in.y, e) * 2.0; }
+  } else {
+    r = helper(v_in.x + v_in.y, e) - 0.5;
+  }
+  gl_FragColor = vec4(r, e, v_in.w, 1.0);
+})"});
+  cases.push_back(
+      {"divergent_discard",
+       R"(precision highp float;
+varying vec4 v_in;
+void main() {
+  if (fract(v_in.x * 5.0) < 0.4) discard;
+  gl_FragColor = vec4(v_in.xy, fract(v_in.z * 3.0), 1.0);
+})"});
+  cases.push_back(
+      {"lockstep_dynamic_index_stores",
+       // Lane-varying *indices* are data, not control: the loop bounds are
+       // uniform and there is no varying branch, so this runs fully
+       // lockstep while every lane writes a different array element
+       // through a per-lane ref.
+       R"(precision highp float;
+varying vec4 v_in;
+void main() {
+  float tbl[4];
+  for (int i = 0; i < 4; ++i) tbl[i] = 0.125 * float(i);
+  int j = int(mod(v_in.x * 11.0, 4.0));
+  tbl[j] += v_in.y;           // lane-varying write index through a ref
+  vec4 v = vec4(0.1, 0.2, 0.3, 0.4);
+  v[int(mod(v_in.z * 7.0, 4.0))] = v_in.w;
+  gl_FragColor = vec4(tbl[j], tbl[3 - j], v.x + v.w, 1.0);
+})",
+       /*expect_uniform_flow=*/true});
+  cases.push_back(
+      {"texture_in_divergent_branch",
+       R"(precision highp float;
+varying vec4 v_in;
+uniform sampler2D u_tex;
+void main() {
+  vec4 t = vec4(0.5);
+  if (v_in.x > 0.45) t = texture2D(u_tex, v_in.xy);
+  gl_FragColor = t + texture2D(u_tex, v_in.zw) * 0.25;
+})",
+       /*expect_uniform_flow=*/false, /*with_texture=*/true});
+  cases.push_back(
+      {"divergent_early_return_and_ternary",
+       R"(precision highp float;
+varying vec4 v_in;
+void main() {
+  float pick = v_in.x > 0.5 ? sin(v_in.y) : cos(v_in.y);
+  bool both = v_in.x > 0.2 && v_in.y > 0.2;
+  if (v_in.z > 0.7) {
+    gl_FragColor = vec4(pick, both ? 1.0 : 0.0, 0.0, 1.0);
+    return;
+  }
+  gl_FragColor = vec4(pick * 0.5, 0.25, both ? 0.5 : 0.125, 1.0);
+})"});
+  return cases;
+}
+
+float fract_helper(float x) { return x - std::floor(x); }
+
+// Deterministic per-lane varying values in a range that exercises every
+// branch side across a 16-lane batch.
+std::array<float, 4> LaneInput(int lane) {
+  const float f = static_cast<float>(lane);
+  return {fract_helper(f * 0.37f + 0.11f), fract_helper(f * 0.53f + 0.29f),
+          fract_helper(f * 0.71f + 0.05f), fract_helper(f * 0.13f + 0.61f)};
+}
+
+void ExpectBatchMatchesScalar(const BatchCase& c, int lanes, bool vc4_alu) {
+  SCOPED_TRACE(std::string(c.label) + " lanes=" + std::to_string(lanes) +
+               (vc4_alu ? " vc4" : " exact"));
+  CompileResult cr = CompileGlsl(c.source, Stage::kFragment);
+  ASSERT_TRUE(cr.ok) << cr.info_log;
+  std::shared_ptr<const VmProgram> prog = LowerToBytecode(*cr.shader);
+  EXPECT_EQ(prog->uniform_control_flow, c.expect_uniform_flow)
+      << "uniform-control-flow analysis disagrees with the corpus label";
+
+  const vc4::GpuProfile profile = vc4::VideoCoreIV();
+  ExactAlu exact_s, exact_b;
+  vc4::Vc4Alu vc4_s(profile), vc4_b(profile);
+  AluModel& alu_s = vc4_alu ? static_cast<AluModel&>(vc4_s) : exact_s;
+  AluModel& alu_b = vc4_alu ? static_cast<AluModel&>(vc4_b) : exact_b;
+  VmExec scalar(prog, alu_s);
+  VmExec batch(prog, alu_b);
+
+  const auto texture = [](int unit, float s, float t, float lod) {
+    return std::array<float, 4>{s * 0.5f + static_cast<float>(unit) * 0.125f,
+                                t * 0.25f, s + t, lod + 0.75f};
+  };
+  if (c.with_texture) {
+    scalar.SetTextureFn(texture);
+    batch.SetTextureFn(texture);
+  }
+  const int in_slot = scalar.GlobalSlot("v_in");
+  ASSERT_GE(in_slot, 0);
+  const int bias_slot = scalar.GlobalSlot("u_bias");
+  const int mode_slot = scalar.GlobalSlot("u_mode");
+  const int color_slot = scalar.GlobalSlot("gl_FragColor");
+  ASSERT_GE(color_slot, 0);
+
+  // Uniforms land in the shared store of both engines (before the batch
+  // engine builds its per-lane planes, as the gles2 sync path does too).
+  for (VmExec* e : {&scalar, &batch}) {
+    if (bias_slot >= 0) {
+      Value& v = e->GlobalAt(bias_slot);
+      v.SetF(0, 0.25f); v.SetF(1, -0.5f); v.SetF(2, 1.5f); v.SetF(3, 0.125f);
+    }
+    if (mode_slot >= 0) e->GlobalAt(mode_slot).SetF(0, 0.75f);
+  }
+
+  // Scalar reference: one Run per lane, fragment-sequential.
+  alu_s.ResetCounts();
+  std::vector<bool> ref_kept;
+  std::vector<std::array<std::uint32_t, 4>> ref_color;
+  for (int l = 0; l < lanes; ++l) {
+    const std::array<float, 4> in = LaneInput(l);
+    Value& v = scalar.GlobalAt(in_slot);
+    for (int k = 0; k < 4; ++k) v.SetF(k, in[static_cast<std::size_t>(k)]);
+    ref_kept.push_back(scalar.Run());
+    const Value& cv = scalar.GlobalAt(color_slot);
+    ref_color.push_back({FloatToBits(cv.F(0)), FloatToBits(cv.F(1)),
+                         FloatToBits(cv.F(2)), FloatToBits(cv.F(3))});
+  }
+  const OpCounts want = alu_s.counts();
+
+  // Batched: same lanes in one RunBatch.
+  alu_b.ResetCounts();
+  for (int l = 0; l < lanes; ++l) {
+    const std::array<float, 4> in = LaneInput(l);
+    Value& v = batch.LaneGlobalAt(in_slot, l);
+    for (int k = 0; k < 4; ++k) v.SetF(k, in[static_cast<std::size_t>(k)]);
+  }
+  const std::uint32_t kept = batch.RunBatch(lanes);
+  const OpCounts got = alu_b.counts();
+
+  for (int l = 0; l < lanes; ++l) {
+    const bool lane_kept = ((kept >> static_cast<unsigned>(l)) & 1u) != 0;
+    EXPECT_EQ(lane_kept, ref_kept[static_cast<std::size_t>(l)])
+        << "lane " << l << " discard disagreement";
+    if (!lane_kept) continue;
+    const Value& cv = batch.LaneGlobalAt(color_slot, l);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(FloatToBits(cv.F(k)),
+                ref_color[static_cast<std::size_t>(l)]
+                         [static_cast<std::size_t>(k)])
+          << "lane " << l << " component " << k;
+    }
+  }
+  EXPECT_EQ(got.alu, want.alu) << "alu count";
+  EXPECT_EQ(got.sfu, want.sfu) << "sfu count";
+  EXPECT_EQ(got.sfu_trans, want.sfu_trans) << "sfu_trans count";
+  EXPECT_EQ(got.tmu, want.tmu) << "tmu count";
+}
+
+TEST(VmBatchDifferentialTest, AllTailSizesMatchScalarExactAlu) {
+  for (const BatchCase& c : BatchCorpus()) {
+    for (int lanes = 1; lanes <= kVmLanes; ++lanes) {
+      ExpectBatchMatchesScalar(c, lanes, /*vc4_alu=*/false);
+    }
+  }
+}
+
+TEST(VmBatchDifferentialTest, AllTailSizesMatchScalarVc4Alu) {
+  for (const BatchCase& c : BatchCorpus()) {
+    for (int lanes = 1; lanes <= kVmLanes; ++lanes) {
+      ExpectBatchMatchesScalar(c, lanes, /*vc4_alu=*/true);
+    }
+  }
+}
+
+TEST(VmBatchDifferentialTest, RepeatedBatchesReuseStateCorrectly) {
+  // Back-to-back batches on one engine (the steady-state draw-loop shape):
+  // later batches must not see residue from earlier ones.
+  const BatchCase c = BatchCorpus()[3];  // divergent loop trip counts
+  for (int round = 0; round < 3; ++round) {
+    ExpectBatchMatchesScalar(c, kVmLanes, /*vc4_alu=*/false);
+  }
+  CompileResult cr = CompileGlsl(c.source, Stage::kFragment);
+  ASSERT_TRUE(cr.ok);
+  std::shared_ptr<const VmProgram> prog = LowerToBytecode(*cr.shader);
+  ExactAlu alu_s, alu_b;
+  VmExec scalar(prog, alu_s);
+  VmExec batch(prog, alu_b);
+  const int in_slot = scalar.GlobalSlot("v_in");
+  const int color_slot = scalar.GlobalSlot("gl_FragColor");
+  for (int round = 0; round < 4; ++round) {
+    const int lanes = 1 + (round * 5) % kVmLanes;  // varying tails per round
+    for (int l = 0; l < lanes; ++l) {
+      const float base = static_cast<float>(round) * 0.21f;
+      Value& sv = scalar.GlobalAt(in_slot);
+      Value& bv = batch.LaneGlobalAt(in_slot, l);
+      for (int k = 0; k < 4; ++k) {
+        const float f =
+            fract_helper(base + static_cast<float>(l * 4 + k) * 0.17f);
+        bv.SetF(k, f);
+      }
+      (void)sv;
+    }
+    const std::uint32_t kept = batch.RunBatch(lanes);
+    for (int l = 0; l < lanes; ++l) {
+      Value& sv = scalar.GlobalAt(in_slot);
+      const Value& bv = batch.LaneGlobalAt(in_slot, l);
+      for (int k = 0; k < 4; ++k) sv.SetF(k, bv.F(k));
+      const bool ref_kept = scalar.Run();
+      EXPECT_EQ(((kept >> static_cast<unsigned>(l)) & 1u) != 0, ref_kept);
+      if (!ref_kept) continue;
+      const Value& sc = scalar.GlobalAt(color_slot);
+      const Value& bc = batch.LaneGlobalAt(color_slot, l);
+      for (int k = 0; k < 4; ++k) {
+        EXPECT_EQ(FloatToBits(bc.F(k)), FloatToBits(sc.F(k)))
+            << "round " << round << " lane " << l << " comp " << k;
+      }
+    }
+  }
 }
 
 }  // namespace
