@@ -16,6 +16,7 @@
 //   gate a run only against a baseline recorded at the same size (CI and
 //   ci/bench_baseline.json both use --quick).
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -23,6 +24,7 @@
 
 #include "bench_util.h"
 #include "compute/kernel.h"
+#include "gles2/context.h"
 #include "vc4/profiles.h"
 
 namespace {
@@ -93,6 +95,112 @@ SweepResult RunSweep(gles2::ExecEngine engine, int shader_threads = 1,
   return result;
 }
 
+// --- vector-heavy scene: vec3 lighting in the fragment shader -------------
+// The Fig. 1 sweep's self-index kernel is scalar-float-only, which the
+// batched engine already fast-pathed in PR 4; this scene measures the SoA
+// win where it matters — whole-vector arithmetic, normalize/dot/pow — with
+// uniform control flow, so the lockstep executor drives the vector kernels
+// for full 16-lane batches. Byte-identical across engines by construction
+// (FNV hash of the framebuffer is a gated deterministic metric).
+
+using namespace mgpu::gles2;
+
+constexpr char kLightVs[] = R"(
+attribute vec2 a_pos;
+varying vec3 v_nrm;
+varying vec3 v_pos;
+void main() {
+  v_pos = vec3(a_pos * 2.0, a_pos.x - a_pos.y);
+  v_nrm = vec3(a_pos.y, 1.0 - a_pos.x, 0.5 + a_pos.x * a_pos.y);
+  gl_Position = vec4(a_pos, 0.0, 1.0);
+}
+)";
+
+constexpr char kLightFs[] = R"(
+precision highp float;
+varying vec3 v_nrm;
+varying vec3 v_pos;
+uniform vec3 u_light;
+uniform vec3 u_tint;
+void main() {
+  vec3 n = normalize(v_nrm);
+  vec3 l = normalize(u_light - v_pos);
+  float diff = max(dot(n, l), 0.0);
+  vec3 h = normalize(l + vec3(0.0, 0.0, 1.0));
+  float spec = pow(max(dot(n, h), 0.0), 16.0);
+  vec3 col = u_tint * diff + cross(n, l) * 0.125 + vec3(spec);
+  gl_FragColor = vec4(fract(col), 1.0);
+}
+)";
+
+struct VectorHeavyResult {
+  double seconds = 0.0;
+  std::uint32_t fb_hash = 0;
+  bool ok = true;
+};
+
+std::uint32_t Fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint32_t h = 2166136261u;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+VectorHeavyResult RunVectorHeavy(gles2::ExecEngine engine, int size) {
+  gles2::ContextConfig cfg;
+  cfg.width = size;
+  cfg.height = size;
+  cfg.has_depth = false;
+  cfg.shader_threads = 1;
+  cfg.exec_engine = engine;
+  gles2::Context ctx(cfg);
+
+  const GLuint vs = ctx.CreateShader(GL_VERTEX_SHADER);
+  ctx.ShaderSource(vs, kLightVs);
+  ctx.CompileShader(vs);
+  const GLuint fs = ctx.CreateShader(GL_FRAGMENT_SHADER);
+  ctx.ShaderSource(fs, kLightFs);
+  ctx.CompileShader(fs);
+  const GLuint prog = ctx.CreateProgram();
+  ctx.AttachShader(prog, vs);
+  ctx.AttachShader(prog, fs);
+  ctx.LinkProgram(prog);
+  GLint linked = GL_FALSE;
+  ctx.GetProgramiv(prog, GL_LINK_STATUS, &linked);
+  VectorHeavyResult r;
+  if (linked != GL_TRUE) {
+    std::fprintf(stderr, "vector_heavy link failed: %s\n",
+                 ctx.GetProgramInfoLog(prog).c_str());
+    r.ok = false;
+    return r;
+  }
+  ctx.UseProgram(prog);
+  ctx.Uniform3f(ctx.GetUniformLocation(prog, "u_light"), 0.4f, 0.9f, 1.5f);
+  ctx.Uniform3f(ctx.GetUniformLocation(prog, "u_tint"), 0.6f, 0.3f, 0.8f);
+
+  static const float kQuad[12] = {-1, -1, 1, -1, 1, 1, -1, -1, 1, 1, -1, 1};
+  const GLuint loc =
+      static_cast<GLuint>(ctx.GetAttribLocation(prog, "a_pos"));
+  ctx.EnableVertexAttribArray(loc);
+  ctx.VertexAttribPointer(loc, 2, GL_FLOAT, GL_FALSE, 0, kQuad);
+  ctx.ClearColor(0.0f, 0.0f, 0.0f, 1.0f);
+  ctx.Clear(GL_COLOR_BUFFER_BIT);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ctx.DrawArrays(GL_TRIANGLES, 0, 6);
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.ok = ctx.GetError() == static_cast<GLenum>(GL_NO_ERROR);
+
+  std::vector<std::uint8_t> fb(static_cast<std::size_t>(size) * size * 4);
+  ctx.ReadPixels(0, 0, size, size, GL_RGBA, GL_UNSIGNED_BYTE, fb.data());
+  r.fb_hash = Fnv1a(fb);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,6 +259,33 @@ int main(int argc, char** argv) {
   std::printf("  batched speedup vs scalar VM:  %.2fx\n",
               vm.seconds / batched.seconds);
 
+  // --- vector-heavy lighting scene: the SoA-kernel showcase ---------------
+  const int vh_size = quick ? 256 : 512;
+  auto best_vh = [&](gles2::ExecEngine engine) {
+    VectorHeavyResult best = RunVectorHeavy(engine, vh_size);
+    bool all_ok = best.ok;
+    for (int r = 1; r < reps; ++r) {
+      VectorHeavyResult again = RunVectorHeavy(engine, vh_size);
+      all_ok = all_ok && again.ok && again.fb_hash == best.fb_hash;
+      if (again.seconds < best.seconds) best.seconds = again.seconds;
+    }
+    best.ok = all_ok;
+    return best;
+  };
+  const VectorHeavyResult vh_batched =
+      best_vh(gles2::ExecEngine::kBatchedVm);
+  const VectorHeavyResult vh_scalar =
+      best_vh(gles2::ExecEngine::kBytecodeVm);
+  const bool vh_identical = vh_batched.fb_hash == vh_scalar.fb_hash;
+  std::printf("\nvector-heavy scene (%dx%d vec3 lighting, "
+              "normalize/dot/pow per fragment):\n",
+              vh_size, vh_size);
+  std::printf("  batched VM:  %8.3f s\n", vh_batched.seconds);
+  std::printf("  scalar VM:   %8.3f s  (batched speedup %.2fx, "
+              "framebuffers %s)\n",
+              vh_scalar.seconds, vh_scalar.seconds / vh_batched.seconds,
+              vh_identical ? "identical" : "MISMATCH");
+
   bench::JsonBenchWriter json("fig1_pipeline");
   json.Add("vm_sweep", vm.seconds, "s");
   json.Add("tree_sweep", tree.seconds, "s");
@@ -159,6 +294,14 @@ int main(int argc, char** argv) {
   json.Add("batched_speedup_vs_scalar", vm.seconds / batched.seconds, "x");
   json.Add("coverage_ok",
            batched.ok && vm.ok && tree.ok ? 1.0 : 0.0, "bool");
+  json.Add("vector_heavy_batched", vh_batched.seconds, "s");
+  json.Add("vector_heavy_scalar", vh_scalar.seconds, "s");
+  json.Add("vector_heavy_speedup", vh_scalar.seconds / vh_batched.seconds,
+           "x");
+  json.Add("vector_heavy_fb_hash", vh_batched.fb_hash, "hash");
+  json.Add("vector_heavy_identical",
+           vh_identical && vh_batched.ok && vh_scalar.ok ? 1.0 : 0.0,
+           "bool");
   if (!json.Write()) {
     std::fprintf(stderr, "warning: could not write BENCH_fig1_pipeline.json\n");
   }
@@ -206,7 +349,8 @@ int main(int argc, char** argv) {
                  "warning: could not write BENCH_threads_scaling.json\n");
   }
 
-  const bool all_ok = batched.ok && vm.ok && tree.ok && scaling_ok;
+  const bool all_ok = batched.ok && vm.ok && tree.ok && scaling_ok &&
+                      vh_identical && vh_batched.ok && vh_scalar.ok;
   std::printf("\nresult: %s\n", all_ok ? "every size maps 1:1" : "FAILURE");
   return all_ok ? 0 : 1;
 }

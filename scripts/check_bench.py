@@ -15,6 +15,13 @@ committed baseline (ci/bench_baseline.json) and fails the job when:
 Units "threads" (environment-dependent) and metrics absent from the
 baseline are reported but never gate.
 
+The baseline carries a `meta` block recording which machine class it was
+measured on (cpu count, arch, source). Timing gates against a baseline from
+a different machine class are unreliable — the checker prints the recorded
+class and soft-warns on a mismatch so a runner-vs-devbox discrepancy is
+visible in the log instead of silently gating nonsense. Deterministic
+metrics gate exactly regardless of machine.
+
 Usage:
   check_bench.py --baseline ci/bench_baseline.json BENCH_a.json BENCH_b.json
   check_bench.py --skip-timing ...   # deterministic metrics only (e.g. the
@@ -22,11 +29,18 @@ Usage:
                                      # timings incomparable to the baseline)
   check_bench.py --update ...        # rewrite the baseline from the given
                                      # BENCH files (run on a quiet machine,
-                                     # commit the result)
+                                     # commit the result); records this
+                                     # machine's class in `meta` unless
+                                     # --machine-class/--source override it.
+                                     # CI uploads a ready-to-commit refresh
+                                     # as the `bench-baseline-refresh`
+                                     # artifact on every gcc main run.
 """
 
 import argparse
 import json
+import os
+import platform
 import sys
 
 DETERMINISTIC_UNITS = {"bool", "hash", "ops", "count"}
@@ -52,26 +66,50 @@ def load_bench_file(path):
     return data["benchmark"], metrics
 
 
-def update_baseline(baseline_path, bench_files):
+def local_machine_class():
+    return f"{os.cpu_count() or '?'}-core {platform.machine()}"
+
+
+def update_baseline(baseline_path, bench_files, machine_class, source):
     benchmarks = {}
     for path in bench_files:
         name, metrics = load_bench_file(path)
         benchmarks[name] = metrics
+    meta = {
+        "machine_class": machine_class or local_machine_class(),
+        "cpu_count": os.cpu_count() or 0,
+        "source": source,
+    }
     with open(baseline_path, "w") as f:
-        json.dump({"benchmarks": benchmarks}, f, indent=2, sort_keys=True)
+        json.dump({"benchmarks": benchmarks, "meta": meta}, f, indent=2,
+                  sort_keys=True)
         f.write("\n")
     print(f"baseline written: {baseline_path} "
-          f"({', '.join(sorted(benchmarks))})")
+          f"({', '.join(sorted(benchmarks))}) "
+          f"[machine: {meta['machine_class']}, source: {meta['source']}]")
     return 0
 
 
 def check(baseline_path, bench_files, skip_timing):
     with open(baseline_path) as f:
-        baseline = json.load(f)["benchmarks"]
+        data = json.load(f)
+    baseline = data["benchmarks"]
+    meta = data.get("meta", {})
 
     failures = []
     warnings = []
     seen_benchmarks = set()
+
+    machine = meta.get("machine_class", "unknown (baseline predates meta)")
+    print(f"baseline machine class: {machine} "
+          f"[source: {meta.get('source', 'unknown')}]")
+    base_cpus = meta.get("cpu_count", 0)
+    if not skip_timing and base_cpus and base_cpus != (os.cpu_count() or 0):
+        warnings.append(
+            f"baseline was recorded on a {machine} machine but this one has "
+            f"{os.cpu_count()} cpus — timing gates may be unreliable; "
+            "refresh the baseline from this machine class (CI uploads a "
+            "ready-made one as the bench-baseline-refresh artifact)")
 
     for path in bench_files:
         bench, metrics = load_bench_file(path)
@@ -160,10 +198,17 @@ def main():
                     help="gate only deterministic metrics")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the given BENCH files")
+    ap.add_argument("--machine-class", default=None,
+                    help="machine class recorded in the baseline meta "
+                         "(default: derived from this machine)")
+    ap.add_argument("--source", default="local",
+                    help="where the BENCH files came from (e.g. 'local', "
+                         "'ci:ubuntu-latest')")
     ap.add_argument("bench_files", nargs="+")
     args = ap.parse_args()
     if args.update:
-        return update_baseline(args.baseline, args.bench_files)
+        return update_baseline(args.baseline, args.bench_files,
+                               args.machine_class, args.source)
     return check(args.baseline, args.bench_files, args.skip_timing)
 
 

@@ -347,18 +347,52 @@ void MapBinaryInto(Value& dst, const Value& a, const Value& b, F&& fn) {
   }
 }
 
+// --- lane-batched map helpers ---------------------------------------------
+// Shape flags (component counts, broadcast) are hoisted out of the lane
+// loop; the per-lane component loop applies the same `fn` in the same order
+// a lane-sequential scalar evaluation would.
+
 template <typename F>
-void MapTernaryInto(Value& dst, const Value& a, const Value& b,
-                    const Value& c, F&& fn) {
-  const bool bb = b.count() == 1 && a.count() > 1;
-  const bool cb = c.count() == 1 && a.count() > 1;
-  for (int i = 0; i < a.count(); ++i) {
-    dst.SetF(i, fn(a.F(i), b.F(bb ? 0 : i), c.F(cb ? 0 : i)));
-  }
+void MapUnaryBatch(const BatchDst& dst, const BatchSrc& a, std::uint32_t mask,
+                   F&& fn) {
+  const int n = a.base->count();
+  ForEachLane(mask, [&](int l) {
+    const Value& av = a.at(l);
+    Value& d = dst.at(l);
+    for (int i = 0; i < n; ++i) d.SetF(i, fn(av.F(i)));
+  });
 }
 
-void SetScalarF(Value& dst, float v) { dst.SetF(0, v); }
-void SetScalarB(Value& dst, bool v) { dst.SetB(0, v); }
+template <typename F>
+void MapBinaryBatch(const BatchDst& dst, const BatchSrc& a, const BatchSrc& b,
+                    std::uint32_t mask, F&& fn) {
+  const int n = a.base->count();
+  const int bs = b.base->count() == 1 && n > 1 ? 0 : 1;
+  ForEachLane(mask, [&](int l) {
+    const Value& av = a.at(l);
+    const Value& bv = b.at(l);
+    Value& d = dst.at(l);
+    for (int i = 0; i < n; ++i) d.SetF(i, fn(av.F(i), bv.F(i * bs)));
+  });
+}
+
+template <typename F>
+void MapTernaryBatch(const BatchDst& dst, const BatchSrc& a,
+                     const BatchSrc& b, const BatchSrc& c, std::uint32_t mask,
+                     F&& fn) {
+  const int n = a.base->count();
+  const int bs = b.base->count() == 1 && n > 1 ? 0 : 1;
+  const int cs = c.base->count() == 1 && n > 1 ? 0 : 1;
+  ForEachLane(mask, [&](int l) {
+    const Value& av = a.at(l);
+    const Value& bv = b.at(l);
+    const Value& cv = c.at(l);
+    Value& d = dst.at(l);
+    for (int i = 0; i < n; ++i) {
+      d.SetF(i, fn(av.F(i), bv.F(i * bs), cv.F(i * cs)));
+    }
+  });
+}
 
 void CopyCellsInto(Value& dst, const Value& src) {
   for (int i = 0; i < src.count(); ++i) dst.data()[i] = src.data()[i];
@@ -382,190 +416,242 @@ void TextureFetchInto(Value& dst, const TextureFn& texture, AluModel& alu,
 
 }  // namespace
 
-void EvalBuiltinInto(Builtin b, Type result_type,
-                     std::span<const Value* const> argp, AluModel& alu,
-                     const TextureFn& texture, Value& dst) {
+bool IsSoaBuiltin(Builtin b) { return b < Builtin::kTexture2D; }
+
+void EvalBuiltinBatch(Builtin b, Type result_type,
+                      std::span<const BatchSrc> argp, AluModel& alu,
+                      const TextureFn& texture, const BatchDst& dst,
+                      std::uint32_t mask) {
   (void)result_type;  // dst carries it; kept for signature symmetry
-  // Convenience view: args(i) is the i-th argument value.
-  const auto args = [&](std::size_t i) -> const Value& { return *argp[i]; };
+  // Convenience view: args(i) is the i-th argument's lane plane.
+  const auto args = [&](std::size_t i) -> const BatchSrc& { return argp[i]; };
   constexpr float kPi = 3.14159265358979323846f;
   switch (b) {
     case Builtin::kRadians:
-      return MapUnaryInto(dst, args(0),
-                      [&](float x) { return alu.Mul(x, kPi / 180.0f); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Mul(x, kPi / 180.0f); });
     case Builtin::kDegrees:
-      return MapUnaryInto(dst, args(0),
-                      [&](float x) { return alu.Mul(x, 180.0f / kPi); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Mul(x, 180.0f / kPi); });
     case Builtin::kSin:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Sin(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Sin(x); });
     case Builtin::kCos:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Cos(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Cos(x); });
     case Builtin::kTan:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Tan(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Tan(x); });
     case Builtin::kAsin:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Asin(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Asin(x); });
     case Builtin::kAcos:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Acos(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Acos(x); });
     case Builtin::kAtan:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Atan(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Atan(x); });
     case Builtin::kAtan2:
-      return MapBinaryInto(dst, args(0), args(1),
-                       [&](float y, float x) { return alu.Atan2(y, x); });
+      return MapBinaryBatch(dst, args(0), args(1), mask,
+                            [&](float y, float x) { return alu.Atan2(y, x); });
     case Builtin::kPow:
-      return MapBinaryInto(dst, args(0), args(1),
-                       [&](float x, float y) { return alu.Pow(x, y); });
+      return MapBinaryBatch(dst, args(0), args(1), mask,
+                            [&](float x, float y) { return alu.Pow(x, y); });
     case Builtin::kExp:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Exp(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Exp(x); });
     case Builtin::kLog:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Log(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Log(x); });
     case Builtin::kExp2:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Exp2(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Exp2(x); });
     case Builtin::kLog2:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Log2(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Log2(x); });
     case Builtin::kSqrt:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Sqrt(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.Sqrt(x); });
     case Builtin::kInverseSqrt:
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.RecipSqrt(x); });
+      return MapUnaryBatch(dst, args(0), mask,
+                           [&](float x) { return alu.RecipSqrt(x); });
 
     case Builtin::kAbs:
-      return MapUnaryInto(dst, args(0), [&](float x) {
+      return MapUnaryBatch(dst, args(0), mask, [&](float x) {
         alu.Count(1);
         return std::fabs(x);
       });
     case Builtin::kSign:
-      return MapUnaryInto(dst, args(0), [&](float x) {
+      return MapUnaryBatch(dst, args(0), mask, [&](float x) {
         alu.Count(1);
         return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
       });
     case Builtin::kFloor:
-      return MapUnaryInto(dst, args(0), [&](float x) {
+      return MapUnaryBatch(dst, args(0), mask, [&](float x) {
         alu.Count(1);
         return std::floor(x);
       });
     case Builtin::kCeil:
-      return MapUnaryInto(dst, args(0), [&](float x) {
+      return MapUnaryBatch(dst, args(0), mask, [&](float x) {
         alu.Count(1);
         return std::ceil(x);
       });
     case Builtin::kFract:
       // x - floor(x), one ALU op for the floor and one for the subtract.
-      return MapUnaryInto(dst, args(0), [&](float x) {
+      return MapUnaryBatch(dst, args(0), mask, [&](float x) {
         alu.Count(1);
         return alu.Sub(x, std::floor(x));
       });
     case Builtin::kMod:
       // mod(x, y) = x - y * floor(x / y), per spec.
-      return MapBinaryInto(dst, args(0), args(1), [&](float x, float y) {
+      return MapBinaryBatch(dst, args(0), args(1), mask, [&](float x, float y) {
         const float q = alu.Div(x, y);
         alu.Count(1);
         return alu.Sub(x, alu.Mul(y, std::floor(q)));
       });
     case Builtin::kMin:
-      return MapBinaryInto(dst, args(0), args(1), [&](float x, float y) {
+      return MapBinaryBatch(dst, args(0), args(1), mask, [&](float x, float y) {
         alu.Count(1);
         return std::fmin(x, y);
       });
     case Builtin::kMax:
-      return MapBinaryInto(dst, args(0), args(1), [&](float x, float y) {
+      return MapBinaryBatch(dst, args(0), args(1), mask, [&](float x, float y) {
         alu.Count(1);
         return std::fmax(x, y);
       });
     case Builtin::kClamp:
-      return MapTernaryInto(dst, args(0), args(1), args(2),
-                        [&](float x, float lo, float hi) {
-                          alu.Count(2);
-                          return std::fmin(std::fmax(x, lo), hi);
-                        });
+      return MapTernaryBatch(dst, args(0), args(1), args(2), mask,
+                             [&](float x, float lo, float hi) {
+                               alu.Count(2);
+                               return std::fmin(std::fmax(x, lo), hi);
+                             });
     case Builtin::kMix:
-      return MapTernaryInto(dst, args(0), args(1), args(2),
-                        [&](float x, float y, float a) {
-                          return alu.Add(alu.Mul(x, alu.Sub(1.0f, a)),
-                                         alu.Mul(y, a));
-                        });
+      return MapTernaryBatch(dst, args(0), args(1), args(2), mask,
+                             [&](float x, float y, float a) {
+                               return alu.Add(alu.Mul(x, alu.Sub(1.0f, a)),
+                                              alu.Mul(y, a));
+                             });
     case Builtin::kStep:
       // step(edge, x): note argument order (edge first).
-      return MapBinaryInto(dst, args(1), args(0), [&](float x, float edge) {
-        alu.Count(1);
-        return x < edge ? 0.0f : 1.0f;
-      });
+      return MapBinaryBatch(dst, args(1), args(0), mask,
+                            [&](float x, float edge) {
+                              alu.Count(1);
+                              return x < edge ? 0.0f : 1.0f;
+                            });
     case Builtin::kSmoothstep: {
       // t = clamp((x-e0)/(e1-e0), 0, 1); t*t*(3-2t).
-      const Value& e0 = args(0);
-      const Value& e1 = args(1);
-      const Value& x = args(2);
-      Value& out = dst;
-      const bool bcast = e0.count() == 1 && x.count() > 1;
-      for (int i = 0; i < x.count(); ++i) {
-        const float a = e0.F(bcast ? 0 : i);
-        const float bb = e1.F(bcast ? 0 : i);
-        float t = alu.Div(alu.Sub(x.F(i), a), alu.Sub(bb, a));
-        alu.Count(2);
-        t = std::fmin(std::fmax(t, 0.0f), 1.0f);
-        out.SetF(i, alu.Mul(alu.Mul(t, t), alu.Sub(3.0f, alu.Mul(2.0f, t))));
-      }
+      const BatchSrc& e0 = args(0);
+      const BatchSrc& e1 = args(1);
+      const BatchSrc& x = args(2);
+      const int n = x.base->count();
+      const int es = e0.base->count() == 1 && n > 1 ? 0 : 1;
+      ForEachLane(mask, [&](int l) {
+        const Value& e0v = e0.at(l);
+        const Value& e1v = e1.at(l);
+        const Value& xv = x.at(l);
+        Value& out = dst.at(l);
+        for (int i = 0; i < n; ++i) {
+          const float a = e0v.F(i * es);
+          const float bb = e1v.F(i * es);
+          float t = alu.Div(alu.Sub(xv.F(i), a), alu.Sub(bb, a));
+          alu.Count(2);
+          t = std::fmin(std::fmax(t, 0.0f), 1.0f);
+          out.SetF(i,
+                   alu.Mul(alu.Mul(t, t), alu.Sub(3.0f, alu.Mul(2.0f, t))));
+        }
+      });
       return;
     }
 
-    case Builtin::kLength: {
-      const float d = DotProduct(args(0), args(0), alu);
-      return SetScalarF(dst, alu.Sqrt(d));
-    }
-    case Builtin::kDistance: {
-      Value diff(args(0).type());
-      MapBinaryInto(diff, args(0), args(1), [&](float x, float y) {
-        return alu.Sub(x, y);
+    case Builtin::kLength:
+      ForEachLane(mask, [&](int l) {
+        const float d = DotProduct(args(0).at(l), args(0).at(l), alu);
+        dst.at(l).SetF(0, alu.Sqrt(d));
       });
-      return SetScalarF(dst, alu.Sqrt(DotProduct(diff, diff, alu)));
-    }
-    case Builtin::kDot:
-      return SetScalarF(dst, DotProduct(args(0), args(1), alu));
-    case Builtin::kCross: {
-      const Value& a = args(0);
-      const Value& c = args(1);
-      Value& out = dst;
-      out.SetF(0, alu.Sub(alu.Mul(a.F(1), c.F(2)), alu.Mul(a.F(2), c.F(1))));
-      out.SetF(1, alu.Sub(alu.Mul(a.F(2), c.F(0)), alu.Mul(a.F(0), c.F(2))));
-      out.SetF(2, alu.Sub(alu.Mul(a.F(0), c.F(1)), alu.Mul(a.F(1), c.F(0))));
+      return;
+    case Builtin::kDistance: {
+      // The difference scratch is hoisted and reused per lane (its cells
+      // are fully overwritten each lane).
+      Value diff(args(0).base->type());
+      ForEachLane(mask, [&](int l) {
+        MapBinaryInto(diff, args(0).at(l), args(1).at(l),
+                      [&](float x, float y) { return alu.Sub(x, y); });
+        dst.at(l).SetF(0, alu.Sqrt(DotProduct(diff, diff, alu)));
+      });
       return;
     }
-    case Builtin::kNormalize: {
-      const float inv = alu.RecipSqrt(DotProduct(args(0), args(0), alu));
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Mul(x, inv); });
-    }
-    case Builtin::kFaceforward: {
-      const float d = DotProduct(args(2), args(1), alu);
-      alu.Count(1);
-      if (d < 0.0f) return CopyCellsInto(dst, args(0));
-      return MapUnaryInto(dst, args(0), [&](float x) { return alu.Sub(0.0f, x); });
-    }
-    case Builtin::kReflect: {
-      const float d = DotProduct(args(1), args(0), alu);
-      const float two_d = alu.Mul(2.0f, d);
-      return MapBinaryInto(dst, args(0), args(1), [&](float i, float nn) {
-        return alu.Sub(i, alu.Mul(two_d, nn));
+    case Builtin::kDot:
+      ForEachLane(mask, [&](int l) {
+        dst.at(l).SetF(0, DotProduct(args(0).at(l), args(1).at(l), alu));
       });
-    }
-    case Builtin::kRefract: {
-      const float eta = args(2).F(0);
-      const float d = DotProduct(args(1), args(0), alu);
-      const float k = alu.Sub(
-          1.0f, alu.Mul(alu.Mul(eta, eta),
-                        alu.Sub(1.0f, alu.Mul(d, d))));
-      alu.Count(1);
-      if (k < 0.0f) {
-        // Zero vector; written explicitly because the VM's destination
-        // register may hold a stale value.
-        for (int i = 0; i < args(0).count(); ++i) dst.SetF(i, 0.0f);
-        return;
-      }
-      const float coeff = alu.Add(alu.Mul(eta, d), alu.Sqrt(k));
-      return MapBinaryInto(dst, args(0), args(1), [&](float i, float nn) {
-        return alu.Sub(alu.Mul(eta, i), alu.Mul(coeff, nn));
+      return;
+    case Builtin::kCross:
+      ForEachLane(mask, [&](int l) {
+        const Value& a = args(0).at(l);
+        const Value& c = args(1).at(l);
+        Value& out = dst.at(l);
+        out.SetF(0,
+                 alu.Sub(alu.Mul(a.F(1), c.F(2)), alu.Mul(a.F(2), c.F(1))));
+        out.SetF(1,
+                 alu.Sub(alu.Mul(a.F(2), c.F(0)), alu.Mul(a.F(0), c.F(2))));
+        out.SetF(2,
+                 alu.Sub(alu.Mul(a.F(0), c.F(1)), alu.Mul(a.F(1), c.F(0))));
       });
-    }
+      return;
+    case Builtin::kNormalize:
+      ForEachLane(mask, [&](int l) {
+        const Value& a = args(0).at(l);
+        const float inv = alu.RecipSqrt(DotProduct(a, a, alu));
+        MapUnaryInto(dst.at(l), a, [&](float x) { return alu.Mul(x, inv); });
+      });
+      return;
+    case Builtin::kFaceforward:
+      ForEachLane(mask, [&](int l) {
+        const float d = DotProduct(args(2).at(l), args(1).at(l), alu);
+        alu.Count(1);
+        if (d < 0.0f) {
+          CopyCellsInto(dst.at(l), args(0).at(l));
+        } else {
+          MapUnaryInto(dst.at(l), args(0).at(l),
+                       [&](float x) { return alu.Sub(0.0f, x); });
+        }
+      });
+      return;
+    case Builtin::kReflect:
+      ForEachLane(mask, [&](int l) {
+        const float d = DotProduct(args(1).at(l), args(0).at(l), alu);
+        const float two_d = alu.Mul(2.0f, d);
+        MapBinaryInto(dst.at(l), args(0).at(l), args(1).at(l),
+                      [&](float i, float nn) {
+                        return alu.Sub(i, alu.Mul(two_d, nn));
+                      });
+      });
+      return;
+    case Builtin::kRefract:
+      ForEachLane(mask, [&](int l) {
+        const float eta = args(2).at(l).F(0);
+        const float d = DotProduct(args(1).at(l), args(0).at(l), alu);
+        const float k = alu.Sub(
+            1.0f,
+            alu.Mul(alu.Mul(eta, eta), alu.Sub(1.0f, alu.Mul(d, d))));
+        alu.Count(1);
+        Value& out = dst.at(l);
+        if (k < 0.0f) {
+          // Zero vector; written explicitly because the VM's destination
+          // register may hold a stale value.
+          for (int i = 0; i < args(0).at(l).count(); ++i) out.SetF(i, 0.0f);
+          return;
+        }
+        const float coeff = alu.Add(alu.Mul(eta, d), alu.Sqrt(k));
+        MapBinaryInto(out, args(0).at(l), args(1).at(l),
+                      [&](float i, float nn) {
+                        return alu.Sub(alu.Mul(eta, i), alu.Mul(coeff, nn));
+                      });
+      });
+      return;
     case Builtin::kMatrixCompMult:
-      return MapBinaryInto(dst, args(0), args(1),
-                       [&](float x, float y) { return alu.Mul(x, y); });
+      return MapBinaryBatch(dst, args(0), args(1), mask,
+                            [&](float x, float y) { return alu.Mul(x, y); });
 
     case Builtin::kLessThan:
     case Builtin::kLessThanEqual:
@@ -573,87 +659,129 @@ void EvalBuiltinInto(Builtin b, Type result_type,
     case Builtin::kGreaterThanEqual:
     case Builtin::kEqual:
     case Builtin::kNotEqual: {
-      const Value& a = args(0);
-      const Value& c = args(1);
-      Value& out = dst;
-      const bool is_float = a.scalar() == BaseType::kFloat;
-      for (int i = 0; i < a.count(); ++i) {
-        alu.Count(1);
-        bool r = false;
-        if (is_float) {
-          const float x = a.F(i);
-          const float y = c.F(i);
-          switch (b) {
-            case Builtin::kLessThan: r = x < y; break;
-            case Builtin::kLessThanEqual: r = x <= y; break;
-            case Builtin::kGreaterThan: r = x > y; break;
-            case Builtin::kGreaterThanEqual: r = x >= y; break;
-            case Builtin::kEqual: r = x == y; break;
-            default: r = x != y; break;
+      const int n = args(0).base->count();
+      const bool is_float = args(0).base->scalar() == BaseType::kFloat;
+      ForEachLane(mask, [&](int l) {
+        const Value& a = args(0).at(l);
+        const Value& c = args(1).at(l);
+        Value& out = dst.at(l);
+        for (int i = 0; i < n; ++i) {
+          alu.Count(1);
+          bool r = false;
+          if (is_float) {
+            const float x = a.F(i);
+            const float y = c.F(i);
+            switch (b) {
+              case Builtin::kLessThan: r = x < y; break;
+              case Builtin::kLessThanEqual: r = x <= y; break;
+              case Builtin::kGreaterThan: r = x > y; break;
+              case Builtin::kGreaterThanEqual: r = x >= y; break;
+              case Builtin::kEqual: r = x == y; break;
+              default: r = x != y; break;
+            }
+          } else {
+            const std::int32_t x = a.I(i);
+            const std::int32_t y = c.I(i);
+            switch (b) {
+              case Builtin::kLessThan: r = x < y; break;
+              case Builtin::kLessThanEqual: r = x <= y; break;
+              case Builtin::kGreaterThan: r = x > y; break;
+              case Builtin::kGreaterThanEqual: r = x >= y; break;
+              case Builtin::kEqual: r = x == y; break;
+              default: r = x != y; break;
+            }
           }
-        } else {
-          const std::int32_t x = a.I(i);
-          const std::int32_t y = c.I(i);
-          switch (b) {
-            case Builtin::kLessThan: r = x < y; break;
-            case Builtin::kLessThanEqual: r = x <= y; break;
-            case Builtin::kGreaterThan: r = x > y; break;
-            case Builtin::kGreaterThanEqual: r = x >= y; break;
-            case Builtin::kEqual: r = x == y; break;
-            default: r = x != y; break;
-          }
+          out.SetB(i, r);
         }
-        out.SetB(i, r);
-      }
+      });
       return;
     }
     case Builtin::kAny: {
-      bool r = false;
-      for (int i = 0; i < args(0).count(); ++i) r = r || args(0).B(i);
-      alu.Count(args(0).count());
-      return SetScalarB(dst, r);
+      const int n = args(0).base->count();
+      ForEachLane(mask, [&](int l) {
+        const Value& a = args(0).at(l);
+        bool r = false;
+        for (int i = 0; i < n; ++i) r = r || a.B(i);
+        alu.Count(n);
+        dst.at(l).SetB(0, r);
+      });
+      return;
     }
     case Builtin::kAll: {
-      bool r = true;
-      for (int i = 0; i < args(0).count(); ++i) r = r && args(0).B(i);
-      alu.Count(args(0).count());
-      return SetScalarB(dst, r);
+      const int n = args(0).base->count();
+      ForEachLane(mask, [&](int l) {
+        const Value& a = args(0).at(l);
+        bool r = true;
+        for (int i = 0; i < n; ++i) r = r && a.B(i);
+        alu.Count(n);
+        dst.at(l).SetB(0, r);
+      });
+      return;
     }
     case Builtin::kNot: {
-      Value& out = dst;
-      for (int i = 0; i < args(0).count(); ++i) out.SetB(i, !args(0).B(i));
-      alu.Count(args(0).count());
+      const int n = args(0).base->count();
+      ForEachLane(mask, [&](int l) {
+        const Value& a = args(0).at(l);
+        Value& out = dst.at(l);
+        for (int i = 0; i < n; ++i) out.SetB(i, !a.B(i));
+        alu.Count(n);
+      });
       return;
     }
 
+    // Texture builtins are reachable only through the single-lane scalar
+    // wrapper (EvalBuiltinInto): the batched VM replays them per lane to
+    // keep TMU cache-access order fragment-sequential (IsSoaBuiltin).
     case Builtin::kTexture2D:
-      return TextureFetchInto(dst, texture, alu, args(0).I(0), args(1).F(0),
-                          args(1).F(1), 0.0f);
+      ForEachLane(mask, [&](int l) {
+        TextureFetchInto(dst.at(l), texture, alu, args(0).at(l).I(0),
+                         args(1).at(l).F(0), args(1).at(l).F(1), 0.0f);
+      });
+      return;
     case Builtin::kTexture2DBias:
-      return TextureFetchInto(dst, texture, alu, args(0).I(0), args(1).F(0),
-                          args(1).F(1), args(2).F(0));
     case Builtin::kTexture2DLod:
-      return TextureFetchInto(dst, texture, alu, args(0).I(0), args(1).F(0),
-                          args(1).F(1), args(2).F(0));
+      ForEachLane(mask, [&](int l) {
+        TextureFetchInto(dst.at(l), texture, alu, args(0).at(l).I(0),
+                         args(1).at(l).F(0), args(1).at(l).F(1),
+                         args(2).at(l).F(0));
+      });
+      return;
     case Builtin::kTexture2DProj3:
     case Builtin::kTexture2DProj3Bias:
-    case Builtin::kTexture2DProjLod3: {
-      const float q = args(1).F(2);
-      const float lod = argp.size() > 2 ? args(2).F(0) : 0.0f;
-      return TextureFetchInto(dst, texture, alu, args(0).I(0),
-                          alu.Div(args(1).F(0), q), alu.Div(args(1).F(1), q),
-                          lod);
-    }
+    case Builtin::kTexture2DProjLod3:
+      ForEachLane(mask, [&](int l) {
+        const Value& uv = args(1).at(l);
+        const float q = uv.F(2);
+        const float lod = argp.size() > 2 ? args(2).at(l).F(0) : 0.0f;
+        TextureFetchInto(dst.at(l), texture, alu, args(0).at(l).I(0),
+                         alu.Div(uv.F(0), q), alu.Div(uv.F(1), q), lod);
+      });
+      return;
     case Builtin::kTexture2DProj4:
     case Builtin::kTexture2DProj4Bias:
-    case Builtin::kTexture2DProjLod4: {
-      const float q = args(1).F(3);
-      const float lod = argp.size() > 2 ? args(2).F(0) : 0.0f;
-      return TextureFetchInto(dst, texture, alu, args(0).I(0),
-                          alu.Div(args(1).F(0), q), alu.Div(args(1).F(1), q),
-                          lod);
-    }
+    case Builtin::kTexture2DProjLod4:
+      ForEachLane(mask, [&](int l) {
+        const Value& uv = args(1).at(l);
+        const float q = uv.F(3);
+        const float lod = argp.size() > 2 ? args(2).at(l).F(0) : 0.0f;
+        TextureFetchInto(dst.at(l), texture, alu, args(0).at(l).I(0),
+                         alu.Div(uv.F(0), q), alu.Div(uv.F(1), q), lod);
+      });
+      return;
   }
+}
+
+void EvalBuiltinInto(Builtin b, Type result_type,
+                     std::span<const Value* const> argp, AluModel& alu,
+                     const TextureFn& texture, Value& dst) {
+  // Single-lane view over the batch kernel: one implementation of builtin
+  // semantics serves the tree-walking oracle, the scalar VM, and the
+  // batched VM alike.
+  std::array<BatchSrc, kMaxBuiltinArgs> av;
+  for (std::size_t i = 0; i < argp.size(); ++i) av[i] = BatchSrc{argp[i], 0};
+  EvalBuiltinBatch(b, result_type,
+                   std::span<const BatchSrc>(av.data(), argp.size()), alu,
+                   texture, BatchDst{&dst, 0}, 0x1u);
 }
 
 Value EvalBuiltin(Builtin b, Type result_type,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "glsl/alu.h"
+#include "glsl/evalcore.h"
 #include "glsl/type.h"
 #include "glsl/value.h"
 
@@ -67,6 +68,24 @@ void EvalBuiltinInto(Builtin b, Type result_type,
 [[nodiscard]] Value EvalBuiltin(Builtin b, Type result_type,
                                 std::span<const Value* const> args,
                                 AluModel& alu, const TextureFn& texture);
+
+// Lane-batched (SoA) evaluation: builtin and shape dispatch run once per
+// instruction, then tight per-lane loops evaluate every lane of the batch.
+// This is the ONLY implementation of builtin semantics — EvalBuiltinInto is
+// a single-lane wrapper over it — so the tree-walking oracle, the scalar
+// VM, and the batched VM share one code path and cannot drift in results or
+// AluModel counts. Lanes evaluate in ascending mask order.
+void EvalBuiltinBatch(Builtin b, Type result_type,
+                      std::span<const BatchSrc> args, AluModel& alu,
+                      const TextureFn& texture, const BatchDst& dst,
+                      std::uint32_t mask);
+
+// True when the batched VM may evaluate `b` through EvalBuiltinBatch for a
+// whole batch at once. Texture builtins are excluded: the gles2 TMU-cache
+// model counts misses in fragment-sequential order, so the batched VM
+// replays them per lane instead (vm.cc), keeping cache-access order — and
+// therefore tmu_miss counts — identical to the scalar engines.
+[[nodiscard]] bool IsSoaBuiltin(Builtin b);
 
 }  // namespace mgpu::glsl
 

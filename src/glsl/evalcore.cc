@@ -346,4 +346,265 @@ void EvalExtractInto(const Value& base, const IndexStep& step, int i,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Lane-batched (SoA) kernels
+// ---------------------------------------------------------------------------
+
+void EvalArithBatch(AluModel& alu, BinOp op, const BatchSrc& l,
+                    const BatchSrc& r, const BatchDst& out,
+                    std::uint32_t mask) {
+  const BaseType lb = l.base->type().base;
+  const BaseType rb = r.base->type().base;
+  const bool is_float = ScalarOf(lb) == BaseType::kFloat;
+
+  // Linear-algebra multiplies: the accumulation pattern is the one place
+  // EvalArithInto is not a flat component loop, so replay it per lane — the
+  // dispatch to get here still ran once for the whole batch. The VM's SoA
+  // tag (TagSoaEligibility) routes these shapes to its own per-lane path,
+  // so this branch is normally unreachable from the batched executors; it
+  // is kept so the kernel stays total — if the tag predicate ever drifts,
+  // results remain correct (just unamortized) instead of silently wrong.
+  if (op == BinOp::kMul &&
+      ((IsMatrix(lb) && (IsMatrix(rb) || IsVector(rb))) ||
+       (IsVector(lb) && IsMatrix(rb)))) {
+    ForEachLane(mask, [&](int lane) {
+      EvalArithInto(alu, op, l.at(lane), r.at(lane), out.at(lane));
+    });
+    return;
+  }
+
+  // Comparisons: result is always a scalar bool (relational ops are
+  // scalar-only in GLSL ES; ==/!= on vectors and matrices reduce through
+  // EqualAll). One alu op per lane, same as the scalar loop at n == 1.
+  if (op >= BinOp::kLt && op <= BinOp::kNe) {
+    switch (op) {
+      case BinOp::kEq:
+        ForEachLane(mask, [&](int lane) {
+          alu.Count(1);
+          out.at(lane).SetB(0, EqualAll(l.at(lane), r.at(lane)));
+        });
+        return;
+      case BinOp::kNe:
+        ForEachLane(mask, [&](int lane) {
+          alu.Count(1);
+          out.at(lane).SetB(0, !EqualAll(l.at(lane), r.at(lane)));
+        });
+        return;
+      default:
+        break;
+    }
+    if (is_float) {
+      ForEachLane(mask, [&](int lane) {
+        alu.Count(1);
+        const float a = l.at(lane).F(0);
+        const float b = r.at(lane).F(0);
+        bool v = false;
+        switch (op) {
+          case BinOp::kLt: v = a < b; break;
+          case BinOp::kGt: v = a > b; break;
+          case BinOp::kLe: v = a <= b; break;
+          default: v = a >= b; break;
+        }
+        out.at(lane).SetB(0, v);
+      });
+    } else {
+      ForEachLane(mask, [&](int lane) {
+        alu.Count(1);
+        const std::int32_t a = l.at(lane).I(0);
+        const std::int32_t b = r.at(lane).I(0);
+        bool v = false;
+        switch (op) {
+          case BinOp::kLt: v = a < b; break;
+          case BinOp::kGt: v = a > b; break;
+          case BinOp::kLe: v = a <= b; break;
+          default: v = a >= b; break;
+        }
+        out.at(lane).SetB(0, v);
+      });
+    }
+    return;
+  }
+
+  // Component-wise arithmetic with scalar broadcast (covers scalars,
+  // vectors, and matrix +-/ and matrix*scalar). Shape flags hoisted: `ls`/
+  // `rs` are per-component index strides, 0 when the operand is a scalar
+  // broadcast against a wider result.
+  const int n = out.base->count();
+  const int ls = l.base->count() == 1 && n > 1 ? 0 : 1;
+  const int rs = r.base->count() == 1 && n > 1 ? 0 : 1;
+
+  if (is_float) {
+    // One tight lane loop per op: the switch runs once per instruction,
+    // not once per lane per component.
+    switch (op) {
+      case BinOp::kAdd:
+        ForEachLane(mask, [&](int lane) {
+          const Value& a = l.at(lane);
+          const Value& b = r.at(lane);
+          Value& o = out.at(lane);
+          for (int i = 0; i < n; ++i) {
+            o.SetF(i, alu.Add(a.F(i * ls), b.F(i * rs)));
+          }
+        });
+        return;
+      case BinOp::kSub:
+        ForEachLane(mask, [&](int lane) {
+          const Value& a = l.at(lane);
+          const Value& b = r.at(lane);
+          Value& o = out.at(lane);
+          for (int i = 0; i < n; ++i) {
+            o.SetF(i, alu.Sub(a.F(i * ls), b.F(i * rs)));
+          }
+        });
+        return;
+      case BinOp::kMul:
+        ForEachLane(mask, [&](int lane) {
+          const Value& a = l.at(lane);
+          const Value& b = r.at(lane);
+          Value& o = out.at(lane);
+          for (int i = 0; i < n; ++i) {
+            o.SetF(i, alu.Mul(a.F(i * ls), b.F(i * rs)));
+          }
+        });
+        return;
+      default:
+        ForEachLane(mask, [&](int lane) {
+          const Value& a = l.at(lane);
+          const Value& b = r.at(lane);
+          Value& o = out.at(lane);
+          for (int i = 0; i < n; ++i) {
+            o.SetF(i, alu.Div(a.F(i * ls), b.F(i * rs)));
+          }
+        });
+        return;
+    }
+  }
+
+  // Integer component-wise arithmetic (one counted alu op per component,
+  // division-by-zero guarded to 0, both matching EvalArithInto).
+  ForEachLane(mask, [&](int lane) {
+    const Value& a = l.at(lane);
+    const Value& b = r.at(lane);
+    Value& o = out.at(lane);
+    for (int i = 0; i < n; ++i) {
+      const std::int32_t x = a.I(i * ls);
+      const std::int32_t y = b.I(i * rs);
+      alu.Count(1);
+      switch (op) {
+        case BinOp::kAdd: o.SetI(i, x + y); break;
+        case BinOp::kSub: o.SetI(i, x - y); break;
+        case BinOp::kMul: o.SetI(i, x * y); break;
+        case BinOp::kDiv: o.SetI(i, y == 0 ? 0 : x / y); break;
+        default: break;
+      }
+    }
+  });
+}
+
+void EvalNegBatch(AluModel& alu, const BatchSrc& v, const BatchDst& out,
+                  std::uint32_t mask) {
+  const int n = v.base->count();
+  if (v.base->scalar() == BaseType::kFloat) {
+    ForEachLane(mask, [&](int lane) {
+      const Value& a = v.at(lane);
+      Value& o = out.at(lane);
+      for (int i = 0; i < n; ++i) {
+        alu.Count(1);
+        o.SetF(i, alu.Round(-a.F(i)));
+      }
+    });
+    return;
+  }
+  ForEachLane(mask, [&](int lane) {
+    const Value& a = v.at(lane);
+    Value& o = out.at(lane);
+    for (int i = 0; i < n; ++i) {
+      alu.Count(1);
+      o.SetI(i, -a.I(i));
+    }
+  });
+}
+
+void EvalNotBatch(AluModel& alu, const BatchSrc& v, const BatchDst& out,
+                  std::uint32_t mask) {
+  ForEachLane(mask, [&](int lane) {
+    alu.Count(1);
+    out.at(lane).SetB(0, !v.at(lane).B(0));
+  });
+}
+
+void EvalCtorBatch(AluModel& alu, std::span<const BatchSrc> args,
+                   const BatchDst& out, std::uint32_t mask) {
+  const BaseType target = out.base->type().base;
+  const int n = out.base->count();
+  const auto clear = [n](Value& o) {
+    Cell* c = o.data();
+    for (int i = 0; i < n; ++i) c[i].i = 0;
+  };
+
+  if (IsScalar(target)) {
+    ForEachLane(mask, [&](int lane) {
+      alu.Count(1);
+      Value& o = out.at(lane);
+      clear(o);
+      o.SetConverted(0, args[0].at(lane), 0);
+    });
+    return;
+  }
+  if (!IsVector(target)) {
+    // Matrix/array targets must never be routed here: TagSoaEligibility
+    // only marks scalar/vector constructors SoA (the VM replays matrix
+    // ctors per lane through EvalCtorInto). Falling through silently would
+    // leave stale register bytes in every lane, so fail loudly instead —
+    // always on, unlike an assert, which Release/NDEBUG would strip.
+    throw ShaderRuntimeError(
+        "internal error: non-scalar/vector constructor reached the SoA "
+        "ctor kernel (SoA tagging drifted from kernel coverage)");
+  }
+  {
+    if (args.size() == 1 && args[0].base->count() == 1) {
+      // Splat.
+      ForEachLane(mask, [&](int lane) {
+        alu.Count(n);
+        Value& o = out.at(lane);
+        const Value& a = args[0].at(lane);
+        for (int i = 0; i < n; ++i) o.SetConverted(i, a, 0);
+      });
+      return;
+    }
+    bool all_float = ScalarOf(target) == BaseType::kFloat;
+    for (std::size_t a = 0; all_float && a < args.size(); ++a) {
+      all_float = args[a].base->scalar() == BaseType::kFloat;
+    }
+    if (all_float) {
+      // The common vecN(f, v, ...) gather: a flat per-lane copy loop.
+      ForEachLane(mask, [&](int lane) {
+        alu.Count(n);
+        Value& o = out.at(lane);
+        int w = 0;
+        for (const BatchSrc& src : args) {
+          const Value& a = src.at(lane);
+          for (int i = 0; i < a.count() && w < n; ++i, ++w) {
+            o.SetF(w, a.F(i));
+          }
+        }
+        while (w < n) o.data()[w++].i = 0;  // malformed ctor tail stays zero
+      });
+      return;
+    }
+    ForEachLane(mask, [&](int lane) {
+      alu.Count(n);
+      Value& o = out.at(lane);
+      clear(o);
+      int w = 0;
+      for (const BatchSrc& src : args) {
+        const Value& a = src.at(lane);
+        for (int i = 0; i < a.count() && w < n; ++i, ++w) {
+          o.SetConverted(w, a, i);
+        }
+      }
+    });
+  }
+}
+
 }  // namespace mgpu::glsl

@@ -8,6 +8,7 @@
 #define MGPU_GLSL_EVALCORE_H_
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -95,6 +96,69 @@ void EvalIncDecVar(AluModel& alu, Value& var, bool increment, bool post,
 // R-value dynamic indexing with the runtime clamp: out = base[i].
 void EvalExtractInto(const Value& base, const IndexStep& step, int i,
                      Value& out);
+
+// ---------------------------------------------------------------------------
+// Lane-batched (SoA) kernels
+// ---------------------------------------------------------------------------
+//
+// The batched VM executes a whole fragment batch through one instruction
+// stream; these kernels run one operation for every lane of the batch with
+// operand/shape/op dispatch hoisted OUT of the lane loop — the per-lane
+// generic path re-derives all of that per fragment. Each kernel performs,
+// per lane and in ascending lane order, exactly the AluModel operations the
+// scalar Eval*Into above would, so results and ALU/SFU op counts are
+// byte-identical to per-lane execution by construction (locked down by the
+// seeded differential fuzz harness, tests/glsl_vm_fuzz_test.cc).
+
+// Strided per-lane operand view: `base` points at lane 0's Value; `stride`
+// is 1 for per-lane storage planes (registers, lane-varying globals) and 0
+// for storage shared by every lane (constants, uniforms). Lane types are
+// identical across a plane, so shape decisions made on `base` hold for all.
+struct BatchSrc {
+  const Value* base = nullptr;
+  int stride = 0;
+  [[nodiscard]] const Value& at(int lane) const { return base[stride * lane]; }
+};
+struct BatchDst {
+  Value* base = nullptr;
+  int stride = 0;
+  [[nodiscard]] Value& at(int lane) const { return base[stride * lane]; }
+};
+
+// Calls f(lane) for each set bit of `mask`, ascending — the lane iteration
+// order every batch kernel (and the VM's per-lane replay) uses, so count
+// accumulation order matches a fragment-sequential scalar run.
+template <typename F>
+void ForEachLane(std::uint32_t mask, F&& f) {
+  for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+    f(std::countr_zero(m));
+  }
+}
+
+// Binary arithmetic / comparison over a lane batch. Dispatches once on
+// (op, operand shapes), then runs tight per-op lane loops mirroring
+// EvalArithInto case for case. Total: the linear-algebra multiplies
+// (mat*mat, mat*vec, vec*mat) replay EvalArithInto per lane inside the
+// loop; everything else (component-wise arithmetic with scalar broadcast,
+// comparisons, vector/matrix ==/!=) runs SoA.
+void EvalArithBatch(AluModel& alu, BinOp op, const BatchSrc& l,
+                    const BatchSrc& r, const BatchDst& out,
+                    std::uint32_t mask);
+
+// Component-wise negation / scalar logical not over a lane batch.
+void EvalNegBatch(AluModel& alu, const BatchSrc& v, const BatchDst& out,
+                  std::uint32_t mask);
+void EvalNotBatch(AluModel& alu, const BatchSrc& v, const BatchDst& out,
+                  std::uint32_t mask);
+
+// Scalar/vector constructor over a lane batch (shape analysis hoisted; the
+// all-float gather — the common shader ctor — becomes a flat copy loop).
+// Matrix targets are NOT handled: the lowering tag (VmInst::soa) only
+// routes scalar/vector ctors here, and the VM replays matrix ctors per
+// lane through EvalCtorInto. Every lane's destination is fully cleared
+// first, matching the VM's fresh-value kCtor semantics.
+void EvalCtorBatch(AluModel& alu, std::span<const BatchSrc> args,
+                   const BatchDst& out, std::uint32_t mask);
 
 }  // namespace mgpu::glsl
 

@@ -83,6 +83,12 @@ struct VmInst {
   std::uint32_t b = kOperandNone;
   std::uint32_t aux = 0;  // jump target / arg-table start / limit / comps
   Type type;              // result/element type where the op needs one
+  // Set at lowering time (TagSoaEligibility in lower.cc) when a whole-
+  // instruction SoA batch kernel covers this op: the batched executors
+  // dispatch kArith/kCtor/kBuiltin on this bit alone — no runtime type
+  // inspection — falling back to per-lane replay when it is 0 (linear-
+  // algebra multiplies, matrix constructors, texture builtins).
+  std::uint8_t soa = 0;
 };
 
 [[nodiscard]] inline VmInst MakeInst(VmOp op) {

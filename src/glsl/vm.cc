@@ -3,6 +3,7 @@
 #include <array>
 #include <bit>
 #include <cstring>
+#include <utility>
 
 namespace mgpu::glsl {
 namespace {
@@ -13,39 +14,37 @@ constexpr int kMaxCallDepth = 64;
 
 // Lane iteration policies for the batched executors. LaneRange is the
 // lockstep case (all lanes [0, n) active); LaneMask iterates the set bits
-// of a divergence mask.
+// of a divergence mask. Mask() feeds the whole-instruction SoA kernels
+// (evalcore/builtins), which take the lane set as a bitmask.
 struct LaneRange {
   int n;
   template <typename F>
   void ForEach(F&& f) const {
     for (int l = 0; l < n; ++l) f(l);
   }
+  [[nodiscard]] std::uint32_t Mask() const {
+    return n >= 32 ? ~0u : (1u << static_cast<unsigned>(n)) - 1u;
+  }
 };
 struct LaneMask {
   std::uint32_t bits;
+  // Forwards to evalcore's ForEachLane so there is exactly one definition
+  // of the (count-parity-load-bearing) lane iteration order.
   template <typename F>
   void ForEach(F&& f) const {
-    for (std::uint32_t m = bits; m != 0; m &= m - 1) {
-      f(std::countr_zero(m));
-    }
+    ForEachLane(bits, std::forward<F>(f));
   }
+  [[nodiscard]] std::uint32_t Mask() const { return bits; }
 };
 
-// Resolved batch operand: a base pointer plus a lane stride — 1 for
-// per-lane planes (registers, lane-varying globals), 0 for storage shared
-// by every lane (constants, uniforms and other lane-invariant globals).
-// Keeping resolution out of the lane loop is the point of batching: the
-// scalar engine re-decodes operands once per fragment per instruction.
-struct LaneSrc {
-  const Value* base;
-  int stride;
-  [[nodiscard]] const Value& at(int lane) const { return base[stride * lane]; }
-};
-struct LaneDst {
-  Value* base;
-  int stride;
-  [[nodiscard]] Value& at(int lane) const { return base[stride * lane]; }
-};
+// Resolved batch operand (evalcore's strided view): a base pointer plus a
+// lane stride — 1 for per-lane planes (registers, lane-varying globals), 0
+// for storage shared by every lane (constants, uniforms and other
+// lane-invariant globals). Keeping resolution out of the lane loop is the
+// point of batching: the scalar engine re-decodes operands once per
+// fragment per instruction.
+using LaneSrc = BatchSrc;
+using LaneDst = BatchDst;
 
 // The one place operands resolve to lane views — value ops and branch
 // conditions in both executors go through the same space dispatch, so the
@@ -453,34 +452,13 @@ void VmExec::ExecBatchOp(const VmInst& in, const Lanes& lanes) {
       const LaneSrc a = read(in.a);
       const LaneSrc b = read(in.b);
       const BinOp op = static_cast<BinOp>(in.u8);
-      // Straight-line SoA inner loops for the scalar-float +-*/ bulk of
-      // lowered kernel code: one dispatch per instruction, then a tight
-      // lane loop through the same AluModel entry points (and therefore
-      // the same counts and rounding) as EvalArithInto's fast path.
-      if (op <= BinOp::kDiv && d.base->count() == 1 &&
-          ScalarOf(a.base->type().base) == BaseType::kFloat) {
-        switch (op) {
-          case BinOp::kAdd:
-            lanes.ForEach([&](int l) {
-              d.at(l).SetF(0, alu_.Add(a.at(l).F(0), b.at(l).F(0)));
-            });
-            break;
-          case BinOp::kSub:
-            lanes.ForEach([&](int l) {
-              d.at(l).SetF(0, alu_.Sub(a.at(l).F(0), b.at(l).F(0)));
-            });
-            break;
-          case BinOp::kMul:
-            lanes.ForEach([&](int l) {
-              d.at(l).SetF(0, alu_.Mul(a.at(l).F(0), b.at(l).F(0)));
-            });
-            break;
-          default:
-            lanes.ForEach([&](int l) {
-              d.at(l).SetF(0, alu_.Div(a.at(l).F(0), b.at(l).F(0)));
-            });
-            break;
-        }
+      // SoA-tagged (lowering-time table lookup): one whole-instruction
+      // kernel call — shape/op dispatch once, then tight lane loops
+      // through the same AluModel entry points (and therefore the same
+      // counts and rounding) as a per-lane EvalArithInto sequence. The
+      // untagged remainder (linear-algebra multiplies) replays per lane.
+      if (in.soa != 0) {
+        EvalArithBatch(alu_, op, a, b, d, lanes.Mask());
         break;
       }
       lanes.ForEach([&](int l) {
@@ -489,15 +467,11 @@ void VmExec::ExecBatchOp(const VmInst& in, const Lanes& lanes) {
       break;
     }
     case VmOp::kNeg: {
-      const LaneDst d = dst(in.dst);
-      const LaneSrc a = read(in.a);
-      lanes.ForEach([&](int l) { EvalNegInto(alu_, a.at(l), d.at(l)); });
+      EvalNegBatch(alu_, read(in.a), dst(in.dst), lanes.Mask());
       break;
     }
     case VmOp::kNot: {
-      const LaneDst d = dst(in.dst);
-      const LaneSrc a = read(in.a);
-      lanes.ForEach([&](int l) { EvalNotInto(alu_, a.at(l), d.at(l)); });
+      EvalNotBatch(alu_, read(in.a), dst(in.dst), lanes.Mask());
       break;
     }
     case VmOp::kXor: {
@@ -522,6 +496,13 @@ void VmExec::ExecBatchOp(const VmInst& in, const Lanes& lanes) {
         av[static_cast<std::size_t>(i)] =
             read(prog_->arg_ops[in.aux + static_cast<std::uint32_t>(i)]);
       }
+      // SoA-tagged (scalar/vector targets): whole-instruction kernel with
+      // the shape analysis and the fresh-value clear hoisted per batch.
+      if (in.soa != 0) {
+        EvalCtorBatch(alu_, std::span<const LaneSrc>(av.data(), in.n), d,
+                      lanes.Mask());
+        break;
+      }
       const int cells = d.base->count();
       lanes.ForEach([&](int l) {
         std::array<const Value*, 16> ptrs;
@@ -543,6 +524,17 @@ void VmExec::ExecBatchOp(const VmInst& in, const Lanes& lanes) {
       for (int i = 0; i < in.n; ++i) {
         av[static_cast<std::size_t>(i)] =
             read(prog_->arg_ops[in.aux + static_cast<std::uint32_t>(i)]);
+      }
+      // SoA-tagged (every non-texture builtin): one batch kernel call.
+      // Texture builtins stay per lane so batch_lane_ tracks the lane each
+      // TMU access belongs to — the gles2 context replays accesses in lane
+      // order, reproducing the scalar engine's fragment-sequential cache
+      // order (and tmu_miss counts) exactly.
+      if (in.soa != 0) {
+        EvalBuiltinBatch(static_cast<Builtin>(in.u8), in.type,
+                         std::span<const LaneSrc>(av.data(), in.n), alu_,
+                         texture_, d, lanes.Mask());
+        break;
       }
       lanes.ForEach([&](int l) {
         batch_lane_ = l;  // lane-aware texture callbacks read this

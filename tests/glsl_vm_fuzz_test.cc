@@ -1,0 +1,860 @@
+// Seeded differential fuzz harness for the shader execution engines.
+//
+// A deterministic generator (SplitMix64-seeded, reproducible bit-for-bit)
+// produces random-but-valid GLSL ES 1.00 fragment shaders over vector
+// arithmetic, builtins, control flow, helper functions, arrays and dynamic
+// indexing. Every program runs through all THREE engines — the tree-walking
+// ShaderExec oracle, the scalar bytecode VmExec, and the lane-batched
+// VmExec::RunBatch at every tail size 1..kVmLanes — and must produce
+// byte-identical gl_FragColor bits, identical per-lane discard decisions,
+// and identical ALU/SFU/TMU op counts (ExactAlu and Vc4Alu).
+//
+// This is the lockdown for the SoA evaluation core: the batched VM
+// dispatches whole-instruction SoA kernels (evalcore/builtins) while the
+// scalar engines run per-invocation code, so any drift between the two
+// implementations shows up here as a bit mismatch with the seed printed.
+//
+// Usage: glsl_vm_fuzz_test [--fuzz_iters=N] [gtest flags]
+//   N defaults to 200; CI passes 200 on the build matrix and 50 under
+//   TSan/ASan (see CMakeLists.txt / MGPU_FUZZ_ITERS).
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "glsl/compile.h"
+#include "glsl/interp.h"
+#include "glsl/ir.h"
+#include "glsl/vm.h"
+#include "vc4/alu.h"
+#include "vc4/profiles.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+int g_fuzz_iters = 200;
+}  // namespace
+
+namespace mgpu::glsl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Program generator
+// ---------------------------------------------------------------------------
+
+enum class GType { kF, kV2, kV3, kV4, kI, kB, kM2 };
+
+const char* TypeName(GType t) {
+  switch (t) {
+    case GType::kF: return "float";
+    case GType::kV2: return "vec2";
+    case GType::kV3: return "vec3";
+    case GType::kV4: return "vec4";
+    case GType::kI: return "int";
+    case GType::kB: return "bool";
+    case GType::kM2: return "mat2";
+  }
+  return "float";
+}
+
+int VecWidth(GType t) {
+  switch (t) {
+    case GType::kV2: return 2;
+    case GType::kV3: return 3;
+    case GType::kV4: return 4;
+    default: return 1;
+  }
+}
+
+class GlslFuzzer {
+ public:
+  explicit GlslFuzzer(std::uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    std::string src =
+        "precision highp float;\n"
+        "varying vec4 v_in;\n"
+        "uniform float u_s0;\n"
+        "uniform float u_s1;\n"
+        "uniform vec4 u_v0;\n"
+        "uniform sampler2D u_tex;\n";
+    // 0-2 helper functions, generated before main so calls never recurse.
+    const int n_helpers = static_cast<int>(rng_.NextInt(0, 2));
+    for (int h = 0; h < n_helpers; ++h) src += GenHelper();
+    src += GenMain();
+    return src;
+  }
+
+ private:
+  struct Var {
+    std::string name;
+    GType type;
+    bool is_array = false;    // float[4]
+    bool assignable = true;   // false for loop counters: assigning to one
+                              // inside its own loop can defeat the bound
+  };
+
+  std::string NewName(const char* prefix) {
+    return StrFormat("%s%d", prefix, next_id_++);
+  }
+
+  [[nodiscard]] bool Chance(int percent) {
+    return rng_.NextInt(0, 99) < percent;
+  }
+
+  std::string FloatLit() {
+    const float v = rng_.NextFloat(-4.0f, 4.0f);
+    return StrFormat("(%.5f)", static_cast<double>(v));
+  }
+
+  std::vector<const Var*> VarsOf(GType t, bool arrays,
+                                 bool assignable_only) const {
+    std::vector<const Var*> out;
+    for (const Var& v : scope_) {
+      if (v.is_array == arrays && v.type == t &&
+          (!assignable_only || v.assignable)) {
+        out.push_back(&v);
+      }
+    }
+    return out;
+  }
+
+  const Var* PickVar(GType t, bool arrays = false,
+                     bool assignable_only = false) {
+    const auto vars = VarsOf(t, arrays, assignable_only);
+    if (vars.empty()) return nullptr;
+    return vars[static_cast<std::size_t>(
+        rng_.NextInt(0, static_cast<std::int64_t>(vars.size()) - 1))];
+  }
+
+  // --- expressions --------------------------------------------------------
+
+  // Index expression for a value with `limit` elements. Sema range-checks
+  // bare integer literals at compile time; any other int expression is
+  // runtime-clamped (identically by every engine), so out-of-range values
+  // are legal — and worth generating — as long as they are not literals.
+  std::string GenIndex(int limit, int d) {
+    std::string e;
+    if (!Chance(40)) e = GenInt(d);
+    if (e.empty() ||
+        e.find_first_not_of("0123456789") == std::string::npos) {
+      return StrFormat("%d", static_cast<int>(rng_.NextInt(0, limit - 1)));
+    }
+    return e;
+  }
+
+  std::string GenFloat(int d) {
+    const int c = static_cast<int>(rng_.NextInt(0, d <= 0 ? 4 : 15));
+    switch (c) {
+      case 0: return FloatLit();
+      case 1: {
+        static const char* kComp[] = {"x", "y", "z", "w"};
+        return StrFormat("v_in.%s", kComp[rng_.NextInt(0, 3)]);
+      }
+      case 2: return Chance(50) ? "u_s0" : "u_s1";
+      case 3: {
+        if (const Var* v = PickVar(GType::kF)) return v->name;
+        return FloatLit();
+      }
+      case 4: {
+        // A component of a vector (or an array element / mat2 cell).
+        if (const Var* a = PickVar(GType::kF, /*arrays=*/true); a && d > 0) {
+          return StrFormat("%s[%s]", a->name.c_str(), GenIndex(4, 1).c_str());
+        }
+        if (const Var* m = PickVar(GType::kM2)) {
+          // RNG-consuming subexpressions are hoisted into named locals
+          // everywhere in this generator: function-argument evaluation
+          // order is unspecified in C++, and the reproduce-by-seed
+          // contract requires the RNG stream to be consumed in one
+          // compiler-independent order.
+          const int col = static_cast<int>(rng_.NextInt(0, 1));
+          const int row = static_cast<int>(rng_.NextInt(0, 1));
+          return StrFormat("%s[%d][%d]", m->name.c_str(), col, row);
+        }
+        static const char* kComp[] = {"x", "y", "z", "w"};
+        const GType vt = Chance(50) ? GType::kV3 : GType::kV2;
+        if (const Var* v = PickVar(vt)) {
+          return StrFormat("%s.%s", v->name.c_str(),
+                           kComp[rng_.NextInt(0, VecWidth(vt) - 1)]);
+        }
+        return StrFormat("v_in.%s", kComp[rng_.NextInt(0, 3)]);
+      }
+      case 5:
+      case 6:
+      case 7: {
+        static const char* kOp[] = {"+", "-", "*", "/"};
+        const std::string lhs = GenFloat(d - 1);
+        const char* op = kOp[rng_.NextInt(0, 3)];
+        const std::string rhs = GenFloat(d - 1);
+        return StrFormat("(%s %s %s)", lhs.c_str(), op, rhs.c_str());
+      }
+      case 8:
+        return StrFormat("(-%s)", GenFloat(d - 1).c_str());
+      case 9: {
+        static const char* kFn[] = {"sin",  "cos",   "sqrt",  "abs",
+                                    "floor", "fract", "sign",  "ceil",
+                                    "exp2",  "log2",  "inversesqrt", "exp",
+                                    "log",   "tan",   "radians", "degrees"};
+        const char* fn = kFn[rng_.NextInt(0, 15)];
+        const std::string arg = GenFloat(d - 1);
+        return StrFormat("%s(%s)", fn, arg.c_str());
+      }
+      case 10: {
+        static const char* kFn[] = {"pow", "mod", "min", "max", "atan",
+                                    "step", "distance"};
+        const char* fn = kFn[rng_.NextInt(0, 6)];
+        if (std::strcmp(fn, "distance") == 0) {
+          const int w = static_cast<int>(rng_.NextInt(2, 4));
+          const std::string a = GenVec(w, d - 1);
+          const std::string b = GenVec(w, d - 1);
+          return StrFormat("distance(%s, %s)", a.c_str(), b.c_str());
+        }
+        const std::string a = GenFloat(d - 1);
+        const std::string b = GenFloat(d - 1);
+        return StrFormat("%s(%s, %s)", fn, a.c_str(), b.c_str());
+      }
+      case 11: {
+        static const char* kFn[] = {"clamp", "mix", "smoothstep"};
+        const char* fn = kFn[rng_.NextInt(0, 2)];
+        const std::string a = GenFloat(d - 1);
+        const std::string b = GenFloat(d - 1);
+        const std::string c3 = GenFloat(d - 1);
+        return StrFormat("%s(%s, %s, %s)", fn, a.c_str(), b.c_str(),
+                         c3.c_str());
+      }
+      case 12: {
+        const int w = static_cast<int>(rng_.NextInt(2, 4));
+        if (Chance(50)) {
+          return StrFormat("length(%s)", GenVec(w, d - 1).c_str());
+        }
+        const std::string a = GenVec(w, d - 1);
+        const std::string b = GenVec(w, d - 1);
+        return StrFormat("dot(%s, %s)", a.c_str(), b.c_str());
+      }
+      case 13: {
+        const std::string cond = GenBool(d - 1);
+        const std::string a = GenFloat(d - 1);
+        const std::string b = GenFloat(d - 1);
+        return StrFormat("(%s ? %s : %s)", cond.c_str(), a.c_str(),
+                         b.c_str());
+      }
+      case 14: {
+        if (!helpers_sigs_.empty() && Chance(60)) {
+          const std::size_t h = static_cast<std::size_t>(rng_.NextInt(
+              0, static_cast<std::int64_t>(helpers_sigs_.size()) - 1));
+          const std::string a = GenFloat(d - 1);
+          const std::string b = GenVec(3, d - 1);
+          return StrFormat("h%zu(%s, %s)", h, a.c_str(), b.c_str());
+        }
+        return StrFormat("float(%s)", GenInt(d - 1).c_str());
+      }
+      default: {
+        static const char* kComp[] = {"x", "y", "z", "w"};
+        const std::string uv = GenVec(2, d - 1);
+        const char* comp = kComp[rng_.NextInt(0, 3)];
+        return StrFormat("texture2D(u_tex, %s).%s", uv.c_str(), comp);
+      }
+    }
+  }
+
+  std::string GenVec(int w, int d) {
+    const int c = static_cast<int>(rng_.NextInt(0, d <= 0 ? 2 : 9));
+    const GType vt = w == 2 ? GType::kV2 : (w == 3 ? GType::kV3 : GType::kV4);
+    switch (c) {
+      case 0: {
+        // Swizzle of v_in (or a whole vec4 read for w == 4).
+        static const char* kSw2[] = {"xy", "zw", "wz", "yx", "xw"};
+        static const char* kSw3[] = {"xyz", "wzy", "yzw", "xxw"};
+        static const char* kSw4[] = {"wzyx", "xyzw", "yxwz"};
+        const char* sw = w == 2   ? kSw2[rng_.NextInt(0, 4)]
+                         : w == 3 ? kSw3[rng_.NextInt(0, 3)]
+                                  : kSw4[rng_.NextInt(0, 2)];
+        const Var* v = PickVar(GType::kV4);
+        const char* base = v != nullptr && Chance(60) ? v->name.c_str()
+                                                      : "v_in";
+        if (w == 4 && Chance(30)) return base;
+        return StrFormat("%s.%s", base, sw);
+      }
+      case 1: {
+        if (const Var* v = PickVar(vt)) return v->name;
+        return StrFormat("%s(%s)", TypeName(vt), FloatLit().c_str());
+      }
+      case 2: {
+        // Constructor from scalars (the all-float gather path) or a splat.
+        if (Chance(30)) {
+          return StrFormat("%s(%s)", TypeName(vt), GenFloat(d - 1).c_str());
+        }
+        std::string s = StrFormat("%s(", TypeName(vt));
+        for (int i = 0; i < w; ++i) {
+          if (i != 0) s += ", ";
+          s += GenFloat(d - 1);
+        }
+        return s + ")";
+      }
+      case 3:
+      case 4: {
+        static const char* kOp[] = {"+", "-", "*", "/"};
+        const char* op = kOp[rng_.NextInt(0, 3)];
+        const bool broadcast = Chance(35);  // vector op scalar
+        const std::string lhs = GenVec(w, d - 1);
+        const std::string rhs = broadcast ? GenFloat(d - 1)
+                                          : GenVec(w, d - 1);
+        return StrFormat("(%s %s %s)", lhs.c_str(), op, rhs.c_str());
+      }
+      case 5:
+        return StrFormat("(-%s)", GenVec(w, d - 1).c_str());
+      case 6: {
+        static const char* kFn[] = {"normalize", "abs", "floor", "fract",
+                                    "sin", "cos", "sqrt", "exp2"};
+        const char* fn = kFn[rng_.NextInt(0, 7)];
+        const std::string arg = GenVec(w, d - 1);
+        return StrFormat("%s(%s)", fn, arg.c_str());
+      }
+      case 7: {
+        if (w == 3 && Chance(30)) {
+          const std::string a = GenVec(3, d - 1);
+          const std::string b = GenVec(3, d - 1);
+          return StrFormat("cross(%s, %s)", a.c_str(), b.c_str());
+        }
+        static const char* kFn[] = {"min", "max", "pow", "reflect", "mod"};
+        const char* fn = kFn[rng_.NextInt(0, 4)];
+        const std::string a = GenVec(w, d - 1);
+        const std::string b = GenVec(w, d - 1);
+        return StrFormat("%s(%s, %s)", fn, a.c_str(), b.c_str());
+      }
+      case 8: {
+        if (Chance(50)) {
+          const std::string a = GenVec(w, d - 1);
+          const std::string b = GenVec(w, d - 1);
+          const std::string t = GenFloat(d - 1);
+          return StrFormat("mix(%s, %s, %s)", a.c_str(), b.c_str(),
+                           t.c_str());
+        }
+        const std::string x = GenVec(w, d - 1);
+        const std::string lo = GenFloat(d - 1);
+        const std::string hi = GenFloat(d - 1);
+        return StrFormat("clamp(%s, %s, %s)", x.c_str(), lo.c_str(),
+                         hi.c_str());
+      }
+      default: {
+        if (w == 2) {
+          if (const Var* m = PickVar(GType::kM2)) {
+            return StrFormat("(%s * %s)", m->name.c_str(),
+                             GenVec(2, d - 1).c_str());
+          }
+        }
+        if (w == 4 && Chance(50)) {
+          return StrFormat("texture2D(u_tex, %s)", GenVec(2, d - 1).c_str());
+        }
+        return StrFormat("%s(%s)", TypeName(vt), GenFloat(d - 1).c_str());
+      }
+    }
+  }
+
+  std::string GenInt(int d) {
+    const int c = static_cast<int>(rng_.NextInt(0, d <= 0 ? 1 : 5));
+    switch (c) {
+      case 0: return StrFormat("%d", static_cast<int>(rng_.NextInt(0, 7)));
+      case 1: {
+        if (const Var* v = PickVar(GType::kI)) return v->name;
+        return StrFormat("%d", static_cast<int>(rng_.NextInt(0, 7)));
+      }
+      case 2:
+      case 3: {
+        static const char* kOp[] = {"+", "-", "*"};
+        const std::string lhs = GenInt(d - 1);
+        const char* op = kOp[rng_.NextInt(0, 2)];
+        const std::string rhs = GenInt(d - 1);
+        return StrFormat("(%s %s %s)", lhs.c_str(), op, rhs.c_str());
+      }
+      case 4:
+        // clamp() maps NaN/inf to the finite range before the int cast.
+        return StrFormat("int(clamp(%s, -8.0, 8.0))", GenFloat(d - 1).c_str());
+      default: {
+        const std::string cond = GenBool(d - 1);
+        const std::string a = GenInt(d - 1);
+        const std::string b = GenInt(d - 1);
+        return StrFormat("(%s ? %s : %s)", cond.c_str(), a.c_str(),
+                         b.c_str());
+      }
+    }
+  }
+
+  std::string GenBool(int d) {
+    const int c = static_cast<int>(rng_.NextInt(0, d <= 0 ? 1 : 6));
+    switch (c) {
+      case 0: return Chance(50) ? "true" : "false";
+      case 1: {
+        if (const Var* v = PickVar(GType::kB)) return v->name;
+        static const char* kCmp[] = {"<", ">", "<=", ">="};
+        const char* cmp = kCmp[rng_.NextInt(0, 3)];
+        const float edge = rng_.NextFloat01();
+        return StrFormat("(v_in.x %s %.5f)", cmp,
+                         static_cast<double>(edge));
+      }
+      case 2: {
+        static const char* kCmp[] = {"<", ">", "<=", ">=", "==", "!="};
+        const std::string lhs = GenFloat(d - 1);
+        const char* cmp = kCmp[rng_.NextInt(0, 5)];
+        const std::string rhs = GenFloat(d - 1);
+        return StrFormat("(%s %s %s)", lhs.c_str(), cmp, rhs.c_str());
+      }
+      case 3: {
+        static const char* kCmp[] = {"<", ">", "<=", ">=", "==", "!="};
+        const std::string lhs = GenInt(d - 1);
+        const char* cmp = kCmp[rng_.NextInt(0, 5)];
+        const std::string rhs = GenInt(d - 1);
+        return StrFormat("(%s %s %s)", lhs.c_str(), cmp, rhs.c_str());
+      }
+      case 4: {
+        const int w = static_cast<int>(rng_.NextInt(2, 4));
+        if (Chance(40)) {
+          static const char* kRel[] = {"lessThan", "greaterThanEqual",
+                                       "notEqual"};
+          const char* reduce = Chance(50) ? "any" : "all";
+          const char* rel = kRel[rng_.NextInt(0, 2)];
+          const std::string a = GenVec(w, d - 1);
+          const std::string b = GenVec(w, d - 1);
+          return StrFormat("%s(%s(%s, %s))", reduce, rel, a.c_str(),
+                           b.c_str());
+        }
+        const std::string a = GenVec(w, d - 1);
+        const char* cmp = Chance(50) ? "==" : "!=";
+        const std::string b = GenVec(w, d - 1);
+        return StrFormat("(%s %s %s)", a.c_str(), cmp, b.c_str());
+      }
+      default: {
+        static const char* kOp[] = {"&&", "||", "^^"};
+        if (Chance(25)) return StrFormat("(!%s)", GenBool(d - 1).c_str());
+        const std::string lhs = GenBool(d - 1);
+        const char* op = kOp[rng_.NextInt(0, 2)];
+        const std::string rhs = GenBool(d - 1);
+        return StrFormat("(%s %s %s)", lhs.c_str(), op, rhs.c_str());
+      }
+    }
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  std::string GenExprOf(GType t, int d) {
+    switch (t) {
+      case GType::kF: return GenFloat(d);
+      case GType::kV2: return GenVec(2, d);
+      case GType::kV3: return GenVec(3, d);
+      case GType::kV4: return GenVec(4, d);
+      case GType::kI: return GenInt(d);
+      case GType::kB: return GenBool(d);
+      case GType::kM2: {
+        const std::string a = GenFloat(d - 1);
+        const std::string b = GenFloat(d - 1);
+        const std::string c = GenFloat(d - 1);
+        const std::string e = GenFloat(d - 1);
+        return StrFormat("mat2(%s, %s, %s, %s)", a.c_str(), b.c_str(),
+                         c.c_str(), e.c_str());
+      }
+    }
+    return GenFloat(d);
+  }
+
+  // One statement appended to `out`. `depth` bounds statement nesting,
+  // `in_helper` enables early `return`.
+  void GenStmt(std::string& out, int depth, bool in_helper) {
+    const int c = static_cast<int>(rng_.NextInt(0, depth <= 0 ? 5 : 9));
+    switch (c) {
+      case 0: case 1: {  // declaration
+        static const GType kDeclTypes[] = {GType::kF,  GType::kV2,
+                                           GType::kV3, GType::kV4,
+                                           GType::kI,  GType::kB,
+                                           GType::kM2};
+        const GType t = kDeclTypes[rng_.NextInt(0, 6)];
+        Var v{NewName("t"), t, false};
+        out += StrFormat("  %s %s = %s;\n", TypeName(t), v.name.c_str(),
+                         GenExprOf(t, 3).c_str());
+        scope_.push_back(v);
+        break;
+      }
+      case 2: case 3: {  // assignment / compound assignment
+        static const GType kMut[] = {GType::kF, GType::kV2, GType::kV3,
+                                     GType::kV4, GType::kI, GType::kM2};
+        const GType t = kMut[rng_.NextInt(0, 5)];
+        const Var* v = PickVar(t, /*arrays=*/false, /*assignable_only=*/true);
+        if (v == nullptr) {
+          Var nv{NewName("t"), GType::kF, false};
+          out += StrFormat("  float %s = %s;\n", nv.name.c_str(),
+                           GenFloat(3).c_str());
+          scope_.push_back(nv);
+          break;
+        }
+        if (t == GType::kI) {
+          const char* op = Chance(50) ? "+" : "";
+          const std::string rhs = GenInt(2);
+          out += StrFormat("  %s %s= %s;\n", v->name.c_str(), op,
+                           rhs.c_str());
+        } else if (t == GType::kF || t == GType::kM2) {
+          const char* op = Chance(40) ? "+" : "";
+          const std::string rhs = GenExprOf(t, 3);
+          out += StrFormat("  %s %s= %s;\n", v->name.c_str(), op,
+                           rhs.c_str());
+        } else {
+          const int w = VecWidth(t);
+          const int kind = static_cast<int>(rng_.NextInt(0, 2));
+          if (kind == 0 && w >= 3) {
+            // Swizzled store.
+            static const char* kSw[] = {"xy", "yz", "xz"};
+            const char* sw = kSw[rng_.NextInt(0, 2)];
+            const std::string rhs = GenVec(2, 2);
+            out += StrFormat("  %s.%s = %s;\n", v->name.c_str(), sw,
+                             rhs.c_str());
+          } else if (kind == 1) {
+            // Dynamic-index store through a ref.
+            const std::string idx = GenIndex(w, 2);
+            const std::string rhs = GenFloat(2);
+            out += StrFormat("  %s[%s] = %s;\n", v->name.c_str(),
+                             idx.c_str(), rhs.c_str());
+          } else {
+            const char* op = Chance(40) ? (Chance(50) ? "+" : "*") : "";
+            const std::string rhs = GenVec(w, 3);
+            out += StrFormat("  %s %s= %s;\n", v->name.c_str(), op,
+                             rhs.c_str());
+          }
+        }
+        break;
+      }
+      case 4: {  // array block: declare + loop-fill (+ later indexed reads)
+        const std::string a = NewName("a");
+        const std::string i = NewName("i");
+        out += StrFormat("  float %s[4];\n", a.c_str());
+        out += StrFormat("  for (int %s = 0; %s < 4; ++%s) { %s[%s] = %s + "
+                         "float(%s); }\n",
+                         i.c_str(), i.c_str(), i.c_str(), a.c_str(),
+                         i.c_str(), GenFloat(2).c_str(), i.c_str());
+        scope_.push_back(Var{a, GType::kF, /*is_array=*/true});
+        break;
+      }
+      case 5: {  // if / if-else
+        const std::size_t mark = scope_.size();
+        std::string body;
+        const int n = static_cast<int>(rng_.NextInt(1, 2));
+        for (int s = 0; s < n; ++s) GenStmt(body, depth - 1, in_helper);
+        scope_.resize(mark);
+        out += StrFormat("  if (%s) {\n%s  }", GenBool(2).c_str(),
+                         body.c_str());
+        if (Chance(50)) {
+          std::string ebody;
+          for (int s = 0; s < n; ++s) GenStmt(ebody, depth - 1, in_helper);
+          scope_.resize(mark);
+          out += StrFormat(" else {\n%s  }", ebody.c_str());
+        }
+        out += "\n";
+        break;
+      }
+      case 6: {  // bounded for loop, fixed or lane-varying trip count
+        const std::string i = NewName("i");
+        const std::size_t mark = scope_.size();
+        scope_.push_back(Var{i, GType::kI, false, /*assignable=*/false});
+        std::string body;
+        if (Chance(40)) {
+          // Lane-varying trip count through a data-dependent break.
+          body += StrFormat("    if (%s >= %s) break;\n", i.c_str(),
+                            GenInt(2).c_str());
+        } else if (Chance(25)) {
+          body += StrFormat("    if (%s) continue;\n", GenBool(1).c_str());
+        }
+        const int n = static_cast<int>(rng_.NextInt(1, 2));
+        for (int s = 0; s < n; ++s) GenStmt(body, depth - 1, in_helper);
+        scope_.resize(mark);
+        out += StrFormat("  for (int %s = 0; %s < %d; ++%s) {\n%s  }\n",
+                         i.c_str(), i.c_str(),
+                         static_cast<int>(rng_.NextInt(1, 8)), i.c_str(),
+                         body.c_str());
+        break;
+      }
+      case 7: {  // lane-divergent discard (rare)
+        if (Chance(25)) {
+          out += StrFormat("  if (%s) discard;\n", GenBool(2).c_str());
+        } else {
+          out += StrFormat("  %s %s = %s;\n", "float", NewName("t").c_str(),
+                           GenFloat(3).c_str());
+          scope_.push_back(Var{"t" + std::to_string(next_id_ - 1), GType::kF,
+                               false});
+        }
+        break;
+      }
+      default: {  // early return inside a helper (rare), else declaration
+        if (in_helper && Chance(30)) {
+          const std::string cond = GenBool(2);
+          const std::string ret = GenFloat(2);
+          out += StrFormat("  if (%s) { return %s; }\n", cond.c_str(),
+                           ret.c_str());
+        } else {
+          Var v{NewName("t"), GType::kV3, false};
+          out += StrFormat("  vec3 %s = %s;\n", v.name.c_str(),
+                           GenVec(3, 3).c_str());
+          scope_.push_back(v);
+        }
+        break;
+      }
+    }
+  }
+
+  std::string GenHelper() {
+    const std::size_t idx = helpers_sigs_.size();
+    scope_.clear();
+    scope_.push_back(Var{"x", GType::kF, false});
+    scope_.push_back(Var{"w", GType::kV3, false});
+    std::string body;
+    const int n = static_cast<int>(rng_.NextInt(1, 3));
+    for (int s = 0; s < n; ++s) GenStmt(body, 1, /*in_helper=*/true);
+    body += StrFormat("  return %s;\n", GenFloat(3).c_str());
+    scope_.clear();
+    helpers_sigs_.push_back(idx);
+    return StrFormat("float h%zu(float x, vec3 w) {\n%s}\n", idx,
+                     body.c_str());
+  }
+
+  std::string GenMain() {
+    scope_.clear();
+    std::string body;
+    const int n = static_cast<int>(rng_.NextInt(3, 7));
+    for (int s = 0; s < n; ++s) GenStmt(body, 2, /*in_helper=*/false);
+    if (Chance(50)) {
+      const std::string r = GenFloat(3);
+      const std::string g = GenFloat(3);
+      const std::string b = GenFloat(3);
+      const std::string a = GenFloat(3);
+      body += StrFormat("  gl_FragColor = vec4(%s, %s, %s, %s);\n",
+                        r.c_str(), g.c_str(), b.c_str(), a.c_str());
+    } else {
+      body += StrFormat("  gl_FragColor = %s;\n", GenVec(4, 3).c_str());
+    }
+    return "void main() {\n" + body + "}\n";
+  }
+
+  Rng rng_;
+  std::vector<Var> scope_;
+  std::vector<std::size_t> helpers_sigs_;
+  int next_id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Three-engine differential runner
+// ---------------------------------------------------------------------------
+
+struct LaneRef {
+  bool kept = false;
+  std::array<std::uint32_t, 4> color{};
+  OpCounts delta;  // ops this lane alone spent
+};
+
+void ExpectCountsEq(const OpCounts& got, const OpCounts& want,
+                    const char* what) {
+  EXPECT_EQ(got.alu, want.alu) << what << " alu";
+  EXPECT_EQ(got.sfu, want.sfu) << what << " sfu";
+  EXPECT_EQ(got.sfu_trans, want.sfu_trans) << what << " sfu_trans";
+  EXPECT_EQ(got.tmu, want.tmu) << what << " tmu";
+  EXPECT_EQ(got.tmu_miss, want.tmu_miss) << what << " tmu_miss";
+}
+
+OpCounts Minus(const OpCounts& a, const OpCounts& b) {
+  OpCounts d;
+  d.alu = a.alu - b.alu;
+  d.sfu = a.sfu - b.sfu;
+  d.sfu_trans = a.sfu_trans - b.sfu_trans;
+  d.tmu = a.tmu - b.tmu;
+  d.tmu_miss = a.tmu_miss - b.tmu_miss;
+  return d;
+}
+
+template <typename Engine>
+void SetUniforms(Engine& e) {
+  if (const int s = e.GlobalSlot("u_s0"); s >= 0) {
+    e.GlobalAt(s).SetF(0, 0.8125f);
+  }
+  if (const int s = e.GlobalSlot("u_s1"); s >= 0) {
+    e.GlobalAt(s).SetF(0, -1.5f);
+  }
+  if (const int s = e.GlobalSlot("u_v0"); s >= 0) {
+    Value& v = e.GlobalAt(s);
+    v.SetF(0, 0.25f);
+    v.SetF(1, -0.5f);
+    v.SetF(2, 1.5f);
+    v.SetF(3, 0.125f);
+  }
+  if (const int s = e.GlobalSlot("u_tex"); s >= 0) {
+    e.GlobalAt(s).SetI(0, 2);
+  }
+  e.SetTextureFn([](int unit, float s, float t, float lod) {
+    return std::array<float, 4>{s * 0.5f + static_cast<float>(unit) * 0.125f,
+                                t * 0.25f, s + t, lod + 0.75f};
+  });
+}
+
+// Runs one generated program through all three engines; any mismatch is a
+// test failure tagged with the seed.
+void RunFuzzCase(std::uint64_t seed, bool vc4_alu) {
+  GlslFuzzer gen(seed);
+  const std::string src = gen.Generate();
+  SCOPED_TRACE(StrFormat("seed=%llu alu=%s",
+                         static_cast<unsigned long long>(seed),
+                         vc4_alu ? "vc4" : "exact"));
+
+  CompileResult cr = CompileGlsl(src, Stage::kFragment);
+  ASSERT_TRUE(cr.ok) << "generated shader failed to compile (seed " << seed
+                     << "):\n" << cr.info_log << "\nsource:\n" << src;
+  std::shared_ptr<const VmProgram> prog = LowerToBytecode(*cr.shader);
+
+  const vc4::GpuProfile profile = vc4::VideoCoreIV();
+  ExactAlu exact_t, exact_s, exact_b;
+  vc4::Vc4Alu vc4_t(profile), vc4_s(profile), vc4_b(profile);
+  AluModel& alu_t = vc4_alu ? static_cast<AluModel&>(vc4_t) : exact_t;
+  AluModel& alu_s = vc4_alu ? static_cast<AluModel&>(vc4_s) : exact_s;
+  AluModel& alu_b = vc4_alu ? static_cast<AluModel&>(vc4_b) : exact_b;
+
+  ShaderExec tree(*cr.shader, alu_t);
+  VmExec scalar(prog, alu_s);
+  VmExec batch(prog, alu_b);
+  SetUniforms(tree);
+  SetUniforms(scalar);
+  SetUniforms(batch);
+
+  const int in_slot = scalar.GlobalSlot("v_in");
+  ASSERT_GE(in_slot, 0);
+  const int color_slot = scalar.GlobalSlot("gl_FragColor");
+  ASSERT_GE(color_slot, 0);
+  const int tree_in = tree.GlobalSlot("v_in");
+  const int tree_color = tree.GlobalSlot("gl_FragColor");
+
+  // Deterministic per-lane inputs; a fresh sub-seed per program so the lane
+  // data co-varies with the program shape.
+  Rng lane_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::array<std::array<float, 4>, kVmLanes> lane_in;
+  for (auto& lane : lane_in) {
+    for (float& f : lane) f = lane_rng.NextFloat01();
+  }
+
+  // Scalar references: tree-walk and scalar VM, fragment-sequential, with
+  // per-lane count deltas (prefix sums give the expected totals for every
+  // batch tail size).
+  std::array<LaneRef, kVmLanes> ref;
+  alu_t.ResetCounts();
+  alu_s.ResetCounts();
+  try {
+    for (int l = 0; l < kVmLanes; ++l) {
+      const OpCounts before_t = alu_t.counts();
+      const OpCounts before_s = alu_s.counts();
+      Value& tv = tree.GlobalAt(tree_in);
+      Value& sv = scalar.GlobalAt(in_slot);
+      for (int k = 0; k < 4; ++k) {
+        tv.SetF(k, lane_in[static_cast<std::size_t>(l)]
+                          [static_cast<std::size_t>(k)]);
+        sv.SetF(k, lane_in[static_cast<std::size_t>(l)]
+                          [static_cast<std::size_t>(k)]);
+      }
+      const bool tree_kept = tree.Run();
+      LaneRef& r = ref[static_cast<std::size_t>(l)];
+      r.kept = scalar.Run();
+      r.delta = Minus(alu_s.counts(), before_s);
+
+      // Tree oracle vs scalar VM, per lane.
+      EXPECT_EQ(tree_kept, r.kept) << "lane " << l << " discard (tree vs vm)";
+      const Value& sc = scalar.GlobalAt(color_slot);
+      const Value& tc = tree.GlobalAt(tree_color);
+      for (int k = 0; k < 4; ++k) {
+        r.color[static_cast<std::size_t>(k)] = FloatToBits(sc.F(k));
+        if (r.kept) {
+          EXPECT_EQ(FloatToBits(tc.F(k)), FloatToBits(sc.F(k)))
+              << "lane " << l << " comp " << k << " (tree vs vm)";
+        }
+      }
+      ExpectCountsEq(Minus(alu_t.counts(), before_t), r.delta,
+                     "tree vs vm lane");
+    }
+  } catch (const ShaderRuntimeError& e) {
+    FAIL() << "scalar engines threw (seed " << seed << "): " << e.what()
+           << "\nsource:\n" << src;
+  }
+
+  // Batched VM at every tail size, against the scalar per-lane references.
+  for (int n = 1; n <= kVmLanes; ++n) {
+    SCOPED_TRACE(StrFormat("tail=%d", n));
+    alu_b.ResetCounts();
+    for (int l = 0; l < n; ++l) {
+      Value& v = batch.LaneGlobalAt(in_slot, l);
+      for (int k = 0; k < 4; ++k) {
+        v.SetF(k, lane_in[static_cast<std::size_t>(l)]
+                         [static_cast<std::size_t>(k)]);
+      }
+    }
+    std::uint32_t kept = 0;
+    try {
+      kept = batch.RunBatch(n);
+    } catch (const ShaderRuntimeError& e) {
+      FAIL() << "batched engine threw (seed " << seed << "): " << e.what()
+             << "\nsource:\n" << src;
+    }
+    OpCounts want;
+    for (int l = 0; l < n; ++l) want += ref[static_cast<std::size_t>(l)].delta;
+    for (int l = 0; l < n; ++l) {
+      const LaneRef& r = ref[static_cast<std::size_t>(l)];
+      EXPECT_EQ(((kept >> static_cast<unsigned>(l)) & 1u) != 0, r.kept)
+          << "lane " << l << " discard (batch vs vm)";
+      if (!r.kept) continue;
+      const Value& cv = batch.LaneGlobalAt(color_slot, l);
+      for (int k = 0; k < 4; ++k) {
+        EXPECT_EQ(FloatToBits(cv.F(k)), r.color[static_cast<std::size_t>(k)])
+            << "lane " << l << " comp " << k << " (batch vs vm)";
+      }
+    }
+    ExpectCountsEq(alu_b.counts(), want, "batch vs vm");
+  }
+}
+
+void RunFuzzSweep(bool vc4_alu) {
+  constexpr std::uint64_t kSeedBase = 20260727;
+  for (int i = 0; i < g_fuzz_iters; ++i) {
+    const std::uint64_t seed = kSeedBase + static_cast<std::uint64_t>(i);
+    RunFuzzCase(seed, vc4_alu);
+    if (::testing::Test::HasFailure()) {
+      // Stop at the first failing seed and log everything needed to
+      // reproduce it: the seed drives both the program generator and the
+      // per-lane inputs, so one integer replays the whole case.
+      GlslFuzzer gen(seed);
+      std::fprintf(stderr,
+                   "[fuzz] FAILURE seed=%llu (%s alu) — source:\n%s\n",
+                   static_cast<unsigned long long>(seed),
+                   vc4_alu ? "vc4" : "exact", gen.Generate().c_str());
+      FAIL() << "fuzz differential failed at seed " << seed
+             << " (iteration " << i << " of " << g_fuzz_iters << ")";
+    }
+  }
+}
+
+TEST(VmFuzzDifferentialTest, SeededProgramsExactAlu) {
+  RunFuzzSweep(/*vc4_alu=*/false);
+}
+
+TEST(VmFuzzDifferentialTest, SeededProgramsVc4Alu) {
+  RunFuzzSweep(/*vc4_alu=*/true);
+}
+
+}  // namespace
+}  // namespace mgpu::glsl
+
+// Custom main: gtest_main cannot parse --fuzz_iters. InitGoogleTest strips
+// gtest's own flags first, leaving ours.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fuzz_iters=", 13) == 0) {
+      g_fuzz_iters = std::atoi(argv[i] + 13);
+    }
+  }
+  std::printf("fuzz harness: %d seeded programs per ALU model\n",
+              g_fuzz_iters);
+  return RUN_ALL_TESTS();
+}

@@ -795,6 +795,72 @@ void main() {
   }
   gl_FragColor = vec4(pick * 0.5, 0.25, both ? 0.5 : 0.125, 1.0);
 })"});
+  // --- vector ops inside divergent flow: the masked executor must invoke
+  // the SoA kernels with partial lane masks, not just full batches ---------
+  cases.push_back(
+      {"normalize_in_varying_trip_loop",
+       R"(precision highp float;
+varying vec4 v_in;
+void main() {
+  vec3 acc = vec3(0.0);
+  int n = int(mod(v_in.x * 16.0, 6.0)) + 1;
+  for (int i = 0; i < 8; ++i) {
+    if (i >= n) break;
+    // Whole-vector work under a lane-varying trip count: normalize/dot/
+    // cross run with a different active mask each iteration.
+    vec3 v = normalize(vec3(v_in.y + float(i), v_in.z, 0.25));
+    acc += cross(v, vec3(0.0, 1.0, v_in.w)) * (1.0 / float(n));
+  }
+  gl_FragColor = vec4(acc, 1.0);
+})"});
+  cases.push_back(
+      {"dot_after_divergent_discard",
+       R"(precision highp float;
+varying vec4 v_in;
+void main() {
+  // Some lanes discard; survivors keep doing vector work under a reduced
+  // mask, so SoA kernels see a hole-punched lane set.
+  if (fract(v_in.x * 7.0) < 0.35) discard;
+  vec3 a = vec3(v_in.xy, 1.5);
+  vec3 b = normalize(vec3(0.5, v_in.z, v_in.w + 0.1));
+  float d = dot(a, b);
+  vec4 c = mix(vec4(a, 1.0), vec4(b, 1.0), clamp(d, 0.0, 1.0));
+  gl_FragColor = c * c;
+})"});
+  cases.push_back(
+      {"vector_compare_in_divergent_branch",
+       R"(precision highp float;
+varying vec4 v_in;
+void main() {
+  vec3 probe = v_in.xyz * 3.0;
+  vec4 c;
+  if (v_in.w > 0.5) {
+    bvec3 lt = lessThan(probe, vec3(1.5));
+    c = vec4(any(lt) ? 1.0 : 0.25, all(lt) ? 1.0 : 0.5,
+             probe == v_in.xyz ? 1.0 : 0.0, 1.0);
+  } else {
+    c = vec4(not(greaterThanEqual(probe, vec3(0.75))).y ? 0.75 : 0.125,
+             length(probe), pow(abs(probe.x) + 0.5, 2.0), 1.0);
+  }
+  gl_FragColor = c;
+})"});
+  cases.push_back(
+      {"matrix_algebra_in_divergent_branch",
+       R"(precision highp float;
+varying vec4 v_in;
+void main() {
+  // mat*vec / mat*mat take the per-lane replay path inside the masked
+  // executor; mat+mat and mat*scalar take the component-wise SoA kernel.
+  mat2 m = mat2(v_in.x, 1.0, -0.5, v_in.y + 0.25);
+  vec2 r;
+  if (v_in.z > 0.4) {
+    mat2 mm = m * m + m * 0.5;
+    r = mm * v_in.xy;
+  } else {
+    r = (m + m) * v_in.zw;
+  }
+  gl_FragColor = vec4(r, v_in.w, 1.0);
+})"});
   return cases;
 }
 
