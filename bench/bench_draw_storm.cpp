@@ -94,13 +94,15 @@ GLuint BuildProgram(gles2::Context& ctx) {
 // positions, one GL draw call each. Timed region = the draw loop only (the
 // per-draw setup tax under test), not context/program setup or readback.
 StormResult RunStorm(int draws, int shader_threads,
-                     gles2::ExecEngine engine = gles2::ExecEngine::kBatchedVm) {
+                     gles2::ExecEngine engine = gles2::ExecEngine::kBatchedVm,
+                     int simd = -1) {
   gles2::ContextConfig cfg;
   cfg.width = kTargetSize;
   cfg.height = kTargetSize;
   cfg.has_depth = false;
   cfg.shader_threads = shader_threads;
   cfg.exec_engine = engine;
+  cfg.simd = simd;
   gles2::Context ctx(cfg);
 
   const GLuint prog = BuildProgram(ctx);
@@ -160,11 +162,12 @@ int main(int argc, char** argv) {
   // CI gate's thresholds, and the min is the standard de-noiser. The
   // deterministic metrics are identical across runs by construction.
   constexpr int kReps = 3;
-  auto best_of = [&](int threads, gles2::ExecEngine engine =
-                                      gles2::ExecEngine::kBatchedVm) {
-    StormResult best = RunStorm(draws, threads, engine);
+  auto best_of = [&](int threads,
+                     gles2::ExecEngine engine = gles2::ExecEngine::kBatchedVm,
+                     int simd = -1) {
+    StormResult best = RunStorm(draws, threads, engine, simd);
     for (int r = 1; r < kReps; ++r) {
-      const StormResult again = RunStorm(draws, threads, engine);
+      const StormResult again = RunStorm(draws, threads, engine, simd);
       if (again.seconds < best.seconds) best = again;
     }
     return best;
@@ -205,8 +208,20 @@ int main(int argc, char** argv) {
               scalar.fb_hash, static_cast<unsigned long long>(serial.alu_ops),
               static_cast<unsigned long long>(scalar.alu_ops));
 
-  const bool ok = identical && batched_identical && serial.draw_ok &&
-                  pooled.draw_ok && scalar.draw_ok;
+  // SIMD A/B: the same serial storm with the vector kernels forced off
+  // (scalar SoA batch loops). Small draws mean mostly partial batches, so
+  // this also guards the SIMD tail/masking paths under per-draw churn.
+  const StormResult soa = best_of(/*shader_threads=*/1,
+                                  gles2::ExecEngine::kBatchedVm, /*simd=*/0);
+  const bool simd_identical = serial.fb_hash == soa.fb_hash &&
+                              serial.alu_ops == soa.alu_ops;
+  std::printf("  simd vs scalar SoA:  %s (%8.3f s SoA, simd speedup %.2fx)\n",
+              simd_identical ? "identical" : "MISMATCH", soa.seconds,
+              soa.seconds / serial.seconds);
+
+  const bool ok = identical && batched_identical && simd_identical &&
+                  serial.draw_ok && pooled.draw_ok && scalar.draw_ok &&
+                  soa.draw_ok;
 
   bench::JsonBenchWriter json("draw_storm");
   json.Add("draws", draws, "count");
@@ -215,6 +230,9 @@ int main(int argc, char** argv) {
   json.Add("pooled_storm", pooled.seconds, "s");
   json.Add("scalar_vm_storm", scalar.seconds, "s");
   json.Add("batched_speedup", scalar.seconds / serial.seconds, "x");
+  json.Add("soa_storm", soa.seconds, "s");
+  json.Add("simd_speedup_vs_soa", soa.seconds / serial.seconds, "x");
+  json.Add("simd_identical", simd_identical ? 1.0 : 0.0, "bool");
   json.Add("alu_ops_per_draw",
            static_cast<double>(serial.alu_ops) / draws, "ops");
   json.Add("fb_hash", serial.fb_hash, "hash");

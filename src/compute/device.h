@@ -21,7 +21,7 @@ struct DeviceOptions {
       gles2::FbQuantization::kRoundNearest;
   // Shader execution engine for every kernel dispatch. The default is the
   // lane-batched VM: each kernel dispatch gathers covered fragments into
-  // 16-lane SoA batches and executes the lowered bytecode once per
+  // SoA batches and executes the lowered bytecode once per
   // instruction over all lanes, the way a VC4 QPU runs pixel groups through
   // one instruction stream. kBytecodeVm selects the scalar VM (one
   // dispatch-loop pass per fragment) and kTreeWalk the tree-walking
@@ -33,6 +33,13 @@ struct DeviceOptions {
   // ALU/SFU/TMU op counts) are identical for every value; see
   // gles2::ContextConfig::shader_threads.
   int shader_threads = 0;
+  // SIMD level for the batched VM's stride-1 float fast paths: -1 picks the
+  // MGPU_SIMD environment override if set, else the best level the host CPU
+  // supports; 0 forces the portable scalar SoA kernels, 1 caps at SSE2 and
+  // 2 at AVX2 (both clamped to what the host actually has). Every level
+  // produces byte-identical framebuffers and op counts; see
+  // gles2::ContextConfig::simd.
+  int simd = -1;
   int max_texture_size = 4096;
 };
 

@@ -67,6 +67,9 @@ void ShadeStateCache::InvalidateProgram(GLuint program) {
 
 Context::Context(const ContextConfig& config, glsl::AluModel* alu)
     : config_(config), alu_(alu != nullptr ? alu : &default_alu_) {
+  simd_level_ = glsl::simd::Resolve(config_.simd);
+  config_.fragment_batch_width =
+      std::clamp(config_.fragment_batch_width, 1, kFragBatchWidth);
   shade_cache_.SetCapacity(
       static_cast<std::size_t>(std::max(config_.shade_cache_capacity, 1)));
   attribs_.resize(static_cast<std::size_t>(config_.limits.max_vertex_attribs));
@@ -406,6 +409,12 @@ void Context::LinkProgram(GLuint program) {
   // relink (successful or not) makes them stale.
   shade_cache_.InvalidateProgram(program);
   gles2::LinkProgram(*p, shaders_, *alu_, config_.limits);
+  // Stamp the context's resolved SIMD tier onto the fresh engines; worker
+  // clones built from fvm inherit it at construction.
+  if (p->link_ok) {
+    p->vvm->SetSimdLevel(simd_level_);
+    p->fvm->SetSimdLevel(simd_level_);
+  }
 }
 
 void Context::GetProgramiv(GLuint program, GLenum pname, GLint* params) {
@@ -1617,6 +1626,7 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
         *entry->workers[static_cast<std::size_t>(i)];
     w.error.clear();
     w.batch.count = 0;
+    w.batch.width = config_.fragment_batch_width;
   }
 
   const int vc = prog->varying_cells;

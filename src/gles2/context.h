@@ -22,6 +22,7 @@
 #include "gles2/tiler.h"
 #include "glsl/alu.h"
 #include "glsl/shader.h"
+#include "glsl/simd.h"
 
 namespace mgpu::common {
 class ThreadPool;
@@ -74,6 +75,16 @@ struct ContextConfig {
   // shading requires the bytecode VM engine and a forkable AluModel;
   // otherwise the draw falls back to the serial path.
   int shader_threads = 0;
+  // SIMD tier for the batched VM's SoA kernels: -1 = auto (MGPU_SIMD env
+  // override, else the detected hardware level), 0/1/2 = force
+  // scalar/SSE2/AVX2 (clamped to what the host supports). Results are
+  // bit-identical at every tier by construction (see src/glsl/simd.h);
+  // this knob exists for A/B benchmarking and CI's SIMD-off leg.
+  int simd = -1;
+  // Effective fragment-batch fill width (lanes per batched shader
+  // dispatch), clamped to [1, kFragBatchWidth]. Swept 8/16/32 by
+  // bench_fig1_pipeline; the default matches the pre-SIMD batch width.
+  int fragment_batch_width = 16;
   std::string renderer_name = "mgpu software GLES2 (VideoCore IV model)";
 };
 
@@ -410,6 +421,10 @@ class Context {
                            ProgramObject* prog);
 
   ContextConfig config_;
+  // ContextConfig::simd resolved once at construction (env override applied,
+  // clamped to the host's detected tier); stamped onto every linked
+  // program's VM engines.
+  glsl::simd::Level simd_level_ = glsl::simd::Level::kScalar;
   glsl::ExactAlu default_alu_;
   glsl::AluModel* alu_;
   GLenum error_ = GL_NO_ERROR;

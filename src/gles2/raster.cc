@@ -47,7 +47,7 @@ struct BatchEmitter {
     b.front[l] = front ? 1 : 0;
     b.point_s[l] = ps;
     b.point_t[l] = pt;
-    if (++b.count == kFragBatchWidth) flush();
+    if (++b.count == b.width) flush();
   }
 };
 

@@ -62,10 +62,14 @@ using FragmentSink = std::function<void(
 // vec4s); shared by the scalar scratch buffers and the batch planes.
 inline constexpr int kMaxVaryingCells = 64;
 
-// Lane width of a fragment batch — one batched shader dispatch covers up to
-// this many covered fragments. Must equal glsl::kVmLanes (the raster layer
-// stays glsl-free; gles2::Context static_asserts the match).
-inline constexpr int kFragBatchWidth = 16;
+// Maximum lane width of a fragment batch — one batched shader dispatch
+// covers up to this many covered fragments. Must equal glsl::kVmLanes (the
+// raster layer stays glsl-free; gles2::Context static_asserts the match).
+// The *effective* fill width of a batch is the runtime FragmentBatch::width
+// (<= this), so the plane strides stay compile-time constants while the
+// dispatch granularity is a per-context knob (ContextConfig::
+// fragment_batch_width, swept 8/16/32 by bench_fig1_pipeline).
+inline constexpr int kFragBatchWidth = 32;
 
 // A fixed-width batch of covered fragments in SoA ("structure of planes")
 // layout: per-fragment scalars in parallel arrays, interpolated varyings as
@@ -76,6 +80,9 @@ inline constexpr int kFragBatchWidth = 16;
 // when the batch fills; the tile loop flushes the tail.
 struct FragmentBatch {
   int count = 0;
+  // Effective fill width: the rasterizer flushes when count reaches this.
+  // Set by the owner (defaults to full); always in [1, kFragBatchWidth].
+  int width = kFragBatchWidth;
   std::array<std::int32_t, kFragBatchWidth> x;
   std::array<std::int32_t, kFragBatchWidth> y;
   std::array<float, kFragBatchWidth> depth;

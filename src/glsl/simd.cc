@@ -1,0 +1,65 @@
+#include "glsl/simd.h"
+
+#include <cstdlib>
+
+namespace mgpu::glsl::simd {
+
+namespace {
+
+Level DetectOnce() {
+#if MGPU_SIMD_X86
+#if defined(__GNUC__) || defined(__clang__)
+  // SSE2 is architectural on x86-64; AVX2 needs a cpuid probe. The builtin
+  // also checks OS XSAVE support, so a positive answer means the ymm state
+  // is actually usable.
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level ClampToDetected(Level want) {
+  const Level cap = DetectedLevel();
+  return static_cast<int>(want) > static_cast<int>(cap) ? cap : want;
+}
+
+// MGPU_SIMD env override, parsed once: "0" scalar, "1" SSE2, "2" AVX2.
+// Any other value (or unset) leaves auto resolution at the detected level.
+Level EnvLevelOnce() {
+  const char* e = std::getenv("MGPU_SIMD");
+  if (e != nullptr && e[0] != '\0' && e[1] == '\0') {
+    if (e[0] == '0') return Level::kScalar;
+    if (e[0] == '1') return ClampToDetected(Level::kSse2);
+    if (e[0] == '2') return ClampToDetected(Level::kAvx2);
+  }
+  return DetectedLevel();
+}
+
+}  // namespace
+
+Level DetectedLevel() {
+  static const Level level = DetectOnce();
+  return level;
+}
+
+Level Resolve(int knob) {
+  static const Level env_level = EnvLevelOnce();
+  if (knob < 0) return env_level;
+  if (knob == 0) return Level::kScalar;
+  return ClampToDetected(knob == 1 ? Level::kSse2 : Level::kAvx2);
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace mgpu::glsl::simd

@@ -30,6 +30,7 @@
 #include "glsl/compile.h"
 #include "glsl/interp.h"
 #include "glsl/ir.h"
+#include "glsl/simd.h"
 #include "glsl/vm.h"
 #include "vc4/alu.h"
 #include "vc4/profiles.h"
@@ -617,11 +618,89 @@ class GlslFuzzer {
                      body.c_str());
   }
 
+  // A straight-line run of float vector arithmetic: a burst of
+  // component-wise +,-,*,/ and float-dense builtins over same-width vector
+  // locals, with no control flow in between. These are exactly the
+  // statements the lowering tags SIMD-eligible, so weighting them into
+  // most generated programs keeps the vector kernels (not just the scalar
+  // SoA and per-lane paths) under continuous differential pressure.
+  void GenVecRun(std::string& out) {
+    const int w = static_cast<int>(rng_.NextInt(2, 4));
+    const GType t = w == 2 ? GType::kV2 : (w == 3 ? GType::kV3 : GType::kV4);
+    // Seed the run with two fresh vectors so every later statement has
+    // same-type operands in scope.
+    for (int k = 0; k < 2; ++k) {
+      Var v{NewName("t"), t, false};
+      const std::string init = GenVec(w, 2);
+      out += StrFormat("  %s %s = %s;\n", TypeName(t), v.name.c_str(),
+                       init.c_str());
+      scope_.push_back(v);
+    }
+    const int n = static_cast<int>(rng_.NextInt(6, 12));
+    for (int s = 0; s < n; ++s) {
+      const Var* a = PickVar(t);
+      const Var* b = PickVar(t);
+      std::string rhs;
+      switch (static_cast<int>(rng_.NextInt(0, 9))) {
+        case 0: case 1: case 2: case 3: {
+          static const char* kOp[] = {"+", "-", "*", "/"};
+          const char* op = kOp[rng_.NextInt(0, 3)];
+          rhs = StrFormat("(%s %s %s)", a->name.c_str(), op,
+                          b->name.c_str());
+          break;
+        }
+        case 4:
+          rhs = StrFormat("min(%s, %s)", a->name.c_str(), b->name.c_str());
+          break;
+        case 5:
+          rhs = StrFormat("max(%s, %s)", a->name.c_str(), b->name.c_str());
+          break;
+        case 6: {
+          const std::string lo = FloatLit();
+          const std::string hi = FloatLit();
+          rhs = StrFormat("clamp(%s, min(%s, %s), max(%s, %s))",
+                          a->name.c_str(), lo.c_str(), hi.c_str(),
+                          lo.c_str(), hi.c_str());
+          break;
+        }
+        case 7: {
+          const std::string tl = FloatLit();
+          rhs = StrFormat("mix(%s, %s, %s)", a->name.c_str(),
+                          b->name.c_str(), tl.c_str());
+          break;
+        }
+        case 8: {
+          static const char* kFn[] = {"abs", "floor", "fract", "ceil"};
+          const char* fn = kFn[rng_.NextInt(0, 3)];
+          rhs = StrFormat("%s(%s)", fn, a->name.c_str());
+          break;
+        }
+        default:
+          rhs = StrFormat("(normalize(%s) * %s)", a->name.c_str(),
+                          FloatLit().c_str());
+          break;
+      }
+      if (Chance(60)) {
+        out += StrFormat("  %s = %s;\n", b->name.c_str(), rhs.c_str());
+      } else {
+        Var v{NewName("t"), t, false};
+        out += StrFormat("  %s %s = %s;\n", TypeName(t), v.name.c_str(),
+                         rhs.c_str());
+        scope_.push_back(v);
+      }
+    }
+  }
+
   std::string GenMain() {
     scope_.clear();
     std::string body;
+    // Most programs open with a long straight-line vector-arithmetic run
+    // (see GenVecRun), and many get a second one after the general
+    // statement mix so runs also appear downstream of control flow.
+    if (Chance(60)) GenVecRun(body);
     const int n = static_cast<int>(rng_.NextInt(3, 7));
     for (int s = 0; s < n; ++s) GenStmt(body, 2, /*in_helper=*/false);
+    if (Chance(35)) GenVecRun(body);
     if (Chance(50)) {
       const std::string r = GenFloat(3);
       const std::string g = GenFloat(3);
@@ -824,10 +903,16 @@ void RunFuzzSweep(bool vc4_alu) {
       // reproduce it: the seed drives both the program generator and the
       // per-lane inputs, so one integer replays the whole case.
       GlslFuzzer gen(seed);
+      // The batched VM resolves its SIMD tier the same way (auto unless
+      // MGPU_SIMD overrides), so naming it here makes the repro line
+      // sufficient to replay the exact kernel selection.
       std::fprintf(stderr,
-                   "[fuzz] FAILURE seed=%llu (%s alu) — source:\n%s\n",
+                   "[fuzz] FAILURE seed=%llu (%s alu, simd=%s) — "
+                   "source:\n%s\n",
                    static_cast<unsigned long long>(seed),
-                   vc4_alu ? "vc4" : "exact", gen.Generate().c_str());
+                   vc4_alu ? "vc4" : "exact",
+                   simd::LevelName(simd::Resolve(-1)),
+                   gen.Generate().c_str());
       FAIL() << "fuzz differential failed at seed " << seed
              << " (iteration " << i << " of " << g_fuzz_iters << ")";
     }
