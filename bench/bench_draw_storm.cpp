@@ -95,7 +95,7 @@ GLuint BuildProgram(gles2::Context& ctx) {
 // per-draw setup tax under test), not context/program setup or readback.
 StormResult RunStorm(int draws, int shader_threads,
                      gles2::ExecEngine engine = gles2::ExecEngine::kBatchedVm,
-                     int simd = -1) {
+                     int simd = -1, std::uint64_t draw_budget = 0) {
   gles2::ContextConfig cfg;
   cfg.width = kTargetSize;
   cfg.height = kTargetSize;
@@ -103,6 +103,7 @@ StormResult RunStorm(int draws, int shader_threads,
   cfg.shader_threads = shader_threads;
   cfg.exec_engine = engine;
   cfg.simd = simd;
+  cfg.draw_budget = draw_budget;
   gles2::Context ctx(cfg);
 
   const GLuint prog = BuildProgram(ctx);
@@ -164,10 +165,11 @@ int main(int argc, char** argv) {
   constexpr int kReps = 3;
   auto best_of = [&](int threads,
                      gles2::ExecEngine engine = gles2::ExecEngine::kBatchedVm,
-                     int simd = -1) {
-    StormResult best = RunStorm(draws, threads, engine, simd);
+                     int simd = -1, std::uint64_t draw_budget = 0) {
+    StormResult best = RunStorm(draws, threads, engine, simd, draw_budget);
     for (int r = 1; r < kReps; ++r) {
-      const StormResult again = RunStorm(draws, threads, engine, simd);
+      const StormResult again =
+          RunStorm(draws, threads, engine, simd, draw_budget);
       if (again.seconds < best.seconds) best = again;
     }
     return best;
@@ -219,9 +221,25 @@ int main(int argc, char** argv) {
               simd_identical ? "identical" : "MISMATCH", soa.seconds,
               soa.seconds / serial.seconds);
 
+  // Watchdog A/B: the robustness model keeps its transactional machinery
+  // (per-pixel undo journaling) on every run, so the serial leg above IS
+  // the watchdog-compiled-in-but-disabled number the CI gate tracks. This
+  // leg additionally *enables* the per-draw ALU budget (set far above any
+  // storm draw, so it never trips) to price the armed per-fragment budget
+  // checks; it must stay byte-identical to the disabled run.
+  const StormResult watchdog =
+      best_of(/*shader_threads=*/1, gles2::ExecEngine::kBatchedVm,
+              /*simd=*/-1, /*draw_budget=*/~0ull / 2);
+  const bool watchdog_identical = serial.fb_hash == watchdog.fb_hash &&
+                                  serial.alu_ops == watchdog.alu_ops;
+  std::printf("  watchdog armed:      %s (%8.3f s, overhead %.2fx vs "
+              "disabled)\n",
+              watchdog_identical ? "identical" : "MISMATCH", watchdog.seconds,
+              watchdog.seconds / serial.seconds);
+
   const bool ok = identical && batched_identical && simd_identical &&
-                  serial.draw_ok && pooled.draw_ok && scalar.draw_ok &&
-                  soa.draw_ok;
+                  watchdog_identical && serial.draw_ok && pooled.draw_ok &&
+                  scalar.draw_ok && soa.draw_ok && watchdog.draw_ok;
 
   bench::JsonBenchWriter json("draw_storm");
   json.Add("draws", draws, "count");
@@ -233,6 +251,9 @@ int main(int argc, char** argv) {
   json.Add("soa_storm", soa.seconds, "s");
   json.Add("simd_speedup_vs_soa", soa.seconds / serial.seconds, "x");
   json.Add("simd_identical", simd_identical ? 1.0 : 0.0, "bool");
+  json.Add("watchdog_storm", watchdog.seconds, "s");
+  json.Add("watchdog_overhead", watchdog.seconds / serial.seconds, "x");
+  json.Add("watchdog_identical", watchdog_identical ? 1.0 : 0.0, "bool");
   json.Add("alu_ops_per_draw",
            static_cast<double>(serial.alu_ops) / draws, "ops");
   json.Add("fb_hash", serial.fb_hash, "hash");

@@ -4,6 +4,7 @@
 // byte pipeline natively" workload the paper contrasts with the float path.
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "compute/ops.h"
@@ -27,7 +28,7 @@ void PrintAscii(const char* title, const std::vector<std::uint8_t>& img,
 
 }  // namespace
 
-int main() {
+int RunExample() {
   using namespace mgpu;
   compute::Device device;
 
@@ -68,4 +69,17 @@ int main() {
   std::printf("validation vs CPU blur: %d pixels differ by more than 1/255\n",
               diff);
   return diff == 0 ? 0 : 1;
+}
+
+// Kernel dispatch failures (a shader trap, the MGPU_DRAW_BUDGET watchdog,
+// or a pipeline resource fault) surface as exceptions carrying the GL error
+// and the robustness blame; report them and exit nonzero instead of
+// crashing (see README "Robustness model").
+int main() {
+  try {
+    return RunExample();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

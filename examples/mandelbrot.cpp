@@ -4,11 +4,12 @@
 // used to preclude. The kernel derives each pixel's complex coordinate from
 // gl_FragCoord alone.
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "compute/kernel.h"
 
-int main() {
+int RunExample() {
   using namespace mgpu;
   compute::Device device;
 
@@ -57,4 +58,17 @@ float gp_kernel(vec2 gp_pos) {
   std::printf("(escape counts returned as exact 24-bit integers via the "
               "paper's int output transformation)\n");
   return 0;
+}
+
+// Kernel dispatch failures (a shader trap, the MGPU_DRAW_BUDGET watchdog,
+// or a pipeline resource fault) surface as exceptions carrying the GL error
+// and the robustness blame; report them and exit nonzero instead of
+// crashing (see README "Robustness model").
+int main() {
+  try {
+    return RunExample();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

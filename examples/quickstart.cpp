@@ -7,13 +7,14 @@
 // quad, the pass-through vertex shader, the pack/unpack GLSL and the FBO
 // readback.
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "common/rng.h"
 #include "compute/ops.h"
 #include "cpuref/cpuref.h"
 
-int main() {
+int RunExample() {
   using namespace mgpu;
 
   // A compute device over the VideoCore IV platform model (the Raspberry
@@ -62,4 +63,17 @@ int main() {
               static_cast<unsigned long long>(work.bytes_readback),
               work.program_compiles);
   return mismatches == 0 ? 0 : 1;
+}
+
+// Kernel dispatch failures (a shader trap, the MGPU_DRAW_BUDGET watchdog,
+// or a pipeline resource fault) surface as exceptions carrying the GL error
+// and the robustness blame; report them and exit nonzero instead of
+// crashing (see README "Robustness model").
+int main() {
+  try {
+    return RunExample();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -4,13 +4,14 @@
 // "careful kernel ordering" answer to challenge 7 (no glGetTexImage in ES
 // 2.0). Also demonstrates the multi-output min/max split (challenge 8).
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "common/rng.h"
 #include "compute/ops.h"
 #include "cpuref/cpuref.h"
 
-int main() {
+int RunExample() {
   using namespace mgpu;
   compute::Device device;
 
@@ -52,4 +53,17 @@ int main() {
                       std::abs(cpu_sum) * 1e-3f + 1e-3f;
   std::printf("validation: %s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
+}
+
+// Kernel dispatch failures (a shader trap, the MGPU_DRAW_BUDGET watchdog,
+// or a pipeline resource fault) surface as exceptions carrying the GL error
+// and the robustness blame; report them and exit nonzero instead of
+// crashing (see README "Robustness model").
+int main() {
+  try {
+    return RunExample();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

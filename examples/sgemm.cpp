@@ -4,6 +4,7 @@
 // wall times printed alongside.
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "common/bits.h"
@@ -12,7 +13,7 @@
 #include "cpuref/cpuref.h"
 #include "vc4/timing.h"
 
-int main() {
+int RunExample() {
   using namespace mgpu;
   compute::Device device;
   const int n = 48;  // interpreted simulation; the bench extrapolates to 1024
@@ -67,4 +68,17 @@ int main() {
   std::printf("  (small n is dominated by compile+transfer overhead; "
               "bench_section5_speedups reproduces the paper's 1024-point)\n");
   return ci_gpu == ci_cpu ? 0 : 1;
+}
+
+// Kernel dispatch failures (a shader trap, the MGPU_DRAW_BUDGET watchdog,
+// or a pipeline resource fault) surface as exceptions carrying the GL error
+// and the robustness blame; report them and exit nonzero instead of
+// crashing (see README "Robustness model").
+int main() {
+  try {
+    return RunExample();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,6 +1,9 @@
 #include "common/threadpool.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "common/fault.h"
 
 namespace mgpu::common {
 
@@ -54,12 +57,26 @@ void ThreadPool::WorkerLoop() {
     // wakeups) and under-waking (a woken worker draining several tasks
     // before another wakes) are both harmless.
     int completed = 0;
+    std::exception_ptr error;
     for (int task = 0; Claim(seen, &task);) {
-      (*body)(task);
+      // A task that throws still counts as completed — the join must drain
+      // pending_ to zero no matter how tasks end, or RunOn deadlocks. Only
+      // the first throw of a job is kept (and rethrown by RunOn).
+      try {
+        if (fault::ShouldFail(fault::Site::kPoolTask)) {
+          throw std::runtime_error("injected fault: pool task failed");
+        }
+        (*body)(task);
+      } catch (...) {
+        if (error == nullptr) error = std::current_exception();
+      }
       ++completed;
     }
     if (completed > 0) {
       const std::lock_guard<std::mutex> lk(mu_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = error;
+      }
       pending_ -= completed;
       if (pending_ == 0) done_cv_.notify_all();
     }
@@ -74,6 +91,7 @@ void ThreadPool::RunOn(int n_tasks, const std::function<void(int)>& body) {
     n_tasks_ = n_tasks;
     pending_ = n_tasks;
     next_task_ = 0;
+    first_error_ = nullptr;
     ++epoch_;
   }
   // Partial dispatch: wake exactly as many workers as there are tasks.
@@ -86,11 +104,18 @@ void ThreadPool::RunOn(int n_tasks, const std::function<void(int)>& body) {
   } else {
     for (int i = 0; i < wake; ++i) start_cv_.notify_one();
   }
+  std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [&] { return pending_ == 0; });
     body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
   }
+  // Rethrow only after the join: every claimed task has finished and the
+  // pool is back in its idle state, so the caller sees the failure with the
+  // pool fully reusable for the next job.
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace mgpu::common

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -38,8 +39,11 @@ class ThreadPool {
   // min(n_tasks, size()) workers are woken; the rest stay parked. Tasks are
   // claimed from a shared counter, so two tasks may execute sequentially on
   // the same worker thread when a woken worker outruns a still-waking one —
-  // callers get distinct task indices, not distinct OS threads. `body` must
-  // not throw (catch inside). Callers that want finer-grained work
+  // callers get distinct task indices, not distinct OS threads. A `body`
+  // that throws does not deadlock the join or poison the pool: the first
+  // exception is captured and rethrown from RunOn after every claimed task
+  // has finished (a throwing task counts as finished; tasks not yet claimed
+  // when it threw still run). Callers that want finer-grained work
   // distribution pull items from their own shared atomic counter inside
   // `body` (see gles2::Context::DrawGeneric).
   void RunOn(int n_tasks, const std::function<void(int task)>& body);
@@ -60,6 +64,7 @@ class ThreadPool {
   int n_tasks_ = 0;          // task count of the current job
   int next_task_ = 0;        // next unclaimed task of the current job
   int pending_ = 0;          // tasks not yet completed in the current job
+  std::exception_ptr first_error_;  // first task throw of the current job
   bool stop_ = false;
 };
 

@@ -162,9 +162,21 @@ void Kernel::Run(PackedBuffer& out, std::span<PackedBuffer* const> inputs) {
 
   const gles2::GLenum err = gl.GetError();
   if (err != gles2::GL_NO_ERROR) {
+    // Fold the robustness classification into the failure so callers see
+    // who to blame without re-querying: GUILTY means this kernel's own
+    // shader trapped (or tripped the MGPU_DRAW_BUDGET watchdog); INNOCENT
+    // means a pipeline resource failed. The query observes-and-clears, so
+    // the context is usable again if the caller catches and continues.
+    const gles2::GLenum reset = gl.GetGraphicsResetStatus();
+    const char* blame = "";
+    if (reset == gles2::GL_GUILTY_CONTEXT_RESET) {
+      blame = " [guilty: kernel shader]";
+    } else if (reset == gles2::GL_INNOCENT_CONTEXT_RESET) {
+      blame = " [innocent: pipeline resource]";
+    }
     throw std::runtime_error(StrFormat(
-        "kernel '%s' dispatch failed: GL error 0x%04x%s%s",
-        options_.name.c_str(), err,
+        "kernel '%s' dispatch failed: GL error 0x%04x%s%s%s",
+        options_.name.c_str(), err, blame,
         gl.last_draw_error().empty() ? "" : "\nshader runtime: ",
         gl.last_draw_error().c_str()));
   }

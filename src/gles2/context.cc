@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 
+#include "common/fault.h"
 #include "common/strings.h"
 #include "common/threadpool.h"
 #include "gles2/raster.h"
@@ -20,6 +23,13 @@ using glsl::Value;
 // flush path hands a FragmentBatch's lanes straight to VmExec::RunBatch.
 static_assert(kFragBatchWidth == glsl::kVmLanes,
               "fragment batch width must match the VM lane width");
+
+namespace {
+// Watchdog trip message: the budget is a per-draw total, so one string
+// serves the vertex and fragment stages.
+constexpr const char kBudgetMsg[] =
+    "draw exceeded the per-draw ALU-op watchdog budget (MGPU_DRAW_BUDGET)";
+}  // namespace
 
 ShadeStateCache::WorkerState::~WorkerState() {
   if (engine_owned == nullptr && engine != nullptr) {
@@ -72,6 +82,10 @@ Context::Context(const ContextConfig& config, glsl::AluModel* alu)
       std::clamp(config_.fragment_batch_width, 1, kFragBatchWidth);
   shade_cache_.SetCapacity(
       static_cast<std::size_t>(std::max(config_.shade_cache_capacity, 1)));
+  draw_budget_ = config_.draw_budget;
+  if (const char* env = std::getenv("MGPU_DRAW_BUDGET")) {
+    draw_budget_ = std::strtoull(env, nullptr, 10);
+  }
   attribs_.resize(static_cast<std::size_t>(config_.limits.max_vertex_attribs));
   fb_color_.assign(
       static_cast<std::size_t>(config_.width) * config_.height * 4, 0);
@@ -95,6 +109,12 @@ GLenum Context::GetError() {
   const GLenum e = error_;
   error_ = GL_NO_ERROR;
   return e;
+}
+
+GLenum Context::GetGraphicsResetStatus() {
+  const GLenum s = reset_status_;
+  reset_status_ = GL_NO_ERROR;
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -1231,14 +1251,16 @@ bool Context::FetchAttribute(const AttribState& a, GLint vertex,
 }
 
 void Context::WritePixel(RenderTarget& rt, int x, int y, float depth,
-                         const std::array<float, 4>& color, bool depth_valid) {
+                         const std::array<float, 4>& color, bool depth_valid,
+                         UndoJournal* journal) {
   if (scissor_enabled_) {
     if (x < sc_x_ || y < sc_y_ || x >= sc_x_ + sc_w_ || y >= sc_y_ + sc_h_) {
       return;
     }
   }
   if (depth_enabled_ && rt.depth != nullptr && depth_valid) {
-    float& d = (*rt.depth)[static_cast<std::size_t>(y) * rt.width + x];
+    const std::size_t di = static_cast<std::size_t>(y) * rt.width + x;
+    float& d = (*rt.depth)[di];
     bool pass = false;
     switch (depth_func_) {
       case GL_NEVER: pass = false; break;
@@ -1252,7 +1274,12 @@ void Context::WritePixel(RenderTarget& rt, int x, int y, float depth,
       default: pass = true; break;
     }
     if (!pass) return;
-    if (depth_write_) d = depth;
+    if (depth_write_) {
+      if (journal != nullptr) {
+        journal->depth.push_back({static_cast<std::uint32_t>(di), d});
+      }
+      d = depth;
+    }
   }
   if (rt.color == nullptr) return;
 
@@ -1299,6 +1326,11 @@ void Context::WritePixel(RenderTarget& rt, int x, int y, float depth,
       src[ii] = std::clamp(src[ii] * sf[ii] + dst[ii] * df[ii], 0.0f, 1.0f);
     }
   }
+  if (journal != nullptr) {
+    journal->color.push_back({static_cast<std::uint32_t>(off),
+                              {(*rt.color)[off], (*rt.color)[off + 1],
+                               (*rt.color)[off + 2], (*rt.color)[off + 3]}});
+  }
   for (int i = 0; i < 4; ++i) {
     if (!color_mask_[static_cast<std::size_t>(i)]) continue;
     const float f = src[static_cast<std::size_t>(i)];
@@ -1311,6 +1343,20 @@ void Context::WritePixel(RenderTarget& rt, int x, int y, float depth,
     if (!(scaled >= 0.0f)) scaled = 0.0f;
     (*rt.color)[off + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(std::clamp(scaled, 0.0f, 255.0f));
+  }
+}
+
+void Context::CheckDrawBudget(ShadeStateCache::WorkerState* w) {
+  const std::uint64_t now = w->alu->counts().alu;
+  const std::uint64_t delta = now - w->budget_reported;
+  w->budget_reported = now;
+  const std::uint64_t used =
+      draw_alu_used_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (used > draw_budget_) {
+    // Classified here (not in the catch) so the generic trap handler does
+    // not have to distinguish watchdog throws from shader traps.
+    w->error_kind = DrawErrorKind::kBudget;
+    throw glsl::ShaderRuntimeError(kBudgetMsg);
   }
 }
 
@@ -1382,6 +1428,13 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   }
   if (count == 0) return;
 
+  // Transactional draw: take a counter snapshot now. Together with the
+  // per-worker framebuffer undo journals it restores exact "draw never
+  // issued" state on any abort (shader trap, watchdog trip, resource
+  // failure) — identically for every engine and worker count, because the
+  // restored state does not depend on where shading stopped.
+  const glsl::OpCounts draw_start_counts = alu_->counts();
+
   // --- engine selection: the lane-batched VM is the production path; the
   // scalar VM and the tree-walking interpreter are switchable reference
   // oracles. The vertex stage always runs scalar (vertex counts are tiny);
@@ -1407,6 +1460,7 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
         std::array<float, 4> v{};
         if (!FetchAttribute(attribs_[static_cast<std::size_t>(ai.location)],
                             static_cast<GLint>(vi), &v)) {
+          alu_->SetCounts(draw_start_counts);
           SetError(GL_INVALID_OPERATION);
           return;
         }
@@ -1417,6 +1471,14 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
         }
       }
       vexec.Run();
+      if (draw_budget_ != 0 &&
+          alu_->counts().alu - draw_start_counts.alu > draw_budget_) {
+        alu_->SetCounts(draw_start_counts);
+        last_draw_error_ = kBudgetMsg;
+        reset_status_ = GL_GUILTY_CONTEXT_RESET;
+        SetError(GL_OUT_OF_MEMORY);
+        return;
+      }
       RasterVertex& out = verts[static_cast<std::size_t>(i)];
       out.clip = {0.0f, 0.0f, 0.0f, 1.0f};
       out.point_size = 1.0f;
@@ -1437,7 +1499,11 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
       }
     }
   } catch (const glsl::ShaderRuntimeError& e) {
+    // Vertex-stage trap: no framebuffer byte was touched yet, so restoring
+    // the counter snapshot completes the abort.
+    alu_->SetCounts(draw_start_counts);
     last_draw_error_ = e.what();
+    reset_status_ = GL_GUILTY_CONTEXT_RESET;
     SetError(GL_INVALID_OPERATION);
     return;
   }
@@ -1501,31 +1567,42 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
       break;
   }
 
-  binner_.BeginDraw(rt.width, rt.height);
-  for (std::size_t pi = 0; pi < prims.size(); ++pi) {
-    const TilePrim& p = prims[pi];
-    PixelRect r;
-    bool live = false;
-    switch (p.kind) {
-      case TilePrim::Kind::kTriangle:
-        live = TriangleBounds(verts[p.v0], verts[p.v1], verts[p.v2], rs, &r);
-        break;
-      case TilePrim::Kind::kPoint:
-        live = PointBounds(verts[p.v0], rs, &r);
-        break;
-      case TilePrim::Kind::kLine:
-        // Lines bin tile-exactly by walking once (their bbox would cover
-        // quadratically many untouched tiles for diagonals).
-        LineTouchedTiles(verts[p.v0], verts[p.v1], rs, kTileSize,
-                         [&](int tx, int ty) {
-                           binner_.BinTile(static_cast<std::uint32_t>(pi), tx,
-                                           ty);
-                         });
-        break;
+  try {
+    binner_.BeginDraw(rt.width, rt.height);
+    for (std::size_t pi = 0; pi < prims.size(); ++pi) {
+      const TilePrim& p = prims[pi];
+      PixelRect r;
+      bool live = false;
+      switch (p.kind) {
+        case TilePrim::Kind::kTriangle:
+          live = TriangleBounds(verts[p.v0], verts[p.v1], verts[p.v2], rs, &r);
+          break;
+        case TilePrim::Kind::kPoint:
+          live = PointBounds(verts[p.v0], rs, &r);
+          break;
+        case TilePrim::Kind::kLine:
+          // Lines bin tile-exactly by walking once (their bbox would cover
+          // quadratically many untouched tiles for diagonals).
+          LineTouchedTiles(verts[p.v0], verts[p.v1], rs, kTileSize,
+                           [&](int tx, int ty) {
+                             binner_.BinTile(static_cast<std::uint32_t>(pi),
+                                             tx, ty);
+                           });
+          break;
+      }
+      if (live) binner_.Bin(static_cast<std::uint32_t>(pi), r);
     }
-    if (live) binner_.Bin(static_cast<std::uint32_t>(pi), r);
+    binner_.NonEmptyTiles(&scratch_work_);
+  } catch (const std::bad_alloc&) {
+    // Allocation failure (injectable: fault::Site::kBinnerGrow) while
+    // binning: nothing has touched the framebuffer yet, so restoring the
+    // counter snapshot makes the abort a pure no-op draw.
+    alu_->SetCounts(draw_start_counts);
+    last_draw_error_ = "tile binner allocation failed";
+    reset_status_ = GL_INNOCENT_CONTEXT_RESET;
+    SetError(GL_OUT_OF_MEMORY);
+    return;
   }
-  binner_.NonEmptyTiles(&scratch_work_);
   const std::vector<std::uint32_t>& work = scratch_work_;
   if (work.empty()) return;
 
@@ -1548,83 +1625,120 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
 
   ShadeStateCache::Entry* entry = nullptr;
   int slot_count = 1;
-  if (workers > 1 && use_vm) {
-    // Parallel shading needs per-worker engine clones (bytecode VM only)
-    // and per-worker counter shards (forkable AluModel only). Entries grow
-    // lazily to the largest `workers` any draw has needed (never past
-    // `threads`), so a 2-tile first draw on a big pool builds 2 slots, not
-    // `threads` — and a freshly built slot is already current (the clone
-    // copies today's globals), so only pre-existing slots pay the re-sync.
-    auto build_worker = [&](std::unique_ptr<glsl::AluModel> shard) {
-      auto w = std::make_unique<ShadeStateCache::WorkerState>();
-      w->alu_owned = std::move(shard);
-      w->engine_owned =
-          std::make_unique<glsl::VmExec>(*prog->fvm, *w->alu_owned);
-      w->tmu_owned = std::make_unique<TmuCacheModel>();
-      w->engine = w->engine_owned.get();
-      w->vm = w->engine_owned.get();
-      w->alu = w->alu_owned.get();
-      w->tmu = w->tmu_owned.get();
-      BuildWorkerPlumbing(*w, prog);
-      return w;
-    };
-    entry = shade_cache_.Find(current_program_, threads);
-    if (entry != nullptr) {
-      const int have =
-          std::min(workers, static_cast<int>(entry->workers.size()));
-      for (int i = 0; i < have; ++i) {
-        ShadeStateCache::WorkerState& w =
-            *entry->workers[static_cast<std::size_t>(i)];
-        w.vm->SyncGlobalsFrom(*prog->fvm);
-        w.alu->ResetCounts();
+  try {
+    if (workers > 1 && use_vm) {
+      // Parallel shading needs per-worker engine clones (bytecode VM only)
+      // and per-worker counter shards (forkable AluModel only). Entries grow
+      // lazily to the largest `workers` any draw has needed (never past
+      // `threads`), so a 2-tile first draw on a big pool builds 2 slots, not
+      // `threads` — and a freshly built slot is already current (the clone
+      // copies today's globals), so only pre-existing slots pay the re-sync.
+      auto build_worker = [&](std::unique_ptr<glsl::AluModel> shard) {
+        // Injectable build failure: slot construction is the allocation-
+        // heavy part of a draw (VM clone with a full global-store copy).
+        if (fault::ShouldFail(fault::Site::kShadeCacheAlloc)) {
+          throw std::bad_alloc();
+        }
+        auto w = std::make_unique<ShadeStateCache::WorkerState>();
+        w->alu_owned = std::move(shard);
+        w->engine_owned =
+            std::make_unique<glsl::VmExec>(*prog->fvm, *w->alu_owned);
+        w->tmu_owned = std::make_unique<TmuCacheModel>();
+        w->engine = w->engine_owned.get();
+        w->vm = w->engine_owned.get();
+        w->alu = w->alu_owned.get();
+        w->tmu = w->tmu_owned.get();
+        BuildWorkerPlumbing(*w, prog);
+        return w;
+      };
+      entry = shade_cache_.Find(current_program_, threads);
+      if (entry != nullptr) {
+        const int have =
+            std::min(workers, static_cast<int>(entry->workers.size()));
+        for (int i = 0; i < have; ++i) {
+          ShadeStateCache::WorkerState& w =
+              *entry->workers[static_cast<std::size_t>(i)];
+          w.vm->SyncGlobalsFrom(*prog->fvm);
+          w.alu->ResetCounts();
+        }
+      } else {
+        // A miss is only usable when the ALU model forks; probe with the
+        // first shard so non-forkable models never create an entry.
+        std::unique_ptr<glsl::AluModel> first = alu_->Fork();
+        if (first != nullptr) {
+          entry = &shade_cache_.Insert(current_program_, threads);
+          entry->workers.reserve(static_cast<std::size_t>(workers));
+          entry->workers.push_back(build_worker(std::move(first)));
+        }
       }
-    } else {
-      // A miss is only usable when the ALU model forks; probe with the
-      // first shard so non-forkable models never create an entry.
-      std::unique_ptr<glsl::AluModel> first = alu_->Fork();
-      if (first != nullptr) {
-        entry = &shade_cache_.Insert(current_program_, threads);
-        entry->workers.reserve(static_cast<std::size_t>(workers));
-        entry->workers.push_back(build_worker(std::move(first)));
+      if (entry != nullptr) {
+        while (static_cast<int>(entry->workers.size()) < workers) {
+          entry->workers.push_back(build_worker(alu_->Fork()));
+        }
+        slot_count = workers;
       }
     }
-    if (entry != nullptr) {
-      while (static_cast<int>(entry->workers.size()) < workers) {
-        entry->workers.push_back(build_worker(alu_->Fork()));
-      }
-      slot_count = workers;
-    }
-  }
-  if (entry == nullptr) {
-    // Serial path (single tile, threads == 1, the tree oracle, or a
-    // non-forkable ALU model): one cached slot that borrows the program's
-    // own engine, the context's ALU model (counts land there directly, no
-    // merge) and the context-owned serial TMU cache.
-    slot_count = 1;
-    entry = shade_cache_.Find(current_program_, 1);
     if (entry == nullptr) {
-      entry = &shade_cache_.Insert(current_program_, 1);
-      auto w = std::make_unique<ShadeStateCache::WorkerState>();
-      w->engine = use_vm
-                      ? static_cast<glsl::ShaderEngine*>(prog->fvm.get())
-                      : prog->fexec.get();
-      w->vm = use_vm ? prog->fvm.get() : nullptr;
-      w->alu = alu_;
-      w->tmu = &serial_tmu_cache_;
-      BuildWorkerPlumbing(*w, prog);
-      entry->workers.push_back(std::move(w));
+      // Serial path (single tile, threads == 1, the tree oracle, or a
+      // non-forkable ALU model): one cached slot that borrows the program's
+      // own engine, the context's ALU model (counts land there directly, no
+      // merge) and the context-owned serial TMU cache.
+      slot_count = 1;
+      entry = shade_cache_.Find(current_program_, 1);
+      if (entry == nullptr) {
+        if (fault::ShouldFail(fault::Site::kShadeCacheAlloc)) {
+          throw std::bad_alloc();
+        }
+        entry = &shade_cache_.Insert(current_program_, 1);
+        auto w = std::make_unique<ShadeStateCache::WorkerState>();
+        w->engine = use_vm
+                        ? static_cast<glsl::ShaderEngine*>(prog->fvm.get())
+                        : prog->fexec.get();
+        w->vm = use_vm ? prog->fvm.get() : nullptr;
+        w->alu = alu_;
+        w->tmu = &serial_tmu_cache_;
+        BuildWorkerPlumbing(*w, prog);
+        entry->workers.push_back(std::move(w));
+      }
     }
+  } catch (const std::bad_alloc&) {
+    // Allocation failure (injectable: fault::Site::kShadeCacheAlloc) while
+    // building shading state: a partially built cache entry pins
+    // inconsistent state, so drop the program's entries — the next draw
+    // rebuilds from scratch. No framebuffer byte was touched yet.
+    shade_cache_.InvalidateProgram(current_program_);
+    alu_->SetCounts(draw_start_counts);
+    last_draw_error_ = "shading-state allocation failed";
+    reset_status_ = GL_INNOCENT_CONTEXT_RESET;
+    SetError(GL_OUT_OF_MEMORY);
+    return;
   }
 
   // Per-draw refresh of the state the cached closures reach through stable
-  // addresses: the resolved render target, the failure latch, and each used
-  // slot's error/batch scratch (stale only if a previous draw failed).
+  // addresses: the resolved render target, the failure latch, the watchdog
+  // accumulator (seeded with the vertex stage's ops), and each used slot's
+  // error/journal/batch scratch (stale only if a previous draw failed).
   draw_rt_ = rt;
   draw_failed_.store(false, std::memory_order_relaxed);
+  draw_alu_used_.store(alu_->counts().alu - draw_start_counts.alu,
+                       std::memory_order_relaxed);
+  // Journal framebuffer writes only when this draw can actually abort
+  // after a pixel lands: the fragment stage has trap-capable instructions,
+  // the per-draw watchdog is armed, or a fault site is armed. Otherwise
+  // the transactional-abort guarantee is vacuous and the hot path skips
+  // the per-pixel undo bookkeeping entirely. (A genuine std::bad_alloc
+  // mid-shading is the one abort this cannot cover; the injectable
+  // resource faults all arm the registry and therefore journal.)
+  const bool needs_journal =
+      prog->fs_can_trap || draw_budget_ != 0 || fault::AnyArmed();
   for (int i = 0; i < slot_count; ++i) {
     ShadeStateCache::WorkerState& w =
         *entry->workers[static_cast<std::size_t>(i)];
     w.error.clear();
+    w.error_kind = DrawErrorKind::kNone;
+    w.journal.Clear();
+    w.active_journal = needs_journal ? &w.journal : nullptr;
+    w.budget_reported = w.alu->counts().alu;
     w.batch.count = 0;
     w.batch.width = config_.fragment_batch_width;
   }
@@ -1677,8 +1791,21 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
     if (use_batch) w.flush();
   };
 
+  // A failure outside any worker's shader (allocation mid-shading, a pool
+  // task dying before it ran): recorded draw-wide and classified as an
+  // implementation fault, not a shader fault.
+  std::string infra_error;
+  DrawErrorKind infra_error_kind = DrawErrorKind::kNone;
   if (slot_count == 1) {
-    for (const std::uint32_t t : work) shade_tile(t, 0);
+    try {
+      for (const std::uint32_t t : work) shade_tile(t, 0);
+    } catch (const std::exception& e) {
+      // Shader traps are caught inside the sink/flush closures; anything
+      // reaching here is a resource failure of the pipeline itself.
+      infra_error = e.what();
+      infra_error_kind = DrawErrorKind::kResource;
+      draw_failed_.store(true, std::memory_order_relaxed);
+    }
   } else {
     // The pool is sized by the configured thread count, not by this draw's
     // slot count, so alternating draws with different tile counts reuse the
@@ -1690,38 +1817,100 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
     }
     const int tile_count = static_cast<int>(work.size());
     std::atomic<int> next_tile{0};
-    pool_->RunOn(slot_count, [&](int slot_index) {
-      // An exception escaping a pool worker would std::terminate; record it
-      // like a shader runtime error instead (the serial path, running on
-      // the caller's thread, still propagates normally).
-      try {
-        for (int item = next_tile.fetch_add(1, std::memory_order_relaxed);
-             item < tile_count;
-             item = next_tile.fetch_add(1, std::memory_order_relaxed)) {
-          shade_tile(work[static_cast<std::size_t>(item)], slot_index);
+    try {
+      pool_->RunOn(slot_count, [&](int slot_index) {
+        // An exception escaping a pool worker's body is captured by the
+        // pool and rethrown from RunOn; catch shading failures here so
+        // they are attributed to the right worker slot instead.
+        ShadeStateCache::WorkerState& w =
+            *entry->workers[static_cast<std::size_t>(slot_index)];
+        try {
+          for (int item = next_tile.fetch_add(1, std::memory_order_relaxed);
+               item < tile_count;
+               item = next_tile.fetch_add(1, std::memory_order_relaxed)) {
+            shade_tile(work[static_cast<std::size_t>(item)], slot_index);
+          }
+        } catch (const glsl::ShaderRuntimeError& e) {
+          w.error = e.what();
+          if (w.error_kind == DrawErrorKind::kNone) {
+            w.error_kind = DrawErrorKind::kTrap;
+          }
+          draw_failed_.store(true, std::memory_order_relaxed);
+        } catch (const std::exception& e) {
+          w.error = e.what();
+          if (w.error_kind == DrawErrorKind::kNone) {
+            w.error_kind = DrawErrorKind::kResource;
+          }
+          draw_failed_.store(true, std::memory_order_relaxed);
         }
-      } catch (const std::exception& e) {
-        entry->workers[static_cast<std::size_t>(slot_index)]->error =
-            e.what();
-        draw_failed_.store(true, std::memory_order_relaxed);
+      });
+    } catch (const std::exception& e) {
+      // A pool task failed before its body ran (injectable:
+      // fault::Site::kPoolTask). The join completed — every other worker
+      // finished — so the abort below sees a quiesced, consistent state.
+      infra_error = e.what();
+      infra_error_kind = DrawErrorKind::kResource;
+      draw_failed_.store(true, std::memory_order_relaxed);
+    }
+    if (!draw_failed_.load(std::memory_order_relaxed)) {
+      // Merge the per-worker counter shards only on success: a trapped
+      // draw discards them, and the snapshot restore below is what makes
+      // the counters read "never issued".
+      for (int i = 0; i < slot_count; ++i) {
+        alu_->AddCounts(
+            entry->workers[static_cast<std::size_t>(i)]->alu->counts());
       }
-    });
-    for (int i = 0; i < slot_count; ++i) {
-      alu_->AddCounts(
-          entry->workers[static_cast<std::size_t>(i)]->alu->counts());
     }
   }
 
   if (draw_failed_.load(std::memory_order_relaxed)) {
+    // Deterministic draw abort: reverse-replay every worker's undo journal
+    // (workers shade disjoint tiles, so cross-worker order is irrelevant;
+    // within a worker, reverse order unwinds repeated writes to one pixel
+    // correctly) and restore the counter snapshot. The post-abort
+    // framebuffer, depth plane and counters equal the pre-draw state byte
+    // for byte on every engine, batch width and worker count.
+    for (int i = 0; i < slot_count; ++i) {
+      ShadeStateCache::WorkerState& w =
+          *entry->workers[static_cast<std::size_t>(i)];
+      if (rt.color != nullptr) {
+        for (auto it = w.journal.color.rbegin(); it != w.journal.color.rend();
+             ++it) {
+          std::copy(it->old_rgba.begin(), it->old_rgba.end(),
+                    rt.color->begin() + it->offset);
+        }
+      }
+      if (rt.depth != nullptr) {
+        for (auto it = w.journal.depth.rbegin(); it != w.journal.depth.rend();
+             ++it) {
+          (*rt.depth)[it->index] = it->old_depth;
+        }
+      }
+      w.journal.Clear();
+    }
+    alu_->SetCounts(draw_start_counts);
+    last_draw_error_ = infra_error;
+    DrawErrorKind kind = infra_error_kind;
     for (int i = 0; i < slot_count; ++i) {
       const ShadeStateCache::WorkerState& w =
           *entry->workers[static_cast<std::size_t>(i)];
       if (!w.error.empty()) {
         last_draw_error_ = w.error;
+        kind = w.error_kind;
         break;
       }
     }
-    SetError(GL_INVALID_OPERATION);
+    if (kind == DrawErrorKind::kNone) kind = DrawErrorKind::kTrap;
+    reset_status_ = kind == DrawErrorKind::kResource
+                        ? GL_INNOCENT_CONTEXT_RESET
+                        : GL_GUILTY_CONTEXT_RESET;
+    SetError(kind == DrawErrorKind::kTrap ? GL_INVALID_OPERATION
+                                          : GL_OUT_OF_MEMORY);
+    return;
+  }
+  // Committed: the journals exist only to be replayed on abort.
+  for (int i = 0; i < slot_count; ++i) {
+    entry->workers[static_cast<std::size_t>(i)]->journal.Clear();
   }
 }
 
@@ -1785,15 +1974,21 @@ void Context::BuildWorkerPlumbing(ShadeStateCache::WorkerState& w,
             vd.value->SetF(c, vars[vd.offset + c]);
           }
         }
-        if (!wp->engine->Run()) return;  // discarded
+        const bool kept = wp->engine->Run();
+        if (draw_budget_ != 0) CheckDrawBudget(wp);
+        if (!kept) return;  // discarded
         std::array<float, 4> color{0.0f, 0.0f, 0.0f, 0.0f};
         if (color_v != nullptr) {
           color = {color_v->F(0), color_v->F(1), color_v->F(2),
                    color_v->F(3)};
         }
-        WritePixel(draw_rt_, x, y, depth, color, /*depth_valid=*/true);
+        WritePixel(draw_rt_, x, y, depth, color, /*depth_valid=*/true,
+                   wp->active_journal);
       } catch (const glsl::ShaderRuntimeError& e) {
         wp->error = e.what();
+        if (wp->error_kind == DrawErrorKind::kNone) {
+          wp->error_kind = DrawErrorKind::kTrap;
+        }
         draw_failed_.store(true, std::memory_order_relaxed);
       }
     };
@@ -1876,6 +2071,7 @@ void Context::BuildWorkerPlumbing(ShadeStateCache::WorkerState& w,
         }
       }
       const std::uint32_t kept = wp->vm->RunBatch(n);
+      if (draw_budget_ != 0) CheckDrawBudget(wp);
       // Deferred TMU accounting: lane order == the order the scalar engine
       // would have run these fragments, so modeled miss counts match.
       for (int l = 0; l < n; ++l) {
@@ -1895,10 +2091,13 @@ void Context::BuildWorkerPlumbing(ShadeStateCache::WorkerState& w,
           color = {cv.F(0), cv.F(1), cv.F(2), cv.F(3)};
         }
         WritePixel(draw_rt_, b.x[li], b.y[li], b.depth[li], color,
-                   /*depth_valid=*/true);
+                   /*depth_valid=*/true, wp->active_journal);
       }
     } catch (const glsl::ShaderRuntimeError& e) {
       wp->error = e.what();
+      if (wp->error_kind == DrawErrorKind::kNone) {
+        wp->error_kind = DrawErrorKind::kTrap;
+      }
       draw_failed_.store(true, std::memory_order_relaxed);
       drop_tmu_log();
     }

@@ -70,10 +70,12 @@ struct ContextConfig {
   // owns a private engine / ALU-counter shard / TMU-cache model, every
   // successful draw produces identical framebuffer bytes and ALU/SFU/TMU
   // op counts for every value. (A draw that raises a shader runtime error
-  // stops shading at a scheduling-dependent point — the GL error and
-  // last_draw_error are still reported; a real GPU would hang.) Parallel
-  // shading requires the bytecode VM engine and a forkable AluModel;
-  // otherwise the draw falls back to the serial path.
+  // is aborted *transactionally*: framebuffer, depth and counters are
+  // restored to the pre-draw state byte for byte — identical for every
+  // engine and worker count — and the GL error / last_draw_error / reset
+  // status report the failure; a real GPU would hang or be reset.)
+  // Parallel shading requires the bytecode VM engine and a forkable
+  // AluModel; otherwise the draw falls back to the serial path.
   int shader_threads = 0;
   // SIMD tier for the batched VM's SoA kernels: -1 = auto (MGPU_SIMD env
   // override, else the detected hardware level), 0/1/2 = force
@@ -85,7 +87,51 @@ struct ContextConfig {
   // dispatch), clamped to [1, kFragBatchWidth]. Swept 8/16/32 by
   // bench_fig1_pipeline; the default matches the pre-SIMD batch width.
   int fragment_batch_width = 16;
+  // Per-draw total-work budget in modeled ALU ops (vertex + fragment,
+  // AluModel::CountAlu accounting): a watchdog in the spirit of a kernel
+  // GPU-hang timeout. 0 (default) disables it; a draw that exceeds the
+  // budget is aborted transactionally (framebuffer, depth and counters as
+  // if never issued) with GL_OUT_OF_MEMORY and a guilty reset status. The
+  // MGPU_DRAW_BUDGET environment variable overrides this at construction.
+  // The trip decision is deterministic across engines and worker counts
+  // because the completed draw's op total is engine- and thread-invariant.
+  std::uint64_t draw_budget = 0;
   std::string renderer_name = "mgpu software GLES2 (VideoCore IV model)";
+};
+
+// Classification of a draw abort, driving the GL error and reset status a
+// failed draw reports (see Context::GetGraphicsResetStatus):
+//   kTrap     — the shader itself trapped (loop budget, call depth,
+//               explicit trap): guilty reset + GL_INVALID_OPERATION.
+//   kBudget   — the draw tripped the ContextConfig::draw_budget watchdog:
+//               guilty reset + GL_OUT_OF_MEMORY.
+//   kResource — the implementation failed under the draw (allocation or
+//               worker-pool failure): innocent reset + GL_OUT_OF_MEMORY.
+enum class DrawErrorKind { kNone, kTrap, kBudget, kResource };
+
+// Per-worker undo log making draws transactional: every framebuffer byte
+// and depth float a worker overwrites is recorded before mutation, and an
+// aborted draw replays the entries in reverse to restore the exact
+// pre-draw image. Workers own disjoint tiles, so replay order across
+// workers is irrelevant; within a worker, reverse order makes repeated
+// writes to one pixel unwind correctly. Vectors keep their capacity across
+// draws (cleared, not freed), so the trap-free hot path pays one bounds
+// check and a push_back per written pixel.
+struct UndoJournal {
+  struct ColorEntry {
+    std::uint32_t offset;                 // byte offset of the RGBA8 pixel
+    std::array<std::uint8_t, 4> old_rgba;
+  };
+  struct DepthEntry {
+    std::uint32_t index;  // float index into the depth plane
+    float old_depth;
+  };
+  std::vector<ColorEntry> color;
+  std::vector<DepthEntry> depth;
+  void Clear() {
+    color.clear();
+    depth.clear();
+  }
 };
 
 // Texture-cache model: 4 KB, 4-way set associative, 32-byte lines (8 RGBA8
@@ -175,6 +221,21 @@ class ShadeStateCache {
     // sequential access order exactly.
     std::array<std::vector<std::uint64_t>, kFragBatchWidth> tmu_log;
     std::string error;  // first shader runtime error this draw, if any
+    // Classification of `error` for the robustness API.
+    DrawErrorKind error_kind = DrawErrorKind::kNone;
+    // Transactional-abort undo log for the framebuffer writes this worker
+    // performed during the current draw.
+    UndoJournal journal;
+    // Journal the cached sink/flush closures actually write through:
+    // &journal when the current draw can abort mid-write (trap-capable
+    // fragment shader, armed watchdog, armed fault site), nullptr when it
+    // provably cannot — refreshed per draw, so the trap-free hot path
+    // pays nothing for transactional aborts.
+    UndoJournal* active_journal = nullptr;
+    // ALU ops this worker's counter shard held the last time it reported
+    // to the draw's watchdog accumulator (delta reporting keeps the
+    // budget check O(1) per fragment / per batch flush).
+    std::uint64_t budget_reported = 0;
 
     // Uninstalls the texture callback from a *borrowed* engine: the serial
     // slot installs a callback capturing this WorkerState on the program's
@@ -358,10 +419,24 @@ class Context {
     return shade_cache_;
   }
   // Last shader runtime failure during a draw ("" when none): loop budget
-  // exceeded etc.; a real GPU would hang or reset.
+  // exceeded etc.; a real GPU would hang or reset. The failed draw itself
+  // was aborted transactionally — the framebuffer, depth buffer and op
+  // counters hold exactly the pre-draw state.
   [[nodiscard]] const std::string& last_draw_error() const {
     return last_draw_error_;
   }
+  // GL_EXT_robustness-style reset status: GL_NO_ERROR when no draw has
+  // been aborted since the last query, else which side was at fault
+  // (GL_GUILTY_CONTEXT_RESET for shader traps and watchdog trips,
+  // GL_INNOCENT_CONTEXT_RESET for implementation resource failures).
+  // Observe-and-clear, like GetError. The context itself remains fully
+  // usable — subsequent draws behave as if the aborted one was never
+  // issued, which is what the fault-injection tests assert.
+  GLenum GetGraphicsResetStatus();
+  // The resolved per-draw watchdog budget (config / MGPU_DRAW_BUDGET; 0 =
+  // off). Settable at any time; applies to subsequent draws.
+  [[nodiscard]] std::uint64_t draw_budget() const { return draw_budget_; }
+  void SetDrawBudget(std::uint64_t ops) { draw_budget_ = ops; }
   [[nodiscard]] Texture* GetTextureObject(GLuint id);
 
  private:
@@ -400,8 +475,17 @@ class Context {
                       std::array<float, 4>* out) const;
   void DrawGeneric(GLenum mode, GLsizei count,
                    const std::function<GLuint(GLsizei)>& index_at);
+  // Writes one shaded fragment (scissor, depth test, blend, masks). Every
+  // framebuffer byte / depth float about to be overwritten is recorded in
+  // `journal` first (non-null during draws) so an abort can undo it.
   void WritePixel(RenderTarget& rt, int x, int y, float depth,
-                  const std::array<float, 4>& color, bool depth_valid);
+                  const std::array<float, 4>& color, bool depth_valid,
+                  UndoJournal* journal);
+  // Reports the ALU ops `w` accrued since its last report to the shared
+  // per-draw accumulator and throws a ShaderRuntimeError (kind kBudget) if
+  // the draw's total exceeds draw_budget_. Deterministic trip-vs-not: the
+  // total is monotone toward an engine- and thread-invariant final sum.
+  void CheckDrawBudget(ShadeStateCache::WorkerState* w);
   // Texture-fetch callback routing misses through the given cache model and
   // counter shard; one per shading worker (thread-safe: texture contents
   // are immutable during a draw, each worker owns its cache and counters).
@@ -429,6 +513,14 @@ class Context {
   glsl::AluModel* alu_;
   GLenum error_ = GL_NO_ERROR;
   std::string last_draw_error_;
+  // Robustness state: reset status of the last aborted draw (cleared by
+  // GetGraphicsResetStatus) and the resolved watchdog budget.
+  GLenum reset_status_ = GL_NO_ERROR;
+  std::uint64_t draw_budget_ = 0;
+  // Watchdog accumulator: ALU ops consumed by the draw in flight, summed
+  // across worker shards via relaxed fetch_add (monotone, so the trip
+  // decision is deterministic even though intermediate interleavings vary).
+  std::atomic<std::uint64_t> draw_alu_used_{0};
 
   GLuint next_id_ = 1;
   std::map<GLuint, std::unique_ptr<ShaderObject>> shaders_;

@@ -31,6 +31,13 @@ inline constexpr GLenum GL_INVALID_OPERATION = 0x0502;
 inline constexpr GLenum GL_OUT_OF_MEMORY = 0x0505;
 inline constexpr GLenum GL_INVALID_FRAMEBUFFER_OPERATION = 0x0506;
 
+// Robustness (GL_EXT_robustness-style reset status, see
+// Context::GetGraphicsResetStatus): which side caused the abort of the last
+// draw. GL_NO_ERROR means no reset has occurred since the last query.
+inline constexpr GLenum GL_GUILTY_CONTEXT_RESET = 0x8253;
+inline constexpr GLenum GL_INNOCENT_CONTEXT_RESET = 0x8254;
+inline constexpr GLenum GL_UNKNOWN_CONTEXT_RESET = 0x8255;
+
 // Primitives.
 inline constexpr GLenum GL_POINTS = 0x0000;
 inline constexpr GLenum GL_LINES = 0x0001;

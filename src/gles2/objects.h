@@ -97,6 +97,12 @@ struct ProgramObject {
   std::unique_ptr<glsl::VmExec> vvm;
   std::unique_ptr<glsl::VmExec> fvm;
   std::vector<VaryingLink> varyings;
+  // Whether the fragment stage can trap at runtime (VmProgram::CanTrap on
+  // the lowered bytecode; the tree-walk interpreter traps on exactly the
+  // same constructs, so one flag covers every engine). Cached at link so
+  // the draw loop's journal-or-not decision is a field read. Defaults to
+  // the conservative answer.
+  bool fs_can_trap = true;
   int varying_cells = 0;
   std::vector<AttribInfo> attribs;
   std::vector<UniformInfo> uniforms;

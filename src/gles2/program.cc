@@ -317,6 +317,7 @@ void LinkProgram(ProgramObject& prog,
   prog.fs_bytecode = glsl::LowerToBytecode(*prog.fs);
   prog.vvm = std::make_unique<glsl::VmExec>(prog.vs_bytecode, alu);
   prog.fvm = std::make_unique<glsl::VmExec>(prog.fs_bytecode, alu);
+  prog.fs_can_trap = prog.fs_bytecode->CanTrap();
   prog.vs_position_slot = prog.vexec->GlobalSlot("gl_Position");
   prog.vs_point_size_slot = prog.vexec->GlobalSlot("gl_PointSize");
   prog.fs_frag_color_slot = prog.fexec->GlobalSlot("gl_FragColor");

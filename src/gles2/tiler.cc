@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
+
+#include "common/fault.h"
 
 namespace mgpu::gles2 {
 
@@ -37,6 +40,9 @@ TileBinner::Tile& TileBinner::SlotFor(int tx, int ty) {
   // Grow at 50% load so probe chains stay short. Doubling on a high-water
   // mark means a steady-state draw loop stops growing after its first lap.
   if (table_.empty() || (used_ + 1) * 2 > table_.size()) {
+    // Injectable growth failure: binning happens before any framebuffer
+    // write, so the context turns this into a clean no-op draw.
+    if (fault::ShouldFail(fault::Site::kBinnerGrow)) throw std::bad_alloc();
     Rehash(std::max<std::size_t>(16, (used_ + 1) * 4));
   }
   const std::size_t mask = table_.size() - 1;

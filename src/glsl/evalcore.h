@@ -20,11 +20,24 @@
 
 namespace mgpu::glsl {
 
+// Default loop-iteration budget of every engine (ShaderExec, VmExec and its
+// batched executors): the point at which a runaway shader is declared hung.
+// Engines expose SetLoopBudget so tests can trip the trap path cheaply.
+inline constexpr std::uint64_t kDefaultLoopBudget = 100'000'000;
+
 // Thrown on conditions a real GPU would turn into hangs or undefined
 // behaviour (runaway loops, call-depth overflow); the gles2 context converts
-// it into a draw error.
+// it into a deterministic draw abort (see the README "Robustness model").
 struct ShaderRuntimeError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+  explicit ShaderRuntimeError(const std::string& what, int trap_lane = -1)
+      : std::runtime_error(what), lane(trap_lane) {}
+  explicit ShaderRuntimeError(const char* what, int trap_lane = -1)
+      : std::runtime_error(what), lane(trap_lane) {}
+  // Batch lane the trap is attributed to: for the batched executors this is
+  // the smallest lane index that traps — i.e. the first fragment of the
+  // batch a scalar engine would have trapped on — and -1 for the scalar
+  // engines (the caller knows which invocation it was running).
+  int lane = -1;
 };
 
 // L-value reference: maps result components onto cells of a storage Value.

@@ -3,13 +3,13 @@
 #include <array>
 #include <cmath>
 
+#include "common/fault.h"
 #include "common/strings.h"
 #include "glsl/evalcore.h"
 
 namespace mgpu::glsl {
 namespace {
 
-constexpr std::uint64_t kMaxLoopSteps = 100'000'000;
 constexpr int kMaxCallDepth = 64;
 
 }  // namespace
@@ -62,7 +62,10 @@ bool ShaderExec::Run() {
 }
 
 void ShaderExec::CheckLoopGuard() {
-  if (++loop_steps_ > kMaxLoopSteps) {
+  if (fault::ShouldFail(fault::Site::kVmInstruction)) {
+    throw RuntimeError("injected fault: shader trap");
+  }
+  if (++loop_steps_ > loop_budget_) {
     throw RuntimeError("shader exceeded the loop iteration budget (a real "
                        "GPU would hang or be reset here)");
   }

@@ -44,6 +44,12 @@ class ShaderExec final : public ShaderEngine {
   // Executes main(). Returns false if the invocation was discarded.
   bool Run() override;
 
+  // Loop-iteration budget (default kDefaultLoopBudget), same semantics as
+  // VmExec::SetLoopBudget so differential tests can trip traps cheaply on
+  // both engines.
+  void SetLoopBudget(std::uint64_t steps) { loop_budget_ = steps; }
+  [[nodiscard]] std::uint64_t loop_budget() const { return loop_budget_; }
+
   [[nodiscard]] const CompiledShader& shader() const { return cs_; }
   [[nodiscard]] AluModel& alu() { return alu_; }
 
@@ -77,6 +83,7 @@ class ShaderExec final : public ShaderEngine {
   std::vector<Value> globals_;
   std::vector<int> reinit_slots_;  // plain globals with initializers
   std::uint64_t loop_steps_ = 0;
+  std::uint64_t loop_budget_ = kDefaultLoopBudget;
   int call_depth_ = 0;
 };
 

@@ -165,6 +165,21 @@ struct VmProgram {
   // programs run under the per-lane-pc masked executor instead.
   bool uniform_control_flow = true;
 
+  // True when any instruction can raise a runtime trap: a loop guard (the
+  // runaway-loop budget, also the injection point for the kVmInstruction
+  // fault site) or a lowered kTrap (call to a declared-but-undefined
+  // function). kCall's depth check is excluded deliberately — recursion is
+  // rejected at parse and static call depth is bounded at lowering, so the
+  // runtime check is unreachable for any program that links. Drawing code
+  // uses this to skip per-pixel undo journaling for programs that cannot
+  // abort mid-draw (see Context::DrawGeneric).
+  [[nodiscard]] bool CanTrap() const {
+    for (const VmInst& in : code) {
+      if (in.op == VmOp::kLoopGuard || in.op == VmOp::kTrap) return true;
+    }
+    return false;
+  }
+
   [[nodiscard]] int GlobalSlot(const std::string& name) const {
     for (std::size_t i = 0; i < globals.size(); ++i) {
       if (globals[i].name == name) return static_cast<int>(i);

@@ -5,12 +5,22 @@
 #include <cstring>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace mgpu::glsl {
 namespace {
 
-// Same budgets (and messages) as the tree-walking interpreter.
-constexpr std::uint64_t kMaxLoopSteps = 100'000'000;
+// Same budget (and messages) as the tree-walking interpreter. The loop
+// budget itself is a member (loop_budget_, default kDefaultLoopBudget) so
+// tests can trip the trap path without 100M iterations.
 constexpr int kMaxCallDepth = 64;
+
+constexpr char kLoopBudgetMsg[] =
+    "shader exceeded the loop iteration budget (a real GPU would hang or be "
+    "reset here)";
+constexpr char kCallDepthMsg[] = "shader call depth exceeded";
+// Message of the kVmInstruction fault site (fires at a guarded step).
+constexpr char kInjectedTrapMsg[] = "injected fault: shader trap";
 
 // Lane iteration policies for the batched executors. LaneRange is the
 // lockstep case (all lanes [0, n) active); LaneMask iterates the set bits
@@ -113,7 +123,8 @@ VmExec::VmExec(std::shared_ptr<const VmProgram> program, AluModel& alu)
 
 VmExec::VmExec(const VmExec& base, AluModel& alu)
     : prog_(base.prog_), alu_(alu), globals_(base.globals_),
-      regs_(base.regs_), simd_level_(base.simd_level_) {
+      regs_(base.regs_), loop_budget_(base.loop_budget_),
+      simd_level_(base.simd_level_) {
   // Refs are rebuilt before use by every invocation; fresh ones avoid
   // aliasing the base engine's storage.
   refs_.resize(prog_->ref_slot_count);
@@ -271,15 +282,16 @@ bool VmExec::Execute(std::uint32_t pc) {
         }
         break;
       case VmOp::kLoopGuard:
-        if (++loop_steps_ > kMaxLoopSteps) {
-          throw ShaderRuntimeError(
-              "shader exceeded the loop iteration budget (a real GPU would "
-              "hang or be reset here)");
+        if (fault::ShouldFail(fault::Site::kVmInstruction)) {
+          throw ShaderRuntimeError(kInjectedTrapMsg);
+        }
+        if (++loop_steps_ > loop_budget_) {
+          throw ShaderRuntimeError(kLoopBudgetMsg);
         }
         break;
       case VmOp::kCall:
         if (sp > kMaxCallDepth) {
-          throw ShaderRuntimeError("shader call depth exceeded");
+          throw ShaderRuntimeError(kCallDepthMsg);
         }
         ret_stack[static_cast<std::size_t>(sp++)] = pc + 1;
         pc = prog_->functions[in.aux].entry;
@@ -677,15 +689,18 @@ std::uint32_t VmExec::ExecuteBatchUniform(int n) {
         break;
       }
       case VmOp::kLoopGuard:
-        if (++loop_steps_ > kMaxLoopSteps) {
-          throw ShaderRuntimeError(
-              "shader exceeded the loop iteration budget (a real GPU would "
-              "hang or be reset here)");
+        // Traps under uniform control flow hit every lane on the same step,
+        // so the minimum trapping lane is always lane 0.
+        if (fault::ShouldFail(fault::Site::kVmInstruction)) {
+          throw ShaderRuntimeError(kInjectedTrapMsg, /*trap_lane=*/0);
+        }
+        if (++loop_steps_ > loop_budget_) {
+          throw ShaderRuntimeError(kLoopBudgetMsg, /*trap_lane=*/0);
         }
         break;
       case VmOp::kCall:
         if (sp > kMaxCallDepth) {
-          throw ShaderRuntimeError("shader call depth exceeded");
+          throw ShaderRuntimeError(kCallDepthMsg, /*trap_lane=*/0);
         }
         ret_stack[static_cast<std::size_t>(sp++)] = pc + 1;
         pc = prog_->functions[in.aux].entry;
@@ -699,7 +714,7 @@ std::uint32_t VmExec::ExecuteBatchUniform(int n) {
       case VmOp::kHalt:
         return full;
       case VmOp::kTrap:
-        throw ShaderRuntimeError(prog_->messages[in.aux]);
+        throw ShaderRuntimeError(prog_->messages[in.aux], /*trap_lane=*/0);
       default:
         ExecBatchOp(in, lanes);
         break;
@@ -720,6 +735,24 @@ std::uint32_t VmExec::ExecuteBatchDivergent(int n) {
   }
   std::uint32_t running = full;
   std::uint32_t kept = full;
+
+  // Pending-trap state. A trapping lane does not unwind the batch on the
+  // spot: min-pc scheduling executes lanes out of lane order, so the lane
+  // that traps *first in scheduling order* need not be the lane a scalar
+  // fragment sequence would have trapped on first. Instead the trapping
+  // lanes are parked (removed from `running`), the surviving lanes run to
+  // completion, and the batch then throws the minimum trapping lane's trap —
+  // exactly the fragment the scalar engines would have aborted the draw on.
+  int trap_lane = -1;
+  std::string trap_msg;
+  const auto record_trap = [&](std::uint32_t lanes_bits,
+                               const std::string& msg) {
+    const int l = std::countr_zero(lanes_bits);
+    if (trap_lane < 0 || l < trap_lane) {
+      trap_lane = l;
+      trap_msg = msg;
+    }
+  };
 
   // Hybrid scheduling. Converged phase (the common case, entered at start):
   // every running lane sits at the same pc, so instructions execute in
@@ -782,24 +815,31 @@ std::uint32_t VmExec::ExecuteBatchDivergent(int n) {
             continue;
           }
           case VmOp::kLoopGuard: {
-            bool over = false;
+            if (fault::ShouldFail(fault::Site::kVmInstruction)) {
+              record_trap(mask, kInjectedTrapMsg);
+              running &= ~mask;
+              kept &= ~mask;
+              continue;
+            }
+            std::uint32_t over = 0;
             LaneMask{mask}.ForEach([&](int l) {
-              over |=
-                  ++lane_steps_[static_cast<std::size_t>(l)] > kMaxLoopSteps;
+              if (++lane_steps_[static_cast<std::size_t>(l)] > loop_budget_) {
+                over |= 1u << static_cast<unsigned>(l);
+              }
             });
-            if (over) {
-              throw ShaderRuntimeError(
-                  "shader exceeded the loop iteration budget (a real GPU "
-                  "would hang or be reset here)");
+            if (over != 0) {
+              record_trap(over, kLoopBudgetMsg);
+              running &= ~over;
+              kept &= ~over;
             }
             break;
           }
           case VmOp::kCall: {
-            bool deep = false;
+            std::uint32_t deep = 0;
             LaneMask{mask}.ForEach([&](int l) {
               const std::size_t li = static_cast<std::size_t>(l);
               if (lane_sp_[li] > kMaxCallDepth) {
-                deep = true;
+                deep |= 1u << static_cast<unsigned>(l);
                 return;
               }
               lane_ret_stack_[li * kStackStride +
@@ -807,7 +847,11 @@ std::uint32_t VmExec::ExecuteBatchDivergent(int n) {
                   pc + 1;
               lane_pc_[li] = prog_->functions[in.aux].entry;
             });
-            if (deep) throw ShaderRuntimeError("shader call depth exceeded");
+            if (deep != 0) {
+              record_trap(deep, kCallDepthMsg);
+              running &= ~deep;
+              kept &= ~deep;
+            }
             continue;
           }
           case VmOp::kRet:
@@ -831,7 +875,10 @@ std::uint32_t VmExec::ExecuteBatchDivergent(int n) {
             running &= ~mask;
             continue;
           case VmOp::kTrap:
-            throw ShaderRuntimeError(prog_->messages[in.aux]);
+            record_trap(mask, prog_->messages[in.aux]);
+            running &= ~mask;
+            kept &= ~mask;
+            continue;
           default:
             ExecBatchOp(in, LaneMask{mask});
             break;
@@ -876,29 +923,45 @@ std::uint32_t VmExec::ExecuteBatchDivergent(int n) {
         continue;
       }
       case VmOp::kLoopGuard: {
-        bool over = false;
+        if (fault::ShouldFail(fault::Site::kVmInstruction)) {
+          record_trap(running, kInjectedTrapMsg);
+          kept &= ~running;
+          running = 0;
+          continue;
+        }
+        // Lanes may carry different step counts into a converged guard
+        // (reconverged from unequal trip counts), so the budget is checked
+        // per lane; survivors stay converged at the next pc.
+        std::uint32_t over = 0;
         LaneMask{running}.ForEach([&](int l) {
-          over |= ++lane_steps_[static_cast<std::size_t>(l)] > kMaxLoopSteps;
+          if (++lane_steps_[static_cast<std::size_t>(l)] > loop_budget_) {
+            over |= 1u << static_cast<unsigned>(l);
+          }
         });
-        if (over) {
-          throw ShaderRuntimeError(
-              "shader exceeded the loop iteration budget (a real GPU would "
-              "hang or be reset here)");
+        if (over != 0) {
+          record_trap(over, kLoopBudgetMsg);
+          kept &= ~over;
+          running &= ~over;
         }
         break;
       }
       case VmOp::kCall: {
-        bool deep = false;
+        std::uint32_t deep = 0;
         LaneMask{running}.ForEach([&](int l) {
           const std::size_t li = static_cast<std::size_t>(l);
           if (lane_sp_[li] > kMaxCallDepth) {
-            deep = true;
+            deep |= 1u << static_cast<unsigned>(l);
             return;
           }
           lane_ret_stack_[li * kStackStride +
                           static_cast<std::size_t>(lane_sp_[li]++)] = pc + 1;
         });
-        if (deep) throw ShaderRuntimeError("shader call depth exceeded");
+        if (deep != 0) {
+          record_trap(deep, kCallDepthMsg);
+          kept &= ~deep;
+          running &= ~deep;
+          if (running == 0) continue;
+        }
         pc = prog_->functions[in.aux].entry;
         continue;
       }
@@ -941,7 +1004,10 @@ std::uint32_t VmExec::ExecuteBatchDivergent(int n) {
         running = 0;
         continue;
       case VmOp::kTrap:
-        throw ShaderRuntimeError(prog_->messages[in.aux]);
+        record_trap(running, prog_->messages[in.aux]);
+        kept &= ~running;
+        running = 0;
+        continue;
       default:
         // A full lane set iterates as a plain counted loop — cheaper than
         // walking mask bits, and the common case until a discard punches
@@ -955,6 +1021,7 @@ std::uint32_t VmExec::ExecuteBatchDivergent(int n) {
     }
     ++pc;
   }
+  if (trap_lane >= 0) throw ShaderRuntimeError(trap_msg, trap_lane);
   return kept;
 }
 

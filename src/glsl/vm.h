@@ -64,7 +64,11 @@ class VmExec final : public ShaderEngine {
   // gl_FragColor) carries per-lane-slot history here versus per-engine
   // history in a scalar sequence, so such shaders read different garbage.
   // Returns the bitmask of lanes NOT killed by `discard`. Throws
-  // ShaderRuntimeError exactly where a scalar run would.
+  // ShaderRuntimeError iff a scalar run of any lane would, attributing the
+  // trap (ShaderRuntimeError::lane, and its message) to the smallest
+  // trapping lane — the fragment a scalar engine sequence would have
+  // aborted the draw on first. In the divergent executor trapping lanes
+  // park while surviving lanes run to completion before the throw.
   //
   // Per-fragment inputs/outputs live in per-lane global planes accessed via
   // LaneGlobalAt; uniforms and other lane-invariant globals stay in the
@@ -97,6 +101,13 @@ class VmExec final : public ShaderEngine {
 
   [[nodiscard]] const VmProgram& program() const { return *prog_; }
   [[nodiscard]] AluModel& alu() { return alu_; }
+
+  // Loop-iteration budget (the "a real GPU would hang or be reset" ceiling,
+  // shared semantics with the tree-walk oracle's ShaderExec::SetLoopBudget).
+  // Default kDefaultLoopBudget; tests lower it so runaway shaders trap
+  // quickly. Worker clones inherit the base engine's budget.
+  void SetLoopBudget(std::uint64_t steps) { loop_budget_ = steps; }
+  [[nodiscard]] std::uint64_t loop_budget() const { return loop_budget_; }
 
   // SIMD tier this executor's batch kernels may use (a resolved
   // ContextConfig/DeviceOptions knob; defaults to auto resolution — the
@@ -140,6 +151,7 @@ class VmExec final : public ShaderEngine {
   std::vector<Value> regs_;
   std::vector<LRef> refs_;
   std::uint64_t loop_steps_ = 0;
+  std::uint64_t loop_budget_ = kDefaultLoopBudget;
 
   // --- per-lane batch state, allocated lazily on the first RunBatch ---
   // SoA planes: register r's lanes are contiguous at [r * kVmLanes, ...),

@@ -568,5 +568,62 @@ TEST(ThreadDifferentialTest, TreeWalkOracleMatchesParallelVm) {
   EXPECT_EQ(alu.counts().tmu_miss, vm.counts.tmu_miss);
 }
 
+// A shader trap mid-parallel-draw must abort the draw transactionally and
+// leave the context as good as new: counters restored to their pre-draw
+// values, and the NEXT draw byte-identical — framebuffer and op counts —
+// to a context that never trapped. This composes the pool-level guarantee
+// (a throwing worker task neither deadlocks RunOn nor poisons later jobs;
+// see threadpool_test.cc) with the context's transactional abort, across
+// thread counts on the multi-tile target.
+TEST(ThreadDifferentialTest, TrapMidDrawDoesNotPoisonSubsequentDraws) {
+  // Right-half lanes call a declared-but-undefined function: a
+  // lane-divergent runtime trap that fires only once shading is well under
+  // way across several tiles.
+  static const char* kTrapFs = R"(
+precision highp float;
+varying vec2 v_uv;
+float poison(float x);
+void main() {
+  float v = v_uv.x;
+  if (v_uv.x > 0.5) { v = poison(v); }
+  gl_FragColor = vec4(v, 0.0, 0.0, 1.0);
+}
+)";
+  const Scenario& sc = kScenarios[0];  // quad_math
+  const RunResult ref = RunScenario(sc, 1);  // never-trapped reference
+  for (const int threads : {1, 2, 4}) {
+    SCOPED_TRACE(threads);
+    vc4::Vc4Alu alu(vc4::VideoCoreIV());
+    ContextConfig cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.shader_threads = threads;
+    Context ctx(cfg, &alu);
+    const GLuint bad =
+        testutil::BuildProgramOrDie(ctx, testutil::kPassthroughVs, kTrapFs);
+    ctx.UseProgram(bad);
+    ctx.Clear(GL_COLOR_BUFFER_BIT);
+    const glsl::OpCounts before = alu.counts();
+    testutil::DrawFullscreenQuad(ctx, bad);
+    EXPECT_EQ(ctx.GetError(), static_cast<GLenum>(GL_INVALID_OPERATION))
+        << "trapping draw must flag GL_INVALID_OPERATION";
+    EXPECT_NE(ctx.last_draw_error().find("undefined function"),
+              std::string::npos)
+        << "unexpected draw error: " << ctx.last_draw_error();
+    EXPECT_EQ(alu.counts().alu, before.alu)
+        << "aborted draw leaked ALU counter state";
+    // Recovery: the clean scenario on the survivor context must match the
+    // never-trapped reference bit for bit.
+    alu.ResetCounts();
+    sc.run(ctx);
+    EXPECT_EQ(ctx.GetError(), static_cast<GLenum>(GL_NO_ERROR))
+        << "recovery draw error: " << ctx.last_draw_error();
+    EXPECT_EQ(testutil::ReadRgba(ctx, kW, kH), ref.px);
+    EXPECT_EQ(alu.counts().alu, ref.counts.alu);
+    EXPECT_EQ(alu.counts().sfu, ref.counts.sfu);
+    EXPECT_EQ(alu.counts().tmu, ref.counts.tmu);
+  }
+}
+
 }  // namespace
 }  // namespace mgpu::gles2

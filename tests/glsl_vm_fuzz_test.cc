@@ -927,6 +927,294 @@ TEST(VmFuzzDifferentialTest, SeededProgramsVc4Alu) {
   RunFuzzSweep(/*vc4_alu=*/true);
 }
 
+// ---------------------------------------------------------------------------
+// Trap parity: budget-exceeding and trapping programs
+// ---------------------------------------------------------------------------
+//
+// The robustness counterpart of the differential sweep above: a seeded
+// generator emits programs whose LANES diverge on whether they trap —
+// loop-budget exhaustion under a deliberately tiny SetLoopBudget, and calls
+// to a declared-but-undefined function behind a lane-varying condition. All
+// three engines must agree per lane on trap-vs-complete AND on the exact
+// trap message, and the batched VM must attribute its trap to the smallest
+// trapping lane index at every tail size 1..kVmLanes (the first fragment a
+// scalar engine would have trapped on). Tails whose lanes all complete fall
+// through to the usual color/discard/op-count byte comparison, so the trap
+// machinery is also shown not to perturb clean lanes.
+
+struct TrapProgram {
+  std::string src;
+  std::uint64_t budget;  // loop budget installed on all three engines
+};
+
+// Deterministic trappy-program generator. Four shapes:
+//   0: lane-varying loop trip count, tiny budget (some lanes exhaust it)
+//   1: same loop plus an undefined call behind a lane-varying condition
+//   2: no loop; undefined call behind a lane-varying condition (divergent
+//      executor, trap only — generous budget)
+//   3: uniform control flow that traps every lane identically (an
+//      unconditional undefined call, or a uniform loop longer than the
+//      budget) — exercises the lockstep executor's lane-0 attribution
+TrapProgram GenTrapProgram(std::uint64_t seed) {
+  Rng rng(seed);
+  static const char* kComp[] = {"x", "y", "z", "w"};
+  const int kind = static_cast<int>(rng.NextInt(0, 99));
+  const char* c0 = kComp[rng.NextInt(0, 3)];
+  const char* c1 = kComp[rng.NextInt(0, 3)];
+  const int trip_scale = static_cast<int>(rng.NextInt(8, 64));
+  const float thresh = rng.NextFloat(0.15f, 0.85f);
+
+  TrapProgram out;
+  std::string body = "  float acc = u_s0;\n";
+  bool declare_poison = false;
+  if (kind < 70) {  // shapes 0 (40%) and 1 (30%): lane-varying loop
+    body += StrFormat(
+        "  int n = int(clamp(v_in.%s * %d.0, 0.0, 63.0));\n"
+        "  for (int i = 0; i < 64; ++i) {\n"
+        "    if (i >= n) break;\n"
+        "    acc += fract(acc * 1.3) + 0.0625;\n"
+        "  }\n",
+        c0, trip_scale);
+    out.budget = static_cast<std::uint64_t>(rng.NextInt(4, 96));
+    if (kind >= 40) {  // shape 1: also a divergent undefined call
+      declare_poison = true;
+      body += StrFormat("  if (v_in.%s > %.5f) { acc += poison(acc); }\n",
+                        c1, static_cast<double>(thresh));
+    }
+  } else if (kind < 85) {  // shape 2: divergent undefined call only
+    declare_poison = true;
+    out.budget = 1u << 20;
+    body += StrFormat("  if (v_in.%s > %.5f) { acc += poison(acc); }\n",
+                      c1, static_cast<double>(thresh));
+  } else {  // shape 3: uniform trap — every lane trips identically
+    if (rng.NextInt(0, 1) == 0) {
+      declare_poison = true;
+      out.budget = 1u << 20;
+      body += "  acc += poison(acc);\n";
+    } else {
+      // Uniform loop with more iterations than the budget allows.
+      out.budget = static_cast<std::uint64_t>(rng.NextInt(1, 30));
+      body +=
+          "  for (int i = 0; i < 64; ++i) {\n"
+          "    acc += fract(acc * 1.3) + 0.0625;\n"
+          "  }\n";
+    }
+  }
+  body += "  gl_FragColor = vec4(acc * 0.015625, v_in.y, v_in.z, 1.0);\n";
+
+  out.src =
+      "precision highp float;\n"
+      "varying vec4 v_in;\n"
+      "uniform float u_s0;\n";
+  if (declare_poison) out.src += "float poison(float x);\n";
+  out.src += "void main() {\n" + body + "}\n";
+  return out;
+}
+
+struct TrapLaneRef {
+  bool trapped = false;
+  std::string message;                   // valid when trapped
+  bool kept = false;                     // valid when !trapped
+  std::array<std::uint32_t, 4> color{};  // valid when !trapped
+  OpCounts delta;                        // valid when !trapped
+};
+
+// Runs one trappy program through all three engines and asserts per-lane
+// trap parity plus min-trapping-lane attribution at every batch tail.
+// Increments *trap_lanes / *clean_lanes so the sweep can assert the seeded
+// corpus actually produced both outcomes.
+void RunTrapParityCase(std::uint64_t seed, bool vc4_alu, int* trap_lanes,
+                       int* clean_lanes) {
+  const TrapProgram tp = GenTrapProgram(seed);
+  SCOPED_TRACE(StrFormat("trap seed=%llu alu=%s budget=%llu",
+                         static_cast<unsigned long long>(seed),
+                         vc4_alu ? "vc4" : "exact",
+                         static_cast<unsigned long long>(tp.budget)));
+
+  CompileResult cr = CompileGlsl(tp.src, Stage::kFragment);
+  ASSERT_TRUE(cr.ok) << "trap shader failed to compile (seed " << seed
+                     << "):\n" << cr.info_log << "\nsource:\n" << tp.src;
+  std::shared_ptr<const VmProgram> prog = LowerToBytecode(*cr.shader);
+
+  const vc4::GpuProfile profile = vc4::VideoCoreIV();
+  ExactAlu exact_t, exact_s, exact_b;
+  vc4::Vc4Alu vc4_t(profile), vc4_s(profile), vc4_b(profile);
+  AluModel& alu_t = vc4_alu ? static_cast<AluModel&>(vc4_t) : exact_t;
+  AluModel& alu_s = vc4_alu ? static_cast<AluModel&>(vc4_s) : exact_s;
+  AluModel& alu_b = vc4_alu ? static_cast<AluModel&>(vc4_b) : exact_b;
+
+  ShaderExec tree(*cr.shader, alu_t);
+  VmExec scalar(prog, alu_s);
+  VmExec batch(prog, alu_b);
+  tree.SetLoopBudget(tp.budget);
+  scalar.SetLoopBudget(tp.budget);
+  batch.SetLoopBudget(tp.budget);
+  SetUniforms(tree);
+  SetUniforms(scalar);
+  SetUniforms(batch);
+
+  const int in_slot = scalar.GlobalSlot("v_in");
+  ASSERT_GE(in_slot, 0);
+  const int color_slot = scalar.GlobalSlot("gl_FragColor");
+  ASSERT_GE(color_slot, 0);
+  const int tree_in = tree.GlobalSlot("v_in");
+  const int tree_color = tree.GlobalSlot("gl_FragColor");
+
+  Rng lane_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::array<std::array<float, 4>, kVmLanes> lane_in;
+  for (auto& lane : lane_in) {
+    for (float& f : lane) f = lane_rng.NextFloat01();
+  }
+
+  // Scalar references: both per-invocation engines, per lane, recording
+  // trap-vs-complete and the message. A trapped Run must leave the engine
+  // reusable for the next lane (loop/call-depth state resets per Run).
+  std::array<TrapLaneRef, kVmLanes> ref;
+  for (int l = 0; l < kVmLanes; ++l) {
+    Value& tv = tree.GlobalAt(tree_in);
+    Value& sv = scalar.GlobalAt(in_slot);
+    for (int k = 0; k < 4; ++k) {
+      tv.SetF(k, lane_in[static_cast<std::size_t>(l)]
+                        [static_cast<std::size_t>(k)]);
+      sv.SetF(k, lane_in[static_cast<std::size_t>(l)]
+                        [static_cast<std::size_t>(k)]);
+    }
+    bool tree_trapped = false;
+    bool tree_kept = false;
+    std::string tree_msg;
+    try {
+      tree_kept = tree.Run();
+    } catch (const ShaderRuntimeError& e) {
+      tree_trapped = true;
+      tree_msg = e.what();
+      EXPECT_EQ(e.lane, -1) << "scalar tree trap carries no lane";
+    }
+    TrapLaneRef& r = ref[static_cast<std::size_t>(l)];
+    const OpCounts before_s = alu_s.counts();
+    try {
+      r.kept = scalar.Run();
+    } catch (const ShaderRuntimeError& e) {
+      r.trapped = true;
+      r.message = e.what();
+      EXPECT_EQ(e.lane, -1) << "scalar vm trap carries no lane";
+    }
+    EXPECT_EQ(tree_trapped, r.trapped)
+        << "lane " << l << " trap-vs-complete (tree vs vm)";
+    if (r.trapped) {
+      ++*trap_lanes;
+      if (tree_trapped) {
+        EXPECT_EQ(tree_msg, r.message)
+            << "lane " << l << " trap message (tree vs vm)";
+      }
+      continue;
+    }
+    ++*clean_lanes;
+    r.delta = Minus(alu_s.counts(), before_s);
+    EXPECT_EQ(tree_kept, r.kept) << "lane " << l << " discard (tree vs vm)";
+    const Value& sc = scalar.GlobalAt(color_slot);
+    const Value& tc = tree.GlobalAt(tree_color);
+    for (int k = 0; k < 4; ++k) {
+      r.color[static_cast<std::size_t>(k)] = FloatToBits(sc.F(k));
+      if (r.kept) {
+        EXPECT_EQ(FloatToBits(tc.F(k)), FloatToBits(sc.F(k)))
+            << "lane " << l << " comp " << k << " (tree vs vm)";
+      }
+    }
+  }
+
+  // Batched VM at every tail: must throw iff some lane < n trapped
+  // scalar-side, attributing the min trapping lane and its exact message;
+  // trap-free tails must stay byte-identical to the scalar references.
+  for (int n = 1; n <= kVmLanes; ++n) {
+    SCOPED_TRACE(StrFormat("tail=%d", n));
+    int min_trap = -1;
+    for (int l = 0; l < n; ++l) {
+      if (ref[static_cast<std::size_t>(l)].trapped) {
+        min_trap = l;
+        break;
+      }
+    }
+    for (int l = 0; l < n; ++l) {
+      Value& v = batch.LaneGlobalAt(in_slot, l);
+      for (int k = 0; k < 4; ++k) {
+        v.SetF(k, lane_in[static_cast<std::size_t>(l)]
+                         [static_cast<std::size_t>(k)]);
+      }
+    }
+    alu_b.ResetCounts();
+    try {
+      const std::uint32_t kept = batch.RunBatch(n);
+      EXPECT_EQ(min_trap, -1)
+          << "batch completed but scalar engines trapped at lane "
+          << min_trap;
+      if (min_trap != -1) continue;
+      OpCounts want;
+      for (int l = 0; l < n; ++l) {
+        want += ref[static_cast<std::size_t>(l)].delta;
+      }
+      for (int l = 0; l < n; ++l) {
+        const TrapLaneRef& r = ref[static_cast<std::size_t>(l)];
+        EXPECT_EQ(((kept >> static_cast<unsigned>(l)) & 1u) != 0, r.kept)
+            << "lane " << l << " discard (batch vs vm)";
+        if (!r.kept) continue;
+        const Value& cv = batch.LaneGlobalAt(color_slot, l);
+        for (int k = 0; k < 4; ++k) {
+          EXPECT_EQ(FloatToBits(cv.F(k)),
+                    r.color[static_cast<std::size_t>(k)])
+              << "lane " << l << " comp " << k << " (batch vs vm)";
+        }
+      }
+      ExpectCountsEq(alu_b.counts(), want, "batch vs vm");
+    } catch (const ShaderRuntimeError& e) {
+      if (min_trap == -1) {
+        ADD_FAILURE() << "batch trapped but no scalar lane did: " << e.what();
+        continue;
+      }
+      EXPECT_EQ(e.lane, min_trap) << "batch trap lane attribution";
+      EXPECT_EQ(std::string(e.what()),
+                ref[static_cast<std::size_t>(min_trap)].message)
+          << "batch trap message (expected min trapping lane's)";
+    }
+  }
+}
+
+void RunTrapParitySweep(bool vc4_alu) {
+  constexpr std::uint64_t kTrapSeedBase = 20260808;
+  int trap_lanes = 0;
+  int clean_lanes = 0;
+  for (int i = 0; i < g_fuzz_iters; ++i) {
+    const std::uint64_t seed = kTrapSeedBase + static_cast<std::uint64_t>(i);
+    RunTrapParityCase(seed, vc4_alu, &trap_lanes, &clean_lanes);
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "[trap-parity] FAILURE seed=%llu (%s alu, budget=%llu, "
+                   "simd=%s) — source:\n%s\n",
+                   static_cast<unsigned long long>(seed),
+                   vc4_alu ? "vc4" : "exact",
+                   static_cast<unsigned long long>(GenTrapProgram(seed).budget),
+                   simd::LevelName(simd::Resolve(-1)),
+                   GenTrapProgram(seed).src.c_str());
+      FAIL() << "trap parity failed at seed " << seed << " (iteration " << i
+             << " of " << g_fuzz_iters << ")";
+    }
+  }
+  // The corpus is only meaningful if it actually mixes outcomes: some lanes
+  // must trap and some must complete across the sweep (guarded so a tiny
+  // --fuzz_iters smoke run cannot fail spuriously).
+  if (g_fuzz_iters >= 10) {
+    EXPECT_GT(trap_lanes, 0) << "trap corpus produced no trapping lane";
+    EXPECT_GT(clean_lanes, 0) << "trap corpus produced no completing lane";
+  }
+}
+
+TEST(VmTrapParityTest, SeededTrapProgramsExactAlu) {
+  RunTrapParitySweep(/*vc4_alu=*/false);
+}
+
+TEST(VmTrapParityTest, SeededTrapProgramsVc4Alu) {
+  RunTrapParitySweep(/*vc4_alu=*/true);
+}
+
 }  // namespace
 }  // namespace mgpu::glsl
 

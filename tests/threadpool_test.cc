@@ -5,9 +5,13 @@
 // partial-dispatch wake path, where stale notifies and late-waking workers
 // are routine rather than exceptional.
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/threadpool.h"
+#include "glsl/evalcore.h"
 #include "gtest/gtest.h"
 
 namespace mgpu::common {
@@ -78,6 +82,122 @@ TEST(ThreadPoolTest, ManyMoreTasksThanWorkers) {
   for (int t = 0; t < kTasks; ++t) {
     EXPECT_EQ(hits[static_cast<std::size_t>(t)].load(), 1) << "task " << t;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Failure semantics: a throwing task must not deadlock the join or poison
+// the pool (the robustness model's worker-death contract; see README
+// "Robustness model"). These are the unit-level counterparts of the
+// draw-abort tests in gles2_fault_test.cc.
+// ---------------------------------------------------------------------------
+
+// One task throws a shader trap: RunOn rethrows it AFTER the join, every
+// other task still ran exactly once, and the next job works normally.
+TEST(ThreadPoolFailureTest, ThrowingTaskRethrownWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 9;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  bool caught = false;
+  try {
+    pool.RunOn(kTasks, [&](int task) {
+      hits[static_cast<std::size_t>(task)].fetch_add(1);
+      if (task == 3) throw glsl::ShaderRuntimeError("unit-test trap");
+    });
+  } catch (const glsl::ShaderRuntimeError& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "unit-test trap");
+  }
+  EXPECT_TRUE(caught) << "RunOn swallowed the task exception";
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(t)].load(), 1)
+        << "task " << t << " did not run exactly once";
+  }
+  // The pool must be fully reusable after a failed job.
+  std::atomic<int> ran{0};
+  pool.RunOn(kTasks, [&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+// Several tasks throw in the same job: RunOn reports exactly one failure
+// (the first captured), and still drains every task.
+TEST(ThreadPoolFailureTest, MultipleThrowingTasksReportOneError) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 12;
+  std::atomic<int> ran{0};
+  bool caught = false;
+  try {
+    pool.RunOn(kTasks, [&](int task) {
+      ran.fetch_add(1);
+      if (task % 2 == 0) {
+        throw std::runtime_error("boom " + std::to_string(task));
+      }
+    });
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+// The draw-storm shape under failure: rounds of small jobs where a varying
+// task throws, interleaved with clean rounds, on a pool bigger than most
+// jobs. No round may deadlock, lose a task, or leak the previous round's
+// error into a clean round.
+TEST(ThreadPoolFailureTest, RepeatedFailingRoundsDoNotPoisonThePool) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 500; ++round) {
+    const int n = 1 + round % 7;  // 1..7 tasks on 4 workers
+    const int bad = (round % 3 == 0) ? round % n : -1;
+    std::atomic<int> ran{0};
+    bool caught = false;
+    try {
+      pool.RunOn(n, [&](int task) {
+        ran.fetch_add(1);
+        if (task == bad) throw std::runtime_error("round failure");
+      });
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+    EXPECT_EQ(caught, bad >= 0) << "round " << round;
+    EXPECT_EQ(ran.load(), n) << "round " << round;
+  }
+}
+
+// The kPoolTask injection site: the Nth *claimed* task dies before its body
+// runs (modeling a worker killed mid-draw), the error surfaces from RunOn,
+// and a disarmed pool is clean again. Probes the site's reach first, the
+// same Arm(~0)/Hits() idiom the fault harness uses.
+TEST(ThreadPoolFailureTest, InjectedPoolTaskFaultFiresAndRecovers) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 8;
+  fault::Arm(fault::Site::kPoolTask, ~0ull);  // count without failing
+  std::atomic<int> ran{0};
+  pool.RunOn(kTasks, [&](int) { ran.fetch_add(1); });
+  const std::uint64_t reach = fault::Hits(fault::Site::kPoolTask);
+  EXPECT_EQ(reach, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(ran.load(), kTasks);
+
+  for (const std::uint64_t nth : {std::uint64_t{0}, reach - 1}) {
+    fault::Arm(fault::Site::kPoolTask, nth);
+    bool caught = false;
+    std::atomic<int> bodies{0};
+    try {
+      pool.RunOn(kTasks, [&](int) { bodies.fetch_add(1); });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "injected fault: pool task failed");
+    }
+    EXPECT_TRUE(caught) << "nth=" << nth;
+    // Tasks at and after the armed hit die before their body runs; the
+    // earlier ones ran normally.
+    EXPECT_EQ(bodies.load(), static_cast<int>(nth)) << "nth=" << nth;
+  }
+
+  fault::DisarmAll();
+  std::atomic<int> clean{0};
+  pool.RunOn(kTasks, [&](int) { clean.fetch_add(1); });
+  EXPECT_EQ(clean.load(), kTasks);
 }
 
 }  // namespace
