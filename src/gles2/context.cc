@@ -35,6 +35,11 @@ ShadeStateCache::WorkerState::~WorkerState() {
   if (engine_owned == nullptr && engine != nullptr) {
     engine->SetTextureFn(glsl::TextureFn{});
   }
+  // A borrowed engine (the program's own fvm) outlives this slot; detach any
+  // compiled module so a later interpreter-engine draw is not jitted.
+  if (engine_owned == nullptr && vm != nullptr) {
+    vm->SetJit(nullptr);
+  }
 }
 
 ShadeStateCache::Entry* ShadeStateCache::Find(GLuint program, int threads) {
@@ -78,6 +83,10 @@ void ShadeStateCache::InvalidateProgram(GLuint program) {
 Context::Context(const ContextConfig& config, glsl::AluModel* alu)
     : config_(config), alu_(alu != nullptr ? alu : &default_alu_) {
   simd_level_ = glsl::simd::Resolve(config_.simd);
+  // Resolve the compiled-engine availability once (knob + MGPU_JIT env +
+  // toolchain probe); kCompiled draws fall back to the batched interpreter
+  // when this is false.
+  jit_enabled_ = glsl::jit::Resolve(config_.jit);
   config_.fragment_batch_width =
       std::clamp(config_.fragment_batch_width, 1, kFragBatchWidth);
   shade_cache_.SetCapacity(
@@ -435,6 +444,10 @@ void Context::LinkProgram(GLuint program) {
     p->vvm->SetSimdLevel(simd_level_);
     p->fvm->SetSimdLevel(simd_level_);
   }
+  // The compiled module (if any) was built from the old bytecode; drop it
+  // and let the next kCompiled draw rebuild from the fresh program.
+  p->fs_jit.reset();
+  p->fs_jit_attempted = false;
 }
 
 void Context::GetProgramiv(GLuint program, GLenum pname, GLint* params) {
@@ -1441,7 +1454,18 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   // batching applies to the fragment stage. ---
   const bool use_tree = config_.exec_engine == ExecEngine::kTreeWalk;
   const bool use_vm = !use_tree;
-  const bool use_batch = config_.exec_engine == ExecEngine::kBatchedVm;
+  const bool use_batch = config_.exec_engine == ExecEngine::kBatchedVm ||
+                         config_.exec_engine == ExecEngine::kCompiled;
+
+  // Compiled engine: build the fragment stage's native module lazily at the
+  // first kCompiled draw after link, so the interpreter engines never pay
+  // the toolchain invocation. A null result (no host compiler, divergent
+  // control flow, compile failure) latches and the draw runs as kBatchedVm.
+  if (config_.exec_engine == ExecEngine::kCompiled && jit_enabled_ &&
+      !prog->fs_jit_attempted) {
+    prog->fs_jit = glsl::jit::CompileProgram(*prog->fs_bytecode);
+    prog->fs_jit_attempted = true;
+  }
 
   // --- vertex stage ---
   // Post-transform vertices live in context-owned scratch: resize keeps the
@@ -1648,6 +1672,11 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
         w->vm = w->engine_owned.get();
         w->alu = w->alu_owned.get();
         w->tmu = w->tmu_owned.get();
+        // Clones do not inherit a compiled module; stamp it per slot so the
+        // interpreter engines' entries never carry one.
+        if (config_.exec_engine == ExecEngine::kCompiled) {
+          w->vm->SetJit(prog->fs_jit);
+        }
         BuildWorkerPlumbing(*w, prog);
         return w;
       };
@@ -1697,6 +1726,13 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
         w->vm = use_vm ? prog->fvm.get() : nullptr;
         w->alu = alu_;
         w->tmu = &serial_tmu_cache_;
+        // The borrowed fvm serves every engine; attach the compiled module
+        // only for kCompiled entries (the slot dtor detaches it again).
+        if (w->vm != nullptr) {
+          w->vm->SetJit(config_.exec_engine == ExecEngine::kCompiled
+                            ? prog->fs_jit
+                            : nullptr);
+        }
         BuildWorkerPlumbing(*w, prog);
         entry->workers.push_back(std::move(w));
       }
@@ -1916,8 +1952,9 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
 
 void Context::BuildWorkerPlumbing(ShadeStateCache::WorkerState& w,
                                   ProgramObject* prog) {
-  const bool use_batch =
-      config_.exec_engine == ExecEngine::kBatchedVm && w.vm != nullptr;
+  const bool use_batch = (config_.exec_engine == ExecEngine::kBatchedVm ||
+                          config_.exec_engine == ExecEngine::kCompiled) &&
+                         w.vm != nullptr;
   ShadeStateCache::WorkerState* const wp = &w;
   const int color_slot = prog->uses_frag_data ? prog->fs_frag_data_slot
                                               : prog->fs_frag_color_slot;

@@ -49,7 +49,16 @@ enum class FbQuantization { kRoundNearest, kFloorPaper };
 //                 the batched engine.
 //   kTreeWalk   — the tree-walking interpreter, the original reference
 //                 oracle, executing the annotated AST directly.
-enum class ExecEngine { kBatchedVm, kBytecodeVm, kTreeWalk };
+//   kCompiled   — the batched VM with a per-link compiled module attached:
+//                 each uniform-control-flow fragment program is transpiled
+//                 to C++ and compiled with the host toolchain at its first
+//                 kCompiled draw (cached by source hash across processes);
+//                 batches then run native code that calls back into the
+//                 interpreter for anything it does not inline (see
+//                 src/glsl/jit.h for the bit-identity argument). Falls back
+//                 to kBatchedVm behaviour when no host compiler is
+//                 available, MGPU_JIT=0, or the program is divergent.
+enum class ExecEngine { kBatchedVm, kBytecodeVm, kTreeWalk, kCompiled };
 
 struct ContextConfig {
   int width = 64;
@@ -83,6 +92,12 @@ struct ContextConfig {
   // bit-identical at every tier by construction (see src/glsl/simd.h);
   // this knob exists for A/B benchmarking and CI's SIMD-off leg.
   int simd = -1;
+  // Compiled-engine (ExecEngine::kCompiled) availability: -1 = auto (the
+  // MGPU_JIT env override if set — 0 disables — else host-compiler
+  // detection), 0 = force off (kCompiled then behaves exactly like
+  // kBatchedVm), 1 = on when a compiler is detected. Mirrors `simd`; this
+  // knob exists for A/B benchmarking and CI's MGPU_JIT=0 fallback leg.
+  int jit = -1;
   // Effective fragment-batch fill width (lanes per batched shader
   // dispatch), clamped to [1, kFragBatchWidth]. Swept 8/16/32 by
   // bench_fig1_pipeline; the default matches the pre-SIMD batch width.
@@ -509,6 +524,10 @@ class Context {
   // clamped to the host's detected tier); stamped onto every linked
   // program's VM engines.
   glsl::simd::Level simd_level_ = glsl::simd::Level::kScalar;
+  // ContextConfig::jit resolved once at construction (env override applied,
+  // host compiler probed): whether kCompiled draws may attach compiled
+  // modules. False = kCompiled silently runs the batched interpreter.
+  bool jit_enabled_ = false;
   glsl::ExactAlu default_alu_;
   glsl::AluModel* alu_;
   GLenum error_ = GL_NO_ERROR;

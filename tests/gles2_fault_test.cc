@@ -116,6 +116,7 @@ const char* EngineName(ExecEngine e) {
     case ExecEngine::kBatchedVm: return "batched";
     case ExecEngine::kBytecodeVm: return "scalar-vm";
     case ExecEngine::kTreeWalk: return "tree";
+    case ExecEngine::kCompiled: return "compiled";
   }
   return "?";
 }
@@ -126,8 +127,9 @@ const char* EngineName(ExecEngine e) {
 // engine-identical already).
 TEST(FaultInjection, TrapAbortRestoresPreDrawStateEverywhere) {
   std::vector<std::uint8_t> reference_fb;
-  const std::array<ExecEngine, 3> engines = {
-      ExecEngine::kBatchedVm, ExecEngine::kBytecodeVm, ExecEngine::kTreeWalk};
+  const std::array<ExecEngine, 4> engines = {
+      ExecEngine::kBatchedVm, ExecEngine::kBytecodeVm, ExecEngine::kTreeWalk,
+      ExecEngine::kCompiled};
   for (const ExecEngine engine : engines) {
     for (const int threads : {1, 4}) {
       for (const int width : {1, 17, 32}) {
@@ -195,8 +197,9 @@ TEST(FaultInjection, WatchdogBudgetTripsDeterministically) {
     total = ctx.alu().counts().alu - before;
     ASSERT_GT(total, 0u);
   }
-  const std::array<ExecEngine, 3> engines = {
-      ExecEngine::kBatchedVm, ExecEngine::kBytecodeVm, ExecEngine::kTreeWalk};
+  const std::array<ExecEngine, 4> engines = {
+      ExecEngine::kBatchedVm, ExecEngine::kBytecodeVm, ExecEngine::kTreeWalk,
+      ExecEngine::kCompiled};
   for (const ExecEngine engine : engines) {
     for (const int threads : {1, 4}) {
       SCOPED_TRACE(std::string(EngineName(engine)) + " threads=" +
@@ -242,8 +245,9 @@ TEST(FaultInjection, WatchdogBudgetTripsDeterministically) {
 TEST(FaultInjection, InjectedFaultSweepAbortsCleanlyAndRecovers) {
   const std::array<Site, 4> sites = {Site::kBinnerGrow, Site::kShadeCacheAlloc,
                                      Site::kVmInstruction, Site::kPoolTask};
-  const std::array<ExecEngine, 3> engines = {
-      ExecEngine::kBatchedVm, ExecEngine::kBytecodeVm, ExecEngine::kTreeWalk};
+  const std::array<ExecEngine, 4> engines = {
+      ExecEngine::kBatchedVm, ExecEngine::kBytecodeVm, ExecEngine::kTreeWalk,
+      ExecEngine::kCompiled};
   for (int iter = 0; iter < g_fault_iters; ++iter) {
     std::mt19937_64 rng(kSeedBase + static_cast<std::uint64_t>(iter));
     const Site site = sites[rng() % sites.size()];

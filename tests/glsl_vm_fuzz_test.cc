@@ -9,6 +9,15 @@
 // byte-identical gl_FragColor bits, identical per-lane discard decisions,
 // and identical ALU/SFU/TMU op counts (ExactAlu and Vc4Alu).
 //
+// A fourth engine rides the same oracle: for the first --jit_iters seeds
+// (default 40; compiling every program would dominate the harness), the
+// per-link C++ transpiler (glsl/jit.h) builds a native module for each
+// eligible program — uniform control flow, host compiler present — and the
+// whole batch-tail comparison runs again with the module attached. No new
+// oracle code: the compiled engine must agree with the same scalar
+// references, including op counts and (in the trap sweep) the exact trap
+// lane and message.
+//
 // This is the lockdown for the SoA evaluation core: the batched VM
 // dispatches whole-instruction SoA kernels (evalcore/builtins) while the
 // scalar engines run per-invocation code, so any drift between the two
@@ -39,6 +48,11 @@
 
 namespace {
 int g_fuzz_iters = 200;
+// How many leading seeds also run through the compiled (transpiled) engine.
+// Each distinct program costs one host-toolchain invocation on its first
+// ever run (the .so is content-hash cached after that), so the default
+// keeps harness latency bounded; the deep-fuzz CI job raises it.
+int g_jit_iters = 40;
 }  // namespace
 
 namespace mgpu::glsl {
@@ -773,9 +787,10 @@ void SetUniforms(Engine& e) {
   });
 }
 
-// Runs one generated program through all three engines; any mismatch is a
-// test failure tagged with the seed.
-void RunFuzzCase(std::uint64_t seed, bool vc4_alu) {
+// Runs one generated program through all the engines (the compiled engine
+// too when `with_jit` and the program is eligible); any mismatch is a test
+// failure tagged with the seed.
+void RunFuzzCase(std::uint64_t seed, bool vc4_alu, bool with_jit) {
   GlslFuzzer gen(seed);
   const std::string src = gen.Generate();
   SCOPED_TRACE(StrFormat("seed=%llu alu=%s",
@@ -858,38 +873,58 @@ void RunFuzzCase(std::uint64_t seed, bool vc4_alu) {
            << "\nsource:\n" << src;
   }
 
-  // Batched VM at every tail size, against the scalar per-lane references.
-  for (int n = 1; n <= kVmLanes; ++n) {
-    SCOPED_TRACE(StrFormat("tail=%d", n));
-    alu_b.ResetCounts();
-    for (int l = 0; l < n; ++l) {
-      Value& v = batch.LaneGlobalAt(in_slot, l);
-      for (int k = 0; k < 4; ++k) {
-        v.SetF(k, lane_in[static_cast<std::size_t>(l)]
-                         [static_cast<std::size_t>(k)]);
+  // Batch-capable engines at every tail size, against the scalar per-lane
+  // references. Runs once for the batched interpreter and (within the jit
+  // budget, for eligible programs) once more with the per-link compiled
+  // module attached — same oracle, zero new comparison code.
+  auto check_tails = [&](VmExec& eng, AluModel& alu_e, const char* what) {
+    for (int n = 1; n <= kVmLanes; ++n) {
+      SCOPED_TRACE(StrFormat("%s tail=%d", what, n));
+      alu_e.ResetCounts();
+      for (int l = 0; l < n; ++l) {
+        Value& v = eng.LaneGlobalAt(in_slot, l);
+        for (int k = 0; k < 4; ++k) {
+          v.SetF(k, lane_in[static_cast<std::size_t>(l)]
+                           [static_cast<std::size_t>(k)]);
+        }
       }
-    }
-    std::uint32_t kept = 0;
-    try {
-      kept = batch.RunBatch(n);
-    } catch (const ShaderRuntimeError& e) {
-      FAIL() << "batched engine threw (seed " << seed << "): " << e.what()
-             << "\nsource:\n" << src;
-    }
-    OpCounts want;
-    for (int l = 0; l < n; ++l) want += ref[static_cast<std::size_t>(l)].delta;
-    for (int l = 0; l < n; ++l) {
-      const LaneRef& r = ref[static_cast<std::size_t>(l)];
-      EXPECT_EQ(((kept >> static_cast<unsigned>(l)) & 1u) != 0, r.kept)
-          << "lane " << l << " discard (batch vs vm)";
-      if (!r.kept) continue;
-      const Value& cv = batch.LaneGlobalAt(color_slot, l);
-      for (int k = 0; k < 4; ++k) {
-        EXPECT_EQ(FloatToBits(cv.F(k)), r.color[static_cast<std::size_t>(k)])
-            << "lane " << l << " comp " << k << " (batch vs vm)";
+      std::uint32_t kept = 0;
+      try {
+        kept = eng.RunBatch(n);
+      } catch (const ShaderRuntimeError& e) {
+        FAIL() << what << " engine threw (seed " << seed << "): " << e.what()
+               << "\nsource:\n" << src;
       }
+      OpCounts want;
+      for (int l = 0; l < n; ++l) {
+        want += ref[static_cast<std::size_t>(l)].delta;
+      }
+      for (int l = 0; l < n; ++l) {
+        const LaneRef& r = ref[static_cast<std::size_t>(l)];
+        EXPECT_EQ(((kept >> static_cast<unsigned>(l)) & 1u) != 0, r.kept)
+            << "lane " << l << " discard (" << what << ")";
+        if (!r.kept) continue;
+        const Value& cv = eng.LaneGlobalAt(color_slot, l);
+        for (int k = 0; k < 4; ++k) {
+          EXPECT_EQ(FloatToBits(cv.F(k)),
+                    r.color[static_cast<std::size_t>(k)])
+              << "lane " << l << " comp " << k << " (" << what << ")";
+        }
+      }
+      ExpectCountsEq(alu_e.counts(), want, what);
     }
-    ExpectCountsEq(alu_b.counts(), want, "batch vs vm");
+  };
+  check_tails(batch, alu_b, "batch vs vm");
+  if (with_jit) {
+    if (std::shared_ptr<const jit::Module> mod = jit::CompileProgram(*prog)) {
+      ExactAlu exact_j;
+      vc4::Vc4Alu vc4_j(profile);
+      AluModel& alu_j = vc4_alu ? static_cast<AluModel&>(vc4_j) : exact_j;
+      VmExec jitted(prog, alu_j);
+      SetUniforms(jitted);
+      jitted.SetJit(std::move(mod));
+      check_tails(jitted, alu_j, "compiled vs vm");
+    }
   }
 }
 
@@ -897,7 +932,7 @@ void RunFuzzSweep(bool vc4_alu) {
   constexpr std::uint64_t kSeedBase = 20260727;
   for (int i = 0; i < g_fuzz_iters; ++i) {
     const std::uint64_t seed = kSeedBase + static_cast<std::uint64_t>(i);
-    RunFuzzCase(seed, vc4_alu);
+    RunFuzzCase(seed, vc4_alu, /*with_jit=*/i < g_jit_iters);
     if (::testing::Test::HasFailure()) {
       // Stop at the first failing seed and log everything needed to
       // reproduce it: the seed drives both the program generator and the
@@ -1023,8 +1058,8 @@ struct TrapLaneRef {
 // trap parity plus min-trapping-lane attribution at every batch tail.
 // Increments *trap_lanes / *clean_lanes so the sweep can assert the seeded
 // corpus actually produced both outcomes.
-void RunTrapParityCase(std::uint64_t seed, bool vc4_alu, int* trap_lanes,
-                       int* clean_lanes) {
+void RunTrapParityCase(std::uint64_t seed, bool vc4_alu, bool with_jit,
+                       int* trap_lanes, int* clean_lanes) {
   const TrapProgram tp = GenTrapProgram(seed);
   SCOPED_TRACE(StrFormat("trap seed=%llu alu=%s budget=%llu",
                          static_cast<unsigned long long>(seed),
@@ -1122,58 +1157,77 @@ void RunTrapParityCase(std::uint64_t seed, bool vc4_alu, int* trap_lanes,
     }
   }
 
-  // Batched VM at every tail: must throw iff some lane < n trapped
-  // scalar-side, attributing the min trapping lane and its exact message;
-  // trap-free tails must stay byte-identical to the scalar references.
-  for (int n = 1; n <= kVmLanes; ++n) {
-    SCOPED_TRACE(StrFormat("tail=%d", n));
-    int min_trap = -1;
-    for (int l = 0; l < n; ++l) {
-      if (ref[static_cast<std::size_t>(l)].trapped) {
-        min_trap = l;
-        break;
-      }
-    }
-    for (int l = 0; l < n; ++l) {
-      Value& v = batch.LaneGlobalAt(in_slot, l);
-      for (int k = 0; k < 4; ++k) {
-        v.SetF(k, lane_in[static_cast<std::size_t>(l)]
-                         [static_cast<std::size_t>(k)]);
-      }
-    }
-    alu_b.ResetCounts();
-    try {
-      const std::uint32_t kept = batch.RunBatch(n);
-      EXPECT_EQ(min_trap, -1)
-          << "batch completed but scalar engines trapped at lane "
-          << min_trap;
-      if (min_trap != -1) continue;
-      OpCounts want;
+  // Batch-capable engines at every tail: must throw iff some lane < n
+  // trapped scalar-side, attributing the min trapping lane and its exact
+  // message; trap-free tails must stay byte-identical to the scalar
+  // references. As in the clean sweep, the compiled engine re-runs the
+  // whole check when available — its trap callbacks (loop guard, call
+  // depth, kTrap) must reproduce the interpreter's messages exactly.
+  auto check_tails = [&](VmExec& eng, AluModel& alu_e, const char* what) {
+    for (int n = 1; n <= kVmLanes; ++n) {
+      SCOPED_TRACE(StrFormat("%s tail=%d", what, n));
+      int min_trap = -1;
       for (int l = 0; l < n; ++l) {
-        want += ref[static_cast<std::size_t>(l)].delta;
-      }
-      for (int l = 0; l < n; ++l) {
-        const TrapLaneRef& r = ref[static_cast<std::size_t>(l)];
-        EXPECT_EQ(((kept >> static_cast<unsigned>(l)) & 1u) != 0, r.kept)
-            << "lane " << l << " discard (batch vs vm)";
-        if (!r.kept) continue;
-        const Value& cv = batch.LaneGlobalAt(color_slot, l);
-        for (int k = 0; k < 4; ++k) {
-          EXPECT_EQ(FloatToBits(cv.F(k)),
-                    r.color[static_cast<std::size_t>(k)])
-              << "lane " << l << " comp " << k << " (batch vs vm)";
+        if (ref[static_cast<std::size_t>(l)].trapped) {
+          min_trap = l;
+          break;
         }
       }
-      ExpectCountsEq(alu_b.counts(), want, "batch vs vm");
-    } catch (const ShaderRuntimeError& e) {
-      if (min_trap == -1) {
-        ADD_FAILURE() << "batch trapped but no scalar lane did: " << e.what();
-        continue;
+      for (int l = 0; l < n; ++l) {
+        Value& v = eng.LaneGlobalAt(in_slot, l);
+        for (int k = 0; k < 4; ++k) {
+          v.SetF(k, lane_in[static_cast<std::size_t>(l)]
+                           [static_cast<std::size_t>(k)]);
+        }
       }
-      EXPECT_EQ(e.lane, min_trap) << "batch trap lane attribution";
-      EXPECT_EQ(std::string(e.what()),
-                ref[static_cast<std::size_t>(min_trap)].message)
-          << "batch trap message (expected min trapping lane's)";
+      alu_e.ResetCounts();
+      try {
+        const std::uint32_t kept = eng.RunBatch(n);
+        EXPECT_EQ(min_trap, -1)
+            << what << " completed but scalar engines trapped at lane "
+            << min_trap;
+        if (min_trap != -1) continue;
+        OpCounts want;
+        for (int l = 0; l < n; ++l) {
+          want += ref[static_cast<std::size_t>(l)].delta;
+        }
+        for (int l = 0; l < n; ++l) {
+          const TrapLaneRef& r = ref[static_cast<std::size_t>(l)];
+          EXPECT_EQ(((kept >> static_cast<unsigned>(l)) & 1u) != 0, r.kept)
+              << "lane " << l << " discard (" << what << ")";
+          if (!r.kept) continue;
+          const Value& cv = eng.LaneGlobalAt(color_slot, l);
+          for (int k = 0; k < 4; ++k) {
+            EXPECT_EQ(FloatToBits(cv.F(k)),
+                      r.color[static_cast<std::size_t>(k)])
+                << "lane " << l << " comp " << k << " (" << what << ")";
+          }
+        }
+        ExpectCountsEq(alu_e.counts(), want, what);
+      } catch (const ShaderRuntimeError& e) {
+        if (min_trap == -1) {
+          ADD_FAILURE() << what << " trapped but no scalar lane did: "
+                        << e.what();
+          continue;
+        }
+        EXPECT_EQ(e.lane, min_trap) << what << " trap lane attribution";
+        EXPECT_EQ(std::string(e.what()),
+                  ref[static_cast<std::size_t>(min_trap)].message)
+            << what << " trap message (expected min trapping lane's)";
+      }
+    }
+  };
+  check_tails(batch, alu_b, "batch vs vm");
+  if (with_jit) {
+    if (std::shared_ptr<const jit::Module> mod = jit::CompileProgram(*prog)) {
+      ExactAlu exact_j;
+      vc4::Vc4Alu vc4_j(profile);
+      AluModel& alu_j = vc4_alu ? static_cast<AluModel&>(vc4_j) : exact_j;
+      VmExec jitted(prog, alu_j);
+      jitted.SetLoopBudget(tp.budget);
+      SetUniforms(jitted);
+      jitted.SetJit(std::move(mod));
+      check_tails(jitted, alu_j, "compiled vs vm");
     }
   }
 }
@@ -1184,7 +1238,8 @@ void RunTrapParitySweep(bool vc4_alu) {
   int clean_lanes = 0;
   for (int i = 0; i < g_fuzz_iters; ++i) {
     const std::uint64_t seed = kTrapSeedBase + static_cast<std::uint64_t>(i);
-    RunTrapParityCase(seed, vc4_alu, &trap_lanes, &clean_lanes);
+    RunTrapParityCase(seed, vc4_alu, /*with_jit=*/i < g_jit_iters,
+                      &trap_lanes, &clean_lanes);
     if (::testing::Test::HasFailure()) {
       std::fprintf(stderr,
                    "[trap-parity] FAILURE seed=%llu (%s alu, budget=%llu, "
@@ -1225,9 +1280,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--fuzz_iters=", 13) == 0) {
       g_fuzz_iters = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--jit_iters=", 12) == 0) {
+      g_jit_iters = std::atoi(argv[i] + 12);
     }
   }
-  std::printf("fuzz harness: %d seeded programs per ALU model\n",
-              g_fuzz_iters);
+  std::printf(
+      "fuzz harness: %d seeded programs per ALU model, first %d also "
+      "through the compiled engine\n",
+      g_fuzz_iters, g_jit_iters);
   return RUN_ALL_TESTS();
 }
