@@ -74,10 +74,38 @@ ShadeStateCache::Entry& ShadeStateCache::Insert(GLuint program, int threads) {
   return e;
 }
 
+ShadeStateCache::VertexState* ShadeStateCache::FindVertex(GLuint program) {
+  const auto it = vertex_entries_.find(program);
+  if (it == vertex_entries_.end()) return nullptr;
+  it->second.last_use = ++use_tick_;
+  return &it->second;
+}
+
+ShadeStateCache::VertexState& ShadeStateCache::InsertVertex(GLuint program) {
+  VertexState& e = vertex_entries_[program];
+  e.last_use = ++use_tick_;
+  if (vertex_entries_.size() > capacity_) {
+    auto victim = vertex_entries_.end();
+    for (auto it = vertex_entries_.begin(); it != vertex_entries_.end();
+         ++it) {
+      if (&it->second == &e) continue;
+      if (victim == vertex_entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    // Not tallied in evictions_: that counter tracks worker-entry
+    // behaviour for the cache tests.
+    if (victim != vertex_entries_.end()) vertex_entries_.erase(victim);
+  }
+  return e;
+}
+
 void ShadeStateCache::InvalidateProgram(GLuint program) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     it = it->first.first == program ? entries_.erase(it) : std::next(it);
   }
+  vertex_entries_.erase(program);
 }
 
 Context::Context(const ContextConfig& config, glsl::AluModel* alu)
@@ -87,6 +115,14 @@ Context::Context(const ContextConfig& config, glsl::AluModel* alu)
   // toolchain probe); kCompiled draws fall back to the batched interpreter
   // when this is false.
   jit_enabled_ = glsl::jit::Resolve(config_.jit);
+  // Vertex-stage batching knob: an explicit 0/1 wins; -1 = auto (the
+  // MGPU_VERTEX_BATCH env override if set, else on). Mirrors simd/jit.
+  vertex_batch_enabled_ = config_.vertex_batch != 0;
+  if (config_.vertex_batch < 0) {
+    if (const char* env = std::getenv("MGPU_VERTEX_BATCH")) {
+      vertex_batch_enabled_ = std::strtol(env, nullptr, 10) != 0;
+    }
+  }
   config_.fragment_batch_width =
       std::clamp(config_.fragment_batch_width, 1, kFragBatchWidth);
   shade_cache_.SetCapacity(
@@ -444,10 +480,12 @@ void Context::LinkProgram(GLuint program) {
     p->vvm->SetSimdLevel(simd_level_);
     p->fvm->SetSimdLevel(simd_level_);
   }
-  // The compiled module (if any) was built from the old bytecode; drop it
-  // and let the next kCompiled draw rebuild from the fresh program.
+  // The compiled modules (if any) were built from the old bytecode; drop
+  // them and let the next kCompiled draw rebuild from the fresh program.
   p->fs_jit.reset();
   p->fs_jit_attempted = false;
+  p->vs_jit.reset();
+  p->vs_jit_attempted = false;
 }
 
 void Context::GetProgramiv(GLuint program, GLenum pname, GLint* params) {
@@ -1263,6 +1301,308 @@ bool Context::FetchAttribute(const AttribState& a, GLint vertex,
   return true;
 }
 
+bool Context::ShadeVerticesScalar(
+    ProgramObject* prog, bool use_vm, GLsizei count,
+    const std::function<GLuint(GLsizei)>& index_at,
+    std::vector<RasterVertex>& verts,
+    const glsl::OpCounts& draw_start_counts) {
+  glsl::ShaderEngine& vexec =
+      use_vm ? static_cast<glsl::ShaderEngine&>(*prog->vvm) : *prog->vexec;
+  try {
+    for (GLsizei i = 0; i < count; ++i) {
+      const GLuint vi = index_at(i);
+      for (const AttribInfo& ai : prog->attribs) {
+        std::array<float, 4> v{};
+        if (!FetchAttribute(attribs_[static_cast<std::size_t>(ai.location)],
+                            static_cast<GLint>(vi), &v)) {
+          alu_->SetCounts(draw_start_counts);
+          SetError(GL_INVALID_OPERATION);
+          return false;
+        }
+        Value& dst = vexec.GlobalAt(ai.vs_slot);
+        const int cells = std::min(ai.type.CellCount(), 4);
+        for (int c = 0; c < cells; ++c) {
+          dst.SetF(c, v[static_cast<std::size_t>(c)]);
+        }
+      }
+      vexec.Run();
+      if (draw_budget_ != 0 &&
+          alu_->counts().alu - draw_start_counts.alu > draw_budget_) {
+        alu_->SetCounts(draw_start_counts);
+        last_draw_error_ = kBudgetMsg;
+        reset_status_ = GL_GUILTY_CONTEXT_RESET;
+        SetError(GL_OUT_OF_MEMORY);
+        return false;
+      }
+      RasterVertex& out = verts[static_cast<std::size_t>(i)];
+      out.clip = {0.0f, 0.0f, 0.0f, 1.0f};
+      out.point_size = 1.0f;
+      if (prog->vs_position_slot >= 0) {
+        const Value& pos = vexec.GlobalAt(prog->vs_position_slot);
+        out.clip = {pos.F(0), pos.F(1), pos.F(2), pos.F(3)};
+      }
+      if (prog->vs_point_size_slot >= 0) {
+        out.point_size = vexec.GlobalAt(prog->vs_point_size_slot).F(0);
+        if (out.point_size <= 0.0f) out.point_size = 1.0f;
+      }
+      out.varyings.resize(static_cast<std::size_t>(prog->varying_cells));
+      for (const VaryingLink& link : prog->varyings) {
+        const Value& v = vexec.GlobalAt(link.vs_slot);
+        for (int c = 0; c < link.cells; ++c) {
+          out.varyings[static_cast<std::size_t>(link.offset + c)] = v.F(c);
+        }
+      }
+    }
+  } catch (const glsl::ShaderRuntimeError& e) {
+    // Vertex-stage trap: no framebuffer byte was touched yet, so restoring
+    // the counter snapshot completes the abort.
+    alu_->SetCounts(draw_start_counts);
+    last_draw_error_ = e.what();
+    reset_status_ = GL_GUILTY_CONTEXT_RESET;
+    SetError(GL_INVALID_OPERATION);
+    return false;
+  }
+  return true;
+}
+
+bool Context::ShadeVerticesBatched(
+    ProgramObject* prog, GLsizei count,
+    const std::function<GLuint(GLsizei)>& index_at,
+    std::vector<RasterVertex>& verts,
+    const glsl::OpCounts& draw_start_counts) {
+  glsl::VmExec& vm = *prog->vvm;
+
+  // kCompiled: attach the vertex stage's module (null when compilation
+  // declined); the interpreter engines must not keep one left over from an
+  // earlier kCompiled draw. SetJit invalidates the VM's cached operand
+  // table, so stamp only on change — vs_jit is the only module ever
+  // attached to vvm, so has_jit() identifies it.
+  const bool want_jit = config_.exec_engine == ExecEngine::kCompiled &&
+                        prog->vs_jit != nullptr;
+  if (vm.has_jit() != want_jit) {
+    vm.SetJit(want_jit ? prog->vs_jit : nullptr);
+  }
+
+  // Lane plumbing, resolved once per program and cached: per-lane Value*
+  // tables into vvm's planes. Uniform (non-lane) slots resolve to the
+  // shared store, so per-draw uniform sync needs nothing extra here.
+  ShadeStateCache::VertexState* vstate =
+      shade_cache_.FindVertex(current_program_);
+  if (vstate == nullptr) {
+    vstate = &shade_cache_.InsertVertex(current_program_);
+    const auto lane_srcs = [&vm](int slot) {
+      std::array<const Value*, kFragBatchWidth> p{};
+      if (slot >= 0) {
+        for (int l = 0; l < glsl::kVmLanes; ++l) {
+          p[static_cast<std::size_t>(l)] = &vm.LaneGlobalAt(slot, l);
+        }
+      }
+      return p;
+    };
+    vstate->position = lane_srcs(prog->vs_position_slot);
+    vstate->point_size = lane_srcs(prog->vs_point_size_slot);
+    vstate->attribs.clear();
+    vstate->attribs.reserve(prog->attribs.size());
+    for (const AttribInfo& ai : prog->attribs) {
+      ShadeStateCache::VertexState::AttribLanes al;
+      al.location = ai.location;
+      al.cells = std::min(ai.type.CellCount(), 4);
+      for (int l = 0; l < glsl::kVmLanes; ++l) {
+        al.dst[static_cast<std::size_t>(l)] = &vm.LaneGlobalAt(ai.vs_slot, l);
+      }
+      vstate->attribs.push_back(al);
+    }
+    vstate->varyings.clear();
+    vstate->varyings.reserve(prog->varyings.size());
+    for (const VaryingLink& link : prog->varyings) {
+      ShadeStateCache::VertexState::VaryingSrc vl;
+      vl.cells = link.cells;
+      vl.offset = link.offset;
+      for (int l = 0; l < glsl::kVmLanes; ++l) {
+        vl.src[static_cast<std::size_t>(l)] = &vm.LaneGlobalAt(link.vs_slot, l);
+      }
+      vstate->varyings.push_back(vl);
+    }
+  }
+
+  // Per-draw attribute sources, resolved once: the batched FetchAttribute.
+  // Every failure FetchAttribute can report (missing buffer, null base,
+  // unknown type enum) is independent of the vertex index, so failing here
+  // — before any lane ran — reproduces the scalar loop's first-vertex
+  // failure exactly.
+  vstate->sources.resize(vstate->attribs.size());
+  for (std::size_t k = 0; k < vstate->attribs.size(); ++k) {
+    const AttribState& a =
+        attribs_[static_cast<std::size_t>(vstate->attribs[k].location)];
+    ShadeStateCache::VertexState::AttribSource& s = vstate->sources[k];
+    s = {};
+    if (!a.enabled) {
+      s.constant = a.constant.data();
+      continue;
+    }
+    const std::uint8_t* base = nullptr;
+    if (a.buffer != 0) {
+      const auto it = buffers_.find(a.buffer);
+      if (it == buffers_.end()) {
+        alu_->SetCounts(draw_start_counts);
+        SetError(GL_INVALID_OPERATION);
+        return false;
+      }
+      base = it->second->data.data() +
+             reinterpret_cast<std::uintptr_t>(a.pointer);
+    } else {
+      base = static_cast<const std::uint8_t*>(a.pointer);
+    }
+    int elem_size = 4;
+    switch (a.type) {
+      case GL_FLOAT: elem_size = 4; break;
+      case GL_UNSIGNED_BYTE: case GL_BYTE: elem_size = 1; break;
+      case GL_UNSIGNED_SHORT: case GL_SHORT: elem_size = 2; break;
+      default: base = nullptr; break;
+    }
+    if (base == nullptr) {
+      alu_->SetCounts(draw_start_counts);
+      SetError(GL_INVALID_OPERATION);
+      return false;
+    }
+    s.base = base;
+    s.stride = a.stride != 0 ? a.stride : a.size * elem_size;
+    s.type = a.type;
+    s.normalized = a.normalized != GL_FALSE;
+    s.size = a.size;
+  }
+
+  std::array<GLuint, glsl::kVmLanes> vidx{};
+  try {
+    for (GLsizei b0 = 0; b0 < count; b0 += glsl::kVmLanes) {
+      const int n = static_cast<int>(
+          std::min<GLsizei>(glsl::kVmLanes, count - b0));
+      for (int l = 0; l < n; ++l) {
+        vidx[static_cast<std::size_t>(l)] = index_at(b0 + l);
+      }
+
+      // Gather: decode each enabled attribute's array elements straight
+      // into the lane planes — FetchAttribute's per-component conversion
+      // with the base/stride/type resolution hoisted out of the loop.
+      // Components past the array size keep the (0,0,0,1) defaults the
+      // scalar path writes.
+      for (std::size_t k = 0; k < vstate->attribs.size(); ++k) {
+        const ShadeStateCache::VertexState::AttribLanes& al =
+            vstate->attribs[k];
+        const ShadeStateCache::VertexState::AttribSource& s =
+            vstate->sources[k];
+        if (s.base == nullptr) {
+          for (int l = 0; l < n; ++l) {
+            Value& dst = *al.dst[static_cast<std::size_t>(l)];
+            for (int c = 0; c < al.cells; ++c) {
+              dst.SetF(c, s.constant[static_cast<std::size_t>(c)]);
+            }
+          }
+          continue;
+        }
+        for (int l = 0; l < n; ++l) {
+          const std::uint8_t* src =
+              s.base + static_cast<std::ptrdiff_t>(s.stride) *
+                           vidx[static_cast<std::size_t>(l)];
+          Value& dst = *al.dst[static_cast<std::size_t>(l)];
+          for (int c = 0; c < al.cells; ++c) {
+            float v = c == 3 ? 1.0f : 0.0f;
+            if (c < s.size) {
+              switch (s.type) {
+                case GL_FLOAT: {
+                  float f;
+                  std::memcpy(&f, src + c * 4, 4);
+                  v = f;
+                  break;
+                }
+                case GL_UNSIGNED_BYTE: {
+                  const std::uint8_t b = src[c];
+                  v = s.normalized ? b / 255.0f : static_cast<float>(b);
+                  break;
+                }
+                case GL_BYTE: {
+                  std::int8_t b;
+                  std::memcpy(&b, src + c, 1);
+                  v = s.normalized ? std::max(b / 127.0f, -1.0f)
+                                   : static_cast<float>(b);
+                  break;
+                }
+                case GL_UNSIGNED_SHORT: {
+                  std::uint16_t h;
+                  std::memcpy(&h, src + c * 2, 2);
+                  v = s.normalized ? h / 65535.0f : static_cast<float>(h);
+                  break;
+                }
+                case GL_SHORT: {
+                  std::int16_t h;
+                  std::memcpy(&h, src + c * 2, 2);
+                  v = s.normalized ? std::max(h / 32767.0f, -1.0f)
+                                   : static_cast<float>(h);
+                  break;
+                }
+                default:
+                  break;
+              }
+            }
+            dst.SetF(c, v);
+          }
+        }
+      }
+
+      // One instruction-stream pass over the chunk. Lane order == vertex
+      // order, so a trapping chunk's minimum trapping lane is the first
+      // trapping vertex and the thrown message matches the scalar loop's.
+      // (Vertex programs cannot discard; the kept mask is all-ones.)
+      (void)vm.RunBatch(n);
+
+      // Watchdog, per chunk instead of per vertex: the totals are monotone
+      // toward the same engine-invariant sum, so the trip-vs-not decision
+      // is unchanged, and a tripped draw restores the snapshot either way.
+      if (draw_budget_ != 0 &&
+          alu_->counts().alu - draw_start_counts.alu > draw_budget_) {
+        alu_->SetCounts(draw_start_counts);
+        last_draw_error_ = kBudgetMsg;
+        reset_status_ = GL_GUILTY_CONTEXT_RESET;
+        SetError(GL_OUT_OF_MEMORY);
+        return false;
+      }
+
+      // Scatter, in lane order.
+      for (int l = 0; l < n; ++l) {
+        const std::size_t li = static_cast<std::size_t>(l);
+        RasterVertex& out = verts[static_cast<std::size_t>(b0) + li];
+        out.clip = {0.0f, 0.0f, 0.0f, 1.0f};
+        out.point_size = 1.0f;
+        if (vstate->position[0] != nullptr) {
+          const Value& pos = *vstate->position[li];
+          out.clip = {pos.F(0), pos.F(1), pos.F(2), pos.F(3)};
+        }
+        if (vstate->point_size[0] != nullptr) {
+          out.point_size = vstate->point_size[li]->F(0);
+          if (out.point_size <= 0.0f) out.point_size = 1.0f;
+        }
+        out.varyings.resize(static_cast<std::size_t>(prog->varying_cells));
+        for (const ShadeStateCache::VertexState::VaryingSrc& vl :
+             vstate->varyings) {
+          const Value& v = *vl.src[li];
+          for (int c = 0; c < vl.cells; ++c) {
+            out.varyings[static_cast<std::size_t>(vl.offset + c)] = v.F(c);
+          }
+        }
+      }
+    }
+  } catch (const glsl::ShaderRuntimeError& e) {
+    // Vertex-stage trap: no framebuffer byte was touched yet, so restoring
+    // the counter snapshot completes the abort.
+    alu_->SetCounts(draw_start_counts);
+    last_draw_error_ = e.what();
+    reset_status_ = GL_GUILTY_CONTEXT_RESET;
+    SetError(GL_INVALID_OPERATION);
+    return false;
+  }
+  return true;
+}
+
 void Context::WritePixel(RenderTarget& rt, int x, int y, float depth,
                          const std::array<float, 4>& color, bool depth_valid,
                          UndoJournal* journal) {
@@ -1450,21 +1790,28 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
 
   // --- engine selection: the lane-batched VM is the production path; the
   // scalar VM and the tree-walking interpreter are switchable reference
-  // oracles. The vertex stage always runs scalar (vertex counts are tiny);
-  // batching applies to the fragment stage. ---
+  // oracles. Under the batched engines both stages run lane-batched
+  // (vertices through ShadeVerticesBatched unless vertex_batch is off);
+  // the oracle engines keep the scalar per-vertex loop. ---
   const bool use_tree = config_.exec_engine == ExecEngine::kTreeWalk;
   const bool use_vm = !use_tree;
   const bool use_batch = config_.exec_engine == ExecEngine::kBatchedVm ||
                          config_.exec_engine == ExecEngine::kCompiled;
+  const bool batch_vertex = use_batch && vertex_batch_enabled_;
 
-  // Compiled engine: build the fragment stage's native module lazily at the
-  // first kCompiled draw after link, so the interpreter engines never pay
-  // the toolchain invocation. A null result (no host compiler, divergent
+  // Compiled engine: build each stage's native module lazily at its first
+  // kCompiled draw after link, so the interpreter engines never pay the
+  // toolchain invocation. A null result (no host compiler, divergent
   // control flow, compile failure) latches and the draw runs as kBatchedVm.
   if (config_.exec_engine == ExecEngine::kCompiled && jit_enabled_ &&
       !prog->fs_jit_attempted) {
     prog->fs_jit = glsl::jit::CompileProgram(*prog->fs_bytecode);
     prog->fs_jit_attempted = true;
+  }
+  if (config_.exec_engine == ExecEngine::kCompiled && jit_enabled_ &&
+      batch_vertex && !prog->vs_jit_attempted) {
+    prog->vs_jit = glsl::jit::CompileProgram(*prog->vs_bytecode);
+    prog->vs_jit_attempted = true;
   }
 
   // --- vertex stage ---
@@ -1475,60 +1822,11 @@ void Context::DrawGeneric(GLenum mode, GLsizei count,
   // would have carried.
   std::vector<RasterVertex>& verts = scratch_verts_;
   verts.resize(static_cast<std::size_t>(count));
-  glsl::ShaderEngine& vexec =
-      use_vm ? static_cast<glsl::ShaderEngine&>(*prog->vvm) : *prog->vexec;
-  try {
-    for (GLsizei i = 0; i < count; ++i) {
-      const GLuint vi = index_at(i);
-      for (const AttribInfo& ai : prog->attribs) {
-        std::array<float, 4> v{};
-        if (!FetchAttribute(attribs_[static_cast<std::size_t>(ai.location)],
-                            static_cast<GLint>(vi), &v)) {
-          alu_->SetCounts(draw_start_counts);
-          SetError(GL_INVALID_OPERATION);
-          return;
-        }
-        Value& dst = vexec.GlobalAt(ai.vs_slot);
-        const int cells = std::min(ai.type.CellCount(), 4);
-        for (int c = 0; c < cells; ++c) {
-          dst.SetF(c, v[static_cast<std::size_t>(c)]);
-        }
-      }
-      vexec.Run();
-      if (draw_budget_ != 0 &&
-          alu_->counts().alu - draw_start_counts.alu > draw_budget_) {
-        alu_->SetCounts(draw_start_counts);
-        last_draw_error_ = kBudgetMsg;
-        reset_status_ = GL_GUILTY_CONTEXT_RESET;
-        SetError(GL_OUT_OF_MEMORY);
-        return;
-      }
-      RasterVertex& out = verts[static_cast<std::size_t>(i)];
-      out.clip = {0.0f, 0.0f, 0.0f, 1.0f};
-      out.point_size = 1.0f;
-      if (prog->vs_position_slot >= 0) {
-        const Value& pos = vexec.GlobalAt(prog->vs_position_slot);
-        out.clip = {pos.F(0), pos.F(1), pos.F(2), pos.F(3)};
-      }
-      if (prog->vs_point_size_slot >= 0) {
-        out.point_size = vexec.GlobalAt(prog->vs_point_size_slot).F(0);
-        if (out.point_size <= 0.0f) out.point_size = 1.0f;
-      }
-      out.varyings.resize(static_cast<std::size_t>(prog->varying_cells));
-      for (const VaryingLink& link : prog->varyings) {
-        const Value& v = vexec.GlobalAt(link.vs_slot);
-        for (int c = 0; c < link.cells; ++c) {
-          out.varyings[static_cast<std::size_t>(link.offset + c)] = v.F(c);
-        }
-      }
-    }
-  } catch (const glsl::ShaderRuntimeError& e) {
-    // Vertex-stage trap: no framebuffer byte was touched yet, so restoring
-    // the counter snapshot completes the abort.
-    alu_->SetCounts(draw_start_counts);
-    last_draw_error_ = e.what();
-    reset_status_ = GL_GUILTY_CONTEXT_RESET;
-    SetError(GL_INVALID_OPERATION);
+  if (batch_vertex
+          ? !ShadeVerticesBatched(prog, count, index_at, verts,
+                                  draw_start_counts)
+          : !ShadeVerticesScalar(prog, use_vm, count, index_at, verts,
+                                 draw_start_counts)) {
     return;
   }
 

@@ -98,6 +98,17 @@ struct ContextConfig {
   // kBatchedVm), 1 = on when a compiler is detected. Mirrors `simd`; this
   // knob exists for A/B benchmarking and CI's MGPU_JIT=0 fallback leg.
   int jit = -1;
+  // Vertex-stage batching under the batched engines (kBatchedVm /
+  // kCompiled): -1 = auto (the MGPU_VERTEX_BATCH env override if set — 0
+  // disables — else on), 0 = force the scalar per-vertex reference loop,
+  // 1 = force on. When on, vertex shading gathers enabled attributes into
+  // the vertex VM's SoA lane planes and runs up to kVmLanes vertices per
+  // RunBatch pass (inheriting the SoA kernels, the SIMD fast paths and the
+  // compiled engine), scattering gl_Position / gl_PointSize / varyings
+  // back in lane order — bit-identical to the scalar loop in framebuffer
+  // bytes, op counts and trap diagnostics (see README). Mirrors `simd` /
+  // `jit`: the knob exists for A/B benchmarking and CI's fallback-off leg.
+  int vertex_batch = -1;
   // Effective fragment-batch fill width (lanes per batched shader
   // dispatch), clamped to [1, kFragBatchWidth]. Swept 8/16/32 by
   // bench_fig1_pipeline; the default matches the pre-SIMD batch width.
@@ -265,12 +276,61 @@ class ShadeStateCache {
     std::uint64_t last_use = 0;
   };
 
+  // Cached vertex-stage lane plumbing for the batched vertex path: per-lane
+  // Value* tables into the program's own vertex VM lane planes — attribute
+  // gather destinations, and gl_Position / gl_PointSize / varying scatter
+  // sources. The vertex stage runs on the calling thread against the
+  // program's long-lived vvm, so entries depend only on the linked program
+  // and are keyed by program id alone; the same invalidation points as the
+  // worker entries (relink, delete, engine/thread switch) keep the cached
+  // pointers alive exactly as long as the planes they aim into.
+  struct VertexState {
+    struct AttribLanes {
+      std::array<glsl::Value*, kFragBatchWidth> dst{};
+      int location = -1;  // index into the context's attribute bindings
+      int cells = 0;      // components the shader-side declaration holds
+    };
+    struct VaryingSrc {
+      std::array<const glsl::Value*, kFragBatchWidth> src{};
+      int cells = 0;
+      int offset = 0;  // cell offset into RasterVertex::varyings
+    };
+    // Per-draw resolved attribute sources — the batched FetchAttribute's
+    // hoisted base/stride/type state. Sized alongside `attribs` and fully
+    // rewritten each draw, so steady-state draws allocate nothing here.
+    struct AttribSource {
+      const std::uint8_t* base = nullptr;  // null => constant fill
+      int stride = 0;
+      GLenum type = GL_FLOAT;
+      bool normalized = false;
+      int size = 0;
+      const float* constant = nullptr;
+    };
+    std::vector<AttribLanes> attribs;
+    std::vector<AttribSource> sources;
+    std::vector<VaryingSrc> varyings;
+    // Builtin scatter sources; all-null when the stage never declares the
+    // builtin. A slot without a per-lane plane (never written) resolves
+    // every lane to the shared store — the same value the scalar loop
+    // would read.
+    std::array<const glsl::Value*, kFragBatchWidth> position{};
+    std::array<const glsl::Value*, kFragBatchWidth> point_size{};
+    std::uint64_t last_use = 0;
+  };
+
   // Returns the entry for (program, threads), or nullptr on a miss. Hit /
   // miss tallies feed the cache-behaviour tests.
   [[nodiscard]] Entry* Find(GLuint program, int threads);
   Entry& Insert(GLuint program, int threads);
+  // Vertex-state lookup, same LRU cap. Deliberately outside the hit/miss
+  // tallies: those count worker-entry behaviour for the cache tests.
+  [[nodiscard]] VertexState* FindVertex(GLuint program);
+  VertexState& InsertVertex(GLuint program);
   void InvalidateProgram(GLuint program);
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    vertex_entries_.clear();
+  }
 
   // LRU capacity: inserting beyond it evicts the least-recently-used
   // entry. At least 1.
@@ -284,6 +344,7 @@ class ShadeStateCache {
 
  private:
   std::map<std::pair<GLuint, int>, Entry> entries_;
+  std::map<GLuint, VertexState> vertex_entries_;
   std::size_t capacity_ = 64;
   std::uint64_t use_tick_ = 0;
   std::uint64_t hits_ = 0;
@@ -452,6 +513,12 @@ class Context {
   // off). Settable at any time; applies to subsequent draws.
   [[nodiscard]] std::uint64_t draw_budget() const { return draw_budget_; }
   void SetDrawBudget(std::uint64_t ops) { draw_budget_ = ops; }
+  // Whether batched-engine draws run the lane-batched vertex stage
+  // (ContextConfig::vertex_batch resolved against MGPU_VERTEX_BATCH at
+  // construction). Exposed for the A/B benches and the knob tests.
+  [[nodiscard]] bool vertex_batch_enabled() const {
+    return vertex_batch_enabled_;
+  }
   [[nodiscard]] Texture* GetTextureObject(GLuint id);
 
  private:
@@ -488,6 +555,24 @@ class Context {
                        bool is_matrix);
   bool FetchAttribute(const AttribState& a, GLint vertex,
                       std::array<float, 4>* out) const;
+  // Lane-batched vertex stage (batched engines with vertex_batch on):
+  // gathers attributes for chunks of up to kVmLanes vertices straight into
+  // the vertex VM's SoA lane planes, executes one RunBatch pass per chunk,
+  // and scatters clip position / point size / varyings back into `verts`
+  // in lane order. Returns false after fully reporting a draw abort
+  // (attribute fetch failure, watchdog trip, shader trap) with the same
+  // observable state as the scalar loop — the caller just returns.
+  bool ShadeVerticesBatched(ProgramObject* prog, GLsizei count,
+                            const std::function<GLuint(GLsizei)>& index_at,
+                            std::vector<RasterVertex>& verts,
+                            const glsl::OpCounts& draw_start_counts);
+  // Scalar per-vertex reference loop (the oracle engines, or vertex_batch
+  // off): one FetchAttribute + Run() round trip per vertex. Same
+  // false-means-aborted contract as ShadeVerticesBatched.
+  bool ShadeVerticesScalar(ProgramObject* prog, bool use_vm, GLsizei count,
+                           const std::function<GLuint(GLsizei)>& index_at,
+                           std::vector<RasterVertex>& verts,
+                           const glsl::OpCounts& draw_start_counts);
   void DrawGeneric(GLenum mode, GLsizei count,
                    const std::function<GLuint(GLsizei)>& index_at);
   // Writes one shaded fragment (scissor, depth test, blend, masks). Every
@@ -528,6 +613,10 @@ class Context {
   // host compiler probed): whether kCompiled draws may attach compiled
   // modules. False = kCompiled silently runs the batched interpreter.
   bool jit_enabled_ = false;
+  // ContextConfig::vertex_batch resolved once at construction (env
+  // override applied): whether batched-engine draws run the lane-batched
+  // vertex stage. False = every engine keeps the scalar vertex loop.
+  bool vertex_batch_enabled_ = true;
   glsl::ExactAlu default_alu_;
   glsl::AluModel* alu_;
   GLenum error_ = GL_NO_ERROR;

@@ -1404,10 +1404,10 @@ void AnalyzeLaneBatching(VmProgram& prog, const CompiledShader& cs) {
       if (in.soa == 2) ++simd;
     }
     std::fprintf(stderr,
-                 "lane-analysis: stage=%d uniform=%d divergent_branches=%d "
+                 "lane-analysis: stage=%s uniform=%d divergent_branches=%d "
                  "code=%zu soa_kernels=%d/%d simd_tagged=%d "
                  "simd_default=%s\n",
-                 static_cast<int>(prog.stage),
+                 prog.stage == Stage::kVertex ? "vertex" : "fragment",
                  prog.uniform_control_flow ? 1 : 0, nd, prog.code.size(),
                  soa, soa_eligible, simd,
                  simd::LevelName(simd::Resolve(-1)));

@@ -9,6 +9,15 @@
 // byte-identical gl_FragColor bits, identical per-lane discard decisions,
 // and identical ALU/SFU/TMU op counts (ExactAlu and Vc4Alu).
 //
+// The same generator also emits VERTEX-stage programs (attribute input,
+// gl_Position output, no discard) for the identical engine sweep, and a
+// whole-draw corpus: seeded (vertex shader, fragment shader, attribute
+// buffer) triples drawn through a real gles2::Context under all four
+// engines × vertex-batch on/off × both ALU profiles, asserting
+// bit-identical framebuffer bytes, op counts, and draw-abort diagnostics
+// (trap message, GL error, reset status). That covers attribute decode for
+// every GL type, varying interpolation and the TMU cache model end-to-end.
+//
 // A fourth engine rides the same oracle: for the first --jit_iters seeds
 // (default 40; compiling every program would dominate the harness), the
 // per-link C++ transpiler (glsl/jit.h) builds a native module for each
@@ -26,6 +35,7 @@
 // Usage: glsl_vm_fuzz_test [--fuzz_iters=N] [gtest flags]
 //   N defaults to 200; CI passes 200 on the build matrix and 50 under
 //   TSan/ASan (see CMakeLists.txt / MGPU_FUZZ_ITERS).
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstdio>
@@ -36,6 +46,8 @@
 #include "common/bits.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "gles2/context.h"
+#include "gles2_test_util.h"
 #include "glsl/compile.h"
 #include "glsl/interp.h"
 #include "glsl/ir.h"
@@ -53,6 +65,10 @@ int g_fuzz_iters = 200;
 // ever run (the .so is content-hash cached after that), so the default
 // keeps harness latency bounded; the deep-fuzz CI job raises it.
 int g_jit_iters = 40;
+// Whole-draw differential iterations (each seed links and draws through
+// ~5 full contexts, so the budget is a fraction of --fuzz_iters). -1 =
+// derive from g_fuzz_iters in main(); --draw_iters overrides.
+int g_draw_iters = -1;
 }  // namespace
 
 namespace mgpu::glsl {
@@ -88,16 +104,36 @@ int VecWidth(GType t) {
 
 class GlslFuzzer {
  public:
-  explicit GlslFuzzer(std::uint64_t seed) : rng_(seed) {}
+  // `stage` selects the program kind: fragment (default, the original
+  // corpus) or vertex — same expression/statement machinery, but the lane
+  // input `v_in` becomes an attribute, `discard` is never emitted (sema
+  // rejects it outside fragment shaders) and main ends with an
+  // unconditional gl_Position write instead of gl_FragColor.
+  // `whole_draw` further shapes vertex programs for linking into a real
+  // program: the input attribute is renamed a_in, a second vec2 attribute
+  // a_mix joins the scope (so generated code reads two differently-typed
+  // arrays), a varying `v_in` is written for the fragment stage, and
+  // texture2D is suppressed (the gles2 vertex stage has no sampler).
+  explicit GlslFuzzer(std::uint64_t seed, Stage stage = Stage::kFragment,
+                      bool whole_draw = false)
+      : rng_(seed),
+        stage_(stage),
+        whole_draw_(whole_draw),
+        in_name_(stage == Stage::kVertex && whole_draw ? "a_in" : "v_in") {}
 
   std::string Generate() {
-    std::string src =
-        "precision highp float;\n"
-        "varying vec4 v_in;\n"
+    std::string src = "precision highp float;\n";
+    if (stage_ == Stage::kVertex) {
+      src += StrFormat("attribute vec4 %s;\n", in_name_);
+      if (whole_draw_) src += "attribute vec2 a_mix;\nvarying vec4 v_in;\n";
+    } else {
+      src += "varying vec4 v_in;\n";
+    }
+    src +=
         "uniform float u_s0;\n"
         "uniform float u_s1;\n"
-        "uniform vec4 u_v0;\n"
-        "uniform sampler2D u_tex;\n";
+        "uniform vec4 u_v0;\n";
+    if (allow_texture()) src += "uniform sampler2D u_tex;\n";
     // 0-2 helper functions, generated before main so calls never recurse.
     const int n_helpers = static_cast<int>(rng_.NextInt(0, 2));
     for (int h = 0; h < n_helpers; ++h) src += GenHelper();
@@ -113,6 +149,10 @@ class GlslFuzzer {
     bool assignable = true;   // false for loop counters: assigning to one
                               // inside its own loop can defeat the bound
   };
+
+  [[nodiscard]] bool allow_texture() const {
+    return !(stage_ == Stage::kVertex && whole_draw_);
+  }
 
   std::string NewName(const char* prefix) {
     return StrFormat("%s%d", prefix, next_id_++);
@@ -169,7 +209,7 @@ class GlslFuzzer {
       case 0: return FloatLit();
       case 1: {
         static const char* kComp[] = {"x", "y", "z", "w"};
-        return StrFormat("v_in.%s", kComp[rng_.NextInt(0, 3)]);
+        return StrFormat("%s.%s", in_name_, kComp[rng_.NextInt(0, 3)]);
       }
       case 2: return Chance(50) ? "u_s0" : "u_s1";
       case 3: {
@@ -197,7 +237,7 @@ class GlslFuzzer {
           return StrFormat("%s.%s", v->name.c_str(),
                            kComp[rng_.NextInt(0, VecWidth(vt) - 1)]);
         }
-        return StrFormat("v_in.%s", kComp[rng_.NextInt(0, 3)]);
+        return StrFormat("%s.%s", in_name_, kComp[rng_.NextInt(0, 3)]);
       }
       case 5:
       case 6:
@@ -272,6 +312,7 @@ class GlslFuzzer {
         static const char* kComp[] = {"x", "y", "z", "w"};
         const std::string uv = GenVec(2, d - 1);
         const char* comp = kComp[rng_.NextInt(0, 3)];
+        if (!allow_texture()) return StrFormat("dot(%s, u_v0.xy)", uv.c_str());
         return StrFormat("texture2D(u_tex, %s).%s", uv.c_str(), comp);
       }
     }
@@ -291,7 +332,7 @@ class GlslFuzzer {
                                   : kSw4[rng_.NextInt(0, 2)];
         const Var* v = PickVar(GType::kV4);
         const char* base = v != nullptr && Chance(60) ? v->name.c_str()
-                                                      : "v_in";
+                                                      : in_name_;
         if (w == 4 && Chance(30)) return base;
         return StrFormat("%s.%s", base, sw);
       }
@@ -363,7 +404,7 @@ class GlslFuzzer {
                              GenVec(2, d - 1).c_str());
           }
         }
-        if (w == 4 && Chance(50)) {
+        if (allow_texture() && w == 4 && Chance(50)) {
           return StrFormat("texture2D(u_tex, %s)", GenVec(2, d - 1).c_str());
         }
         return StrFormat("%s(%s)", TypeName(vt), GenFloat(d - 1).c_str());
@@ -409,7 +450,7 @@ class GlslFuzzer {
         static const char* kCmp[] = {"<", ">", "<=", ">="};
         const char* cmp = kCmp[rng_.NextInt(0, 3)];
         const float edge = rng_.NextFloat01();
-        return StrFormat("(v_in.x %s %.5f)", cmp,
+        return StrFormat("(%s.x %s %.5f)", in_name_, cmp,
                          static_cast<double>(edge));
       }
       case 2: {
@@ -589,8 +630,8 @@ class GlslFuzzer {
                          body.c_str());
         break;
       }
-      case 7: {  // lane-divergent discard (rare)
-        if (Chance(25)) {
+      case 7: {  // lane-divergent discard (rare; fragment-only per sema)
+        if (stage_ == Stage::kFragment && Chance(25)) {
           out += StrFormat("  if (%s) discard;\n", GenBool(2).c_str());
         } else {
           out += StrFormat("  %s %s = %s;\n", "float", NewName("t").c_str(),
@@ -653,7 +694,9 @@ class GlslFuzzer {
     const int n = static_cast<int>(rng_.NextInt(6, 12));
     for (int s = 0; s < n; ++s) {
       const Var* a = PickVar(t);
-      const Var* b = PickVar(t);
+      // `b` may be assigned below, so it must skip read-only scope entries
+      // (the whole-draw vertex mode seeds the attribute a_mix into scope).
+      const Var* b = PickVar(t, /*arrays=*/false, /*assignable_only=*/true);
       std::string rhs;
       switch (static_cast<int>(rng_.NextInt(0, 9))) {
         case 0: case 1: case 2: case 3: {
@@ -707,6 +750,12 @@ class GlslFuzzer {
 
   std::string GenMain() {
     scope_.clear();
+    if (stage_ == Stage::kVertex && whole_draw_) {
+      // The second attribute reads like any vec2 local, but assigning to
+      // an attribute is a sema error, so it enters scope read-only.
+      scope_.push_back(Var{"a_mix", GType::kV2, /*is_array=*/false,
+                           /*assignable=*/false});
+    }
     std::string body;
     // Most programs open with a long straight-line vector-arithmetic run
     // (see GenVecRun), and many get a second one after the general
@@ -715,7 +764,35 @@ class GlslFuzzer {
     const int n = static_cast<int>(rng_.NextInt(3, 7));
     for (int s = 0; s < n; ++s) GenStmt(body, 2, /*in_helper=*/false);
     if (Chance(35)) GenVecRun(body);
-    if (Chance(50)) {
+    if (stage_ == Stage::kVertex) {
+      if (whole_draw_) {
+        // Feed the fragment stage and place the vertex: the position is
+        // anchored to a_in so every draw has lane-varying geometry, with a
+        // bounded random perturbation (clamp maps NaN/inf identically in
+        // every engine).
+        body += StrFormat("  v_in = %s;\n", GenVec(4, 3).c_str());
+        const std::string px = GenFloat(3);
+        const std::string py = GenFloat(3);
+        const std::string pz = GenFloat(3);
+        body += StrFormat(
+            "  gl_Position = vec4(a_in.x + clamp(%s, -0.25, 0.25), "
+            "a_in.y + clamp(%s, -0.25, 0.25), clamp(%s, -1.0, 1.0), 1.0);\n",
+            px.c_str(), py.c_str(), pz.c_str());
+        if (Chance(30)) {
+          body += StrFormat("  gl_PointSize = clamp(%s, 1.0, 8.0);\n",
+                            GenFloat(2).c_str());
+        }
+      } else if (Chance(50)) {
+        const std::string x = GenFloat(3);
+        const std::string y = GenFloat(3);
+        const std::string z = GenFloat(3);
+        const std::string w = GenFloat(3);
+        body += StrFormat("  gl_Position = vec4(%s, %s, %s, %s);\n",
+                          x.c_str(), y.c_str(), z.c_str(), w.c_str());
+      } else {
+        body += StrFormat("  gl_Position = %s;\n", GenVec(4, 3).c_str());
+      }
+    } else if (Chance(50)) {
       const std::string r = GenFloat(3);
       const std::string g = GenFloat(3);
       const std::string b = GenFloat(3);
@@ -729,6 +806,9 @@ class GlslFuzzer {
   }
 
   Rng rng_;
+  Stage stage_ = Stage::kFragment;
+  bool whole_draw_ = false;
+  const char* in_name_ = "v_in";
   std::vector<Var> scope_;
   std::vector<std::size_t> helpers_sigs_;
   int next_id_ = 0;
@@ -789,15 +869,18 @@ void SetUniforms(Engine& e) {
 
 // Runs one generated program through all the engines (the compiled engine
 // too when `with_jit` and the program is eligible); any mismatch is a test
-// failure tagged with the seed.
-void RunFuzzCase(std::uint64_t seed, bool vc4_alu, bool with_jit) {
-  GlslFuzzer gen(seed);
+// failure tagged with the seed. Vertex-stage programs run the identical
+// sweep with gl_Position as the compared output (no lane ever discards).
+void RunFuzzCase(std::uint64_t seed, bool vc4_alu, bool with_jit,
+                 Stage stage) {
+  GlslFuzzer gen(seed, stage);
   const std::string src = gen.Generate();
-  SCOPED_TRACE(StrFormat("seed=%llu alu=%s",
+  SCOPED_TRACE(StrFormat("seed=%llu alu=%s stage=%s",
                          static_cast<unsigned long long>(seed),
-                         vc4_alu ? "vc4" : "exact"));
+                         vc4_alu ? "vc4" : "exact",
+                         stage == Stage::kVertex ? "vertex" : "fragment"));
 
-  CompileResult cr = CompileGlsl(src, Stage::kFragment);
+  CompileResult cr = CompileGlsl(src, stage);
   ASSERT_TRUE(cr.ok) << "generated shader failed to compile (seed " << seed
                      << "):\n" << cr.info_log << "\nsource:\n" << src;
   std::shared_ptr<const VmProgram> prog = LowerToBytecode(*cr.shader);
@@ -816,12 +899,14 @@ void RunFuzzCase(std::uint64_t seed, bool vc4_alu, bool with_jit) {
   SetUniforms(scalar);
   SetUniforms(batch);
 
+  const char* out_name =
+      stage == Stage::kVertex ? "gl_Position" : "gl_FragColor";
   const int in_slot = scalar.GlobalSlot("v_in");
   ASSERT_GE(in_slot, 0);
-  const int color_slot = scalar.GlobalSlot("gl_FragColor");
+  const int color_slot = scalar.GlobalSlot(out_name);
   ASSERT_GE(color_slot, 0);
   const int tree_in = tree.GlobalSlot("v_in");
-  const int tree_color = tree.GlobalSlot("gl_FragColor");
+  const int tree_color = tree.GlobalSlot(out_name);
 
   // Deterministic per-lane inputs; a fresh sub-seed per program so the lane
   // data co-varies with the program shape.
@@ -928,24 +1013,24 @@ void RunFuzzCase(std::uint64_t seed, bool vc4_alu, bool with_jit) {
   }
 }
 
-void RunFuzzSweep(bool vc4_alu) {
-  constexpr std::uint64_t kSeedBase = 20260727;
+void RunFuzzSweep(bool vc4_alu, Stage stage, std::uint64_t seed_base) {
   for (int i = 0; i < g_fuzz_iters; ++i) {
-    const std::uint64_t seed = kSeedBase + static_cast<std::uint64_t>(i);
-    RunFuzzCase(seed, vc4_alu, /*with_jit=*/i < g_jit_iters);
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+    RunFuzzCase(seed, vc4_alu, /*with_jit=*/i < g_jit_iters, stage);
     if (::testing::Test::HasFailure()) {
       // Stop at the first failing seed and log everything needed to
       // reproduce it: the seed drives both the program generator and the
       // per-lane inputs, so one integer replays the whole case.
-      GlslFuzzer gen(seed);
+      GlslFuzzer gen(seed, stage);
       // The batched VM resolves its SIMD tier the same way (auto unless
       // MGPU_SIMD overrides), so naming it here makes the repro line
       // sufficient to replay the exact kernel selection.
       std::fprintf(stderr,
-                   "[fuzz] FAILURE seed=%llu (%s alu, simd=%s) — "
+                   "[fuzz] FAILURE seed=%llu (%s alu, %s stage, simd=%s) — "
                    "source:\n%s\n",
                    static_cast<unsigned long long>(seed),
                    vc4_alu ? "vc4" : "exact",
+                   stage == Stage::kVertex ? "vertex" : "fragment",
                    simd::LevelName(simd::Resolve(-1)),
                    gen.Generate().c_str());
       FAIL() << "fuzz differential failed at seed " << seed
@@ -954,12 +1039,26 @@ void RunFuzzSweep(bool vc4_alu) {
   }
 }
 
+constexpr std::uint64_t kFragSeedBase = 20260727;
+constexpr std::uint64_t kVertSeedBase = 20260815;
+
 TEST(VmFuzzDifferentialTest, SeededProgramsExactAlu) {
-  RunFuzzSweep(/*vc4_alu=*/false);
+  RunFuzzSweep(/*vc4_alu=*/false, Stage::kFragment, kFragSeedBase);
 }
 
 TEST(VmFuzzDifferentialTest, SeededProgramsVc4Alu) {
-  RunFuzzSweep(/*vc4_alu=*/true);
+  RunFuzzSweep(/*vc4_alu=*/true, Stage::kFragment, kFragSeedBase);
+}
+
+// The vertex corpus through the same four-engine, every-tail sweep: this is
+// the VM-level half of the vertex-batching lockdown (the whole-draw corpus
+// below covers the gles2 gather/scatter plumbing around it).
+TEST(VmFuzzDifferentialTest, SeededVertexProgramsExactAlu) {
+  RunFuzzSweep(/*vc4_alu=*/false, Stage::kVertex, kVertSeedBase);
+}
+
+TEST(VmFuzzDifferentialTest, SeededVertexProgramsVc4Alu) {
+  RunFuzzSweep(/*vc4_alu=*/true, Stage::kVertex, kVertSeedBase);
 }
 
 // ---------------------------------------------------------------------------
@@ -1273,6 +1372,419 @@ TEST(VmTrapParityTest, SeededTrapProgramsVc4Alu) {
 }  // namespace
 }  // namespace mgpu::glsl
 
+// ---------------------------------------------------------------------------
+// Whole-draw four-engine differentials
+// ---------------------------------------------------------------------------
+//
+// The VM-level sweeps above prove engine agreement for one stage in
+// isolation. The whole-draw corpus closes the loop: a seeded (vertex
+// shader, fragment shader, attribute buffer) triple is drawn through a
+// real gles2::Context — attribute decode for every GL type (normalized and
+// not, strided and tight, buffer-object and client-pointer), varying
+// interpolation, point sprites, the depth test and the TMU cache model —
+// and the framebuffer bytes, ALU/SFU/TMU totals and error state must be
+// byte-identical across kTreeWalk / kBytecodeVm / kBatchedVm / kCompiled,
+// with vertex batching on and off and at more than one fragment worker
+// count. The reference leg is the bytecode VM with the scalar vertex loop,
+// so every other configuration is measured against the per-vertex
+// per-fragment reference semantics.
+
+namespace mgpu::gles2 {
+namespace {
+
+using glsl::ExactAlu;
+using glsl::ExpectCountsEq;
+using glsl::GlslFuzzer;
+using glsl::OpCounts;
+using glsl::Stage;
+
+constexpr int kDrawW = 48;
+constexpr int kDrawH = 48;
+
+struct DrawScene {
+  std::string vs;
+  std::string fs;
+  int tri_verts = 0;    // GL_TRIANGLES draw over vertices [0, tri_verts)
+  int point_verts = 0;  // GL_POINTS draw over [tri_verts, total)
+  int threads = 1;
+  bool use_buffers = false;  // buffer objects vs client pointers
+  bool mix_enabled = true;   // a_mix as array vs constant attribute
+  GLenum mix_type = GL_FLOAT;
+  bool mix_normalized = false;
+  int mix_stride = 0;  // bytes as passed to VertexAttribPointer; 0 = tight
+  std::vector<float> a_in;          // 4 floats per vertex
+  std::vector<std::uint8_t> a_mix;  // strided raw bytes, 2 components
+};
+
+int MixElemSize(GLenum type) {
+  switch (type) {
+    case GL_FLOAT: return 4;
+    case GL_SHORT: case GL_UNSIGNED_SHORT: return 2;
+    default: return 1;
+  }
+}
+
+int MixRowBytes(const DrawScene& sc) {
+  return sc.mix_stride != 0 ? sc.mix_stride : 2 * MixElemSize(sc.mix_type);
+}
+
+// The scene — both shader sources, the draw shape and every attribute byte
+// — is a pure function of the seed, so each engine leg replays bit-equal
+// inputs from its own fresh context.
+DrawScene GenDrawScene(std::uint64_t seed) {
+  DrawScene sc;
+  sc.vs = GlslFuzzer(seed * 2 + 1, Stage::kVertex, /*whole_draw=*/true)
+              .Generate();
+  sc.fs = GlslFuzzer(seed * 2 + 2).Generate();
+  Rng rng(seed ^ 0xd1cefacedull);
+  // 3..90 triangle vertices and 1..40 points: chunk counts above and below
+  // kVmLanes, every residue of batch tail across the sweep, and a nonzero
+  // `first` for the point draw.
+  sc.tri_verts = 3 * static_cast<int>(rng.NextInt(1, 30));
+  sc.point_verts = static_cast<int>(rng.NextInt(1, 40));
+  sc.threads = rng.NextInt(0, 1) == 0 ? 1 : 3;
+  sc.use_buffers = rng.NextInt(0, 1) == 0;
+  sc.mix_enabled = rng.NextInt(0, 99) < 80;
+  static const GLenum kTypes[] = {GL_FLOAT, GL_BYTE, GL_UNSIGNED_BYTE,
+                                  GL_SHORT, GL_UNSIGNED_SHORT};
+  sc.mix_type = kTypes[rng.NextInt(0, 4)];
+  sc.mix_normalized = rng.NextInt(0, 1) == 1;
+  const int tight = 2 * MixElemSize(sc.mix_type);
+  sc.mix_stride = rng.NextInt(0, 1) == 0
+                      ? 0
+                      : tight + static_cast<int>(rng.NextInt(1, 6));
+  const int total = sc.tri_verts + sc.point_verts;
+  sc.a_in.resize(static_cast<std::size_t>(total) * 4);
+  for (float& f : sc.a_in) f = rng.NextFloat(-1.4f, 1.4f);
+  const int row = MixRowBytes(sc);
+  sc.a_mix.resize(static_cast<std::size_t>(total) *
+                  static_cast<std::size_t>(row));
+  if (sc.mix_type == GL_FLOAT) {
+    for (int v = 0; v < total; ++v) {
+      for (int c = 0; c < 2; ++c) {
+        const float f = rng.NextFloat(-2.0f, 2.0f);
+        std::memcpy(sc.a_mix.data() + v * row + c * 4, &f, 4);
+      }
+    }
+  } else {
+    // Any bit pattern is a valid integer attribute; random bytes cover the
+    // whole normalized/unnormalized decode range.
+    for (std::uint8_t& b : sc.a_mix) {
+      b = static_cast<std::uint8_t>(rng.NextInt(0, 255));
+    }
+  }
+  return sc;
+}
+
+struct DrawOutcome {
+  std::vector<std::uint8_t> fb;
+  OpCounts counts;
+  GLenum err = GL_NO_ERROR;
+  GLenum reset = GL_NO_ERROR;
+  std::string draw_error;
+};
+
+DrawOutcome RunWholeDraw(const DrawScene& sc, ExecEngine engine,
+                         bool vc4_alu, int vertex_batch,
+                         std::uint64_t draw_budget) {
+  ContextConfig cfg;
+  cfg.width = kDrawW;
+  cfg.height = kDrawH;
+  cfg.exec_engine = engine;
+  cfg.shader_threads = sc.threads;
+  cfg.vertex_batch = vertex_batch;
+  cfg.draw_budget = draw_budget;
+  const vc4::GpuProfile profile = vc4::VideoCoreIV();
+  ExactAlu exact;
+  vc4::Vc4Alu vc4a(profile);
+  glsl::AluModel& alu = vc4_alu ? static_cast<glsl::AluModel&>(vc4a) : exact;
+  Context ctx(cfg, &alu);
+
+  // Deterministic NPOT texture for the fragment stage's u_tex.
+  GLuint tex = 0;
+  ctx.GenTextures(1, &tex);
+  ctx.BindTexture(GL_TEXTURE_2D, tex);
+  std::vector<std::uint8_t> img(19 * 13 * 4);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<std::uint8_t>((i * 31 + 7) & 0xff);
+  }
+  ctx.TexImage2D(GL_TEXTURE_2D, 0, GL_RGBA, 19, 13, 0, GL_RGBA,
+                 GL_UNSIGNED_BYTE, img.data());
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MIN_FILTER, GL_NEAREST);
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MAG_FILTER, GL_NEAREST);
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_WRAP_S, GL_CLAMP_TO_EDGE);
+  ctx.TexParameteri(GL_TEXTURE_2D, GL_TEXTURE_WRAP_T, GL_CLAMP_TO_EDGE);
+
+  const GLuint prog = testutil::BuildProgramOrDie(ctx, sc.vs, sc.fs);
+  ctx.UseProgram(prog);
+  if (const GLint u = ctx.GetUniformLocation(prog, "u_s0"); u >= 0) {
+    ctx.Uniform1f(u, 0.8125f);
+  }
+  if (const GLint u = ctx.GetUniformLocation(prog, "u_s1"); u >= 0) {
+    ctx.Uniform1f(u, -1.5f);
+  }
+  if (const GLint u = ctx.GetUniformLocation(prog, "u_v0"); u >= 0) {
+    ctx.Uniform4f(u, 0.25f, -0.5f, 1.5f, 0.125f);
+  }
+  if (const GLint u = ctx.GetUniformLocation(prog, "u_tex"); u >= 0) {
+    ctx.Uniform1i(u, 0);
+  }
+
+  const GLint in_loc = ctx.GetAttribLocation(prog, "a_in");
+  const GLint mix_loc = ctx.GetAttribLocation(prog, "a_mix");
+  GLuint bufs[2] = {0, 0};
+  if (sc.use_buffers) ctx.GenBuffers(2, bufs);
+  if (in_loc >= 0) {
+    const GLuint loc = static_cast<GLuint>(in_loc);
+    ctx.EnableVertexAttribArray(loc);
+    if (sc.use_buffers) {
+      ctx.BindBuffer(GL_ARRAY_BUFFER, bufs[0]);
+      ctx.BufferData(GL_ARRAY_BUFFER,
+                     static_cast<GLsizeiptr>(sc.a_in.size() * sizeof(float)),
+                     sc.a_in.data(), GL_STATIC_DRAW);
+      ctx.VertexAttribPointer(loc, 4, GL_FLOAT, GL_FALSE, 0, nullptr);
+      ctx.BindBuffer(GL_ARRAY_BUFFER, 0);
+    } else {
+      ctx.VertexAttribPointer(loc, 4, GL_FLOAT, GL_FALSE, 0, sc.a_in.data());
+    }
+  }
+  if (mix_loc >= 0) {
+    const GLuint loc = static_cast<GLuint>(mix_loc);
+    if (!sc.mix_enabled) {
+      // Disabled array: the constant-attribute fill path.
+      ctx.VertexAttrib4f(loc, 0.3f, -0.7f, 0.0f, 1.0f);
+    } else {
+      ctx.EnableVertexAttribArray(loc);
+      const GLboolean norm = sc.mix_normalized ? GL_TRUE : GL_FALSE;
+      if (sc.use_buffers) {
+        ctx.BindBuffer(GL_ARRAY_BUFFER, bufs[1]);
+        ctx.BufferData(GL_ARRAY_BUFFER,
+                       static_cast<GLsizeiptr>(sc.a_mix.size()),
+                       sc.a_mix.data(), GL_STATIC_DRAW);
+        ctx.VertexAttribPointer(loc, 2, sc.mix_type, norm, sc.mix_stride,
+                                nullptr);
+        ctx.BindBuffer(GL_ARRAY_BUFFER, 0);
+      } else {
+        ctx.VertexAttribPointer(loc, 2, sc.mix_type, norm, sc.mix_stride,
+                                sc.a_mix.data());
+      }
+    }
+  }
+
+  ctx.ClearColor(0.06f, 0.12f, 0.25f, 1.0f);
+  ctx.Clear(GL_COLOR_BUFFER_BIT | GL_DEPTH_BUFFER_BIT);
+  ctx.DrawArrays(GL_TRIANGLES, 0, sc.tri_verts);
+  if (sc.point_verts > 0) {
+    ctx.DrawArrays(GL_POINTS, sc.tri_verts, sc.point_verts);
+  }
+
+  DrawOutcome out;
+  out.err = ctx.GetError();
+  out.reset = ctx.GetGraphicsResetStatus();
+  out.draw_error = ctx.last_draw_error();
+  out.counts = alu.counts();
+  out.fb = testutil::ReadRgba(ctx, kDrawW, kDrawH);
+  return out;
+}
+
+struct EngineLeg {
+  ExecEngine engine;
+  int vertex_batch;
+  const char* what;
+};
+
+// Every non-reference configuration; the kCompiled leg is skipped outside
+// the jit budget (it invokes the host toolchain for both stages).
+constexpr EngineLeg kDrawLegs[] = {
+    {ExecEngine::kTreeWalk, 0, "tree"},
+    {ExecEngine::kBatchedVm, 0, "batched+scalar-vertex"},
+    {ExecEngine::kBatchedVm, 1, "batched"},
+    {ExecEngine::kCompiled, 1, "compiled"},
+};
+
+void CompareOutcome(const DrawOutcome& got, const DrawOutcome& ref,
+                    const char* what) {
+  EXPECT_EQ(got.err, ref.err) << what << " GL error";
+  EXPECT_EQ(got.reset, ref.reset) << what << " reset status";
+  EXPECT_EQ(got.draw_error, ref.draw_error) << what << " draw error";
+  ExpectCountsEq(got.counts, ref.counts, what);
+  ASSERT_EQ(got.fb.size(), ref.fb.size());
+  if (got.fb != ref.fb) {
+    std::size_t first = 0;
+    while (first < got.fb.size() && got.fb[first] == ref.fb[first]) ++first;
+    const std::size_t px = first / 4;
+    ADD_FAILURE() << what << " framebuffer differs first at byte " << first
+                  << " (pixel " << px % kDrawW << "," << px / kDrawW << "): "
+                  << static_cast<int>(got.fb[first]) << " vs "
+                  << static_cast<int>(ref.fb[first]);
+  }
+}
+
+// True when the framebuffer holds more than one distinct pixel value — the
+// sweep-level guard that the corpus actually rasterizes something.
+bool HasCoverage(const std::vector<std::uint8_t>& fb) {
+  for (std::size_t i = 4; i + 3 < fb.size(); i += 4) {
+    if (std::memcmp(fb.data(), fb.data() + i, 4) != 0) return true;
+  }
+  return false;
+}
+
+void RunWholeDrawCase(std::uint64_t seed, bool vc4_alu, bool with_jit,
+                      int* rasterized) {
+  const DrawScene sc = GenDrawScene(seed);
+  SCOPED_TRACE(StrFormat(
+      "draw seed=%llu alu=%s tris=%d points=%d threads=%d mix=0x%x%s%s%s",
+      static_cast<unsigned long long>(seed), vc4_alu ? "vc4" : "exact",
+      sc.tri_verts, sc.point_verts, sc.threads,
+      static_cast<unsigned>(sc.mix_type), sc.mix_normalized ? " norm" : "",
+      sc.use_buffers ? " vbo" : "", sc.mix_enabled ? "" : " mix-const"));
+  const DrawOutcome ref =
+      RunWholeDraw(sc, ExecEngine::kBytecodeVm, vc4_alu, 0, 0);
+  EXPECT_EQ(ref.err, GL_NO_ERROR) << "clean corpus drew with an error";
+  EXPECT_TRUE(ref.draw_error.empty()) << ref.draw_error;
+  *rasterized += HasCoverage(ref.fb);
+  for (const EngineLeg& leg : kDrawLegs) {
+    if (leg.engine == ExecEngine::kCompiled && !with_jit) continue;
+    const DrawOutcome got =
+        RunWholeDraw(sc, leg.engine, vc4_alu, leg.vertex_batch, 0);
+    CompareOutcome(got, ref, leg.what);
+  }
+}
+
+void RunWholeDrawSweep(bool vc4_alu) {
+  constexpr std::uint64_t kDrawSeedBase = 20260901;
+  int rasterized = 0;
+  for (int i = 0; i < g_draw_iters; ++i) {
+    const std::uint64_t seed = kDrawSeedBase + static_cast<std::uint64_t>(i);
+    RunWholeDrawCase(seed, vc4_alu, /*with_jit=*/i < g_jit_iters,
+                     &rasterized);
+    if (::testing::Test::HasFailure()) {
+      const DrawScene sc = GenDrawScene(seed);
+      std::fprintf(stderr,
+                   "[whole-draw] FAILURE seed=%llu (%s alu) — vertex:\n%s\n"
+                   "fragment:\n%s\n",
+                   static_cast<unsigned long long>(seed),
+                   vc4_alu ? "vc4" : "exact", sc.vs.c_str(), sc.fs.c_str());
+      FAIL() << "whole-draw differential failed at seed " << seed
+             << " (iteration " << i << " of " << g_draw_iters << ")";
+    }
+  }
+  if (g_draw_iters >= 10) {
+    EXPECT_GT(rasterized, 0) << "whole-draw corpus never covered a pixel";
+  }
+}
+
+TEST(WholeDrawFuzzTest, FourEngineDifferentialExactAlu) {
+  RunWholeDrawSweep(/*vc4_alu=*/false);
+}
+
+TEST(WholeDrawFuzzTest, FourEngineDifferentialVc4Alu) {
+  RunWholeDrawSweep(/*vc4_alu=*/true);
+}
+
+// Vertex-stage abort parity end-to-end: a draw whose VERTEX stage traps
+// (declared-but-undefined call behind a lane-varying condition) or trips
+// the draw_budget watchdog must abort transactionally with the identical
+// GL error, reset status and message — the batched path reports the FIRST
+// trapping vertex's message, same as the scalar loop — and a clean seed
+// must render identically, across every engine leg.
+void RunWholeDrawTrapCase(std::uint64_t seed, bool vc4_alu, bool with_jit,
+                          int* aborted, int* completed) {
+  Rng rng(seed ^ 0x7e57ab1eull);
+  DrawScene sc;
+  sc.tri_verts = 3 * static_cast<int>(rng.NextInt(1, 25));
+  sc.point_verts = 0;
+  sc.threads = 1;
+  std::uint64_t budget = 0;
+  const bool budget_shape = rng.NextInt(0, 99) < 45;
+  const float thresh = rng.NextFloat(0.2f, 1.6f);
+  if (budget_shape) {
+    // Watchdog shape: uniform control flow (so the kCompiled leg really
+    // compiles the vertex stage and trips inside RunBatchJit's checkpoint)
+    // with an ALU total that scales with the vertex count; the budget
+    // lands near it so some seeds trip and some complete.
+    sc.vs =
+        "attribute vec4 a_in;\n"
+        "varying vec4 v_in;\n"
+        "void main() {\n"
+        "  float acc = 0.0;\n"
+        "  for (int i = 0; i < 24; ++i) { acc += fract(acc + a_in.x) + "
+        "0.03125; }\n"
+        "  v_in = vec4(acc * 0.01, a_in.y, 0.5, 1.0);\n"
+        "  gl_Position = vec4(a_in.x, a_in.y, 0.0, 1.0);\n"
+        "}\n";
+    budget = static_cast<std::uint64_t>(rng.NextInt(200, 40000));
+  } else {
+    // Divergent trap shape: vs_jit declines (non-uniform control flow), so
+    // the kCompiled leg exercises the batched-interpreter fallback.
+    sc.vs = StrFormat(
+        "attribute vec4 a_in;\n"
+        "varying vec4 v_in;\n"
+        "float poison(float x);\n"
+        "void main() {\n"
+        "  float acc = a_in.w;\n"
+        "  if (a_in.z > %.5f) { acc += poison(acc); }\n"
+        "  v_in = vec4(acc, a_in.y, 0.5, 1.0);\n"
+        "  gl_Position = vec4(a_in.x, a_in.y, 0.0, 1.0);\n"
+        "}\n",
+        static_cast<double>(thresh));
+  }
+  sc.fs =
+      "precision highp float;\n"
+      "varying vec4 v_in;\n"
+      "void main() { gl_FragColor = fract(v_in); }\n";
+  sc.a_in.resize(static_cast<std::size_t>(sc.tri_verts) * 4);
+  for (float& f : sc.a_in) f = rng.NextFloat(-1.2f, 1.8f);
+
+  SCOPED_TRACE(StrFormat(
+      "trap-draw seed=%llu alu=%s shape=%s tris=%d budget=%llu",
+      static_cast<unsigned long long>(seed), vc4_alu ? "vc4" : "exact",
+      budget_shape ? "budget" : "poison", sc.tri_verts,
+      static_cast<unsigned long long>(budget)));
+  const DrawOutcome ref =
+      RunWholeDraw(sc, ExecEngine::kBytecodeVm, vc4_alu, 0, budget);
+  ++*(ref.draw_error.empty() ? completed : aborted);
+  for (const EngineLeg& leg : kDrawLegs) {
+    if (leg.engine == ExecEngine::kCompiled && !with_jit) continue;
+    const DrawOutcome got =
+        RunWholeDraw(sc, leg.engine, vc4_alu, leg.vertex_batch, budget);
+    CompareOutcome(got, ref, leg.what);
+  }
+}
+
+void RunWholeDrawTrapSweep(bool vc4_alu) {
+  constexpr std::uint64_t kTrapDrawSeedBase = 20260921;
+  int aborted = 0;
+  int completed = 0;
+  for (int i = 0; i < g_draw_iters; ++i) {
+    const std::uint64_t seed =
+        kTrapDrawSeedBase + static_cast<std::uint64_t>(i);
+    RunWholeDrawTrapCase(seed, vc4_alu, /*with_jit=*/i < g_jit_iters,
+                         &aborted, &completed);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "whole-draw trap parity failed at seed " << seed
+             << " (iteration " << i << " of " << g_draw_iters << ")";
+    }
+  }
+  // The corpus must mix outcomes: some draws abort, some complete (guarded
+  // so a tiny --draw_iters smoke run cannot fail spuriously).
+  if (g_draw_iters >= 10) {
+    EXPECT_GT(aborted, 0) << "trap-draw corpus produced no aborted draw";
+    EXPECT_GT(completed, 0) << "trap-draw corpus produced no clean draw";
+  }
+}
+
+TEST(WholeDrawFuzzTest, VertexTrapAndWatchdogParityExactAlu) {
+  RunWholeDrawTrapSweep(/*vc4_alu=*/false);
+}
+
+TEST(WholeDrawFuzzTest, VertexTrapAndWatchdogParityVc4Alu) {
+  RunWholeDrawTrapSweep(/*vc4_alu=*/true);
+}
+
+}  // namespace
+}  // namespace mgpu::gles2
+
 // Custom main: gtest_main cannot parse --fuzz_iters. InitGoogleTest strips
 // gtest's own flags first, leaving ours.
 int main(int argc, char** argv) {
@@ -1282,11 +1794,19 @@ int main(int argc, char** argv) {
       g_fuzz_iters = std::atoi(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--jit_iters=", 12) == 0) {
       g_jit_iters = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--draw_iters=", 13) == 0) {
+      g_draw_iters = std::atoi(argv[i] + 13);
     }
   }
+  if (g_draw_iters < 0) {
+    // Each whole-draw seed spins up ~5 full contexts (link + two draws
+    // each), so the default budget tracks --fuzz_iters at a fraction —
+    // which also scales it down automatically under sanitizers.
+    g_draw_iters = std::max(8, g_fuzz_iters / 8);
+  }
   std::printf(
-      "fuzz harness: %d seeded programs per ALU model, first %d also "
-      "through the compiled engine\n",
-      g_fuzz_iters, g_jit_iters);
+      "fuzz harness: %d seeded programs per stage and ALU model, first %d "
+      "also through the compiled engine, %d whole-draw scenes\n",
+      g_fuzz_iters, g_jit_iters, g_draw_iters);
   return RUN_ALL_TESTS();
 }
