@@ -121,6 +121,10 @@ StormResult RunStorm(int draws, int shader_threads,
 
   StormResult r;
   Rng rng(42);
+  // Under async submission (default-on) draws are enqueued, not executed, so
+  // the timed region must drain the device: Finish() before the clock keeps
+  // setup out, Finish() before the end stamp pulls execution in.
+  ctx.Finish();
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < draws; ++i) {
     // Every draw moves the triangle and retints it, so cached shading state
@@ -131,6 +135,7 @@ StormResult RunStorm(int draws, int shader_threads,
                   rng.NextFloat01(), 1.0f);
     ctx.DrawArrays(GL_TRIANGLES, 0, 3);
   }
+  ctx.Finish();
   r.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -4,6 +4,7 @@
 #include "gles2/context.h"
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -343,6 +344,168 @@ TEST(ContextTest, VboVertexFetch) {
   EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
   const auto px = ReadRgba(ctx, 4, 4);
   EXPECT_EQ(px[0], 255);
+}
+
+// Attribute fetches from a VBO must be validated against the buffer store
+// at draw time: a range that runs past the end fails the draw with
+// GL_INVALID_OPERATION instead of reading out-of-bounds heap memory. Both
+// vertex paths (batched gather and the scalar reference loop) must agree.
+TEST(ContextTest, VboDrawBeyondBufferSetsErrorNotOob) {
+  for (const int vertex_batch : {-1, 0}) {
+    SCOPED_TRACE("vertex_batch=" + std::to_string(vertex_batch));
+    ContextConfig cfg = SmallConfig();
+    cfg.vertex_batch = vertex_batch;
+    Context ctx(cfg);
+    const GLuint p = BuildProgramOrDie(
+        ctx, testutil::kPassthroughVs,
+        "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+    ctx.UseProgram(p);
+    GLuint vbo;
+    ctx.GenBuffers(1, &vbo);
+    ctx.BindBuffer(GL_ARRAY_BUFFER, vbo);
+    // Room for exactly 4 vec2 vertices (32 bytes).
+    ctx.BufferData(GL_ARRAY_BUFFER, sizeof(float) * 8, testutil::kQuad.data(),
+                   GL_STATIC_DRAW);
+    const GLint loc = ctx.GetAttribLocation(p, "a_pos");
+    ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+    ctx.VertexAttribPointer(static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE,
+                            0, nullptr);
+    ctx.ClearColor(0.0f, 0.0f, 1.0f, 1.0f);
+    ctx.Clear(GL_COLOR_BUFFER_BIT);
+    const auto before = ReadRgba(ctx, 4, 4);
+
+    // 6 vertices from a 4-vertex store: vertex 4 would read past the end.
+    ctx.DrawArrays(GL_TRIANGLES, 0, 6);
+    EXPECT_EQ(ctx.GetError(), GL_INVALID_OPERATION);
+    EXPECT_EQ(ReadRgba(ctx, 4, 4), before) << "aborted draw touched pixels";
+
+    // The last in-bounds window still draws.
+    ctx.DrawArrays(GL_TRIANGLES, 0, 3);
+    EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
+  }
+}
+
+// An attribute offset past the end of the store must fail the same way —
+// the offset alone can place every fetch out of bounds.
+TEST(ContextTest, VboAttribOffsetBeyondBufferSetsError) {
+  for (const int vertex_batch : {-1, 0}) {
+    SCOPED_TRACE("vertex_batch=" + std::to_string(vertex_batch));
+    ContextConfig cfg = SmallConfig();
+    cfg.vertex_batch = vertex_batch;
+    Context ctx(cfg);
+    const GLuint p = BuildProgramOrDie(
+        ctx, testutil::kPassthroughVs,
+        "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+    ctx.UseProgram(p);
+    GLuint vbo;
+    ctx.GenBuffers(1, &vbo);
+    ctx.BindBuffer(GL_ARRAY_BUFFER, vbo);
+    ctx.BufferData(GL_ARRAY_BUFFER, sizeof(float) * 12,
+                   testutil::kQuad.data(), GL_STATIC_DRAW);
+    const GLint loc = ctx.GetAttribLocation(p, "a_pos");
+    ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+    ctx.VertexAttribPointer(
+        static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE, 0,
+        reinterpret_cast<const void*>(static_cast<std::uintptr_t>(1 << 20)));
+    ctx.DrawArrays(GL_TRIANGLES, 0, 6);
+    EXPECT_EQ(ctx.GetError(), GL_INVALID_OPERATION);
+  }
+}
+
+// Index fetches from an element-array VBO get the same draw-time check.
+TEST(ContextTest, DrawElementsIndexRangeBeyondBufferSetsError) {
+  Context ctx(SmallConfig());
+  const GLuint p = BuildProgramOrDie(
+      ctx, testutil::kPassthroughVs,
+      "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+  ctx.UseProgram(p);
+  const GLint loc = ctx.GetAttribLocation(p, "a_pos");
+  const float verts[] = {-1, -1, 1, -1, 1, 1, -1, 1};
+  ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+  ctx.VertexAttribPointer(static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE, 0,
+                          verts);
+  GLuint ibo;
+  ctx.GenBuffers(1, &ibo);
+  ctx.BindBuffer(GL_ELEMENT_ARRAY_BUFFER, ibo);
+  const std::uint8_t idx[] = {0, 1, 2};
+  ctx.BufferData(GL_ELEMENT_ARRAY_BUFFER, 3, idx, GL_STATIC_DRAW);
+  // 6 indices from a 3-byte store.
+  ctx.DrawElements(GL_TRIANGLES, 6, GL_UNSIGNED_BYTE, nullptr);
+  EXPECT_EQ(ctx.GetError(), GL_INVALID_OPERATION);
+  // In-bounds count is fine.
+  ctx.DrawElements(GL_TRIANGLES, 3, GL_UNSIGNED_BYTE, nullptr);
+  EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
+}
+
+// Deleting a buffer detaches it from every attribute binding: a later draw
+// fails cleanly (GL_INVALID_OPERATION, no fetch through the stale id).
+TEST(ContextTest, DeletedBufferDetachesFromAttribBinding) {
+  for (const int vertex_batch : {-1, 0}) {
+    SCOPED_TRACE("vertex_batch=" + std::to_string(vertex_batch));
+    ContextConfig cfg = SmallConfig();
+    cfg.vertex_batch = vertex_batch;
+    Context ctx(cfg);
+    const GLuint p = BuildProgramOrDie(
+        ctx, testutil::kPassthroughVs,
+        "precision mediump float;\nvoid main() { gl_FragColor = vec4(1.0); }");
+    ctx.UseProgram(p);
+    GLuint vbo;
+    ctx.GenBuffers(1, &vbo);
+    ctx.BindBuffer(GL_ARRAY_BUFFER, vbo);
+    ctx.BufferData(GL_ARRAY_BUFFER, sizeof(float) * 12,
+                   testutil::kQuad.data(), GL_STATIC_DRAW);
+    const GLint loc = ctx.GetAttribLocation(p, "a_pos");
+    ctx.EnableVertexAttribArray(static_cast<GLuint>(loc));
+    ctx.VertexAttribPointer(static_cast<GLuint>(loc), 2, GL_FLOAT, GL_FALSE,
+                            0, nullptr);
+    ctx.DeleteBuffers(1, &vbo);
+    ctx.DrawArrays(GL_TRIANGLES, 0, 6);
+    EXPECT_EQ(ctx.GetError(), GL_INVALID_OPERATION);
+  }
+}
+
+// Deleting a texture detaches it from framebuffer attachments: the FBO
+// reports missing-attachment instead of resolving the stale id (which a
+// later GenTextures could otherwise recycle into the wrong image).
+TEST(ContextTest, DeletedTextureDetachesFromFramebuffer) {
+  Context ctx(SmallConfig());
+  GLuint tex;
+  ctx.GenTextures(1, &tex);
+  ctx.BindTexture(GL_TEXTURE_2D, tex);
+  std::vector<std::uint8_t> texels(4 * 4 * 4, 200);
+  ctx.TexImage2D(GL_TEXTURE_2D, 0, GL_RGBA, 4, 4, 0, GL_RGBA,
+                 GL_UNSIGNED_BYTE, texels.data());
+  GLuint fbo;
+  ctx.GenFramebuffers(1, &fbo);
+  ctx.BindFramebuffer(GL_FRAMEBUFFER, fbo);
+  ctx.FramebufferTexture2D(GL_FRAMEBUFFER, GL_COLOR_ATTACHMENT0,
+                           GL_TEXTURE_2D, tex, 0);
+  ASSERT_EQ(ctx.CheckFramebufferStatus(GL_FRAMEBUFFER),
+            static_cast<GLenum>(GL_FRAMEBUFFER_COMPLETE));
+  ctx.DeleteTextures(1, &tex);
+  EXPECT_EQ(ctx.CheckFramebufferStatus(GL_FRAMEBUFFER),
+            static_cast<GLenum>(GL_FRAMEBUFFER_INCOMPLETE_MISSING_ATTACHMENT));
+  EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
+}
+
+// Same detach contract for renderbuffer attachments.
+TEST(ContextTest, DeletedRenderbufferDetachesFromFramebuffer) {
+  Context ctx(SmallConfig());
+  GLuint rb;
+  ctx.GenRenderbuffers(1, &rb);
+  ctx.BindRenderbuffer(GL_RENDERBUFFER, rb);
+  ctx.RenderbufferStorage(GL_RENDERBUFFER, GL_RGB565, 4, 4);
+  GLuint fbo;
+  ctx.GenFramebuffers(1, &fbo);
+  ctx.BindFramebuffer(GL_FRAMEBUFFER, fbo);
+  ctx.FramebufferRenderbuffer(GL_FRAMEBUFFER, GL_COLOR_ATTACHMENT0,
+                              GL_RENDERBUFFER, rb);
+  ASSERT_EQ(ctx.CheckFramebufferStatus(GL_FRAMEBUFFER),
+            static_cast<GLenum>(GL_FRAMEBUFFER_COMPLETE));
+  ctx.DeleteRenderbuffers(1, &rb);
+  EXPECT_EQ(ctx.CheckFramebufferStatus(GL_FRAMEBUFFER),
+            static_cast<GLenum>(GL_FRAMEBUFFER_INCOMPLETE_MISSING_ATTACHMENT));
+  EXPECT_EQ(ctx.GetError(), GL_NO_ERROR);
 }
 
 TEST(ContextTest, RunawayShaderSetsDrawError) {
